@@ -1,0 +1,29 @@
+//! Criterion benchmark comparing Pass-Join with the ED-Join and Trie-Join
+//! baselines (paper Figure 15, micro version).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::DatasetKind;
+use passjoin_bench::harness::{corpus, figure15_roster};
+
+fn bench_join_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join-methods");
+    group.sample_size(10);
+    for (kind, n, tau) in [
+        (DatasetKind::Author, 5_000, 2usize),
+        (DatasetKind::QueryLog, 2_000, 4),
+        (DatasetKind::AuthorTitle, 1_000, 6),
+    ] {
+        let coll = corpus(kind, n, 42);
+        for (name, join) in figure15_roster(kind) {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{}-tau{tau}", kind.name())),
+                &coll,
+                |b, coll| b.iter(|| join.self_join(coll, tau)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_methods);
+criterion_main!(benches);

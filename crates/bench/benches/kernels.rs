@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks of the edit-distance verification kernels
+//! (the per-pair view of the paper's Figure 14).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{mutate, DatasetKind, DatasetSpec};
+use editdist::{banded_within, edit_distance, length_aware_within, myers_within};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// Pairs drawn from a corpus: half mutated (similar), half random
+/// (dissimilar) — the mix verification actually sees.
+fn sample_pairs(kind: DatasetKind, n: usize, tau: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let strings = DatasetSpec::new(kind, n).generate();
+    let mut rng = StdRng::seed_from_u64(0xbeef);
+    let mut pairs = Vec::with_capacity(n);
+    for (i, s) in strings.iter().enumerate() {
+        let other = if i % 2 == 0 {
+            mutate(s, rng.gen_range(0..=tau), &mut rng)
+        } else {
+            strings[rng.gen_range(0..strings.len())].clone()
+        };
+        pairs.push((s.clone(), other));
+    }
+    pairs
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20);
+    for (kind, tau) in [(DatasetKind::Author, 3), (DatasetKind::AuthorTitle, 8)] {
+        let pairs = sample_pairs(kind, 400, tau);
+        group.bench_with_input(
+            BenchmarkId::new("full-dp", kind.name()),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for (x, y) in pairs {
+                        acc += edit_distance(black_box(x), black_box(y));
+                    }
+                    acc
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("banded-2tau+1", kind.name()),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for (x, y) in pairs {
+                        acc += banded_within(black_box(x), black_box(y), tau).unwrap_or(tau + 1);
+                    }
+                    acc
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("myers-bit-parallel", kind.name()),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for (x, y) in pairs {
+                        acc += myers_within(black_box(x), black_box(y), tau).unwrap_or(tau + 1);
+                    }
+                    acc
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("length-aware-tau+1", kind.name()),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for (x, y) in pairs {
+                        acc +=
+                            length_aware_within(black_box(x), black_box(y), tau).unwrap_or(tau + 1);
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

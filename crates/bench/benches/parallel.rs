@@ -1,0 +1,27 @@
+//! Criterion benchmark of the parallel Pass-Join driver: thread scaling on
+//! a candidate-heavy corpus (an extension beyond the paper, which defers
+//! parallelism to future work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagen::DatasetKind;
+use passjoin::PassJoin;
+use passjoin_bench::harness::corpus;
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel");
+    group.sample_size(10);
+    let n = 20_000;
+    let coll = corpus(DatasetKind::Author, n, 42);
+    group.throughput(Throughput::Elements(n as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("author-tau3", format!("{threads}-threads")),
+            &coll,
+            |b, coll| b.iter(|| PassJoin::new().par_self_join(coll, 3, threads)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

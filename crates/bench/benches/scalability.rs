@@ -1,0 +1,25 @@
+//! Criterion benchmark of Pass-Join's scalability in the corpus size
+//! (paper Figure 16, micro version). Near-linear growth shows up as a
+//! near-constant per-element throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagen::DatasetKind;
+use passjoin::PassJoin;
+use passjoin_bench::harness::corpus;
+use sj_common::SimilarityJoin;
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(10);
+    for n in [2_500usize, 5_000, 10_000, 20_000] {
+        let coll = corpus(DatasetKind::Author, n, 42);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("author-tau2", n), &coll, |b, coll| {
+            b.iter(|| PassJoin::new().self_join(coll, 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion benchmark of the four substring-selection strategies
+//! (paper Figure 13, micro version).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::DatasetKind;
+use passjoin::Selection;
+use passjoin_bench::harness::{corpus, selection_only};
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection");
+    group.sample_size(10);
+    for (kind, n, tau) in [
+        (DatasetKind::Author, 10_000, 3usize),
+        (DatasetKind::AuthorTitle, 3_000, 8),
+    ] {
+        let coll = corpus(kind, n, 42);
+        for selection in Selection::all() {
+            group.bench_with_input(
+                BenchmarkId::new(selection.name(), format!("{}-tau{tau}", kind.name())),
+                &coll,
+                |b, coll| b.iter(|| selection_only(coll, tau, selection)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

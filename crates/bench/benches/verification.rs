@@ -1,0 +1,30 @@
+//! Criterion benchmark of the four verification strategies inside a full
+//! Pass-Join run (paper Figure 14, micro version).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::DatasetKind;
+use passjoin::Verification;
+use passjoin_bench::harness::{corpus, figure14_join};
+use sj_common::SimilarityJoin;
+
+fn bench_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verification");
+    group.sample_size(10);
+    for (kind, n, tau) in [
+        (DatasetKind::Author, 5_000, 2usize),
+        (DatasetKind::QueryLog, 2_000, 5),
+    ] {
+        let coll = corpus(kind, n, 42);
+        for verification in Verification::figure14() {
+            group.bench_with_input(
+                BenchmarkId::new(verification.name(), format!("{}-tau{tau}", kind.name())),
+                &coll,
+                |b, coll| b.iter(|| figure14_join(verification).self_join(coll, tau)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verification);
+criterion_main!(benches);

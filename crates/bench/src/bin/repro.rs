@@ -1,0 +1,437 @@
+//! `repro` — regenerates every table and figure of the Pass-Join
+//! evaluation (paper §6) on the synthetic stand-in corpora.
+//!
+//! ```text
+//! repro <experiment> [--scale F] [--seed N] [--out DIR]
+//!
+//! experiments:
+//!   table2   dataset statistics vs the paper's Table 2
+//!   fig11    string length distributions
+//!   fig12    number of selected substrings (4 selection methods)
+//!   fig13    elapsed time for generating substrings
+//!   fig14    elapsed time for verification (4 verification methods)
+//!   fig15    comparison with ED-Join and Trie-Join
+//!   fig16    scalability of Pass-Join
+//!   table3   index sizes
+//!   tune-q   ED-Join gram-length sweep (the paper's "tuned q")
+//!   ablation-partition   even vs left-heavy partition (DESIGN.md ablation)
+//!   all      everything above
+//!
+//! options:
+//!   --scale F   multiply all corpus sizes by F (default 1.0; the defaults
+//!               are ~10x smaller than the paper's corpora)
+//!   --seed N    RNG seed for corpus generation (default 42)
+//!   --out DIR   write CSV series under DIR (default results/)
+//! ```
+//!
+//! Every run prints aligned tables and writes one CSV per experiment, so
+//! the series can be plotted directly against the paper's figures.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use datagen::DatasetKind;
+use edjoin::EdJoin;
+use passjoin::{PartitionScheme, PassJoin, Selection, Verification};
+use passjoin_bench::harness::{
+    corpus, default_cardinality, figure14_join, figure15_roster, selection_only, tuned_q,
+};
+use passjoin_bench::report::Report;
+use sj_common::{SimilarityJoin, StringCollection};
+
+struct Opts {
+    scale: f64,
+    seed: u64,
+    out: PathBuf,
+}
+
+impl Opts {
+    fn cardinality(&self, kind: DatasetKind) -> usize {
+        ((default_cardinality(kind) as f64 * self.scale) as usize).max(100)
+    }
+
+    fn corpus(&self, kind: DatasetKind) -> StringCollection {
+        let n = self.cardinality(kind);
+        eprintln!("[repro] generating {} corpus, n={n}", kind.name());
+        corpus(kind, n, self.seed)
+    }
+
+    fn emit(&self, report: &Report) {
+        report.print();
+        println!();
+        if let Err(e) = report.save_csv(&self.out) {
+            eprintln!("[repro] warning: could not write CSV: {e}");
+        }
+    }
+}
+
+fn fmt_secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Table 2: synthetic dataset statistics next to the paper's.
+fn table2(opts: &Opts) {
+    let mut r = Report::new(
+        "table2-datasets",
+        &[
+            "dataset", "cardinality", "avg-len", "max-len", "min-len",
+            "paper-avg", "paper-max", "paper-min",
+        ],
+    );
+    for kind in DatasetKind::all() {
+        let c = opts.corpus(kind);
+        let (_, pavg, pmax, pmin) = kind.paper_stats();
+        r.push_row(vec![
+            kind.name().into(),
+            c.len().to_string(),
+            format!("{:.2}", c.avg_len()),
+            c.max_len().to_string(),
+            c.min_len().to_string(),
+            format!("{pavg:.2}"),
+            pmax.to_string(),
+            pmin.to_string(),
+        ]);
+    }
+    opts.emit(&r);
+}
+
+/// Figure 11: length histograms (full series in the CSV; top lengths printed).
+fn fig11(opts: &Opts) {
+    for kind in DatasetKind::all() {
+        let c = opts.corpus(kind);
+        let hist = c.length_histogram();
+        let mut r = Report::new(format!("fig11-{}", slug(kind)), &["length", "count"]);
+        for (len, count) in &hist {
+            r.push_row(vec![len.to_string(), count.to_string()]);
+        }
+        // Print a compact view: the busiest 12 lengths.
+        let mut top = hist.clone();
+        top.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        top.truncate(12);
+        top.sort_unstable();
+        let mut compact = Report::new(
+            format!("fig11-{}-top (avg {:.1})", slug(kind), c.avg_len()),
+            &["length", "count"],
+        );
+        for (len, count) in top {
+            compact.push_row(vec![len.to_string(), count.to_string()]);
+        }
+        compact.print();
+        println!();
+        if let Err(e) = r.save_csv(&opts.out) {
+            eprintln!("[repro] warning: could not write CSV: {e}");
+        }
+    }
+}
+
+/// Figures 12 and 13: selected-substring counts and selection time.
+fn fig12_13(opts: &Opts, timing: bool) {
+    let name = if timing {
+        "fig13-selection-time"
+    } else {
+        "fig12-selected-substrings"
+    };
+    for kind in DatasetKind::all() {
+        let c = opts.corpus(kind);
+        let mut r = Report::new(
+            format!("{name}-{}", slug(kind)),
+            &["tau", "length", "shift", "position", "multi-match"],
+        );
+        for &tau in kind.figure12_taus() {
+            let mut row = vec![tau.to_string()];
+            for selection in Selection::all() {
+                let (count, elapsed) = selection_only(&c, tau, selection);
+                row.push(if timing {
+                    fmt_secs(elapsed)
+                } else {
+                    count.to_string()
+                });
+            }
+            r.push_row(row);
+        }
+        opts.emit(&r);
+    }
+}
+
+/// Figure 14: join time under the four verification methods.
+fn fig14(opts: &Opts) {
+    for kind in DatasetKind::all() {
+        let c = opts.corpus(kind);
+        let mut r = Report::new(
+            format!("fig14-verification-{}", slug(kind)),
+            &["tau", "2tau+1", "tau+1", "extension", "share-prefix", "results"],
+        );
+        for &tau in kind.figure12_taus() {
+            let mut row = vec![tau.to_string()];
+            let mut results = 0;
+            for verification in Verification::figure14() {
+                let out = figure14_join(verification).self_join(&c, tau);
+                eprintln!(
+                    "[repro]   {} tau={tau} {}: {:?}",
+                    kind.name(),
+                    verification.name(),
+                    out.elapsed
+                );
+                row.push(fmt_secs(out.elapsed));
+                results = out.stats.results;
+            }
+            row.push(results.to_string());
+            r.push_row(row);
+        }
+        opts.emit(&r);
+    }
+}
+
+/// Figure 15: Pass-Join vs ED-Join vs Trie-Join, total elapsed time.
+fn fig15(opts: &Opts) {
+    // The baselines are orders of magnitude slower in their bad regimes
+    // (that is the point of the figure); scale their corpora down further
+    // so the sweep completes.
+    let sizes = [
+        (DatasetKind::Author, 30_000),
+        (DatasetKind::QueryLog, 10_000),
+        (DatasetKind::AuthorTitle, 5_000),
+    ];
+    for (kind, base) in sizes {
+        let n = ((base as f64 * opts.scale) as usize).max(100);
+        eprintln!("[repro] generating {} corpus, n={n}", kind.name());
+        let c = corpus(kind, n, opts.seed);
+        let roster = figure15_roster(kind);
+        let names: Vec<String> = roster.iter().map(|(n, _)| n.clone()).collect();
+        let mut headers: Vec<&str> = vec!["tau"];
+        headers.extend(names.iter().map(String::as_str));
+        headers.push("results");
+        let mut r = Report::new(format!("fig15-comparison-{}", slug(kind)), &headers);
+        for &tau in kind.figure15_taus() {
+            let mut row = vec![tau.to_string()];
+            let mut results = 0;
+            for (name, join) in &roster {
+                let out = join.self_join(&c, tau);
+                eprintln!(
+                    "[repro]   {} tau={tau} {}: {:?} ({} results)",
+                    kind.name(),
+                    name,
+                    out.elapsed,
+                    out.stats.results
+                );
+                row.push(fmt_secs(out.elapsed));
+                results = out.stats.results;
+            }
+            row.push(results.to_string());
+            r.push_row(row);
+        }
+        opts.emit(&r);
+    }
+}
+
+/// Figure 16: Pass-Join scalability in the collection size.
+fn fig16(opts: &Opts) {
+    for kind in DatasetKind::all() {
+        let full = opts.cardinality(kind);
+        let steps: Vec<usize> = (1..=4).map(|i| full * i / 4).collect();
+        let taus = kind.figure12_taus();
+        let mut headers: Vec<String> = vec!["n".into()];
+        headers.extend(taus.iter().map(|t| format!("tau={t}")));
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut r = Report::new(format!("fig16-scalability-{}", slug(kind)), &header_refs);
+        for &n in &steps {
+            eprintln!("[repro] generating {} corpus, n={n}", kind.name());
+            let c = corpus(kind, n, opts.seed);
+            let mut row = vec![n.to_string()];
+            for &tau in taus {
+                let out = PassJoin::new().self_join(&c, tau);
+                row.push(fmt_secs(out.elapsed));
+            }
+            r.push_row(row);
+        }
+        opts.emit(&r);
+    }
+}
+
+/// Table 3: index sizes (MB) of the three algorithms.
+fn table3(opts: &Opts) {
+    let mut r = Report::new(
+        "table3-index-sizes",
+        &[
+            "dataset", "data-MB", "ed-join-MB", "trie-join-MB", "pass-join-MB",
+            "(q)", "(tau)",
+        ],
+    );
+    for kind in DatasetKind::all() {
+        let c = opts.corpus(kind);
+        let tau = 4; // the paper's Table 3 uses tau=4 for Pass-Join
+        let q = tuned_q(kind);
+        let mb = |b: u64| format!("{:.2}", b as f64 / (1024.0 * 1024.0));
+        let ed = EdJoin::new(q).self_join(&c, tau);
+        let trie = triejoin::TrieJoin::new().self_join(&c, tau);
+        let pass = PassJoin::new().self_join(&c, tau);
+        r.push_row(vec![
+            kind.name().into(),
+            mb(c.total_bytes() as u64),
+            mb(ed.stats.index_bytes),
+            mb(trie.stats.index_bytes),
+            mb(pass.stats.index_bytes),
+            q.to_string(),
+            tau.to_string(),
+        ]);
+    }
+    opts.emit(&r);
+}
+
+/// ED-Join q sweep: reproduces the paper's "tuned q" choice.
+fn tune_q(opts: &Opts) {
+    let sizes = [
+        (DatasetKind::Author, 10_000),
+        (DatasetKind::QueryLog, 5_000),
+        (DatasetKind::AuthorTitle, 3_000),
+    ];
+    for (kind, base) in sizes {
+        let n = ((base as f64 * opts.scale) as usize).max(100);
+        let c = corpus(kind, n, opts.seed);
+        let taus = kind.figure12_taus();
+        let mid_tau = taus[taus.len() / 2];
+        let mut r = Report::new(
+            format!("tune-q-{}", slug(kind)),
+            &["q", "seconds", "candidates"],
+        );
+        for q in 2..=5 {
+            let out = EdJoin::new(q).self_join(&c, mid_tau);
+            r.push_row(vec![
+                q.to_string(),
+                fmt_secs(out.elapsed),
+                out.stats.candidate_occurrences.to_string(),
+            ]);
+        }
+        println!("(dataset {} at tau={mid_tau}, n={n})", kind.name());
+        opts.emit(&r);
+    }
+}
+
+/// Ablation: the even partition (§3.1) vs a deliberately unbalanced one.
+/// Short segments match everywhere, flooding the candidate set — this run
+/// quantifies the paper's argument for balanced segments.
+fn ablation_partition(opts: &Opts) {
+    let sizes = [
+        (DatasetKind::Author, 20_000),
+        (DatasetKind::QueryLog, 5_000),
+    ];
+    for (kind, base) in sizes {
+        let n = ((base as f64 * opts.scale) as usize).max(100);
+        let c = corpus(kind, n, opts.seed);
+        let taus = kind.figure12_taus();
+        let mut r = Report::new(
+            format!("ablation-partition-{}", slug(kind)),
+            &[
+                "tau", "even-s", "left-heavy-s", "even-cands", "left-heavy-cands",
+            ],
+        );
+        for &tau in &taus[..2.min(taus.len())] {
+            let even = PassJoin::new().self_join(&c, tau);
+            let heavy = PassJoin::new()
+                .with_partition(PartitionScheme::LeftHeavy)
+                .self_join(&c, tau);
+            assert_eq!(
+                even.normalized_pairs(),
+                heavy.normalized_pairs(),
+                "partition schemes must agree on results"
+            );
+            r.push_row(vec![
+                tau.to_string(),
+                fmt_secs(even.elapsed),
+                fmt_secs(heavy.elapsed),
+                even.stats.candidate_occurrences.to_string(),
+                heavy.stats.candidate_occurrences.to_string(),
+            ]);
+        }
+        opts.emit(&r);
+    }
+}
+
+fn slug(kind: DatasetKind) -> &'static str {
+    match kind {
+        DatasetKind::Author => "author",
+        DatasetKind::QueryLog => "querylog",
+        DatasetKind::AuthorTitle => "authortitle",
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(experiment) = args.next() else {
+        eprintln!("usage: repro <table2|fig11|fig12|fig13|fig14|fig15|fig16|table3|tune-q|all> [--scale F] [--seed N] [--out DIR]");
+        return ExitCode::FAILURE;
+    };
+    let mut opts = Opts {
+        scale: 1.0,
+        seed: 42,
+        out: PathBuf::from("results"),
+    };
+    let rest: Vec<String> = args.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--scale" => {
+                opts.scale = rest
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--scale requires a float");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--seed" => {
+                opts.seed = rest
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed requires an integer");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--out" => {
+                opts.out = PathBuf::from(rest.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown option: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    match experiment.as_str() {
+        "table2" => table2(&opts),
+        "fig11" => fig11(&opts),
+        "fig12" => fig12_13(&opts, false),
+        "fig13" => fig12_13(&opts, true),
+        "fig14" => fig14(&opts),
+        "fig15" => fig15(&opts),
+        "fig16" => fig16(&opts),
+        "table3" => table3(&opts),
+        "tune-q" => tune_q(&opts),
+        "ablation-partition" => ablation_partition(&opts),
+        "all" => {
+            table2(&opts);
+            fig11(&opts);
+            fig12_13(&opts, false);
+            fig12_13(&opts, true);
+            fig14(&opts);
+            fig15(&opts);
+            fig16(&opts);
+            table3(&opts);
+            tune_q(&opts);
+            ablation_partition(&opts);
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

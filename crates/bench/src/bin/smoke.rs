@@ -1,0 +1,36 @@
+//! Quick cross-algorithm smoke comparison (not part of the figure
+//! reproduction; see `repro` for that).
+
+use datagen::{DatasetKind, DatasetSpec};
+use edjoin::EdJoin;
+use passjoin::PassJoin;
+use sj_common::{SimilarityJoin, StringCollection};
+use triejoin::TrieJoin;
+
+fn run(name: &str, join: &dyn SimilarityJoin, coll: &StringCollection, tau: usize) {
+    let out = join.self_join(coll, tau);
+    println!(
+        "  {name:<14} tau={tau} time={:>10.3?} results={:<8} cand={:<10} idx={}KB",
+        out.elapsed,
+        out.stats.results,
+        out.stats.candidate_occurrences,
+        out.stats.index_bytes / 1024
+    );
+}
+
+fn main() {
+    for (kind, n, taus) in [
+        (DatasetKind::Author, 20_000, &[1usize, 2][..]),
+        (DatasetKind::QueryLog, 10_000, &[4][..]),
+        (DatasetKind::AuthorTitle, 10_000, &[6][..]),
+    ] {
+        let coll = DatasetSpec::new(kind, n).collection();
+        println!("{} n={} avg_len={:.1}", kind.name(), n, coll.avg_len());
+        for &tau in taus {
+            run("pass-join", &PassJoin::new(), &coll, tau);
+            run("ed-join(q=2)", &EdJoin::new(2), &coll, tau);
+            run("ed-join(q=3)", &EdJoin::new(3), &coll, tau);
+            run("trie-join", &TrieJoin::new(), &coll, tau);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Benchmark harness for the Pass-Join reproduction.
+//!
+//! The `repro` binary regenerates every table and figure of the paper's
+//! evaluation (§6) — see `repro --help`. [`report`] renders/persists the
+//! result tables; [`harness`] holds the dataset scaling, the tuned
+//! baseline parameters, and the selection-only measurement loop shared by
+//! the binary and the Criterion benches.
+
+pub mod harness;
+pub mod report;

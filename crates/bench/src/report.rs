@@ -1,0 +1,114 @@
+//! Plain-text tables and CSV series for the experiment reproductions.
+//!
+//! Every `repro` subcommand produces one [`Report`]: a header row plus data
+//! rows, printed aligned to stdout and optionally persisted as CSV under
+//! `results/` so the series can be re-plotted against the paper's figures.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A rectangular result table.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id, e.g. `fig12-author`; used as the CSV file stem.
+    pub name: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (stringified by the producer).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates an empty report with the given name and headers.
+    pub fn new<S: Into<String>>(name: S, headers: &[&str]) -> Self {
+        Self {
+            name: name.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; must match the header arity.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders an aligned plain-text table.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.name);
+        let render = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(out, "{cell:>w$}  ", w = *w);
+            }
+            out.pop();
+            out.pop();
+            out.push('\n');
+        };
+        render(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            render(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.to_text());
+    }
+
+    /// Writes `<dir>/<name>.csv`.
+    pub fn save_csv(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        fs::write(dir.join(format!("{}.csv", self.name)), out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_text() {
+        let mut r = Report::new("demo", &["tau", "time"]);
+        r.push_row(vec!["1".into(), "10.5".into()]);
+        r.push_row(vec!["10".into(), "300.25".into()]);
+        let text = r.to_text();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("tau"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut r = Report::new("demo", &["a", "b"]);
+        r.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("passjoin_report_test");
+        let mut r = Report::new("csvtest", &["x", "y"]);
+        r.push_row(vec!["1".into(), "2".into()]);
+        r.save_csv(&dir).unwrap();
+        let text = fs::read_to_string(dir.join("csvtest.csv")).unwrap();
+        assert_eq!(text, "x,y\n1,2\n");
+    }
+}

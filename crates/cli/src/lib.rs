@@ -1,0 +1,197 @@
+//! Library half of the `simjoin` command-line tool: argument parsing and
+//! the join dispatch, kept out of `main.rs` so they are unit-testable.
+
+use std::path::PathBuf;
+
+use edjoin::EdJoin;
+use passjoin::PassJoin;
+use sj_common::{JoinOutput, SimilarityJoin, StringCollection};
+use triejoin::TrieJoin;
+
+/// Which algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Pass-Join with the paper's default configuration.
+    Pass,
+    /// Pass-Join's multi-threaded driver.
+    PassParallel,
+    /// ED-Join (q-gram prefix filtering), q in [`Config::q`].
+    Ed,
+    /// Trie-Join (PathStack).
+    Trie,
+}
+
+impl Algorithm {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "pass" => Ok(Algorithm::Pass),
+            "pass-par" => Ok(Algorithm::PassParallel),
+            "ed" => Ok(Algorithm::Ed),
+            "trie" => Ok(Algorithm::Trie),
+            other => Err(format!(
+                "unknown algorithm '{other}' (expected pass, pass-par, ed, trie)"
+            )),
+        }
+    }
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Input corpus: one string per line.
+    pub input: PathBuf,
+    /// Edit-distance threshold.
+    pub tau: usize,
+    /// Algorithm (default Pass-Join).
+    pub algorithm: Algorithm,
+    /// Gram length for ED-Join.
+    pub q: usize,
+    /// Worker threads for `pass-par` (0 = auto).
+    pub threads: usize,
+    /// Where to write pairs (stdout when `None`).
+    pub output: Option<PathBuf>,
+    /// Print statistics to stderr.
+    pub stats: bool,
+}
+
+/// The usage string printed on parse errors.
+pub const USAGE: &str = "usage: simjoin <corpus.txt> --tau N \
+[--algorithm pass|pass-par|ed|trie] [--q N] [--threads N] [--out pairs.txt] [--stats]";
+
+impl Config {
+    /// Parses CLI arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut input: Option<PathBuf> = None;
+        let mut tau: Option<usize> = None;
+        let mut algorithm = Algorithm::Pass;
+        let mut q = 3;
+        let mut threads = 0;
+        let mut output = None;
+        let mut stats = false;
+
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--tau" => {
+                    tau = Some(take_number(&mut it, "--tau")?);
+                }
+                "--algorithm" => {
+                    let v = it.next().ok_or("--algorithm requires a value")?;
+                    algorithm = Algorithm::parse(&v)?;
+                }
+                "--q" => {
+                    q = take_number(&mut it, "--q")?;
+                    if q == 0 {
+                        return Err("--q must be at least 1".into());
+                    }
+                }
+                "--threads" => {
+                    threads = take_number(&mut it, "--threads")?;
+                }
+                "--out" => {
+                    output = Some(PathBuf::from(
+                        it.next().ok_or("--out requires a path")?,
+                    ));
+                }
+                "--stats" => {
+                    stats = true;
+                }
+                other if other.starts_with('-') => {
+                    return Err(format!("unknown option '{other}'"));
+                }
+                path => {
+                    if input.replace(PathBuf::from(path)).is_some() {
+                        return Err("more than one input file given".into());
+                    }
+                }
+            }
+        }
+        Ok(Config {
+            input: input.ok_or("missing input corpus path")?,
+            tau: tau.ok_or("missing required --tau")?,
+            algorithm,
+            q,
+            threads,
+            output,
+            stats,
+        })
+    }
+
+    /// Runs the configured join over an already-loaded collection.
+    pub fn run(&self, collection: &StringCollection) -> JoinOutput {
+        match self.algorithm {
+            Algorithm::Pass => PassJoin::new().self_join(collection, self.tau),
+            Algorithm::PassParallel => {
+                PassJoin::new().par_self_join(collection, self.tau, self.threads)
+            }
+            Algorithm::Ed => EdJoin::new(self.q).self_join(collection, self.tau),
+            Algorithm::Trie => TrieJoin::new().self_join(collection, self.tau),
+        }
+    }
+}
+
+fn take_number(
+    it: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> Result<usize, String> {
+    it.next()
+        .ok_or_else(|| format!("{flag} requires a value"))?
+        .parse()
+        .map_err(|_| format!("{flag} requires a non-negative integer"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Config, String> {
+        Config::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn minimal_invocation() {
+        let c = parse(&["corpus.txt", "--tau", "2"]).unwrap();
+        assert_eq!(c.input, PathBuf::from("corpus.txt"));
+        assert_eq!(c.tau, 2);
+        assert_eq!(c.algorithm, Algorithm::Pass);
+        assert_eq!(c.q, 3);
+        assert!(c.output.is_none());
+        assert!(!c.stats);
+    }
+
+    #[test]
+    fn full_invocation() {
+        let c = parse(&[
+            "--tau", "4", "data.txt", "--algorithm", "ed", "--q", "2", "--out",
+            "pairs.txt", "--stats", "--threads", "8",
+        ])
+        .unwrap();
+        assert_eq!(c.algorithm, Algorithm::Ed);
+        assert_eq!(c.q, 2);
+        assert_eq!(c.threads, 8);
+        assert_eq!(c.output, Some(PathBuf::from("pairs.txt")));
+        assert!(c.stats);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["corpus.txt"]).is_err(), "missing --tau");
+        assert!(parse(&["corpus.txt", "--tau"]).is_err());
+        assert!(parse(&["corpus.txt", "--tau", "x"]).is_err());
+        assert!(parse(&["a.txt", "b.txt", "--tau", "1"]).is_err());
+        assert!(parse(&["a.txt", "--tau", "1", "--algorithm", "nope"]).is_err());
+        assert!(parse(&["a.txt", "--tau", "1", "--q", "0"]).is_err());
+        assert!(parse(&["a.txt", "--tau", "1", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn run_dispatches_all_algorithms() {
+        let coll = StringCollection::from_strs(&["vldb", "pvldb", "icde"]);
+        for algo in ["pass", "pass-par", "ed", "trie"] {
+            let c = parse(&["x.txt", "--tau", "1", "--algorithm", algo]).unwrap();
+            let out = c.run(&coll);
+            assert_eq!(out.normalized_pairs(), vec![(0, 1)], "{algo}");
+        }
+    }
+}

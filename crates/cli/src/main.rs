@@ -1,0 +1,68 @@
+//! `simjoin` — string similarity self-join over a newline-delimited file.
+//!
+//! ```text
+//! simjoin corpus.txt --tau 2 --stats
+//! simjoin corpus.txt --tau 3 --algorithm pass-par --threads 8 --out pairs.tsv
+//! ```
+//!
+//! Output: one `i<TAB>j` pair of 0-based input line numbers per line,
+//! `i < j`, for every pair of lines within the edit-distance threshold.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use simjoin_cli::{Config, USAGE};
+
+fn main() -> ExitCode {
+    let config = match Config::parse(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("simjoin: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let collection = match datagen::io::load_lines(&config.input) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("simjoin: cannot read {}: {e}", config.input.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let out = config.run(&collection);
+
+    let mut pairs = out.pairs.clone();
+    pairs.sort_unstable();
+    let write_result = match &config.output {
+        Some(path) => write_pairs(&pairs, std::fs::File::create(path)),
+        None => write_pairs(&pairs, Ok(std::io::stdout().lock())),
+    };
+    if let Err(e) = write_result {
+        eprintln!("simjoin: write failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if config.stats {
+        eprintln!(
+            "simjoin: {} strings, tau={}, {} pairs in {:?} [{}]",
+            collection.len(),
+            config.tau,
+            pairs.len(),
+            out.elapsed,
+            out.stats
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn write_pairs<W: Write>(
+    pairs: &[(u32, u32)],
+    sink: std::io::Result<W>,
+) -> std::io::Result<()> {
+    let mut w = std::io::BufWriter::new(sink?);
+    for (a, b) in pairs {
+        writeln!(w, "{a}\t{b}")?;
+    }
+    w.flush()
+}

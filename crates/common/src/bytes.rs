@@ -1,0 +1,91 @@
+//! Byte-string helpers shared by the verification kernels and the trie.
+//!
+//! All algorithms in this workspace operate on raw bytes. The evaluation
+//! corpora (author names, query logs, titles) are ASCII, so byte-level edit
+//! distance equals character-level edit distance there; non-ASCII callers get
+//! well-defined byte-level semantics (documented on the join entry points).
+
+/// Length of the longest common prefix of `a` and `b`.
+///
+/// Used by the shared-computation verification (paper §5.3): consecutive
+/// strings on an inverted list are lexicographically sorted, so their left
+/// parts share prefixes whose DP rows can be reused.
+#[inline]
+pub fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    let n = a.len().min(b.len());
+    // Compare word-at-a-time; corpora strings are short but this is on the
+    // hot verification path.
+    let mut i = 0;
+    while i + 8 <= n {
+        let wa = u64::from_le_bytes(a[i..i + 8].try_into().unwrap());
+        let wb = u64::from_le_bytes(b[i..i + 8].try_into().unwrap());
+        let x = wa ^ wb;
+        if x != 0 {
+            return i + (x.trailing_zeros() / 8) as usize;
+        }
+        i += 8;
+    }
+    while i < n && a[i] == b[i] {
+        i += 1;
+    }
+    i
+}
+
+/// Length of the longest common suffix of `a` and `b`.
+#[inline]
+pub fn common_suffix_len(a: &[u8], b: &[u8]) -> usize {
+    let n = a.len().min(b.len());
+    let mut i = 0;
+    while i < n && a[a.len() - 1 - i] == b[b.len() - 1 - i] {
+        i += 1;
+    }
+    i
+}
+
+/// Absolute difference of two lengths, as `usize`.
+#[inline]
+pub fn len_diff(a: usize, b: usize) -> usize {
+    a.abs_diff(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_basic() {
+        assert_eq!(common_prefix_len(b"", b""), 0);
+        assert_eq!(common_prefix_len(b"abc", b""), 0);
+        assert_eq!(common_prefix_len(b"abc", b"abc"), 3);
+        assert_eq!(common_prefix_len(b"abcdef", b"abcxef"), 3);
+        assert_eq!(common_prefix_len(b"abc", b"abcdef"), 3);
+    }
+
+    #[test]
+    fn prefix_word_boundaries() {
+        // Mismatches straddling the 8-byte fast path.
+        let a = b"0123456789abcdef";
+        for i in 0..a.len() {
+            let mut b = a.to_vec();
+            b[i] = b'#';
+            assert_eq!(common_prefix_len(a, &b), i, "mismatch at {i}");
+        }
+        assert_eq!(common_prefix_len(a, a), a.len());
+    }
+
+    #[test]
+    fn suffix_basic() {
+        assert_eq!(common_suffix_len(b"", b""), 0);
+        assert_eq!(common_suffix_len(b"abc", b"xbc"), 2);
+        assert_eq!(common_suffix_len(b"abc", b"abc"), 3);
+        assert_eq!(common_suffix_len(b"c", b"abc"), 1);
+        assert_eq!(common_suffix_len(b"xyz", b"abc"), 0);
+    }
+
+    #[test]
+    fn diff_basic() {
+        assert_eq!(len_diff(3, 7), 4);
+        assert_eq!(len_diff(7, 3), 4);
+        assert_eq!(len_diff(5, 5), 0);
+    }
+}

@@ -1,0 +1,305 @@
+//! An immutable string corpus in Pass-Join visit order.
+//!
+//! Every join algorithm in this workspace consumes a [`StringCollection`]:
+//! the input strings sorted first by length and second lexicographically
+//! (paper §3.2, Algorithm 1 line 2). Sorting once up front gives
+//!
+//! * the incremental-index visit order Pass-Join relies on (a string only
+//!   probes indices of *previously visited* strings, so every pair is
+//!   enumerated exactly once);
+//! * sorted inverted lists for free (ids ascend in insertion order), which
+//!   the shared-prefix verification of §5.3 exploits;
+//! * contiguous length ranges, so "all strings with length in `[l−τ, l]`"
+//!   is a single id range.
+//!
+//! Strings are stored in one contiguous arena (offset table + byte buffer)
+//! rather than per-string allocations: the corpora here hold up to ~10⁶
+//! short strings and per-string `Vec`s would waste an allocation and a
+//! cache miss each.
+
+/// Identifier of a string inside a [`StringCollection`].
+///
+/// Ids are dense, start at 0, and ascend in (length, lexicographic) order.
+/// They are *not* the positions of the strings in the input; use
+/// [`StringCollection::original_index`] to translate back.
+pub type StringId = u32;
+
+/// An immutable corpus sorted by (length, lexicographic) order.
+#[derive(Debug, Clone, Default)]
+pub struct StringCollection {
+    /// Concatenated string bytes.
+    buf: Vec<u8>,
+    /// `offsets[i]..offsets[i+1]` is the byte range of string `i`.
+    offsets: Vec<u32>,
+    /// `original[i]` is the position of string `i` in the constructor input.
+    original: Vec<u32>,
+}
+
+impl StringCollection {
+    /// Builds a collection from owned byte strings.
+    ///
+    /// The input order is remembered: join results are reported in terms of
+    /// input positions, so two algorithms fed the same `Vec` produce
+    /// directly comparable pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corpus exceeds `u32::MAX` total bytes or strings, which
+    /// is far beyond the paper's largest dataset (88 MB).
+    pub fn new(strings: Vec<Vec<u8>>) -> Self {
+        assert!(
+            strings.len() < u32::MAX as usize,
+            "corpus exceeds u32 string count"
+        );
+        let total: usize = strings.iter().map(Vec::len).sum();
+        assert!(total < u32::MAX as usize, "corpus exceeds u32 total bytes");
+
+        let mut order: Vec<u32> = (0..strings.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            let (sa, sb) = (&strings[a as usize], &strings[b as usize]);
+            sa.len().cmp(&sb.len()).then_with(|| sa.cmp(sb))
+        });
+
+        let mut buf = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(strings.len() + 1);
+        offsets.push(0u32);
+        for &idx in &order {
+            buf.extend_from_slice(&strings[idx as usize]);
+            offsets.push(buf.len() as u32);
+        }
+        Self {
+            buf,
+            offsets,
+            original: order,
+        }
+    }
+
+    /// Builds a collection from UTF-8 string slices (bytes are copied).
+    pub fn from_strs<S: AsRef<str>>(strings: &[S]) -> Self {
+        Self::new(
+            strings
+                .iter()
+                .map(|s| s.as_ref().as_bytes().to_vec())
+                .collect(),
+        )
+    }
+
+    /// Builds a collection from the non-empty lines of a text blob, one
+    /// string per line. Mirrors how the paper's datasets are distributed.
+    pub fn from_lines(text: &str) -> Self {
+        Self::new(
+            text.lines()
+                .filter(|l| !l.is_empty())
+                .map(|l| l.as_bytes().to_vec())
+                .collect(),
+        )
+    }
+
+    /// Number of strings.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.original.len()
+    }
+
+    /// True if the collection holds no strings.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.original.is_empty()
+    }
+
+    /// The bytes of string `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn get(&self, id: StringId) -> &[u8] {
+        let lo = self.offsets[id as usize] as usize;
+        let hi = self.offsets[id as usize + 1] as usize;
+        &self.buf[lo..hi]
+    }
+
+    /// Length in bytes of string `id`.
+    #[inline]
+    pub fn str_len(&self, id: StringId) -> usize {
+        (self.offsets[id as usize + 1] - self.offsets[id as usize]) as usize
+    }
+
+    /// Position of string `id` in the constructor input.
+    #[inline]
+    pub fn original_index(&self, id: StringId) -> u32 {
+        self.original[id as usize]
+    }
+
+    /// Iterates `(id, bytes)` in (length, lexicographic) order.
+    pub fn iter(&self) -> impl Iterator<Item = (StringId, &[u8])> {
+        (0..self.len() as u32).map(move |id| (id, self.get(id)))
+    }
+
+    /// Length of the shortest string, or 0 for an empty collection.
+    pub fn min_len(&self) -> usize {
+        if self.is_empty() {
+            0
+        } else {
+            self.str_len(0)
+        }
+    }
+
+    /// Length of the longest string, or 0 for an empty collection.
+    pub fn max_len(&self) -> usize {
+        if self.is_empty() {
+            0
+        } else {
+            self.str_len(self.len() as u32 - 1)
+        }
+    }
+
+    /// Total corpus size in bytes (sum of string lengths).
+    pub fn total_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Mean string length.
+    pub fn avg_len(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.buf.len() as f64 / self.len() as f64
+        }
+    }
+
+    /// The contiguous id range of strings whose length lies in
+    /// `[min_len, max_len]`. Valid because ids ascend by length.
+    pub fn ids_with_len_in(&self, min_len: usize, max_len: usize) -> std::ops::Range<StringId> {
+        let lo = self.partition_by_len(min_len);
+        let hi = self.partition_by_len(max_len + 1);
+        lo..hi
+    }
+
+    /// First id whose string length is `>= len`.
+    fn partition_by_len(&self, len: usize) -> StringId {
+        let mut lo = 0u32;
+        let mut hi = self.len() as u32;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.str_len(mid) < len {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Histogram of string lengths as `(length, count)`, ascending.
+    /// Reproduces the paper's Figure 11 series.
+    pub fn length_histogram(&self) -> Vec<(usize, usize)> {
+        let mut hist: Vec<(usize, usize)> = Vec::new();
+        for (_, s) in self.iter() {
+            match hist.last_mut() {
+                Some((len, count)) if *len == s.len() => *count += 1,
+                _ => hist.push((s.len(), 1)),
+            }
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1() -> StringCollection {
+        // Table 1 of the paper.
+        StringCollection::from_strs(&[
+            "avataresha",
+            "caushik chakrabar",
+            "kaushic chaduri",
+            "kaushik chakrab",
+            "kaushuk chadhui",
+            "vankatesh",
+        ])
+    }
+
+    #[test]
+    fn sorts_by_length_then_alpha() {
+        let c = table1();
+        let sorted: Vec<&[u8]> = c.iter().map(|(_, s)| s).collect();
+        assert_eq!(
+            sorted,
+            vec![
+                b"vankatesh".as_slice(),
+                b"avataresha",
+                b"kaushic chaduri",
+                b"kaushik chakrab",
+                b"kaushuk chadhui",
+                b"caushik chakrabar",
+            ]
+        );
+    }
+
+    #[test]
+    fn original_indices_round_trip() {
+        let input = vec![b"bb".to_vec(), b"a".to_vec(), b"ccc".to_vec()];
+        let c = StringCollection::new(input.clone());
+        for (id, s) in c.iter() {
+            assert_eq!(&input[c.original_index(id) as usize][..], s);
+        }
+    }
+
+    #[test]
+    fn stats_match_table1() {
+        let c = table1();
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.min_len(), 9);
+        assert_eq!(c.max_len(), 17);
+        assert_eq!(c.total_bytes(), 9 + 10 + 15 * 3 + 17);
+    }
+
+    #[test]
+    fn length_ranges() {
+        let c = table1();
+        // Strings of length 15: ids 2, 3, 4 in sorted order.
+        assert_eq!(c.ids_with_len_in(15, 15), 2..5);
+        assert_eq!(c.ids_with_len_in(9, 10), 0..2);
+        assert_eq!(c.ids_with_len_in(0, 100), 0..6);
+        assert_eq!(c.ids_with_len_in(18, 100), 6..6);
+        assert_eq!(c.ids_with_len_in(16, 17), 5..6);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let c = table1();
+        assert_eq!(c.length_histogram(), vec![(9, 1), (10, 1), (15, 3), (17, 1)]);
+    }
+
+    #[test]
+    fn duplicate_strings_stay_distinct() {
+        let c = StringCollection::from_strs(&["dup", "dup", "xyz"]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), b"dup");
+        assert_eq!(c.get(1), b"dup");
+        // Both original positions 0 and 1 must be represented.
+        let mut orig: Vec<u32> = (0..2).map(|id| c.original_index(id)).collect();
+        orig.sort_unstable();
+        assert_eq!(orig, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_collection() {
+        let c = StringCollection::new(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.min_len(), 0);
+        assert_eq!(c.max_len(), 0);
+        assert_eq!(c.ids_with_len_in(0, 10), 0..0);
+        assert!(c.length_histogram().is_empty());
+    }
+
+    #[test]
+    fn from_lines_skips_empty() {
+        let c = StringCollection::from_lines("abc\n\nde\n");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(0), b"de");
+        assert_eq!(c.get(1), b"abc");
+    }
+}

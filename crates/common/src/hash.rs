@@ -1,0 +1,143 @@
+//! A fast, non-cryptographic hasher for short byte-string keys.
+//!
+//! Segment and q-gram lookup tables are probed millions of times per join;
+//! the standard library's SipHash dominates profiles there. This module
+//! implements the FxHash algorithm (the multiply-and-rotate hash used by the
+//! Rust compiler) from scratch, because the `rustc-hash` crate is not part of
+//! the sanctioned dependency set. HashDoS resistance is irrelevant here: keys
+//! come from the corpus being joined, not from an adversary.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit FxHash state. See the module docs for why this exists.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// Knuth-style multiplicative constant used by FxHash (`2^64 / phi`, odd).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let word = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+            self.add_to_hash(word);
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            let word = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+            self.add_to_hash(u64::from(word));
+            bytes = &bytes[4..];
+        }
+        if bytes.len() >= 2 {
+            let word = u16::from_le_bytes(bytes[..2].try_into().unwrap());
+            self.add_to_hash(u64::from(word));
+            bytes = &bytes[2..];
+        }
+        if let Some(&b) = bytes.first() {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s; usable anywhere
+/// `BuildHasherDefault` is accepted.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` replacement keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` replacement keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(value: T) -> u64 {
+        let mut hasher = FxHasher::default();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of("segment"), hash_of("segment"));
+        assert_eq!(hash_of(42u64), hash_of(42u64));
+    }
+
+    #[test]
+    fn distinguishes_close_keys() {
+        assert_ne!(hash_of(b"abc".as_slice()), hash_of(b"abd".as_slice()));
+        assert_ne!(hash_of(b"abc".as_slice()), hash_of(b"ab".as_slice()));
+        assert_ne!(hash_of(0u64), hash_of(1u64));
+    }
+
+    #[test]
+    fn handles_all_tail_lengths() {
+        // Exercise the 8/4/2/1-byte tail paths of `write`.
+        for len in 0..=17 {
+            let a: Vec<u8> = (0..len).collect();
+            let mut b = a.clone();
+            if len > 0 {
+                b[len as usize - 1] ^= 0xff;
+                assert_ne!(hash_of(&a[..]), hash_of(&b[..]), "len {len}");
+            } else {
+                assert_eq!(hash_of(&a[..]), hash_of(&b[..]));
+            }
+        }
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut map: FxHashMap<&[u8], u32> = FxHashMap::default();
+        map.insert(b"va", 1);
+        map.insert(b"nk", 2);
+        assert_eq!(map.get(b"va".as_slice()), Some(&1));
+
+        let mut set: FxHashSet<u32> = FxHashSet::default();
+        assert!(set.insert(7));
+        assert!(!set.insert(7));
+    }
+}

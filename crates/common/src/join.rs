@@ -1,0 +1,177 @@
+//! The common join interface and its observability types.
+//!
+//! Each algorithm crate (`passjoin`, `edjoin`, `triejoin`) exposes a config
+//! struct implementing [`SimilarityJoin`]. The benchmark harness treats them
+//! uniformly, and the integration tests assert that all of them produce the
+//! same pair set as a naive ground-truth join.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::collection::{StringCollection, StringId};
+
+/// A similar pair, reported as *input positions* (not sorted ids), with
+/// `0 <= first < second`. Input positions make results comparable across
+/// algorithms regardless of their internal orderings.
+pub type Pair = (u32, u32);
+
+/// Counters describing the work a join performed.
+///
+/// Fields that an algorithm does not track are left at zero; the harness
+/// prints only populated columns. These counters regenerate the paper's
+/// Figure 12 (`selected_substrings`) and Table 3 (`index_bytes`), and back
+/// the candidate-quality discussion of §6.3.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Number of strings in the (probe-side) collection.
+    pub strings: u64,
+    /// Substrings selected across all probes (Pass-Join §4; Figure 12).
+    pub selected_substrings: u64,
+    /// Index lookups performed (selected substrings or prefix grams probed).
+    pub probes: u64,
+    /// Candidate occurrences produced by the filter, counted with
+    /// multiplicity (the same pair may be generated via several segments).
+    pub candidate_occurrences: u64,
+    /// Distinct candidate pairs passed to verification, where tracked.
+    pub candidate_pairs: u64,
+    /// Verification invocations (edit-distance computations, possibly
+    /// early-terminated).
+    pub verifications: u64,
+    /// Result pairs found.
+    pub results: u64,
+    /// Estimated resident size of the filter index in bytes (Table 3).
+    pub index_bytes: u64,
+}
+
+impl JoinStats {
+    /// Adds every counter of `other` into `self` (for sharded runs).
+    pub fn merge(&mut self, other: &JoinStats) {
+        self.strings += other.strings;
+        self.selected_substrings += other.selected_substrings;
+        self.probes += other.probes;
+        self.candidate_occurrences += other.candidate_occurrences;
+        self.candidate_pairs += other.candidate_pairs;
+        self.verifications += other.verifications;
+        self.results += other.results;
+        self.index_bytes += other.index_bytes;
+    }
+}
+
+impl fmt::Display for JoinStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "strings={} selected={} probes={} cand_occ={} cand_pairs={} verifs={} results={} index={}B",
+            self.strings,
+            self.selected_substrings,
+            self.probes,
+            self.candidate_occurrences,
+            self.candidate_pairs,
+            self.verifications,
+            self.results,
+            self.index_bytes
+        )
+    }
+}
+
+/// The outcome of a join: result pairs plus work counters and wall time.
+#[derive(Debug, Clone, Default)]
+pub struct JoinOutput {
+    /// Similar pairs as input positions, `first < second`. Order is
+    /// algorithm-specific; call [`JoinOutput::normalized_pairs`] to compare.
+    pub pairs: Vec<Pair>,
+    /// Work counters.
+    pub stats: JoinStats,
+    /// Wall-clock time of the join (set by drivers that time themselves;
+    /// zero otherwise).
+    pub elapsed: Duration,
+}
+
+impl JoinOutput {
+    /// Pairs sorted and deduplicated, for cross-algorithm comparison.
+    ///
+    /// A correct join never produces duplicates, so `normalized_pairs` has
+    /// the same length as `pairs`; tests assert both.
+    pub fn normalized_pairs(&self) -> Vec<Pair> {
+        let mut pairs = self.pairs.clone();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+}
+
+/// A string similarity self-join under an edit-distance threshold.
+pub trait SimilarityJoin {
+    /// Short human-readable algorithm name, e.g. `"pass-join"`.
+    fn name(&self) -> &'static str;
+
+    /// Finds all pairs `(r, s)` with `ed(r, s) <= tau` within `collection`.
+    ///
+    /// Pairs are reported as input positions with `first < second`; a pair
+    /// of *equal* strings at different positions is a result (their edit
+    /// distance is 0), but a string is never paired with itself.
+    fn self_join(&self, collection: &StringCollection, tau: usize) -> JoinOutput;
+}
+
+/// Emits `(r, s)` as a normalized input-position pair.
+///
+/// Helper for join drivers: translates sorted ids to input positions and
+/// orients the pair.
+#[inline]
+pub fn emit_pair(collection: &StringCollection, a: StringId, b: StringId, out: &mut Vec<Pair>) {
+    let (x, y) = (
+        collection.original_index(a),
+        collection.original_index(b),
+    );
+    out.push(if x < y { (x, y) } else { (y, x) });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_merge_adds_fields() {
+        let mut a = JoinStats {
+            strings: 1,
+            selected_substrings: 2,
+            probes: 3,
+            candidate_occurrences: 4,
+            candidate_pairs: 5,
+            verifications: 6,
+            results: 7,
+            index_bytes: 8,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.strings, 2);
+        assert_eq!(a.index_bytes, 16);
+        assert_eq!(a.results, 14);
+    }
+
+    #[test]
+    fn normalized_pairs_sorts_and_dedupes() {
+        let out = JoinOutput {
+            pairs: vec![(3, 5), (0, 1), (3, 5)],
+            ..Default::default()
+        };
+        assert_eq!(out.normalized_pairs(), vec![(0, 1), (3, 5)]);
+    }
+
+    #[test]
+    fn emit_pair_orients_by_input_position() {
+        let c = StringCollection::from_strs(&["bbbb", "a"]);
+        // Sorted: id 0 = "a" (input 1), id 1 = "bbbb" (input 0).
+        let mut out = Vec::new();
+        emit_pair(&c, 0, 1, &mut out);
+        emit_pair(&c, 1, 0, &mut out);
+        assert_eq!(out, vec![(0, 1), (0, 1)]);
+    }
+
+    #[test]
+    fn stats_display_is_stable() {
+        let s = JoinStats::default();
+        let text = s.to_string();
+        assert!(text.contains("results=0"));
+        assert!(text.contains("index=0B"));
+    }
+}

@@ -1,0 +1,25 @@
+//! Shared substrate for the Pass-Join reproduction.
+//!
+//! This crate holds everything the similarity-join algorithms (`passjoin`,
+//! `edjoin`, `triejoin`) have in common so that benchmark comparisons isolate
+//! the *algorithms*, not incidental infrastructure differences:
+//!
+//! * [`collection::StringCollection`] — an immutable corpus sorted by
+//!   (length, lexicographic) order, the canonical visit order of Pass-Join
+//!   (paper §3.2, Algorithm 1 line 2);
+//! * [`join::SimilarityJoin`] — the one-call self-join interface every
+//!   algorithm implements, returning pairs plus [`join::JoinStats`];
+//! * [`hash`] — an FxHash-style fast hasher for segment/gram maps (the
+//!   default SipHash is needlessly slow for short byte keys);
+//! * [`stamp::StampSet`] — an O(1)-reset visited-set used to deduplicate
+//!   candidates during a single probe;
+//! * [`bytes`] — small byte-string helpers (common prefix/suffix lengths).
+
+pub mod bytes;
+pub mod collection;
+pub mod hash;
+pub mod join;
+pub mod stamp;
+
+pub use collection::{StringCollection, StringId};
+pub use join::{JoinOutput, JoinStats, SimilarityJoin};

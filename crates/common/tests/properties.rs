@@ -1,0 +1,105 @@
+//! Property tests for the shared substrate: collection ordering
+//! invariants, stamp-set set-semantics, and hash quality smoke checks.
+
+use proptest::prelude::*;
+use sj_common::hash::{FxHashMap, FxHashSet};
+use sj_common::stamp::StampSet;
+use sj_common::StringCollection;
+
+fn corpus() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(32u8..127, 0..24), 0..40)
+}
+
+proptest! {
+    #[test]
+    fn collection_is_a_permutation_in_sorted_order(strings in corpus()) {
+        let coll = StringCollection::new(strings.clone());
+        prop_assert_eq!(coll.len(), strings.len());
+
+        // (length, lex) sorted.
+        let sorted: Vec<&[u8]> = coll.iter().map(|(_, s)| s).collect();
+        for w in sorted.windows(2) {
+            prop_assert!(
+                (w[0].len(), w[0]) <= (w[1].len(), w[1]),
+                "not sorted: {:?} then {:?}", w[0], w[1]
+            );
+        }
+
+        // original_index is a bijection back to the input.
+        let mut seen = vec![false; strings.len()];
+        for (id, s) in coll.iter() {
+            let orig = coll.original_index(id) as usize;
+            prop_assert!(!seen[orig], "original index repeated");
+            seen[orig] = true;
+            prop_assert_eq!(&strings[orig][..], s);
+        }
+
+        // Aggregates agree with the raw input.
+        let total: usize = strings.iter().map(Vec::len).sum();
+        prop_assert_eq!(coll.total_bytes(), total);
+        if !strings.is_empty() {
+            prop_assert_eq!(coll.min_len(), strings.iter().map(Vec::len).min().unwrap());
+            prop_assert_eq!(coll.max_len(), strings.iter().map(Vec::len).max().unwrap());
+        }
+    }
+
+    #[test]
+    fn length_ranges_partition_the_ids(strings in corpus()) {
+        let coll = StringCollection::new(strings);
+        let max = coll.max_len();
+        // Concatenating the per-length ranges covers 0..n exactly once.
+        let mut covered = 0u32;
+        for len in 0..=max {
+            let range = coll.ids_with_len_in(len, len);
+            prop_assert_eq!(range.start, covered, "gap at length {}", len);
+            for id in range.clone() {
+                prop_assert_eq!(coll.str_len(id), len);
+            }
+            covered = range.end;
+        }
+        prop_assert_eq!(covered as usize, coll.len());
+    }
+
+    #[test]
+    fn histogram_sums_to_collection_size(strings in corpus()) {
+        let coll = StringCollection::new(strings);
+        let hist = coll.length_histogram();
+        let total: usize = hist.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(total, coll.len());
+        for w in hist.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "histogram lengths not ascending");
+        }
+    }
+
+    #[test]
+    fn stamp_set_behaves_like_hashset(ops in proptest::collection::vec((0u32..32, any::<bool>()), 0..200)) {
+        let mut stamp = StampSet::new(32);
+        let mut model: FxHashSet<u32> = FxHashSet::default();
+        for (id, clear) in ops {
+            if clear {
+                stamp.clear();
+                model.clear();
+            } else {
+                prop_assert_eq!(stamp.insert(id), model.insert(id));
+            }
+            prop_assert_eq!(stamp.contains(id), model.contains(&id));
+        }
+    }
+
+    #[test]
+    fn fxhash_map_round_trips(entries in proptest::collection::vec((proptest::collection::vec(any::<u8>(), 0..12), any::<u32>()), 0..50)) {
+        let mut map: FxHashMap<Vec<u8>, u32> = FxHashMap::default();
+        for (k, v) in &entries {
+            map.insert(k.clone(), *v);
+        }
+        // Last write wins, exactly as with the std hasher.
+        let mut expected: std::collections::HashMap<Vec<u8>, u32> = std::collections::HashMap::new();
+        for (k, v) in &entries {
+            expected.insert(k.clone(), *v);
+        }
+        prop_assert_eq!(map.len(), expected.len());
+        for (k, v) in &expected {
+            prop_assert_eq!(map.get(k), Some(v));
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! The Pass-Join drivers: self-join (Algorithm 1) and R×S join (§3.2).
+//!
+//! Both drivers follow the paper's incremental scheme: strings are visited
+//! in (length, lexicographic) order; each probe string looks up its
+//! selected substrings in the inverted indices of *already visited* strings
+//! (lengths `[|s|−τ, |s|]`), then inserts its own segments. Indices for
+//! lengths that have slid out of the window are evicted, bounding the live
+//! index to `(τ+1)²` maps.
+//!
+//! Strings shorter than τ+1 cannot be partitioned into τ+1 non-empty
+//! segments (the paper's footnote assumes `|s| ≥ τ+1`). The drivers keep
+//! them complete anyway: such strings are at most τ bytes long, so there
+//! are few meaningfully distinct ones; they are collected in a side list
+//! and verified brute-force against every probe within the length filter.
+
+use std::time::Instant;
+
+use editdist::{
+    banded_within_ws, length_aware_within_ws, myers_within, within_full, DpWorkspace,
+    ExtensionVerifier, Occurrence,
+};
+use sj_common::join::emit_pair;
+use sj_common::stamp::StampSet;
+use sj_common::{JoinOutput, JoinStats, SimilarityJoin, StringCollection, StringId};
+
+use crate::index::SegmentIndex;
+use crate::partition::PartitionScheme;
+use crate::select::Selection;
+use crate::verify::Verification;
+
+/// The Pass-Join algorithm, configured by a substring-selection strategy
+/// (§4) and a verification strategy (§5).
+///
+/// ```
+/// use passjoin::PassJoin;
+/// use sj_common::{SimilarityJoin, StringCollection};
+///
+/// let strings = StringCollection::from_strs(&[
+///     "avataresha", "caushik chakrabar", "kaushic chaduri",
+///     "kaushik chakrab", "kaushuk chadhui", "vankatesh",
+/// ]);
+/// let out = PassJoin::new().self_join(&strings, 3);
+/// // Figure 1: the only answer at τ=3 is ⟨s4, s6⟩ =
+/// // ("kaushik chakrab", "caushik chakrabar") — input positions 3 and 1.
+/// assert_eq!(out.normalized_pairs(), vec![(1, 3)]);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassJoin {
+    selection: Selection,
+    verification: Verification,
+    partition: PartitionScheme,
+}
+
+impl PassJoin {
+    /// Pass-Join with the paper's recommended configuration:
+    /// multi-match-aware selection and prefix-sharing extension
+    /// verification.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the substring-selection strategy.
+    pub fn with_selection(mut self, selection: Selection) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Replaces the verification strategy.
+    pub fn with_verification(mut self, verification: Verification) -> Self {
+        self.verification = verification;
+        self
+    }
+
+    /// Replaces the partition scheme (the ablation knob for §3.1's
+    /// even-partition argument; correctness holds under any scheme).
+    pub fn with_partition(mut self, partition: PartitionScheme) -> Self {
+        self.partition = partition;
+        self
+    }
+
+    /// The configured partition scheme.
+    pub fn partition(&self) -> PartitionScheme {
+        self.partition
+    }
+
+    /// The configured selection strategy.
+    pub fn selection(&self) -> Selection {
+        self.selection
+    }
+
+    /// The configured verification strategy.
+    pub fn verification(&self) -> Verification {
+        self.verification
+    }
+
+    /// Joins two distinct collections: finds all `(r, s) ∈ R × S` with
+    /// `ed(r, s) ≤ tau`.
+    ///
+    /// Pairs are reported as `(position in R's input, position in S's
+    /// input)` — unlike [`SimilarityJoin::self_join`], the two components
+    /// index *different* collections and are not reordered.
+    pub fn rs_join(
+        &self,
+        r_coll: &StringCollection,
+        s_coll: &StringCollection,
+        tau: usize,
+    ) -> JoinOutput {
+        let started = Instant::now();
+        let mut pairs = Vec::new();
+        let mut stats = JoinStats {
+            strings: r_coll.len() as u64,
+            ..JoinStats::default()
+        };
+
+        let mut state = ProbeState::new(self, s_coll.len(), tau);
+        let mut index = SegmentIndex::with_scheme(s_coll.max_len(), tau, self.partition);
+        let mut short_ids: Vec<StringId> = Vec::new();
+        let mut next_insert: StringId = 0;
+
+        for (r_id, r) in r_coll.iter() {
+            // Advance the indexing pointer: S strings with length ≤ |r|+τ
+            // must be indexed before r probes.
+            while (next_insert as usize) < s_coll.len()
+                && s_coll.str_len(next_insert) <= r.len() + tau
+            {
+                let s = s_coll.get(next_insert);
+                if s.len() > tau {
+                    index.insert(s, next_insert);
+                } else {
+                    short_ids.push(next_insert);
+                }
+                next_insert += 1;
+            }
+            index.evict_below(r.len().saturating_sub(tau));
+
+            state.begin_probe();
+            // Brute-force fallback against unpartitionable S strings.
+            for &sid in &short_ids {
+                let s = s_coll.get(sid);
+                if r.len() > s.len() + tau {
+                    continue;
+                }
+                stats.verifications += 1;
+                if length_aware_within_ws(s, r, tau, &mut state.ws).is_some() {
+                    pairs.push((r_coll.original_index(r_id), s_coll.original_index(sid)));
+                    stats.results += 1;
+                }
+            }
+            let lmin = (tau + 1).max(r.len().saturating_sub(tau));
+            let lmax = r.len() + tau;
+            state.probe_lengths(
+                r,
+                lmin,
+                lmax,
+                &index,
+                |sid| s_coll.get(sid),
+                &mut stats,
+                |sid, _| {
+                    pairs.push((r_coll.original_index(r_id), s_coll.original_index(sid)));
+                },
+            );
+        }
+
+        stats.index_bytes = index.peak_bytes();
+        JoinOutput {
+            pairs,
+            stats,
+            elapsed: started.elapsed(),
+        }
+    }
+}
+
+impl PassJoin {
+    /// The incremental self-join loop, reporting each result through
+    /// `on_result(pair, certificate)`. The certificate is the exact edit
+    /// distance for whole-pair verifiers and an upper bound ≤ τ for the
+    /// extension verifiers.
+    pub(crate) fn run_self_join(
+        &self,
+        collection: &StringCollection,
+        tau: usize,
+        mut on_result: impl FnMut((u32, u32), usize),
+    ) -> JoinStats {
+        let mut stats = JoinStats {
+            strings: collection.len() as u64,
+            ..JoinStats::default()
+        };
+
+        let mut state = ProbeState::new(self, collection.len(), tau);
+        let mut index = SegmentIndex::with_scheme(collection.max_len(), tau, self.partition);
+        let mut short_ids: Vec<StringId> = Vec::new();
+        let mut prev_len = usize::MAX;
+        let mut scratch_pair = Vec::with_capacity(1);
+
+        for (id, s) in collection.iter() {
+            if s.len() != prev_len {
+                index.evict_below(s.len().saturating_sub(tau));
+                prev_len = s.len();
+            }
+
+            state.begin_probe();
+            // Brute-force fallback against unpartitionable strings.
+            for &rid in &short_ids {
+                let r = collection.get(rid);
+                if s.len() > r.len() + tau {
+                    continue;
+                }
+                stats.verifications += 1;
+                if let Some(d) = length_aware_within_ws(r, s, tau, &mut state.ws) {
+                    scratch_pair.clear();
+                    emit_pair(collection, rid, id, &mut scratch_pair);
+                    on_result(scratch_pair[0], d);
+                    stats.results += 1;
+                }
+            }
+
+            // Main partition-based probing over visited lengths.
+            let lmin = (tau + 1).max(s.len().saturating_sub(tau));
+            let lmax = s.len();
+            state.probe_lengths(
+                s,
+                lmin,
+                lmax,
+                &index,
+                |rid| collection.get(rid),
+                &mut stats,
+                |rid, d| {
+                    scratch_pair.clear();
+                    emit_pair(collection, rid, id, &mut scratch_pair);
+                    on_result(scratch_pair[0], d);
+                },
+            );
+
+            // Index the probe string for subsequent (longer) strings.
+            if s.len() > tau {
+                index.insert(collection.get(id), id);
+            } else {
+                short_ids.push(id);
+            }
+        }
+
+        stats.index_bytes = index.peak_bytes();
+        stats
+    }
+
+    /// Self-join that also reports each result pair's **exact** edit
+    /// distance. Verification is forced to the length-aware whole-pair
+    /// kernel internally (extension certificates are only upper bounds);
+    /// selection and partition configuration are honoured.
+    pub fn self_join_distances(
+        &self,
+        collection: &StringCollection,
+        tau: usize,
+    ) -> Vec<((u32, u32), usize)> {
+        let exact = self.with_verification(Verification::LengthAware);
+        let mut out = Vec::new();
+        exact.run_self_join(collection, tau, |pair, d| out.push((pair, d)));
+        out
+    }
+}
+
+impl SimilarityJoin for PassJoin {
+    fn name(&self) -> &'static str {
+        "pass-join"
+    }
+
+    fn self_join(&self, collection: &StringCollection, tau: usize) -> JoinOutput {
+        let started = Instant::now();
+        let mut pairs = Vec::new();
+        let stats = self.run_self_join(collection, tau, |pair, _| pairs.push(pair));
+        JoinOutput {
+            pairs,
+            stats,
+            elapsed: started.elapsed(),
+        }
+    }
+}
+
+/// Reusable per-probe machinery shared by the self-, R×S, and parallel
+/// drivers.
+pub(crate) struct ProbeState {
+    selection: Selection,
+    verification: Verification,
+    partition: PartitionScheme,
+    tau: usize,
+    /// Pairs already resolved for the current probe: results emitted (any
+    /// verifier), or — for whole-pair verifiers only — pairs already
+    /// checked. Occurrence-dependent (extension) verification must re-try
+    /// other occurrences of a rejected pair, so rejections are only cached
+    /// for whole-pair verifiers.
+    resolved: StampSet,
+    /// Distinct candidate pairs of the current probe (statistics).
+    cand_seen: StampSet,
+    ext: ExtensionVerifier,
+    ws: DpWorkspace,
+}
+
+impl ProbeState {
+    pub(crate) fn new(config: &PassJoin, indexed_universe: usize, tau: usize) -> Self {
+        let share = matches!(
+            config.verification,
+            Verification::Extension { share_prefix: true }
+        );
+        Self {
+            selection: config.selection,
+            verification: config.verification,
+            partition: config.partition,
+            tau,
+            resolved: StampSet::new(indexed_universe),
+            cand_seen: StampSet::new(indexed_universe),
+            ext: ExtensionVerifier::new(share),
+            ws: DpWorkspace::new(),
+        }
+    }
+
+    pub(crate) fn begin_probe(&mut self) {
+        self.resolved.clear();
+        self.cand_seen.clear();
+    }
+
+    /// [`ProbeState::probe_lengths_bounded`] with no id bound — for the
+    /// incremental drivers, whose indices only ever hold earlier ids.
+    #[allow(clippy::too_many_arguments)]
+    fn probe_lengths<'c>(
+        &mut self,
+        s: &[u8],
+        lmin: usize,
+        lmax: usize,
+        index: &SegmentIndex<'_>,
+        resolve: impl Fn(StringId) -> &'c [u8],
+        stats: &mut JoinStats,
+        emit: impl FnMut(StringId, usize),
+    ) {
+        self.probe_lengths_bounded(s, lmin, lmax, index, u32::MAX, resolve, stats, emit);
+    }
+
+    /// Probes the inverted indices of every length in `[lmin, lmax]` with
+    /// the selected substrings of `s`, verifying candidates with id
+    /// `< max_id` and invoking `emit(indexed_id, certificate)` for each
+    /// result. `resolve` maps an indexed id to its bytes. The id bound lets
+    /// the parallel driver share one full index while still enumerating
+    /// every pair exactly once.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn probe_lengths_bounded<'c>(
+        &mut self,
+        s: &[u8],
+        lmin: usize,
+        lmax: usize,
+        index: &SegmentIndex<'_>,
+        max_id: StringId,
+        resolve: impl Fn(StringId) -> &'c [u8],
+        stats: &mut JoinStats,
+        mut emit: impl FnMut(StringId, usize),
+    ) {
+        let tau = self.tau;
+        for l in lmin..=lmax {
+            if !index.has_length(l) {
+                continue;
+            }
+            for slot in 1..=tau + 1 {
+                let seg = self.partition.segment(l, tau, slot);
+                let window = self.selection.window(s.len(), l, seg, slot, tau);
+                stats.selected_substrings += window.len() as u64;
+                for p in window {
+                    stats.probes += 1;
+                    let w = &s[p..p + seg.len];
+                    let Some(list) = index.probe(l, slot, w) else {
+                        continue;
+                    };
+                    // Lists are sorted by id; keep only ids below the bound.
+                    let list = &list[..list.partition_point(|&rid| rid < max_id)];
+                    let occ = Occurrence {
+                        slot,
+                        seg_start: seg.start,
+                        seg_len: seg.len,
+                        probe_start: p,
+                    };
+                    match self.verification {
+                        Verification::Extension { .. } => {
+                            self.ext.begin_scan(s, &occ, tau, l);
+                            for &rid in list {
+                                stats.candidate_occurrences += 1;
+                                if self.cand_seen.insert(rid) {
+                                    stats.candidate_pairs += 1;
+                                }
+                                if self.resolved.contains(rid) {
+                                    continue; // already emitted for this probe
+                                }
+                                stats.verifications += 1;
+                                if let Some(cert) = self.ext.verify(resolve(rid), s, &occ) {
+                                    self.resolved.insert(rid);
+                                    emit(rid, cert);
+                                    stats.results += 1;
+                                }
+                            }
+                        }
+                        whole => {
+                            for &rid in list {
+                                stats.candidate_occurrences += 1;
+                                if !self.cand_seen.insert(rid) {
+                                    continue; // pair already checked: sound
+                                              // for whole-pair verifiers
+                                }
+                                stats.candidate_pairs += 1;
+                                stats.verifications += 1;
+                                let r = resolve(rid);
+                                let verdict = match whole {
+                                    Verification::Full => within_full(r, s, tau),
+                                    Verification::Banded => {
+                                        banded_within_ws(r, s, tau, &mut self.ws)
+                                    }
+                                    Verification::LengthAware => {
+                                        length_aware_within_ws(r, s, tau, &mut self.ws)
+                                    }
+                                    Verification::Myers => myers_within(r, s, tau),
+                                    Verification::Extension { .. } => unreachable!(),
+                                };
+                                if let Some(d) = verdict {
+                                    self.resolved.insert(rid);
+                                    emit(rid, d);
+                                    stats.results += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

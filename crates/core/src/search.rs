@@ -1,0 +1,255 @@
+//! Similarity *search*: one indexed dictionary, many ad-hoc queries.
+//!
+//! The join (§3.2) streams both sides; many applications instead fix a
+//! dictionary once (spell-checking, entity lookup, autocomplete backends —
+//! the "approximate string searching" problem of the paper's related work
+//! [14, 26]) and ask for all entries within τ of each query. The same
+//! partition machinery applies directly: partition every dictionary string
+//! into τ+1 segments up front, then run the multi-match-aware selection
+//! from the query side. Unlike the join there is no visit order, so the
+//! index covers every length and is immutable after construction.
+
+use editdist::{length_aware_within_ws, DpWorkspace, ExtensionVerifier, Occurrence};
+use sj_common::stamp::StampSet;
+use sj_common::{StringCollection, StringId};
+
+use crate::index::SegmentIndex;
+use crate::select::Selection;
+
+/// An immutable similarity-search index over a dictionary.
+///
+/// ```
+/// use passjoin::search::SearchIndex;
+/// use sj_common::StringCollection;
+///
+/// let dict = StringCollection::from_strs(&["sigmod", "vldb", "icde", "pvldb"]);
+/// let index = SearchIndex::build(&dict, 1);
+/// let mut hits = index.query(b"vldbb");
+/// hits.sort();
+/// // Matches are (input position, distance).
+/// assert_eq!(hits, vec![(1, 1)]);
+/// ```
+pub struct SearchIndex<'a> {
+    dictionary: &'a StringCollection,
+    tau: usize,
+    segments: SegmentIndex<'a>,
+    /// Dictionary entries shorter than τ+1 (checked brute force).
+    short_ids: Vec<StringId>,
+}
+
+impl<'a> SearchIndex<'a> {
+    /// Partitions every dictionary string; O(Σ τ+1) time and space.
+    pub fn build(dictionary: &'a StringCollection, tau: usize) -> Self {
+        let mut segments = SegmentIndex::new(dictionary.max_len(), tau);
+        let mut short_ids = Vec::new();
+        for (id, s) in dictionary.iter() {
+            if s.len() > tau {
+                segments.insert(s, id);
+            } else {
+                short_ids.push(id);
+            }
+        }
+        Self {
+            dictionary,
+            tau,
+            segments,
+            short_ids,
+        }
+    }
+
+    /// The search threshold the index was built for.
+    pub fn tau(&self) -> usize {
+        self.tau
+    }
+
+    /// Estimated resident index size in bytes.
+    pub fn index_bytes(&self) -> u64 {
+        self.segments.peak_bytes()
+    }
+
+    /// All dictionary entries within τ of `query`, as
+    /// `(input position, distance)` pairs (unordered). Allocation-heavy
+    /// convenience wrapper over [`Searcher::query_into`].
+    pub fn query(&self, query: &[u8]) -> Vec<(u32, usize)> {
+        let mut searcher = Searcher::new(self);
+        let mut out = Vec::new();
+        searcher.query_into(query, &mut out);
+        out
+    }
+
+    /// Creates a reusable searcher holding the per-query scratch state
+    /// (the right choice when issuing many queries).
+    pub fn searcher(&self) -> Searcher<'_, 'a> {
+        Searcher::new(self)
+    }
+}
+
+/// Per-query scratch state for a [`SearchIndex`]; create once per thread
+/// via [`SearchIndex::searcher`].
+pub struct Searcher<'i, 'a> {
+    index: &'i SearchIndex<'a>,
+    seen: StampSet,
+    ext: ExtensionVerifier,
+    ws: DpWorkspace,
+}
+
+impl<'i, 'a> Searcher<'i, 'a> {
+    fn new(index: &'i SearchIndex<'a>) -> Self {
+        Self {
+            index,
+            seen: StampSet::new(index.dictionary.len()),
+            ext: ExtensionVerifier::new(true),
+            ws: DpWorkspace::new(),
+        }
+    }
+
+    /// Appends all `(input position, distance)` matches of `query` to
+    /// `out`. Distances are exact.
+    pub fn query_into(&mut self, query: &[u8], out: &mut Vec<(u32, usize)>) {
+        let tau = self.index.tau;
+        let dict = self.index.dictionary;
+        self.seen.clear();
+
+        // Brute-force lane for unpartitionable dictionary entries.
+        for &rid in &self.index.short_ids {
+            let r = dict.get(rid);
+            if query.len().abs_diff(r.len()) > tau {
+                continue;
+            }
+            if let Some(d) = length_aware_within_ws(r, query, tau, &mut self.ws) {
+                out.push((dict.original_index(rid), d));
+            }
+        }
+
+        // Partition-based lane, both length directions (dictionary entries
+        // may be longer or shorter than the query).
+        let lmin = (tau + 1).max(query.len().saturating_sub(tau));
+        let lmax = query.len() + tau;
+        for l in lmin..=lmax {
+            if !self.index.segments.has_length(l) {
+                continue;
+            }
+            for slot in 1..=tau + 1 {
+                let seg = crate::partition::segment(l, tau, slot);
+                let window = Selection::MultiMatch.window(query.len(), l, seg, slot, tau);
+                for p in window {
+                    let w = &query[p..p + seg.len];
+                    let Some(list) = self.index.segments.probe(l, slot, w) else {
+                        continue;
+                    };
+                    let occ = Occurrence {
+                        slot,
+                        seg_start: seg.start,
+                        seg_len: seg.len,
+                        probe_start: p,
+                    };
+                    self.ext.begin_scan(query, &occ, tau, l);
+                    for &rid in list {
+                        if self.seen.contains(rid) {
+                            continue;
+                        }
+                        if self.ext.verify(dict.get(rid), query, &occ).is_some() {
+                            self.seen.insert(rid);
+                            // The extension certificate is an upper bound;
+                            // report the exact distance (cheap: one banded
+                            // run over an accepted pair).
+                            let d = length_aware_within_ws(
+                                dict.get(rid),
+                                query,
+                                tau,
+                                &mut self.ws,
+                            )
+                            .expect("certificate implies distance <= tau");
+                            out.push((dict.original_index(rid), d));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use editdist::edit_distance;
+
+    fn dict() -> StringCollection {
+        StringCollection::from_strs(&[
+            "partition", "petition", "position", "partitions", "parting",
+            "station", "ab", "a", "",
+        ])
+    }
+
+    fn brute(dictionary: &StringCollection, query: &[u8], tau: usize) -> Vec<(u32, usize)> {
+        let mut out: Vec<(u32, usize)> = dictionary
+            .iter()
+            .filter_map(|(id, s)| {
+                let d = edit_distance(s, query);
+                (d <= tau).then_some((dictionary.original_index(id), d))
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn matches_bruteforce_on_word_dictionary() {
+        let d = dict();
+        for tau in 0..=3usize {
+            let index = SearchIndex::build(&d, tau);
+            for query in [
+                &b"partition"[..], b"partitio", b"petitions", b"b", b"", b"pos1tion",
+                b"zzzzzzzzz",
+            ] {
+                let mut got = index.query(query);
+                got.sort_unstable();
+                assert_eq!(got, brute(&d, query, tau), "tau={tau} query={query:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn queries_shorter_and_longer_than_entries() {
+        let d = StringCollection::from_strs(&["abcdefgh"]);
+        let index = SearchIndex::build(&d, 2);
+        assert_eq!(index.query(b"abcdef"), vec![(0, 2)]); // two deletions
+        assert_eq!(index.query(b"abcdefghij"), vec![(0, 2)]); // two insertions
+        assert_eq!(index.query(b"abcde"), vec![]);
+    }
+
+    #[test]
+    fn searcher_reuse_is_clean() {
+        let d = dict();
+        let index = SearchIndex::build(&d, 2);
+        let mut searcher = index.searcher();
+        let mut out = Vec::new();
+        searcher.query_into(b"partition", &mut out);
+        let first = out.len();
+        assert!(first >= 2); // itself + "petition"/"position"
+        out.clear();
+        searcher.query_into(b"zzzz", &mut out);
+        assert!(out.is_empty());
+        out.clear();
+        searcher.query_into(b"partition", &mut out);
+        assert_eq!(out.len(), first);
+    }
+
+    #[test]
+    fn distances_are_exact() {
+        let d = dict();
+        let index = SearchIndex::build(&d, 3);
+        for (pos, dist) in index.query(b"partitain") {
+            let entry = d.iter().find(|(id, _)| d.original_index(*id) == pos).unwrap().1;
+            assert_eq!(dist, edit_distance(entry, b"partitain"));
+        }
+    }
+
+    #[test]
+    fn index_bytes_reported() {
+        let d = dict();
+        let index = SearchIndex::build(&d, 2);
+        assert!(index.index_bytes() > 0);
+        assert_eq!(index.tau(), 2);
+    }
+}

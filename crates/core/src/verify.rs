@@ -1,0 +1,105 @@
+//! Verification strategy configuration (paper §5, Figure 14).
+//!
+//! The join driver dispatches candidate verification to one of four
+//! strategies. `Extension { share_prefix: true }` is the paper's best
+//! configuration and the default; the others exist for the Figure 14
+//! ablation and as simpler fallbacks.
+
+/// How candidate pairs are verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verification {
+    /// Unrestricted O(nm) dynamic program over the full strings.
+    Full,
+    /// The `2τ+1` band with naive row-minimum early termination
+    /// (Figure 14's `2τ+1` series).
+    Banded,
+    /// The `τ+1` length-aware band with expected-edit-distance early
+    /// termination (§5.1; Figure 14's `τ+1` series).
+    LengthAware,
+    /// Myers' bit-parallel algorithm over the whole pair — not in the
+    /// paper; included because it is the strongest practical alternative
+    /// to banded DP and makes the verification ablation more informative.
+    Myers,
+    /// Extension-based verification around the shared segment (§5.2), with
+    /// per-side budgets `τ_l = i−1` and `τ_r = τ+1−i`. With
+    /// `share_prefix = true`, DP rows are additionally reused across the
+    /// common prefixes of consecutive list entries (§5.3; Figure 14's
+    /// `SharePrefix`, the paper's fastest).
+    Extension {
+        /// Reuse DP rows across consecutive strings of an inverted list.
+        share_prefix: bool,
+    },
+}
+
+impl Default for Verification {
+    fn default() -> Self {
+        Verification::Extension { share_prefix: true }
+    }
+}
+
+impl Verification {
+    /// Short name used in benchmark tables, matching Figure 14's legend.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Verification::Full => "full-dp",
+            Verification::Banded => "2tau+1",
+            Verification::LengthAware => "tau+1",
+            Verification::Myers => "myers",
+            Verification::Extension { share_prefix: false } => "extension",
+            Verification::Extension { share_prefix: true } => "share-prefix",
+        }
+    }
+
+    /// The four configurations of Figure 14, in the paper's order.
+    pub fn figure14() -> [Verification; 4] {
+        [
+            Verification::Banded,
+            Verification::LengthAware,
+            Verification::Extension {
+                share_prefix: false,
+            },
+            Verification::Extension { share_prefix: true },
+        ]
+    }
+
+    /// True for the strategies that verify the *whole* string pair (their
+    /// verdict is independent of the matching occurrence, so a pair needs
+    /// to be verified at most once per probe).
+    pub fn is_whole_pair(&self) -> bool {
+        !matches!(self, Verification::Extension { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_share_prefix_extension() {
+        assert_eq!(
+            Verification::default(),
+            Verification::Extension { share_prefix: true }
+        );
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<&str> = Verification::figure14().iter().map(|v| v.name()).collect();
+        names.push(Verification::Full.name());
+        names.push(Verification::Myers.name());
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len());
+    }
+
+    #[test]
+    fn whole_pair_classification() {
+        assert!(Verification::Full.is_whole_pair());
+        assert!(Verification::Banded.is_whole_pair());
+        assert!(Verification::LengthAware.is_whole_pair());
+        assert!(Verification::Myers.is_whole_pair());
+        assert!(!Verification::Extension { share_prefix: true }.is_whole_pair());
+        assert!(!Verification::Extension { share_prefix: false }.is_whole_pair());
+    }
+}

@@ -1,0 +1,382 @@
+//! The three evaluation corpora (paper Table 2 / Figure 11), synthesized.
+//!
+//! The paper evaluates on DBLP Author, AOL Query Log, and DBLP
+//! Author+Title, none of which can be redistributed here. These generators
+//! produce corpora matching each dataset's published statistics
+//! (cardinality scaled, average/min/max lengths kept) and qualitative
+//! length-distribution shape, built from Zipf-weighted vocabularies so
+//! that segment/gram sharing — the property join performance actually
+//! depends on — resembles real text. See DESIGN.md §4 for the substitution
+//! rationale.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sj_common::StringCollection;
+
+use crate::mutate::mutate;
+use crate::vocab::Vocab;
+
+/// Which evaluation corpus to synthesize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// Short strings: person names (paper: DBLP Author, avg length 14.8).
+    Author,
+    /// Medium strings: search-engine queries (paper: AOL Query Log,
+    /// avg length 44.75, minimum 30).
+    QueryLog,
+    /// Long strings: author list + paper title (paper: DBLP Author+Title,
+    /// avg length 105.8).
+    AuthorTitle,
+}
+
+impl DatasetKind {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Author => "Author",
+            DatasetKind::QueryLog => "Query Log",
+            DatasetKind::AuthorTitle => "Author+Title",
+        }
+    }
+
+    /// All three corpora in the paper's order.
+    pub fn all() -> [DatasetKind; 3] {
+        [
+            DatasetKind::Author,
+            DatasetKind::QueryLog,
+            DatasetKind::AuthorTitle,
+        ]
+    }
+
+    /// The paper's Table 2 row: (cardinality, avg len, max len, min len).
+    pub fn paper_stats(&self) -> (usize, f64, usize, usize) {
+        match self {
+            DatasetKind::Author => (612_781, 14.826, 46, 6),
+            DatasetKind::QueryLog => (464_189, 44.75, 522, 30),
+            DatasetKind::AuthorTitle => (863_073, 105.82, 886, 21),
+        }
+    }
+
+    /// Length bounds `[min, max]` enforced on generated strings.
+    pub fn length_bounds(&self) -> (usize, usize) {
+        match self {
+            DatasetKind::Author => (6, 46),
+            DatasetKind::QueryLog => (30, 522),
+            DatasetKind::AuthorTitle => (21, 886),
+        }
+    }
+
+    /// The τ values the paper sweeps for this dataset in Figures 12–14.
+    pub fn figure12_taus(&self) -> &'static [usize] {
+        match self {
+            DatasetKind::Author => &[1, 2, 3, 4],
+            DatasetKind::QueryLog => &[4, 5, 6, 7, 8],
+            DatasetKind::AuthorTitle => &[5, 6, 7, 8, 9, 10],
+        }
+    }
+
+    /// The τ values the paper sweeps for this dataset in Figure 15.
+    pub fn figure15_taus(&self) -> &'static [usize] {
+        match self {
+            DatasetKind::Author => &[1, 2, 3, 4],
+            DatasetKind::QueryLog => &[1, 2, 3, 4, 5, 6, 7, 8],
+            DatasetKind::AuthorTitle => &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+        }
+    }
+}
+
+/// A reproducible recipe for one synthetic corpus.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetSpec {
+    /// Which corpus shape to generate.
+    pub kind: DatasetKind,
+    /// Number of strings.
+    pub cardinality: usize,
+    /// RNG seed; equal specs generate byte-identical corpora.
+    pub seed: u64,
+    /// Fraction of strings emitted as mutated copies of earlier strings
+    /// (the planted near-duplicates a similarity join is meant to find).
+    pub duplicate_rate: f64,
+    /// Mutated copies receive `1..=max_planted_edits` random edits.
+    pub max_planted_edits: usize,
+}
+
+impl DatasetSpec {
+    /// A spec with the defaults used throughout the benchmark harness:
+    /// seed 42, 20% near-duplicates within 4 edits.
+    pub fn new(kind: DatasetKind, cardinality: usize) -> Self {
+        Self {
+            kind,
+            cardinality,
+            seed: 42,
+            duplicate_rate: 0.20,
+            max_planted_edits: 4,
+        }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the near-duplicate fraction.
+    pub fn with_duplicate_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        self.duplicate_rate = rate;
+        self
+    }
+
+    /// Generates the corpus as raw strings, in generation order.
+    pub fn generate(&self) -> Vec<Vec<u8>> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let gen = Generator::new(self.kind, self.seed);
+        let (min_len, max_len) = self.kind.length_bounds();
+        let mut out: Vec<Vec<u8>> = Vec::with_capacity(self.cardinality);
+        while out.len() < self.cardinality {
+            let s = if !out.is_empty() && rng.gen_bool(self.duplicate_rate) {
+                let base = &out[rng.gen_range(0..out.len())];
+                let edits = rng.gen_range(1..=self.max_planted_edits);
+                let m = mutate(base, edits, &mut rng);
+                if m.len() < min_len || m.len() > max_len {
+                    continue; // mutation pushed it out of bounds; retry
+                }
+                m
+            } else {
+                gen.fresh(&mut rng)
+            };
+            out.push(s);
+        }
+        out
+    }
+
+    /// Generates the corpus already wrapped in a sorted
+    /// [`StringCollection`].
+    pub fn collection(&self) -> StringCollection {
+        StringCollection::new(self.generate())
+    }
+}
+
+/// Vocabulary bundle for one dataset kind.
+struct Generator {
+    kind: DatasetKind,
+    given: Vocab,
+    family: Vocab,
+    words: Vocab,
+}
+
+impl Generator {
+    fn new(kind: DatasetKind, seed: u64) -> Self {
+        // Separate, seed-derived vocabularies so the three corpora differ
+        // even under the same seed.
+        let salt = match kind {
+            DatasetKind::Author => 0x0a,
+            DatasetKind::QueryLog => 0x0b,
+            DatasetKind::AuthorTitle => 0x0c,
+        };
+        Self {
+            kind,
+            given: Vocab::new(4_000, 2, 3, 0.9, seed ^ (salt << 8)),
+            family: Vocab::new(12_000, 2, 4, 0.9, seed ^ (salt << 16)),
+            words: Vocab::new(30_000, 1, 4, 1.05, seed ^ (salt << 24)),
+        }
+    }
+
+    fn fresh<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u8> {
+        let (min_len, max_len) = self.kind.length_bounds();
+        // Rejection-sample until the string is in bounds; the target
+        // distributions make rejections rare.
+        loop {
+            let s = match self.kind {
+                DatasetKind::Author => self.author(rng),
+                DatasetKind::QueryLog => self.query(rng),
+                DatasetKind::AuthorTitle => self.author_title(rng),
+            };
+            if s.len() >= min_len && s.len() <= max_len {
+                return s;
+            }
+        }
+    }
+
+    /// A person name: "given family" with occasional initials, middle
+    /// names, and hyphenated families — the mixture that produces the
+    /// unimodal Figure 11(a) hump around length 13–16.
+    fn author<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u8> {
+        let mut s = Vec::with_capacity(24);
+        match rng.gen_range(0..10) {
+            // "g. family"
+            0 => {
+                s.push(self.given.sample(rng)[0]);
+                s.extend_from_slice(b". ");
+                s.extend_from_slice(self.family.sample(rng));
+            }
+            // "given m. family"
+            1 | 2 => {
+                s.extend_from_slice(self.given.sample(rng));
+                s.push(b' ');
+                s.push(self.given.sample(rng)[0]);
+                s.extend_from_slice(b". ");
+                s.extend_from_slice(self.family.sample(rng));
+            }
+            // "given family-family"
+            3 => {
+                s.extend_from_slice(self.given.sample(rng));
+                s.push(b' ');
+                s.extend_from_slice(self.family.sample(rng));
+                s.push(b'-');
+                s.extend_from_slice(self.family.sample(rng));
+            }
+            // "given family"
+            _ => {
+                s.extend_from_slice(self.given.sample(rng));
+                s.push(b' ');
+                s.extend_from_slice(self.family.sample(rng));
+            }
+        }
+        s
+    }
+
+    /// A search query: words appended until a log-normal target length is
+    /// reached (right-skewed like Figure 11(b); the ≥30 floor matches the
+    /// AOL extract the paper used).
+    fn query<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u8> {
+        let target = lognormal_len(rng, 40.0, 0.35);
+        let mut s = Vec::with_capacity(target + 8);
+        while s.len() < target.max(30) {
+            if !s.is_empty() {
+                s.push(b' ');
+            }
+            s.extend_from_slice(self.words.sample(rng));
+        }
+        s
+    }
+
+    /// An author list plus a title: "given family, given family. title
+    /// words …" — long strings with a heavy tail like Figure 11(c).
+    fn author_title<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u8> {
+        let mut s = Vec::with_capacity(128);
+        let authors = 1 + rng.gen_range(0..3);
+        for a in 0..authors {
+            if a > 0 {
+                s.extend_from_slice(b", ");
+            }
+            s.extend_from_slice(self.given.sample(rng));
+            s.push(b' ');
+            s.extend_from_slice(self.family.sample(rng));
+        }
+        s.extend_from_slice(b". ");
+        let target = s.len() + lognormal_len(rng, 68.0, 0.45);
+        while s.len() < target {
+            s.extend_from_slice(self.words.sample(rng));
+            s.push(b' ');
+        }
+        s.pop();
+        s
+    }
+}
+
+/// Samples ⌊exp(N(ln median, σ))⌋, a right-skewed length target.
+fn lognormal_len<R: Rng + ?Sized>(rng: &mut R, median: f64, sigma: f64) -> usize {
+    // Box–Muller from two uniforms; StdRng is seedable and portable.
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (median * (sigma * z).exp()) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn author_stats_track_table2() {
+        let spec = DatasetSpec::new(DatasetKind::Author, 5_000);
+        let c = spec.collection();
+        assert_eq!(c.len(), 5_000);
+        let (_, paper_avg, paper_max, paper_min) = DatasetKind::Author.paper_stats();
+        assert!(c.min_len() >= paper_min, "min {} < {}", c.min_len(), paper_min);
+        assert!(c.max_len() <= paper_max);
+        let avg = c.avg_len();
+        assert!(
+            (paper_avg - 4.0..=paper_avg + 4.0).contains(&avg),
+            "avg len {avg:.1} far from paper's {paper_avg}"
+        );
+    }
+
+    #[test]
+    fn querylog_stats_track_table2() {
+        let spec = DatasetSpec::new(DatasetKind::QueryLog, 3_000);
+        let c = spec.collection();
+        let (_, paper_avg, _, paper_min) = DatasetKind::QueryLog.paper_stats();
+        assert!(c.min_len() >= paper_min);
+        assert!(c.max_len() <= 522);
+        let avg = c.avg_len();
+        assert!(
+            (paper_avg - 10.0..=paper_avg + 10.0).contains(&avg),
+            "avg len {avg:.1} far from paper's {paper_avg}"
+        );
+    }
+
+    #[test]
+    fn author_title_stats_track_table2() {
+        let spec = DatasetSpec::new(DatasetKind::AuthorTitle, 3_000);
+        let c = spec.collection();
+        let (_, paper_avg, _, paper_min) = DatasetKind::AuthorTitle.paper_stats();
+        assert!(c.min_len() >= paper_min);
+        assert!(c.max_len() <= 886);
+        let avg = c.avg_len();
+        assert!(
+            (paper_avg - 25.0..=paper_avg + 25.0).contains(&avg),
+            "avg len {avg:.1} far from paper's {paper_avg}"
+        );
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = DatasetSpec::new(DatasetKind::Author, 200).generate();
+        let b = DatasetSpec::new(DatasetKind::Author, 200).generate();
+        assert_eq!(a, b);
+        let c = DatasetSpec::new(DatasetKind::Author, 200)
+            .with_seed(7)
+            .generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn duplicate_rate_plants_near_duplicates() {
+        // With near-duplicates planted, a τ=4 join finds far more similar
+        // pairs than a duplicate-free corpus of the same size.
+        let count_similar = |rate: f64| {
+            let v = DatasetSpec::new(DatasetKind::Author, 400)
+                .with_duplicate_rate(rate)
+                .generate();
+            let mut pairs = 0usize;
+            for i in 0..v.len() {
+                for j in i + 1..v.len() {
+                    if v[i].len().abs_diff(v[j].len()) <= 4
+                        && editdist::edit_distance(&v[i], &v[j]) <= 4
+                    {
+                        pairs += 1;
+                    }
+                }
+            }
+            pairs
+        };
+        let with = count_similar(0.4);
+        let without = count_similar(0.0);
+        assert!(
+            with >= without + 50,
+            "planted duplicates missing: with={with} without={without}"
+        );
+    }
+
+    #[test]
+    fn ascii_only_output() {
+        for kind in DatasetKind::all() {
+            let strings = DatasetSpec::new(kind, 300).generate();
+            for s in &strings {
+                assert!(s.iter().all(u8::is_ascii), "{kind:?} produced non-ASCII");
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Synthetic corpora reproducing the Pass-Join evaluation datasets.
+//!
+//! The paper (§6) evaluates on three corpora that cannot be redistributed
+//! with this workspace: DBLP Author (short strings), AOL Query Log (medium)
+//! and DBLP Author+Title (long). [`DatasetSpec`] synthesizes stand-ins that
+//! match the published Table 2 statistics and the Figure 11 length-
+//! distribution shapes, built from Zipf-weighted pronounceable
+//! vocabularies plus planted near-duplicates. Everything is deterministic
+//! in the seed.
+//!
+//! ```
+//! use datagen::{DatasetKind, DatasetSpec};
+//! let corpus = DatasetSpec::new(DatasetKind::Author, 1000).collection();
+//! assert_eq!(corpus.len(), 1000);
+//! assert!(corpus.min_len() >= 6 && corpus.max_len() <= 46); // Table 2 bounds
+//! ```
+//!
+//! Users with the real datasets can load them instead via [`io::load_lines`]
+//! — every downstream API consumes a plain `StringCollection`.
+
+pub mod corpora;
+pub mod io;
+pub mod mutate;
+pub mod vocab;
+pub mod zipf;
+
+pub use corpora::{DatasetKind, DatasetSpec};
+pub use mutate::mutate;

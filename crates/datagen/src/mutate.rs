@@ -1,0 +1,78 @@
+//! Controlled edit mutations for planting near-duplicate pairs.
+//!
+//! Real data-cleaning corpora contain misspelled and OCR-damaged copies of
+//! the same entities; the generators reproduce that by emitting mutated
+//! copies of earlier strings. `mutate(s, k, …)` applies exactly `k` random
+//! single-character edits, so the copy is within edit distance `k` of its
+//! source (possibly less, if edits cancel).
+
+use rand::Rng;
+
+/// Alphabet used for substitutions and insertions (lowercase + space, the
+/// character set of the evaluation corpora).
+const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz ";
+
+/// Applies exactly `edits` random insert/delete/substitute operations.
+///
+/// The result length never drops below 1 (deletions are skipped on
+/// single-byte strings in favour of substitutions).
+pub fn mutate<R: Rng + ?Sized>(s: &[u8], edits: usize, rng: &mut R) -> Vec<u8> {
+    let mut out = s.to_vec();
+    for _ in 0..edits {
+        let op = rng.gen_range(0..3);
+        match op {
+            // substitute
+            0 if !out.is_empty() => {
+                let i = rng.gen_range(0..out.len());
+                out[i] = ALPHABET[rng.gen_range(0..ALPHABET.len())];
+            }
+            // delete
+            1 if out.len() > 1 => {
+                let i = rng.gen_range(0..out.len());
+                out.remove(i);
+            }
+            // insert (also the fallback for empty/short strings)
+            _ => {
+                let i = rng.gen_range(0..=out.len());
+                out.insert(i, ALPHABET[rng.gen_range(0..ALPHABET.len())]);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use editdist::edit_distance as dist;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mutation_stays_within_budget() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let base = b"partition based similarity join";
+        for edits in 0..=6 {
+            for _ in 0..50 {
+                let m = mutate(base, edits, &mut rng);
+                assert!(dist(base, &m) <= edits, "edits={edits}");
+                assert!(!m.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_edits_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(mutate(b"abc", 0, &mut rng), b"abc");
+    }
+
+    #[test]
+    fn survives_tiny_inputs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let m = mutate(b"x", 3, &mut rng);
+            assert!(!m.is_empty());
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Synthetic vocabularies: pronounceable words sampled Zipfian-ly.
+//!
+//! Words are built from consonant/vowel syllables so they look like names
+//! and English-ish tokens, giving the corpora realistic character n-gram
+//! statistics (important for the q-gram baseline: uniformly random bytes
+//! would make every gram rare and flatter ED-Join's filtering than reality).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+const CONSONANTS: &[u8] = b"bcdfghjklmnprstvwz";
+const VOWELS: &[u8] = b"aeiou";
+
+/// A fixed vocabulary plus a Zipf law over it.
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    words: Vec<Vec<u8>>,
+    zipf: Zipf,
+}
+
+impl Vocab {
+    /// Builds `n` distinct pronounceable words of `min_syll..=max_syll`
+    /// syllables, deterministically from `seed`, with a Zipf(`s`) law.
+    pub fn new(n: usize, min_syll: usize, max_syll: usize, s: f64, seed: u64) -> Self {
+        assert!(n > 0 && min_syll >= 1 && max_syll >= min_syll);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut words = Vec::with_capacity(n);
+        let mut seen = std::collections::HashSet::with_capacity(n);
+        while words.len() < n {
+            let sylls = rng.gen_range(min_syll..=max_syll);
+            let mut w = Vec::with_capacity(sylls * 3);
+            for _ in 0..sylls {
+                w.push(CONSONANTS[rng.gen_range(0..CONSONANTS.len())]);
+                w.push(VOWELS[rng.gen_range(0..VOWELS.len())]);
+                if rng.gen_bool(0.3) {
+                    w.push(CONSONANTS[rng.gen_range(0..CONSONANTS.len())]);
+                }
+            }
+            if seen.insert(w.clone()) {
+                words.push(w);
+            }
+        }
+        Self {
+            words,
+            zipf: Zipf::new(n, s),
+        }
+    }
+
+    /// Samples a word by Zipf rank.
+    pub fn sample<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> &'a [u8] {
+        &self.words[self.zipf.sample(rng)]
+    }
+
+    /// The word at a fixed rank (rank 0 = most frequent).
+    pub fn word(&self, rank: usize) -> &[u8] {
+        &self.words[rank]
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if the vocabulary is empty (never: the constructor requires
+    /// `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_are_distinct_and_lowercase() {
+        let v = Vocab::new(500, 1, 3, 1.0, 42);
+        assert_eq!(v.len(), 500);
+        let mut set = std::collections::HashSet::new();
+        for i in 0..v.len() {
+            let w = v.word(i);
+            assert!(!w.is_empty());
+            assert!(w.iter().all(|c| c.is_ascii_lowercase()));
+            assert!(set.insert(w.to_vec()), "duplicate word");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Vocab::new(50, 1, 2, 1.0, 9);
+        let b = Vocab::new(50, 1, 2, 1.0, 9);
+        for i in 0..50 {
+            assert_eq!(a.word(i), b.word(i));
+        }
+    }
+
+    #[test]
+    fn sampling_reuses_head_words() {
+        let v = Vocab::new(1000, 1, 3, 1.0, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut head = 0;
+        for _ in 0..1000 {
+            let w = v.sample(&mut rng);
+            if w == v.word(0) || w == v.word(1) || w == v.word(2) {
+                head += 1;
+            }
+        }
+        assert!(head > 100, "Zipf head not dominant: {head}");
+    }
+}

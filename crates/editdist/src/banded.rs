@@ -1,0 +1,145 @@
+//! The "2τ+1" kernel: classic band of `|i−j| ≤ τ` with naive row-minimum
+//! early termination.
+//!
+//! This is the baseline the paper's Figure 14 labels `2τ+1` — the state of
+//! the art *before* Pass-Join's length-aware improvement (§5.1 attributes
+//! it to the length pruning of Trie-Join). Each row computes at most 2τ+1
+//! cells; computation stops as soon as a whole row exceeds τ, because DP
+//! values never decrease down a column.
+
+use crate::{DpWorkspace, INF};
+
+/// `Some(ed(a, b))` if it is at most `tau`, else `None`, computed with the
+/// 2τ+1-wide band. Allocating convenience wrapper around
+/// [`banded_within_ws`].
+///
+/// ```
+/// use editdist::banded_within;
+/// assert_eq!(banded_within(b"kitten", b"sitting", 3), Some(3));
+/// assert_eq!(banded_within(b"kitten", b"sitting", 2), None);
+/// ```
+pub fn banded_within(a: &[u8], b: &[u8], tau: usize) -> Option<usize> {
+    banded_within_ws(a, b, tau, &mut DpWorkspace::new())
+}
+
+/// [`banded_within`] with caller-provided row buffers (hot-path variant).
+pub fn banded_within_ws(
+    a: &[u8],
+    b: &[u8],
+    tau: usize,
+    ws: &mut DpWorkspace,
+) -> Option<usize> {
+    // Rows iterate over the shorter string: O((2τ+1)·min(|a|,|b|)).
+    let (r, s) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let (m, n) = (r.len(), s.len());
+    if n - m > tau {
+        return None;
+    }
+    if m == 0 {
+        return Some(n); // n ≤ tau by the check above
+    }
+
+    let (prev, cur) = ws.rows(n + 2);
+    let tau_u = tau.min(n); // widest usable band reach
+
+    // Row 0: M(0, j) = j for j ≤ τ, sentinel just past the window.
+    for (j, cell) in prev.iter_mut().enumerate().take(tau_u + 1) {
+        *cell = j as u32;
+    }
+    if tau_u < n {
+        prev[tau_u + 1] = INF;
+    }
+
+    for i in 1..=m {
+        let wlo = i.saturating_sub(tau);
+        let whi = (i + tau).min(n);
+        if wlo > n {
+            return None; // the band has slid off the matrix
+        }
+        let mut row_min = INF;
+
+        let mut j = wlo;
+        if j == 0 {
+            // In-band only when i ≤ τ, which saturating_sub guarantees.
+            cur[0] = i as u32;
+            row_min = i as u32;
+            j = 1;
+        } else {
+            cur[wlo - 1] = INF; // sentinel for our own left edge
+        }
+        let rc = r[i - 1];
+        while j <= whi {
+            let d = (prev[j] + 1)
+                .min(cur[j - 1] + 1)
+                .min(prev[j - 1] + u32::from(rc != s[j - 1]));
+            cur[j] = d;
+            row_min = row_min.min(d);
+            j += 1;
+        }
+        if whi < n {
+            cur[whi + 1] = INF; // sentinel for our right edge
+        }
+        if row_min > tau as u32 {
+            return None;
+        }
+        std::mem::swap(prev, cur);
+    }
+
+    let d = prev[n] as usize;
+    (d <= tau).then_some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit_distance;
+
+    #[test]
+    fn agrees_with_reference_on_known_pairs() {
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"kitten", b"sitting"),
+            (b"sunday", b"saturday"),
+            (b"vankatesh", b"avataresha"),
+            (b"kaushik chakrab", b"caushik chakrabar"),
+            (b"", b""),
+            (b"", b"abc"),
+            (b"abc", b"abc"),
+        ];
+        for &(a, b) in cases {
+            let d = edit_distance(a, b);
+            for tau in 0..=8 {
+                let got = banded_within(a, b, tau);
+                assert_eq!(got, (d <= tau).then_some(d), "{a:?} {b:?} tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn tau_zero_is_equality() {
+        assert_eq!(banded_within(b"abc", b"abc", 0), Some(0));
+        assert_eq!(banded_within(b"abc", b"abd", 0), None);
+        assert_eq!(banded_within(b"abc", b"abcd", 0), None);
+    }
+
+    #[test]
+    fn length_difference_rejects_fast() {
+        assert_eq!(banded_within(b"a", b"abcdefgh", 3), None);
+    }
+
+    #[test]
+    fn workspace_reuse_is_clean() {
+        // Run a pair that early-terminates, then one that succeeds, with the
+        // same workspace; stale buffer contents must not leak.
+        let mut ws = DpWorkspace::new();
+        assert_eq!(banded_within_ws(b"aaaaaaaa", b"zzzzzzzz", 2, &mut ws), None);
+        assert_eq!(banded_within_ws(b"kitten", b"sitting", 3, &mut ws), Some(3));
+        assert_eq!(banded_within_ws(b"abc", b"abc", 3, &mut ws), Some(0));
+    }
+
+    #[test]
+    fn early_termination_does_not_lose_results() {
+        // Distance exactly tau: termination must not fire prematurely.
+        assert_eq!(banded_within(b"abcdef", b"ghijkl", 6), Some(6));
+        assert_eq!(banded_within(b"abcdef", b"ghijkl", 5), None);
+    }
+}

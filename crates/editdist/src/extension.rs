@@ -1,0 +1,261 @@
+//! Extension-based verification (paper §5.2).
+//!
+//! A candidate pair shares a segment: `r[seg_start..seg_start+seg_len]`
+//! equals `s[probe_start..probe_start+seg_len]`. Aligning the pair on that
+//! segment splits each string into a left part, the matching part, and a
+//! right part. The pair is similar *via this alignment* iff
+//! `ed(r_l, s_l) + ed(r_r, s_r) ≤ τ`, and the paper derives per-side
+//! budgets from the multi-match analysis:
+//!
+//! * left: `τ_l = i − 1` — if the left parts need ≥ i edits, a later
+//!   segment must also match and that occurrence will be (or was) probed;
+//! * right: `τ_r = τ + 1 − i` — symmetric argument on the τ+1−i segments
+//!   to the right.
+//!
+//! Verifying an occurrence against these tight budgets cannot miss a
+//! similar pair overall: for any similar pair some occurrence satisfies
+//! both budgets (the pigeonhole witness), and every selector in this
+//! workspace selects a superset of the multi-match windows that contain
+//! that witness.
+
+use crate::{length_aware_within_ws, DpWorkspace, SharedMatrix};
+
+/// A candidate occurrence: *which* segment of the indexed string matched
+/// *where* in the probe string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occurrence {
+    /// 1-based segment index `i` (1 ..= τ+1).
+    pub slot: usize,
+    /// Start of the segment in the indexed string `r` (0-based).
+    pub seg_start: usize,
+    /// Segment length in bytes.
+    pub seg_len: usize,
+    /// Start of the matching substring in the probe string `s` (0-based).
+    pub probe_start: usize,
+}
+
+impl Occurrence {
+    /// Left-side budget `τ_l = i − 1`.
+    #[inline]
+    pub fn tau_left(&self) -> usize {
+        self.slot - 1
+    }
+
+    /// Right-side budget `τ_r = τ + 1 − i`.
+    #[inline]
+    pub fn tau_right(&self, tau: usize) -> usize {
+        tau + 1 - self.slot
+    }
+}
+
+/// Verifies candidate occurrences by extension, optionally sharing DP rows
+/// across the strings of one inverted list (§5.3).
+///
+/// Protocol: call [`ExtensionVerifier::begin_scan`] once per
+/// (probe string, occurrence) list probe, then
+/// [`ExtensionVerifier::verify`] for each list entry in order.
+///
+/// ```
+/// use editdist::{ExtensionVerifier, Occurrence};
+/// // r = "kaushik chakrab" partitioned at τ=3; its 2nd segment "hik " is
+/// // r[4..8]. s = "caushik chakrabar" contains "hik " at position 4.
+/// let (r, s) = (b"kaushik chakrab", b"caushik chakrabar");
+/// let occ = Occurrence { slot: 2, seg_start: 4, seg_len: 4, probe_start: 4 };
+/// let mut v = ExtensionVerifier::new(true);
+/// v.begin_scan(s, &occ, 3, r.len());
+/// assert_eq!(v.verify(r, s, &occ), Some(3));
+/// ```
+#[derive(Debug)]
+pub struct ExtensionVerifier {
+    share_prefix: bool,
+    left: SharedMatrix,
+    right: SharedMatrix,
+    ws: DpWorkspace,
+    tau: usize,
+}
+
+impl ExtensionVerifier {
+    /// Creates a verifier. With `share_prefix = true` the DP rows of
+    /// consecutive [`ExtensionVerifier::verify`] calls are reused across
+    /// common prefixes (the paper's best configuration, `SharePrefix` in
+    /// Figure 14); with `false` every pair is verified from scratch
+    /// (`Extension` in Figure 14).
+    pub fn new(share_prefix: bool) -> Self {
+        Self {
+            share_prefix,
+            left: SharedMatrix::new(),
+            right: SharedMatrix::new(),
+            ws: DpWorkspace::new(),
+            tau: 0,
+        }
+    }
+
+    /// True if this verifier shares DP rows across list entries.
+    pub fn shares_prefix(&self) -> bool {
+        self.share_prefix
+    }
+
+    /// Prepares for verifying the entries of one inverted list: fixes the
+    /// probe string `s`, the occurrence geometry, the join threshold, and
+    /// the (common) length `r_len` of the list strings.
+    pub fn begin_scan(&mut self, s: &[u8], occ: &Occurrence, tau: usize, r_len: usize) {
+        self.tau = tau;
+        if self.share_prefix {
+            let s_left = &s[..occ.probe_start];
+            let s_right = &s[occ.probe_start + occ.seg_len..];
+            let r_left_len = occ.seg_start;
+            let r_right_len = r_len - occ.seg_start - occ.seg_len;
+            self.left.begin_scan(s_left, r_left_len, occ.tau_left());
+            self.right
+                .begin_scan(s_right, r_right_len, occ.tau_right(tau));
+        }
+    }
+
+    /// Verifies one candidate pair via the occurrence's alignment.
+    ///
+    /// Returns `Some(d_l + d_r)` — a certificate that `ed(r, s) ≤ τ` —
+    /// iff `d_l ≤ τ_l` and `d_r ≤ τ_r`. The certificate upper-bounds the
+    /// true edit distance (the alignment through the shared segment need
+    /// not be optimal). `None` rejects *this occurrence only*; a similar
+    /// pair is accepted through its pigeonhole-witness occurrence.
+    pub fn verify(&mut self, r: &[u8], s: &[u8], occ: &Occurrence) -> Option<usize> {
+        debug_assert_eq!(
+            &r[occ.seg_start..occ.seg_start + occ.seg_len],
+            &s[occ.probe_start..occ.probe_start + occ.seg_len],
+            "occurrence does not describe a matching segment"
+        );
+        let (dl, dr) = if self.share_prefix {
+            let dl = self.left.distance(&r[..occ.seg_start])?;
+            let dr = self.right.distance(&r[occ.seg_start + occ.seg_len..])?;
+            (dl, dr)
+        } else {
+            let dl = length_aware_within_ws(
+                &r[..occ.seg_start],
+                &s[..occ.probe_start],
+                occ.tau_left(),
+                &mut self.ws,
+            )?;
+            let dr = length_aware_within_ws(
+                &r[occ.seg_start + occ.seg_len..],
+                &s[occ.probe_start + occ.seg_len..],
+                occ.tau_right(self.tau),
+                &mut self.ws,
+            )?;
+            (dl, dr)
+        };
+        debug_assert!(dl + dr <= self.tau);
+        Some(dl + dr)
+    }
+}
+
+/// One-shot extension verification of a single occurrence (test/demo
+/// convenience; join drivers use [`ExtensionVerifier`] for buffer reuse).
+pub fn verify_extension(
+    r: &[u8],
+    s: &[u8],
+    occ: &Occurrence,
+    tau: usize,
+) -> Option<usize> {
+    let mut v = ExtensionVerifier::new(false);
+    v.begin_scan(s, occ, tau, r.len());
+    v.verify(r, s, occ)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit_distance;
+
+    #[test]
+    fn paper_example_section_5_2() {
+        // §5.2: s5 = "kaushuk chadhui", s6 = "caushik chakrabar" share the
+        // segment " cha" (s5's 3rd segment at τ=3). The pair must be
+        // rejected: d_l = ed("kaushuk", "caushik") = 2 ≤ τ_l = 2, but the
+        // right parts "dhui" vs "krabar" need ≥ 2 > τ_r = 1 edits.
+        let r = b"kaushuk chadhui"; // len 15, segments at τ=3: 3,4,4,4
+        let s = b"caushik chakrabar";
+        // Even partition of len 15 into 4: k=15-3*4=3 ⇒ lens [3,4,4,4],
+        // starts [0,3,7,11]. Segment 3 (1-based) is r[7..11] = " cha".
+        assert_eq!(&r[7..11], b" cha");
+        let occ = Occurrence {
+            slot: 3,
+            seg_start: 7,
+            seg_len: 4,
+            probe_start: s.iter().position(|&c| c == b' ').unwrap(),
+        };
+        assert_eq!(&s[occ.probe_start..occ.probe_start + 4], b" cha");
+        assert_eq!(verify_extension(r, s, &occ, 3), None);
+        assert!(edit_distance(r, s) > 3);
+    }
+
+    #[test]
+    fn accepting_occurrence_certifies_distance() {
+        // r = "kaushik chakrab", s = "caushik chakrabar", ed = 3 = τ.
+        let r = b"kaushik chakrab";
+        let s = b"caushik chakrabar";
+        // Even partition of len 15 at τ=3: lens [3,4,4,4], starts [0,3,7,11].
+        // Segment 2 is r[3..7] = "shik"; s contains "shik" at position 3.
+        let occ = Occurrence {
+            slot: 2,
+            seg_start: 3,
+            seg_len: 4,
+            probe_start: 3,
+        };
+        assert_eq!(&r[3..7], b"shik");
+        assert_eq!(&s[3..7], b"shik");
+        let got = verify_extension(r, s, &occ, 3);
+        assert_eq!(got, Some(3));
+        assert_eq!(edit_distance(r, s), 3);
+    }
+
+    #[test]
+    fn share_and_no_share_agree() {
+        let s = b"caushik chakrabar";
+        let rs: &[&[u8]] = &[b"kaushik chakrab", b"kaushuk chadhui"];
+        let occ = Occurrence {
+            slot: 2,
+            seg_start: 3,
+            seg_len: 4,
+            probe_start: 3,
+        };
+        for &r in rs {
+            if r[3..7] != s[3..7] {
+                continue;
+            }
+            let one_shot = verify_extension(r, s, &occ, 3);
+            let mut sharing = ExtensionVerifier::new(true);
+            sharing.begin_scan(s, &occ, 3, r.len());
+            assert_eq!(sharing.verify(r, s, &occ), one_shot);
+        }
+    }
+
+    #[test]
+    fn slot_budgets() {
+        let occ = Occurrence {
+            slot: 3,
+            seg_start: 0,
+            seg_len: 1,
+            probe_start: 0,
+        };
+        assert_eq!(occ.tau_left(), 2);
+        assert_eq!(occ.tau_right(4), 2);
+        let first = Occurrence { slot: 1, ..occ };
+        assert_eq!(first.tau_left(), 0);
+        assert_eq!(first.tau_right(4), 4);
+    }
+
+    #[test]
+    fn first_slot_requires_equal_left_parts() {
+        // slot 1 ⇒ τ_l = 0: any non-empty left difference rejects.
+        let r = b"abXYZ";
+        let s = b"cabXYZ"; // "ab" matches at probe position 1
+        let occ = Occurrence {
+            slot: 1,
+            seg_start: 0,
+            seg_len: 2,
+            probe_start: 1,
+        };
+        // left parts: "" vs "c" → lengths differ → d_l > 0 = τ_l.
+        assert_eq!(verify_extension(r, s, &occ, 2), None);
+    }
+}

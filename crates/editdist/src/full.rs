@@ -1,0 +1,131 @@
+//! The unrestricted O(nm) edit-distance dynamic program.
+//!
+//! This is the reference against which every optimized kernel is
+//! property-tested, the "straightforward method" the paper's §5.1 starts
+//! from, and the verifier of the naive ground-truth join used in tests.
+
+/// Levenshtein distance between `a` and `b` (insertions, deletions,
+/// substitutions, unit cost), computed with the classic two-row dynamic
+/// program in O(|a|·|b|) time and O(min(|a|,|b|)) space.
+///
+/// ```
+/// use editdist::edit_distance;
+/// assert_eq!(edit_distance(b"kaushic chaduri", b"kaushuk chadhui"), 4);
+/// assert_eq!(edit_distance(b"", b"abc"), 3);
+/// assert_eq!(edit_distance(b"vldb", b"pvldb"), 1);
+/// ```
+pub fn edit_distance(a: &[u8], b: &[u8]) -> usize {
+    // Keep the shorter string on the row axis: the working rows then have
+    // min(|a|,|b|)+1 entries.
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return long.len();
+    }
+
+    let mut prev: Vec<u32> = (0..=short.len() as u32).collect();
+    let mut cur: Vec<u32> = vec![0; short.len() + 1];
+
+    for (j, &cb) in long.iter().enumerate() {
+        cur[0] = j as u32 + 1;
+        for (i, &ca) in short.iter().enumerate() {
+            let delete = prev[i + 1] + 1;
+            let insert = cur[i] + 1;
+            let replace = prev[i] + u32::from(ca != cb);
+            cur[i + 1] = delete.min(insert).min(replace);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()] as usize
+}
+
+/// `Some(ed(a, b))` if it is at most `tau`, else `None` — computed with the
+/// *full* dynamic program. Semantically identical to the banded kernels but
+/// with no pruning; exists as the correctness oracle.
+pub fn within_full(a: &[u8], b: &[u8], tau: usize) -> Option<usize> {
+    let d = edit_distance(a, b);
+    (d <= tau).then_some(d)
+}
+
+/// The full DP matrix `M` with `|a|+1` rows and `|b|+1` columns;
+/// `M[i][j] = ed(a[..i], b[..j])`. Used by tests and by the worked-example
+/// reproductions of Figure 7.
+pub fn edit_distance_matrix(a: &[u8], b: &[u8]) -> Vec<Vec<u32>> {
+    let mut m = vec![vec![0u32; b.len() + 1]; a.len() + 1];
+    for (i, row) in m.iter_mut().enumerate() {
+        row[0] = i as u32;
+    }
+    for (j, cell) in m[0].iter_mut().enumerate() {
+        *cell = j as u32;
+    }
+    for i in 1..=a.len() {
+        for j in 1..=b.len() {
+            let delta = u32::from(a[i - 1] != b[j - 1]);
+            m[i][j] = (m[i - 1][j] + 1)
+                .min(m[i][j - 1] + 1)
+                .min(m[i - 1][j - 1] + delta);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_running_examples() {
+        assert_eq!(edit_distance(b"vldb", b"pvldb"), 1);
+        // §2 of the paper: ed("kaushic chaduri", "kaushuk chadhui") = 4.
+        assert_eq!(edit_distance(b"kaushic chaduri", b"kaushuk chadhui"), 4);
+        // ⟨s4, s6⟩ = ⟨"kaushik chakrab", "caushik chakrabar"⟩ is the only
+        // answer at τ=3 in the paper's running example (Figure 1).
+        assert_eq!(edit_distance(b"kaushik chakrab", b"caushik chakrabar"), 3);
+    }
+
+    #[test]
+    fn trivial_cases() {
+        assert_eq!(edit_distance(b"", b""), 0);
+        assert_eq!(edit_distance(b"", b"xyz"), 3);
+        assert_eq!(edit_distance(b"xyz", b""), 3);
+        assert_eq!(edit_distance(b"same", b"same"), 0);
+        assert_eq!(edit_distance(b"a", b"b"), 1);
+    }
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(edit_distance(b"kitten", b"sitting"), 3);
+        assert_eq!(edit_distance(b"sunday", b"saturday"), 3);
+        assert_eq!(edit_distance(b"flaw", b"lawn"), 2);
+        assert_eq!(edit_distance(b"intention", b"execution"), 5);
+    }
+
+    #[test]
+    fn symmetric() {
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"abcdef", b"azced"),
+            (b"", b"abc"),
+            (b"vankatesh", b"avataresha"),
+        ];
+        for &(a, b) in cases {
+            assert_eq!(edit_distance(a, b), edit_distance(b, a));
+        }
+    }
+
+    #[test]
+    fn within_full_thresholds() {
+        assert_eq!(within_full(b"kitten", b"sitting", 3), Some(3));
+        assert_eq!(within_full(b"kitten", b"sitting", 2), None);
+        assert_eq!(within_full(b"abc", b"abc", 0), Some(0));
+    }
+
+    #[test]
+    fn matrix_matches_two_row() {
+        let a = b"vankatesh";
+        let b = b"avataresha";
+        let m = edit_distance_matrix(a, b);
+        assert_eq!(m[a.len()][b.len()] as usize, edit_distance(a, b));
+        // First row and column are the base cases.
+        assert_eq!(m[0][4], 4);
+        assert_eq!(m[5][0], 5);
+    }
+}

@@ -1,0 +1,175 @@
+//! The "τ+1" kernel: length-aware band plus expected-edit-distance early
+//! termination (paper §5.1).
+//!
+//! Two refinements over the classic 2τ+1 band:
+//!
+//! 1. **Length-aware band.** Any transformation passing through `M(i, j)`
+//!    costs at least `|i−j|` for the consumed prefixes *plus*
+//!    `|Δ − (j−i)|` for the remaining suffixes (Δ = length difference), so
+//!    row `i` only needs `j ∈ [i − ⌊(τ−Δ)/2⌋, i + ⌊(τ+Δ)/2⌋]` — at most
+//!    τ+1 cells instead of 2τ+1.
+//! 2. **Expected edit distance.** `E(i,j) = M(i,j) + |Δ − (j−i)|` lower-
+//!    bounds the cost of any full transformation through `(i,j)`; when every
+//!    cell of a row has `E > τ` the pair is rejected without computing the
+//!    remaining rows (Lemma 4). This fires much earlier than the naive
+//!    "row minimum > τ" rule — the paper's Figure 7 example stops at row 6
+//!    instead of row 13.
+
+use crate::{band_reach, DpWorkspace, INF};
+
+/// `Some(ed(a, b))` if it is at most `tau`, else `None`, computed with the
+/// length-aware τ+1 band. Allocating convenience wrapper around
+/// [`length_aware_within_ws`].
+///
+/// ```
+/// use editdist::length_aware_within;
+/// assert_eq!(length_aware_within(b"kitten", b"sitting", 3), Some(3));
+/// assert_eq!(length_aware_within(b"kitten", b"sitting", 2), None);
+/// ```
+pub fn length_aware_within(a: &[u8], b: &[u8], tau: usize) -> Option<usize> {
+    length_aware_within_ws(a, b, tau, &mut DpWorkspace::new())
+}
+
+/// [`length_aware_within`] with caller-provided row buffers.
+pub fn length_aware_within_ws(
+    a: &[u8],
+    b: &[u8],
+    tau: usize,
+    ws: &mut DpWorkspace,
+) -> Option<usize> {
+    // Rows iterate over the shorter string so Δ = n − m ≥ 0, matching the
+    // paper's presentation (|s| ≥ |r|). Edit distance is symmetric.
+    let (r, s) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let (m, n) = (r.len(), s.len());
+    let delta = n - m;
+    let (a_reach, b_reach) = band_reach(tau, delta as isize)?;
+    if m == 0 {
+        return Some(n); // n = Δ ≤ τ since band_reach accepted
+    }
+    let tau32 = tau as u32;
+
+    let (prev, cur) = ws.rows(n + 2);
+
+    // Row 0: M(0, j) = j for j ∈ [0, b_reach].
+    let whi0 = b_reach.min(n);
+    for (j, cell) in prev.iter_mut().enumerate().take(whi0 + 1) {
+        *cell = j as u32;
+    }
+    if whi0 < n {
+        prev[whi0 + 1] = INF;
+    }
+
+    for i in 1..=m {
+        let wlo = i.saturating_sub(a_reach);
+        let whi = (i + b_reach).min(n);
+        // Row-minimum of E(i, j) = M(i, j) + |Δ − (j − i)|.
+        let mut min_expected = INF;
+
+        let mut j = wlo;
+        if j == 0 {
+            cur[0] = i as u32;
+            min_expected = (i + delta + i) as u32;
+            j = 1;
+        } else {
+            cur[wlo - 1] = INF;
+        }
+        let rc = r[i - 1];
+        while j <= whi {
+            let d = (prev[j] + 1)
+                .min(cur[j - 1] + 1)
+                .min(prev[j - 1] + u32::from(rc != s[j - 1]));
+            cur[j] = d;
+            // |Δ − (j − i)| without branching on sign.
+            let remaining = (n - j).abs_diff(m - i) as u32;
+            min_expected = min_expected.min(d + remaining);
+            j += 1;
+        }
+        if whi < n {
+            cur[whi + 1] = INF;
+        }
+        if min_expected > tau32 {
+            return None;
+        }
+        std::mem::swap(prev, cur);
+    }
+
+    let d = prev[n] as usize;
+    (d <= tau).then_some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit_distance;
+
+    #[test]
+    fn agrees_with_reference_on_known_pairs() {
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"kitten", b"sitting"),
+            (b"sunday", b"saturday"),
+            (b"vankatesh", b"avataresha"),
+            (b"kaushik chakrab", b"caushik chakrabar"),
+            (b"kaushuk chadhui", b"caushik chakrabar"),
+            (b"", b""),
+            (b"", b"ab"),
+            (b"abc", b"abc"),
+            (b"abcdef", b"ghijkl"),
+        ];
+        for &(a, b) in cases {
+            let d = edit_distance(a, b);
+            for tau in 0..=8 {
+                let got = length_aware_within(a, b, tau);
+                assert_eq!(got, (d <= tau).then_some(d), "{a:?} {b:?} tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure7_pair_terminates_and_rejects() {
+        // Figure 7 of the paper: τ=3, the pair is rejected.
+        let r = b"kaushuk chadhui";
+        let s = b"caushik chakrabar";
+        assert_eq!(length_aware_within(r, s, 3), None);
+        let d = edit_distance(r, s);
+        assert!(d > 3, "Figure 7 pair must be dissimilar at tau=3");
+        assert_eq!(length_aware_within(r, s, d), Some(d));
+        assert_eq!(length_aware_within(r, s, d - 1), None);
+    }
+
+    #[test]
+    fn orientation_is_irrelevant() {
+        let pairs: &[(&[u8], &[u8])] = &[
+            (b"abcd", b"abcdefg"),
+            (b"query log", b"querylog"),
+            (b"xy", b"yx"),
+        ];
+        for &(a, b) in pairs {
+            for tau in 0..=5 {
+                assert_eq!(
+                    length_aware_within(a, b, tau),
+                    length_aware_within(b, a, tau)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_clean() {
+        let mut ws = DpWorkspace::new();
+        assert_eq!(
+            length_aware_within_ws(b"aaaaaaaa", b"zzzzzzzz", 2, &mut ws),
+            None
+        );
+        assert_eq!(
+            length_aware_within_ws(b"kitten", b"sitting", 3, &mut ws),
+            Some(3)
+        );
+        assert_eq!(length_aware_within_ws(b"", b"abc", 3, &mut ws), Some(3));
+    }
+
+    #[test]
+    fn distance_equal_to_tau_survives() {
+        assert_eq!(length_aware_within(b"abc", b"xyz", 3), Some(3));
+        assert_eq!(length_aware_within(b"ab", b"ba", 2), Some(2));
+    }
+}

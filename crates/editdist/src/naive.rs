@@ -1,0 +1,93 @@
+//! The ground-truth join: verify every pair within the length filter.
+//!
+//! O(n²) candidate pairs, each verified with the length-aware kernel. Far
+//! too slow for real corpora but unbeatable as a correctness oracle — every
+//! filtering algorithm in this workspace is tested to produce exactly this
+//! join's results.
+
+use std::time::Instant;
+
+use sj_common::join::emit_pair;
+use sj_common::{JoinOutput, JoinStats, SimilarityJoin, StringCollection};
+
+use crate::{length_aware_within_ws, DpWorkspace};
+
+/// All-pairs similarity join with only the length filter (ground truth).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveJoin;
+
+impl SimilarityJoin for NaiveJoin {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn self_join(&self, collection: &StringCollection, tau: usize) -> JoinOutput {
+        let started = Instant::now();
+        let mut pairs = Vec::new();
+        let mut stats = JoinStats {
+            strings: collection.len() as u64,
+            ..JoinStats::default()
+        };
+        let mut ws = DpWorkspace::new();
+
+        for (id, s) in collection.iter() {
+            // Ids ascend by length: only earlier ids within the length
+            // window need checking, and the window is a contiguous range.
+            let lo = collection
+                .ids_with_len_in(s.len().saturating_sub(tau), s.len())
+                .start;
+            for rid in lo..id {
+                let r = collection.get(rid);
+                stats.candidate_pairs += 1;
+                stats.verifications += 1;
+                if length_aware_within_ws(r, s, tau, &mut ws).is_some() {
+                    emit_pair(collection, rid, id, &mut pairs);
+                    stats.results += 1;
+                }
+            }
+        }
+
+        JoinOutput {
+            pairs,
+            stats,
+            elapsed: started.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_answer_at_tau3() {
+        let c = StringCollection::from_strs(&[
+            "avataresha",
+            "caushik chakrabar",
+            "kaushic chaduri",
+            "kaushik chakrab",
+            "kaushuk chadhui",
+            "vankatesh",
+        ]);
+        let out = NaiveJoin.self_join(&c, 3);
+        // Figure 1: the only similar pair is ⟨s4, s6⟩, i.e. input positions
+        // 3 ("kaushik chakrab") and 1 ("caushik chakrabar").
+        assert_eq!(out.normalized_pairs(), vec![(1, 3)]);
+        assert_eq!(out.stats.results, 1);
+    }
+
+    #[test]
+    fn duplicates_join_at_tau0() {
+        let c = StringCollection::from_strs(&["abc", "abc", "abd", "abc"]);
+        let out = NaiveJoin.self_join(&c, 0);
+        assert_eq!(out.normalized_pairs(), vec![(0, 1), (0, 3), (1, 3)]);
+    }
+
+    #[test]
+    fn empty_and_tiny_collections() {
+        let out = NaiveJoin.self_join(&StringCollection::new(vec![]), 2);
+        assert!(out.pairs.is_empty());
+        let out = NaiveJoin.self_join(&StringCollection::from_strs(&["solo"]), 2);
+        assert!(out.pairs.is_empty());
+    }
+}

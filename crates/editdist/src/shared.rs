@@ -1,0 +1,267 @@
+//! Shared-computation DP matrix (paper §5.3).
+//!
+//! When a selected substring `w` of the probe string hits an inverted list,
+//! every string on the list is verified against the *same* probe-side part,
+//! and the list entries are sorted, so consecutive entries often share long
+//! prefixes. [`SharedMatrix`] keeps the banded DP rows of the previous
+//! comparison; the next comparison restarts below the common prefix instead
+//! of from row 1. Only a single matrix is kept — exactly the scheme the
+//! paper describes ("we do not need to maintain multiple matrixes and only
+//! keep a single matrix for the current string").
+
+use sj_common::bytes::common_prefix_len;
+
+use crate::{band_reach, INF};
+
+/// A banded DP matrix that persists across comparisons against one fixed
+/// right-hand string, reusing rows below the common prefix of consecutive
+/// left-hand strings.
+///
+/// Scan protocol:
+///
+/// 1. [`SharedMatrix::begin_scan`] fixes the right-hand string, the
+///    (constant) left-hand length, and the threshold;
+/// 2. [`SharedMatrix::distance`] is called for each left-hand string in list
+///    order and returns `Some(ed)` iff `ed ≤ τ`.
+///
+/// ```
+/// use editdist::SharedMatrix;
+/// let mut m = SharedMatrix::new();
+/// m.begin_scan(b"kaushik", 7, 2);
+/// assert_eq!(m.distance(b"kaushic"), Some(1));
+/// assert_eq!(m.distance(b"kaushuk"), Some(1)); // reuses rows for "kaush"
+/// assert_eq!(m.distance(b"zzzzzzz"), None);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct SharedMatrix {
+    right: Vec<u8>,
+    tau: usize,
+    left_len: usize,
+    a_reach: usize,
+    b_reach: usize,
+    /// False when the fixed length difference already exceeds τ.
+    feasible: bool,
+    /// Row stride; each row stores `right.len()+1` cells plus sentinel room.
+    stride: usize,
+    /// `(left_len + 1) × stride` cells; row `i` is the DP row for
+    /// `prev_left[..i]` vs the fixed right string.
+    rows: Vec<u32>,
+    prev_left: Vec<u8>,
+    /// Rows `0..valid_rows` are computed and consistent with `prev_left`.
+    valid_rows: usize,
+    /// True when row `valid_rows−1` proved "every expected distance > τ".
+    terminated: bool,
+}
+
+impl SharedMatrix {
+    /// Creates an empty matrix; call [`SharedMatrix::begin_scan`] before use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a scan: all subsequent [`SharedMatrix::distance`] calls compare
+    /// left-hand strings of exactly `left_len` bytes against `right` under
+    /// threshold `tau`.
+    pub fn begin_scan(&mut self, right: &[u8], left_len: usize, tau: usize) {
+        self.right.clear();
+        self.right.extend_from_slice(right);
+        self.tau = tau;
+        self.left_len = left_len;
+        self.prev_left.clear();
+        self.valid_rows = 1;
+        self.terminated = false;
+
+        let delta = right.len() as isize - left_len as isize;
+        match band_reach(tau, delta) {
+            None => {
+                self.feasible = false;
+            }
+            Some((a, b)) => {
+                self.feasible = true;
+                self.a_reach = a;
+                self.b_reach = b;
+                self.stride = right.len() + 2;
+                let cells = (left_len + 1) * self.stride;
+                if self.rows.len() < cells {
+                    self.rows.resize(cells, INF);
+                }
+                // Row 0: M(0, j) = j for j ∈ [0, b_reach].
+                let n = right.len();
+                let whi0 = b.min(n);
+                for j in 0..=whi0 {
+                    self.rows[j] = j as u32;
+                }
+                if whi0 < n {
+                    self.rows[whi0 + 1] = INF;
+                }
+            }
+        }
+    }
+
+    /// `Some(ed(left, right))` if at most the scan threshold, else `None`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `left.len()` differs from the scan's `left_len`.
+    pub fn distance(&mut self, left: &[u8]) -> Option<usize> {
+        debug_assert_eq!(left.len(), self.left_len, "scan left length is fixed");
+        if !self.feasible {
+            return None;
+        }
+        let (m, n) = (self.left_len, self.right.len());
+        let tau32 = self.tau as u32;
+
+        let lcp = common_prefix_len(left, &self.prev_left);
+        let reuse = lcp.min(self.valid_rows - 1);
+
+        // If the previous comparison terminated at a row we fully share,
+        // that row still proves "expected distance > τ" for this string.
+        if self.terminated && reuse == self.valid_rows - 1 {
+            self.remember(left, self.valid_rows, true);
+            return None;
+        }
+
+        let stride = self.stride;
+        let (a_reach, b_reach) = (self.a_reach, self.b_reach);
+        let right = &self.right;
+        let rows = &mut self.rows;
+        let mut terminated_at = None;
+
+        for i in (reuse + 1)..=m {
+            let wlo = i.saturating_sub(a_reach);
+            let whi = (i + b_reach).min(n);
+            let mut min_expected = INF;
+
+            let (lo, hi) = rows.split_at_mut(i * stride);
+            let prev_row = &lo[(i - 1) * stride..];
+            let cur_row = &mut hi[..stride];
+
+            let mut j = wlo;
+            if j == 0 {
+                cur_row[0] = i as u32;
+                // E(i, 0) = i + |n − (m − i)|; n may be smaller than m here
+                // (the left side of a scan can be the longer string).
+                min_expected = (i + n.abs_diff(m - i)) as u32;
+                j = 1;
+            } else {
+                cur_row[wlo - 1] = INF;
+            }
+            let lc = left[i - 1];
+            while j <= whi {
+                let d = (prev_row[j] + 1)
+                    .min(cur_row[j - 1] + 1)
+                    .min(prev_row[j - 1] + u32::from(lc != right[j - 1]));
+                cur_row[j] = d;
+                let remaining = (n - j).abs_diff(m - i) as u32;
+                min_expected = min_expected.min(d + remaining);
+                j += 1;
+            }
+            if whi < n {
+                cur_row[whi + 1] = INF;
+            }
+            if min_expected > tau32 {
+                terminated_at = Some(i);
+                break;
+            }
+        }
+
+        if let Some(i) = terminated_at {
+            self.remember(left, i + 1, true);
+            return None;
+        }
+        self.remember(left, m + 1, false);
+        let d = self.rows[m * self.stride + n] as usize;
+        (d <= self.tau).then_some(d)
+    }
+
+    fn remember(&mut self, left: &[u8], valid_rows: usize, terminated: bool) {
+        self.prev_left.clear();
+        self.prev_left.extend_from_slice(left);
+        self.valid_rows = valid_rows;
+        self.terminated = terminated;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit_distance;
+
+    fn check_scan(right: &[u8], lefts: &[&[u8]], tau: usize) {
+        let mut m = SharedMatrix::new();
+        m.begin_scan(right, lefts[0].len(), tau);
+        for &left in lefts {
+            let d = edit_distance(left, right);
+            assert_eq!(
+                m.distance(left),
+                (d <= tau).then_some(d),
+                "left={:?} right={:?} tau={}",
+                std::str::from_utf8(left).unwrap(),
+                std::str::from_utf8(right).unwrap(),
+                tau
+            );
+        }
+    }
+
+    #[test]
+    fn shares_prefixes_correctly() {
+        check_scan(
+            b"kaushik",
+            &[b"kausham", b"kaushic", b"kaushuk", b"kzushik", b"zzzzzzz"],
+            3,
+        );
+    }
+
+    #[test]
+    fn left_longer_than_right() {
+        check_scan(b"abc", &[b"abcde", b"abcxy", b"vwxyz"], 2);
+        check_scan(b"abc", &[b"abcde", b"abcxy"], 4);
+    }
+
+    #[test]
+    fn left_shorter_than_right() {
+        check_scan(b"abcdefg", &[b"abcd", b"abce", b"zbcd"], 3);
+    }
+
+    #[test]
+    fn infeasible_length_difference() {
+        let mut m = SharedMatrix::new();
+        m.begin_scan(b"abcdefgh", 2, 3);
+        assert_eq!(m.distance(b"ab"), None);
+        assert_eq!(m.distance(b"gh"), None);
+    }
+
+    #[test]
+    fn termination_caching_matches_fresh_computation() {
+        // Two consecutive lefts sharing a long prefix that both fail: the
+        // second must take the terminated-fast-path and still be correct.
+        let right = b"aaaaaaaaaa";
+        let mut m = SharedMatrix::new();
+        m.begin_scan(right, 10, 2);
+        assert_eq!(m.distance(b"zzzzzzzzzz"), None);
+        assert_eq!(m.distance(b"zzzzzzzzzy"), None);
+        // A passing string right after failures must still pass.
+        assert_eq!(m.distance(b"aaaaaaaaaa"), Some(0));
+        assert_eq!(m.distance(b"aaaaaaaazz"), Some(2));
+    }
+
+    #[test]
+    fn rescans_reset_state() {
+        let mut m = SharedMatrix::new();
+        m.begin_scan(b"hello", 5, 1);
+        assert_eq!(m.distance(b"hello"), Some(0));
+        m.begin_scan(b"world", 5, 1);
+        assert_eq!(m.distance(b"hello"), None);
+        assert_eq!(m.distance(b"vorld"), Some(1));
+        m.begin_scan(b"", 0, 0);
+        assert_eq!(m.distance(b""), Some(0));
+    }
+
+    #[test]
+    fn zero_tau_scan() {
+        let mut m = SharedMatrix::new();
+        m.begin_scan(b"abc", 3, 0);
+        assert_eq!(m.distance(b"abc"), Some(0));
+        assert_eq!(m.distance(b"abd"), None);
+    }
+}

@@ -1,0 +1,100 @@
+//! Content-based mismatch filtering (ED-Join §5).
+//!
+//! Location-based filtering is blind to *what* the mismatching characters
+//! are; content-based filtering compares character frequency histograms.
+//! One edit operation changes the histogram's L1 distance by at most 2
+//! (a substitution decrements one character count and increments another),
+//! so `ed(x, y) ≥ ⌈L1(hist(x), hist(y)) / 2⌉`. The filter trims the
+//! common prefix and suffix first — edit distance is invariant under that —
+//! which concentrates the histogram on the region the candidate pair
+//! actually disagrees on, exactly the "probing window" idea of ED-Join.
+
+/// `true` if the pair can be pruned: the histogram lower bound on the edit
+/// distance of the trimmed strings already exceeds `tau`.
+pub fn content_prune(x: &[u8], y: &[u8], tau: usize) -> bool {
+    // Trim common prefix.
+    let mut start = 0;
+    let max_start = x.len().min(y.len());
+    while start < max_start && x[start] == y[start] {
+        start += 1;
+    }
+    // Trim common suffix of the remainder.
+    let mut xe = x.len();
+    let mut ye = y.len();
+    while xe > start && ye > start && x[xe - 1] == y[ye - 1] {
+        xe -= 1;
+        ye -= 1;
+    }
+    let (mx, my) = (&x[start..xe], &y[start..ye]);
+
+    // Signed character histogram of the differing regions.
+    let mut hist = [0i32; 256];
+    for &c in mx {
+        hist[c as usize] += 1;
+    }
+    for &c in my {
+        hist[c as usize] -= 1;
+    }
+    let l1: i64 = hist.iter().map(|&d| i64::from(d.unsigned_abs())).sum();
+    // ed ≥ ⌈L1/2⌉; prune when that already exceeds τ.
+    (l1 + 1) / 2 > tau as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use editdist::edit_distance;
+
+    #[test]
+    fn never_prunes_similar_pairs() {
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"kitten", b"sitting"),
+            (b"abcdef", b"abcdef"),
+            (b"", b"ab"),
+            (b"kaushik chakrab", b"caushik chakrabar"),
+        ];
+        for &(x, y) in cases {
+            let d = edit_distance(x, y);
+            for tau in d..d + 3 {
+                assert!(!content_prune(x, y, tau), "pruned a pair with ed={d} at tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn prunes_character_disjoint_strings() {
+        // Same length, completely different characters: L1 = 2·len.
+        assert!(content_prune(b"aaaaaa", b"zzzzzz", 5));
+        assert!(!content_prune(b"aaaaaa", b"zzzzzz", 6));
+    }
+
+    #[test]
+    fn trimming_sees_through_shared_affixes() {
+        // Long shared prefix/suffix with a small disjoint core.
+        let x = b"prefix__aaaa__suffix";
+        let y = b"prefix__zzzz__suffix";
+        assert!(content_prune(x, y, 3)); // core needs 4 substitutions
+        assert!(!content_prune(x, y, 4));
+    }
+
+    #[test]
+    fn histogram_bound_is_sound_on_random_pairs() {
+        // ⌈L1/2⌉ must never exceed the true edit distance.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..500 {
+            let n = rng.gen_range(0..20);
+            let m = rng.gen_range(0..20);
+            let x: Vec<u8> = (0..n).map(|_| rng.gen_range(b'a'..=b'e')).collect();
+            let y: Vec<u8> = (0..m).map(|_| rng.gen_range(b'a'..=b'e')).collect();
+            let d = edit_distance(&x, &y);
+            assert!(
+                !content_prune(&x, &y, d),
+                "pruned {:?} vs {:?} with true ed {d}",
+                x,
+                y
+            );
+        }
+    }
+}

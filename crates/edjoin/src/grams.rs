@@ -1,0 +1,143 @@
+//! Positional q-grams and the global gram order.
+//!
+//! ED-Join [Xiao et al., PVLDB 2008] and All-Pairs-Ed [Bayardo et al.,
+//! WWW 2007] represent a string of length `l` as its `l−q+1` positional
+//! q-grams. Count filtering bounds the damage of one edit operation at `q`
+//! grams, so strings within edit distance τ share all but at most `qτ`
+//! grams (position-shifted by at most τ). Prefix filtering exploits this
+//! with a global gram order — rarest grams first — so that the `qτ+1`
+//! rarest grams of each string form a signature: similar strings must
+//! share a (position-compatible) gram between their signatures.
+
+use sj_common::hash::FxHashMap;
+use sj_common::StringCollection;
+
+/// A q-gram occurrence inside one string: its global frequency rank and
+/// its start position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gram {
+    /// Rank in the global order (0 = rarest).
+    pub rank: u32,
+    /// 0-based start position in the string.
+    pub pos: u32,
+}
+
+/// The global gram order of one collection: every distinct q-gram mapped to
+/// a frequency rank (ascending document frequency, ties broken by bytes so
+/// the order is deterministic).
+#[derive(Debug)]
+pub struct GramOrder<'a> {
+    q: usize,
+    ranks: FxHashMap<&'a [u8], u32>,
+}
+
+impl<'a> GramOrder<'a> {
+    /// Counts all q-grams of `collection` and assigns global ranks.
+    pub fn build(collection: &'a StringCollection, q: usize) -> Self {
+        assert!(q >= 1, "q must be positive");
+        let mut freq: FxHashMap<&[u8], u32> = FxHashMap::default();
+        for (_, s) in collection.iter() {
+            for w in s.windows(q) {
+                *freq.entry(w).or_insert(0) += 1;
+            }
+        }
+        let mut keys: Vec<(&[u8], u32)> = freq.into_iter().collect();
+        keys.sort_unstable_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(b.0)));
+        let ranks = keys
+            .into_iter()
+            .enumerate()
+            .map(|(rank, (gram, _))| (gram, rank as u32))
+            .collect();
+        Self { q, ranks }
+    }
+
+    /// The gram length.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Number of distinct grams in the collection.
+    pub fn distinct(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// The rank of a gram; `None` for grams outside the collection.
+    pub fn rank(&self, gram: &[u8]) -> Option<u32> {
+        self.ranks.get(gram).copied()
+    }
+
+    /// The positional grams of `s`, sorted by (rank, position) — i.e. the
+    /// string's gram array in prefix-filtering order. Empty when
+    /// `|s| < q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` contains a gram absent from the order (i.e. `s` is not
+    /// from the collection the order was built on).
+    pub fn sorted_grams(&self, s: &[u8]) -> Vec<Gram> {
+        let mut grams: Vec<Gram> = s
+            .windows(self.q)
+            .enumerate()
+            .map(|(pos, w)| Gram {
+                rank: self.ranks[w],
+                pos: pos as u32,
+            })
+            .collect();
+        grams.sort_unstable_by_key(|g| (g.rank, g.pos));
+        grams
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_ascend_with_frequency() {
+        // "ab" appears in three strings, "xy" in one: "xy" must rank first.
+        let c = StringCollection::from_strs(&["abc", "abd", "abe", "xyz"]);
+        let order = GramOrder::build(&c, 2);
+        let ab = order.rank(b"ab").unwrap();
+        let xy = order.rank(b"xy").unwrap();
+        assert!(xy < ab, "rare gram must rank before frequent gram");
+        assert_eq!(order.rank(b"zz"), None);
+        assert_eq!(order.q(), 2);
+    }
+
+    #[test]
+    fn sorted_grams_cover_all_positions() {
+        let c = StringCollection::from_strs(&["abcabc"]);
+        let order = GramOrder::build(&c, 3);
+        let grams = order.sorted_grams(b"abcabc");
+        assert_eq!(grams.len(), 4);
+        let mut positions: Vec<u32> = grams.iter().map(|g| g.pos).collect();
+        positions.sort_unstable();
+        assert_eq!(positions, vec![0, 1, 2, 3]);
+        // Equal grams ("abc" at 0 and 3) share a rank and sort by position.
+        let abc_rank = order.rank(b"abc").unwrap();
+        let abc: Vec<u32> = grams
+            .iter()
+            .filter(|g| g.rank == abc_rank)
+            .map(|g| g.pos)
+            .collect();
+        assert_eq!(abc, vec![0, 3]);
+    }
+
+    #[test]
+    fn short_strings_have_no_grams() {
+        let c = StringCollection::from_strs(&["ab", "abcd"]);
+        let order = GramOrder::build(&c, 3);
+        assert!(order.sorted_grams(b"ab").is_empty());
+        assert_eq!(order.sorted_grams(b"abcd").len(), 2);
+    }
+
+    #[test]
+    fn deterministic_rank_assignment() {
+        let c = StringCollection::from_strs(&["abcd", "bcda", "cdab"]);
+        let a = GramOrder::build(&c, 2);
+        let b = GramOrder::build(&c, 2);
+        for gram in [&b"ab"[..], b"bc", b"cd", b"da"] {
+            assert_eq!(a.rank(gram), b.rank(gram));
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! The ED-Join / All-Pairs-Ed self-join driver.
+//!
+//! Both algorithms follow the prefix-filtering plan of Bayardo et al.'s
+//! All-Pairs, adapted to edit distance by Xiao et al. (PVLDB 2008):
+//!
+//! 1. build the global gram order (rarest gram first);
+//! 2. visit strings in (length, lexicographic) order; for each string,
+//!    probe an inverted index with its *prefix* grams, collecting earlier
+//!    strings that share a position-compatible prefix gram;
+//! 3. filter candidates (length filter during probing; location-based and
+//!    content-based mismatch filters for ED-Join);
+//! 4. verify survivors with the length-aware kernel.
+//!
+//! [`EdJoin`] enables the location-based prefix shortening and both
+//! mismatch filters; [`EdJoin::all_pairs_ed`] disables them, yielding the
+//! plain All-Pairs-Ed baseline with fixed `qτ+1` prefixes.
+//!
+//! Strings shorter than `q(τ+1)` have so few grams that τ edits can erase
+//! them all — prefix filtering is powerless there (the root cause of
+//! ED-Join's poor short-string behaviour in the paper's Figure 15a). The
+//! driver keeps them complete by brute-force joining them against every
+//! string within the length filter.
+
+use std::time::Instant;
+
+use editdist::{length_aware_within_ws, DpWorkspace};
+use sj_common::hash::FxHashMap;
+use sj_common::join::emit_pair;
+use sj_common::stamp::StampSet;
+use sj_common::{JoinOutput, JoinStats, SimilarityJoin, StringCollection, StringId};
+
+use crate::content::content_prune;
+use crate::grams::GramOrder;
+use crate::location::{calc_prefix_len, min_edit_ops_sorted, prefix_filter_applicable};
+
+/// ED-Join configuration. Construct with [`EdJoin::new`] (full ED-Join) or
+/// [`EdJoin::all_pairs_ed`] (the All-Pairs-Ed baseline), tuning `q` as the
+/// paper does ("we tuned its parameter q and reported the best results").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdJoin {
+    q: usize,
+    /// Shorten probing/indexing prefixes with the location lower bound.
+    location_prefix: bool,
+    /// Apply the location-based mismatch filter to candidate pairs.
+    location_filter: bool,
+    /// Apply the content-based mismatch filter to candidate pairs.
+    content_filter: bool,
+}
+
+impl EdJoin {
+    /// Full ED-Join with gram length `q` (the original evaluation favours
+    /// q ∈ [2, 5] depending on string length and τ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`.
+    pub fn new(q: usize) -> Self {
+        assert!(q >= 1, "gram length must be positive");
+        Self {
+            q,
+            location_prefix: true,
+            location_filter: true,
+            content_filter: true,
+        }
+    }
+
+    /// All-Pairs-Ed: fixed `qτ+1` prefixes, no mismatch filters.
+    pub fn all_pairs_ed(q: usize) -> Self {
+        assert!(q >= 1, "gram length must be positive");
+        Self {
+            q,
+            location_prefix: false,
+            location_filter: false,
+            content_filter: false,
+        }
+    }
+
+    /// The configured gram length.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+}
+
+impl SimilarityJoin for EdJoin {
+    fn name(&self) -> &'static str {
+        if self.location_prefix {
+            "ed-join"
+        } else {
+            "all-pairs-ed"
+        }
+    }
+
+    fn self_join(&self, collection: &StringCollection, tau: usize) -> JoinOutput {
+        let started = Instant::now();
+        let q = self.q;
+        let mut pairs = Vec::new();
+        let mut stats = JoinStats {
+            strings: collection.len() as u64,
+            ..JoinStats::default()
+        };
+
+        let order = GramOrder::build(collection, q);
+        // Inverted index: gram rank → postings of (string id, position).
+        // Ids ascend in insertion order (= length order), enabling a
+        // binary-searched length filter per list.
+        let mut index: FxHashMap<u32, Vec<(StringId, u32)>> = FxHashMap::default();
+        let mut index_entries: u64 = 0;
+
+        let mut cand_seen = StampSet::new(collection.len());
+        let mut candidates: Vec<StringId> = Vec::new();
+        let mut ws = DpWorkspace::new();
+        // Strings too short for complete prefix filtering, joined brute
+        // force. `q(τ+1)` bytes is tiny, so this list stays short on the
+        // paper's long-string corpora — and blows up on short strings,
+        // reproducing ED-Join's known weakness there.
+        let mut unfilterable: Vec<StringId> = Vec::new();
+        let mut is_unfilterable = vec![false; collection.len()];
+        // Scratch: y's grams by bytes → sorted positions (location filter).
+        let mut y_gram_positions: FxHashMap<&[u8], Vec<u32>> = FxHashMap::default();
+        let mut mismatch_positions: Vec<u32> = Vec::new();
+
+        for (id, s) in collection.iter() {
+            // --- brute-force lane for unfilterable strings ---
+            for &rid in &unfilterable {
+                let r = collection.get(rid);
+                if s.len() > r.len() + tau {
+                    continue;
+                }
+                stats.verifications += 1;
+                if length_aware_within_ws(r, s, tau, &mut ws).is_some() {
+                    emit_pair(collection, rid, id, &mut pairs);
+                    stats.results += 1;
+                }
+            }
+
+            let gram_count = s.len().saturating_sub(q - 1);
+            if !prefix_filter_applicable(gram_count, q, tau) {
+                // The string joins everything through the brute-force lane,
+                // including *later* strings: it must see them, so it is the
+                // later string's job only if that string is unfilterable
+                // too. Keep completeness by checking this string against
+                // all earlier filterable strings within the length window.
+                let window = collection.ids_with_len_in(s.len().saturating_sub(tau), s.len());
+                for rid in window.start..id {
+                    if is_unfilterable[rid as usize] {
+                        continue; // already handled by the lane above
+                    }
+                    stats.verifications += 1;
+                    if length_aware_within_ws(collection.get(rid), s, tau, &mut ws).is_some() {
+                        emit_pair(collection, rid, id, &mut pairs);
+                        stats.results += 1;
+                    }
+                }
+                unfilterable.push(id);
+                is_unfilterable[id as usize] = true;
+                continue;
+            }
+
+            let grams = order.sorted_grams(s);
+            let prefix_len = if self.location_prefix {
+                calc_prefix_len(&grams, q, tau)
+            } else {
+                (q * tau + 1).min(grams.len())
+            };
+            stats.selected_substrings += prefix_len as u64;
+
+            // --- candidate generation from the prefix index ---
+            cand_seen.clear();
+            candidates.clear();
+            for g in &grams[..prefix_len] {
+                stats.probes += 1;
+                let Some(list) = index.get(&g.rank) else {
+                    continue;
+                };
+                // Length filter: ids ascend by length; skip entries whose
+                // strings are shorter than |s| − τ.
+                let cut = list.partition_point(|&(rid, _)| {
+                    collection.str_len(rid) + tau < s.len()
+                });
+                for &(rid, rpos) in &list[cut..] {
+                    stats.candidate_occurrences += 1;
+                    // Positional filter: a gram surviving ≤ τ edits shifts
+                    // by at most τ.
+                    if g.pos.abs_diff(rpos) > tau as u32 {
+                        continue;
+                    }
+                    if cand_seen.insert(rid) {
+                        candidates.push(rid);
+                    }
+                }
+            }
+            stats.candidate_pairs += candidates.len() as u64;
+
+            // --- mismatch filters + verification ---
+            for &rid in &candidates {
+                let r = collection.get(rid);
+                if self.location_filter {
+                    // Mismatching prefix grams of s w.r.t. r's full gram
+                    // set (position tolerance τ); if destroying them needs
+                    // more than τ ops, prune.
+                    y_gram_positions.clear();
+                    for (pos, w) in r.windows(q).enumerate() {
+                        y_gram_positions.entry(w).or_default().push(pos as u32);
+                    }
+                    mismatch_positions.clear();
+                    for g in &grams[..prefix_len] {
+                        let bytes = &s[g.pos as usize..g.pos as usize + q];
+                        let matched = y_gram_positions.get(bytes).is_some_and(|ps| {
+                            ps.iter().any(|&p| p.abs_diff(g.pos) <= tau as u32)
+                        });
+                        if !matched {
+                            mismatch_positions.push(g.pos);
+                        }
+                    }
+                    mismatch_positions.sort_unstable();
+                    if min_edit_ops_sorted(&mismatch_positions, q) > tau {
+                        continue;
+                    }
+                }
+                if self.content_filter && content_prune(r, s, tau) {
+                    continue;
+                }
+                stats.verifications += 1;
+                if length_aware_within_ws(r, s, tau, &mut ws).is_some() {
+                    emit_pair(collection, rid, id, &mut pairs);
+                    stats.results += 1;
+                }
+            }
+
+            // --- index the probing prefix of s ---
+            for g in &grams[..prefix_len] {
+                index.entry(g.rank).or_default().push((id, g.pos));
+                index_entries += 1;
+            }
+        }
+
+        // Index accounting mirrors `SegmentIndex::live_bytes`: 8 bytes per
+        // posting (id + position) plus a 12-byte header and the q key bytes
+        // per distinct indexed gram.
+        stats.index_bytes =
+            index_entries * 8 + index.len() as u64 * (12 + q as u64);
+        JoinOutput {
+            pairs,
+            stats,
+            elapsed: started.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1() -> StringCollection {
+        StringCollection::from_strs(&[
+            "avataresha",
+            "caushik chakrabar",
+            "kaushic chaduri",
+            "kaushik chakrab",
+            "kaushuk chadhui",
+            "vankatesh",
+        ])
+    }
+
+    #[test]
+    fn finds_figure1_answer() {
+        for q in 1..=4 {
+            let out = EdJoin::new(q).self_join(&table1(), 3);
+            assert_eq!(out.normalized_pairs(), vec![(1, 3)], "q={q}");
+        }
+    }
+
+    #[test]
+    fn all_pairs_ed_agrees() {
+        for q in 1..=4 {
+            let out = EdJoin::all_pairs_ed(q).self_join(&table1(), 3);
+            assert_eq!(out.normalized_pairs(), vec![(1, 3)], "q={q}");
+        }
+    }
+
+    #[test]
+    fn exact_duplicates_at_tau_zero() {
+        let c = StringCollection::from_strs(&["abcdefgh", "abcdefgh", "abcdefgx"]);
+        let out = EdJoin::new(2).self_join(&c, 0);
+        assert_eq!(out.normalized_pairs(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn prefix_shortening_reduces_probes() {
+        let strings: Vec<String> = (0..200)
+            .map(|i| format!("record identifier number {i:03} with stable tail"))
+            .collect();
+        let c = StringCollection::from_strs(&strings);
+        let full = EdJoin::all_pairs_ed(3).self_join(&c, 2);
+        let shortened = EdJoin::new(3).self_join(&c, 2);
+        assert_eq!(full.normalized_pairs(), shortened.normalized_pairs());
+        assert!(
+            shortened.stats.selected_substrings <= full.stats.selected_substrings,
+            "location-based prefixes must not be longer"
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! **ED-Join** and **All-Pairs-Ed**: the q-gram prefix-filtering baselines
+//! Pass-Join is evaluated against (paper §6.3, Figure 15, Table 3).
+//!
+//! Reimplemented from Xiao, Wang, Lin — *"Ed-Join: an efficient algorithm
+//! for similarity joins with edit distance constraints"* (PVLDB 2008) and
+//! Bayardo, Ma, Srikant — *"Scaling up all pairs similarity search"*
+//! (WWW 2007):
+//!
+//! * positional q-grams under a rarest-first global order ([`grams`]);
+//! * prefix filtering with the count bound `qτ+1`, shortened by the
+//!   location-based lower bound on destroying gram sets ([`location`]);
+//! * the content-based (character-histogram) mismatch filter ([`content`]);
+//! * a prefix inverted index with length and position filters ([`join`]).
+//!
+//! ```
+//! use edjoin::EdJoin;
+//! use sj_common::{SimilarityJoin, StringCollection};
+//!
+//! let c = StringCollection::from_strs(&["similarity join", "similarity joins", "edit distance"]);
+//! let out = EdJoin::new(2).self_join(&c, 1);
+//! assert_eq!(out.normalized_pairs(), vec![(0, 1)]);
+//! ```
+
+pub mod content;
+pub mod grams;
+pub mod join;
+pub mod location;
+
+pub use join::EdJoin;

@@ -1,0 +1,162 @@
+//! Location-based mismatch filtering (ED-Join §4).
+//!
+//! An edit operation at string position `t` can only destroy the q-grams
+//! whose spans `[pos, pos+q−1]` contain `t` — at most `q` of them, and all
+//! adjacent. Therefore the minimum number of edit operations that can
+//! destroy a given set of grams is the minimum number of points stabbing
+//! all their spans, computable greedily in one pass over positions.
+//!
+//! ED-Join uses this bound twice:
+//!
+//! * **prefix shortening** — the probing prefix only needs to grow until
+//!   destroying *all* its grams already costs more than τ operations; a
+//!   candidate sharing none of those grams can be pruned, so the prefix is
+//!   complete. This often cuts the prefix well below the count-filtering
+//!   bound `qτ+1`.
+//! * **candidate filtering** — for a candidate pair, the prefix grams of
+//!   one string without a position-compatible match in the other must all
+//!   be destroyed; if that needs more than τ operations the pair is pruned
+//!   before verification.
+
+use crate::grams::Gram;
+
+/// Minimum number of edit operations that can destroy grams at the given
+/// (sorted ascending) start positions, for gram length `q`: the greedy
+/// point-stabbing cover of the spans `[pos, pos+q−1]`.
+pub fn min_edit_ops_sorted(positions: &[u32], q: usize) -> usize {
+    debug_assert!(positions.windows(2).all(|w| w[0] <= w[1]));
+    let mut ops = 0;
+    let mut covered_until: i64 = -1; // last stabbed point
+    for &pos in positions {
+        if i64::from(pos) > covered_until {
+            // Stab the rightmost point of this span: pos + q − 1.
+            covered_until = i64::from(pos) + q as i64 - 1;
+            ops += 1;
+        }
+    }
+    ops
+}
+
+/// [`min_edit_ops_sorted`] for unsorted positions (sorts in place).
+pub fn min_edit_ops(positions: &mut [u32], q: usize) -> usize {
+    positions.sort_unstable();
+    min_edit_ops_sorted(positions, q)
+}
+
+/// The probing-prefix length for a gram array sorted by global rank
+/// (ED-Join's `CalcPrefixLen`): the smallest `k` such that destroying
+/// `grams[..k]` requires more than `tau` edit operations.
+///
+/// Always at most `min(qτ+1, grams.len())`: `qτ+1` grams need
+/// `⌈(qτ+1)/q⌉ = τ+1` operations regardless of clustering. When the whole
+/// array can be destroyed with ≤ τ operations (short strings — the regime
+/// where ED-Join loses its filtering power), returns `grams.len()` and the
+/// caller must treat the string as unfilterable.
+pub fn calc_prefix_len(grams: &[Gram], q: usize, tau: usize) -> usize {
+    let cap = (q * tau + 1).min(grams.len());
+    let mut positions: Vec<u32> = Vec::with_capacity(cap);
+    for (k, gram) in grams.iter().enumerate().take(cap) {
+        let at = positions.partition_point(|&p| p <= gram.pos);
+        positions.insert(at, gram.pos);
+        if min_edit_ops_sorted(&positions, q) > tau {
+            return k + 1;
+        }
+    }
+    // Destroying qτ+1 grams always needs ⌈(qτ+1)/q⌉ = τ+1 > τ operations,
+    // so the loop returns before exhausting a full-length cap; reaching
+    // here means the array itself is shorter than qτ+1.
+    cap
+}
+
+/// True when prefix filtering is *complete* for this gram array: destroying
+/// every gram costs more than τ operations. Strings failing this (length
+/// `< q(τ+1)`) can be similar to strings they share no gram with and must
+/// be joined by brute force.
+pub fn prefix_filter_applicable(gram_count: usize, q: usize, tau: usize) -> bool {
+    // Grams of one string sit at contiguous positions 0..gram_count, so the
+    // greedy cover needs ⌈gram_count / q⌉ operations.
+    gram_count.div_ceil(q) > tau
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grams_at(positions: &[u32]) -> Vec<Gram> {
+        positions
+            .iter()
+            .enumerate()
+            .map(|(rank, &pos)| Gram {
+                rank: rank as u32,
+                pos,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spread_grams_need_one_op_each() {
+        // q=3, positions far apart: no op can destroy two.
+        assert_eq!(min_edit_ops_sorted(&[0, 10, 20], 3), 3);
+    }
+
+    #[test]
+    fn clustered_grams_share_an_op() {
+        // q=3, positions 1,2,3: one edit at position 3 destroys all.
+        assert_eq!(min_edit_ops_sorted(&[1, 2, 3], 3), 1);
+        // positions 1,2,3,4: span [1..3] ∪ [4..6] — two ops.
+        assert_eq!(min_edit_ops_sorted(&[1, 2, 3, 4], 3), 2);
+        // q=1: each gram needs its own op.
+        assert_eq!(min_edit_ops_sorted(&[1, 2, 3], 1), 3);
+    }
+
+    #[test]
+    fn empty_set_needs_no_ops() {
+        assert_eq!(min_edit_ops_sorted(&[], 4), 0);
+    }
+
+    #[test]
+    fn unsorted_wrapper_sorts() {
+        let mut pos = vec![20, 0, 10];
+        assert_eq!(min_edit_ops(&mut pos, 3), 3);
+        assert_eq!(pos, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn prefix_len_spread_grams() {
+        // Spread positions: each gram costs one op, so τ+1 grams suffice —
+        // much shorter than qτ+1.
+        let grams = grams_at(&[0, 10, 20, 30, 40, 50, 60]);
+        assert_eq!(calc_prefix_len(&grams, 3, 2), 3); // 3 ops > τ=2
+        assert_eq!(calc_prefix_len(&grams, 3, 1), 2);
+    }
+
+    #[test]
+    fn prefix_len_clustered_grams_needs_more() {
+        // All grams overlap: destroying k clustered grams costs ~⌈k/q⌉ ops.
+        let grams = grams_at(&[0, 1, 2, 3, 4, 5, 6, 7, 8]);
+        let k = calc_prefix_len(&grams, 3, 1);
+        // Need > 1 op: first k with cover > 1. Positions 0..k−1 clustered:
+        // cover = ⌈k/3⌉ ⇒ k = 4.
+        assert_eq!(k, 4);
+        assert!(k <= 3 + 1);
+    }
+
+    #[test]
+    fn prefix_len_never_exceeds_count_bound() {
+        for q in 1..5usize {
+            for tau in 0..5usize {
+                let grams = grams_at(&(0..40).collect::<Vec<u32>>());
+                assert!(calc_prefix_len(&grams, q, tau) <= q * tau + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn short_arrays_return_everything() {
+        let grams = grams_at(&[0, 1]);
+        // q=3, τ=2: 2 clustered grams destroyable with 1 op ≤ τ.
+        assert_eq!(calc_prefix_len(&grams, 3, 2), 2);
+        assert!(!prefix_filter_applicable(2, 3, 2));
+        assert!(prefix_filter_applicable(7, 3, 2));
+    }
+}

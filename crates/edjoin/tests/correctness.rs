@@ -1,0 +1,91 @@
+//! ED-Join and All-Pairs-Ed must produce exactly the ground-truth join for
+//! every gram length and threshold, on dense random corpora (lots of short,
+//! unfilterable strings) and wider realistic ones.
+
+use editdist::NaiveJoin;
+use edjoin::EdJoin;
+use proptest::prelude::*;
+use sj_common::{SimilarityJoin, StringCollection};
+
+fn check(strings: &[Vec<u8>], q: usize, tau: usize) {
+    let coll = StringCollection::new(strings.to_vec());
+    let expected = NaiveJoin.self_join(&coll, tau).normalized_pairs();
+    for join in [EdJoin::new(q), EdJoin::all_pairs_ed(q)] {
+        let out = join.self_join(&coll, tau);
+        assert_eq!(
+            out.normalized_pairs(),
+            expected,
+            "{} q={q} tau={tau} corpus={:?}",
+            join.name(),
+            strings
+                .iter()
+                .map(|s| String::from_utf8_lossy(s).into_owned())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(out.normalized_pairs().len(), out.pairs.len());
+    }
+}
+
+fn dense_corpus() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..12),
+        0..20,
+    )
+}
+
+fn wide_corpus() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(97u8..=122, 0..36), 0..14)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matches_ground_truth_dense(strings in dense_corpus(), q in 1usize..4, tau in 0usize..4) {
+        check(&strings, q, tau);
+    }
+
+    #[test]
+    fn matches_ground_truth_wide(strings in wide_corpus(), q in 1usize..5, tau in 0usize..6) {
+        check(&strings, q, tau);
+    }
+}
+
+#[test]
+fn long_string_corpus_with_planted_edits() {
+    let seeds: &[&str] = &[
+        "an efficient algorithm for similarity joins with edit distance",
+        "scaling up all pairs similarity search on the web",
+        "trie join efficient trie based string similarity joins",
+    ];
+    let mut strings: Vec<Vec<u8>> = Vec::new();
+    for seed in seeds {
+        let b = seed.as_bytes();
+        strings.push(b.to_vec());
+        let mut v = b.to_vec();
+        v[5] = b'!';
+        strings.push(v);
+        let mut v = b.to_vec();
+        v.remove(8);
+        v.remove(20);
+        strings.push(v);
+    }
+    for q in 2..=5 {
+        for tau in 0..=4 {
+            check(&strings, q, tau);
+        }
+    }
+}
+
+#[test]
+fn unfilterable_heavy_corpus() {
+    // At q=4, τ=3 every string shorter than 16 bytes is unfilterable: the
+    // brute-force lane must carry the join alone and stay complete.
+    let strings: Vec<Vec<u8>> = ["abc", "abd", "xbd", "abcd", "ab", "", "abcde", "fghij"]
+        .iter()
+        .map(|s| s.as_bytes().to_vec())
+        .collect();
+    for tau in 0..=3 {
+        check(&strings, 4, tau);
+    }
+}

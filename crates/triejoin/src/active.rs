@@ -1,0 +1,221 @@
+//! Active-node sets: the incremental trie edit-distance DP.
+//!
+//! The *active nodes* of a string prefix `p` are the trie nodes `u` with
+//! `ed(str(u), p) ≤ τ`, each carried with its exact distance. They obey the
+//! edit-distance recurrence lifted to the trie:
+//!
+//! ```text
+//! ed(str(u), p·ch) = min( ed(str(u), p) + 1,            // consume ch
+//!                         ed(str(parent u), p·ch) + 1,  // consume label(u)
+//!                         ed(str(parent u), p) + δ )    // match/substitute
+//! ```
+//!
+//! Because DP values along an optimal alignment path never decrease, every
+//! cell of value ≤ τ is derivable from cells of value ≤ τ — so the set for
+//! `p·ch` is computed from the set for `p` alone, plus a relaxation pass
+//! for chains of the middle rule (consuming several trie labels in a row).
+
+use sj_common::hash::FxHashMap;
+
+use crate::trie::{Trie, ROOT};
+
+/// An active-node set: trie node id → exact edit distance (≤ τ).
+#[derive(Debug, Clone, Default)]
+pub struct ActiveSet {
+    /// `(node, distance)` pairs sorted by node id; distances exact.
+    entries: Vec<(u32, u8)>,
+}
+
+impl ActiveSet {
+    /// The active nodes of the empty prefix: every node within depth τ
+    /// (deleting all its labels is the only option).
+    pub fn initial(trie: &Trie, tau: usize) -> Self {
+        let mut entries = Vec::new();
+        // BFS from the root, depth-bounded.
+        let mut frontier = vec![ROOT];
+        while let Some(node) = frontier.pop() {
+            let depth = trie.node(node).depth;
+            if depth as usize > tau {
+                continue;
+            }
+            entries.push((node, depth as u8));
+            frontier.extend_from_slice(&trie.node(node).children);
+        }
+        entries.sort_unstable_by_key(|&(n, _)| n);
+        Self { entries }
+    }
+
+    /// The active nodes of `p·ch` given the active nodes of `p`.
+    pub fn advance(&self, trie: &Trie, ch: u8, tau: usize) -> Self {
+        let tau8 = tau as u8;
+        let mut best: FxHashMap<u32, u8> = FxHashMap::default();
+        let mut queue: Vec<u32> = Vec::new();
+
+        let offer = |best: &mut FxHashMap<u32, u8>, queue: &mut Vec<u32>, node: u32, d: u8| {
+            if d > tau8 {
+                return;
+            }
+            match best.entry(node) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    if *e.get() > d {
+                        *e.get_mut() = d;
+                        queue.push(node); // re-relax children with the better value
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(d);
+                    queue.push(node);
+                }
+            }
+        };
+
+        for &(u, d) in &self.entries {
+            // Rule 1: consume ch on the string side.
+            offer(&mut best, &mut queue, u, d.saturating_add(1));
+            // Rule 3: match or substitute ch against each child label.
+            for &w in &trie.node(u).children {
+                let step = u8::from(trie.node(w).label != ch);
+                offer(&mut best, &mut queue, w, d.saturating_add(step));
+            }
+        }
+        // Rule 2 (relaxation): consuming trie labels after the last probe
+        // character — children of any active node at +1, transitively.
+        let mut i = 0;
+        while i < queue.len() {
+            let u = queue[i];
+            i += 1;
+            let d = best[&u];
+            for &w in &trie.node(u).children {
+                offer(&mut best, &mut queue, w, d.saturating_add(1));
+            }
+        }
+
+        let mut entries: Vec<(u32, u8)> = best.into_iter().collect();
+        entries.sort_unstable_by_key(|&(n, _)| n);
+        Self { entries }
+    }
+
+    /// The `(node, distance)` entries, sorted by node id.
+    pub fn entries(&self) -> &[(u32, u8)] {
+        &self.entries
+    }
+
+    /// Appends an entry whose node id exceeds every present id (newly
+    /// created trie nodes have monotonically increasing ids, so symmetric
+    /// updates in Trie-Dynamic preserve sortedness for free).
+    pub(crate) fn push_monotone(&mut self, node: u32, dist: u8) {
+        debug_assert!(self.entries.last().is_none_or(|&(n, _)| n < node));
+        self.entries.push((node, dist));
+    }
+
+    /// Number of active nodes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no node is within τ.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The distance recorded for `node`, if active.
+    pub fn distance_of(&self, node: u32) -> Option<u8> {
+        self.entries
+            .binary_search_by_key(&node, |&(n, _)| n)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use editdist::edit_distance;
+    use sj_common::StringCollection;
+
+    /// Oracle: recompute the active set of `p` from scratch by walking the
+    /// whole trie and comparing prefix strings.
+    fn oracle(strings: &[&str], p: &[u8], tau: usize) -> Vec<(String, u8)> {
+        // Enumerate all prefixes present in the trie.
+        let mut prefixes = std::collections::BTreeSet::new();
+        for s in strings {
+            for k in 0..=s.len() {
+                prefixes.insert(&s[..k]);
+            }
+        }
+        let mut out: Vec<(String, u8)> = prefixes
+            .into_iter()
+            .filter_map(|pre| {
+                let d = edit_distance(pre.as_bytes(), p);
+                (d <= tau).then_some((pre.to_string(), d as u8))
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Walk the trie to map node ids back to prefix strings.
+    fn materialize(trie: &Trie, set: &ActiveSet) -> Vec<(String, u8)> {
+        fn path(trie: &Trie, mut node: u32) -> String {
+            let mut bytes = Vec::new();
+            while node != ROOT {
+                bytes.push(trie.node(node).label);
+                node = trie.node(node).parent;
+            }
+            bytes.reverse();
+            String::from_utf8(bytes).unwrap()
+        }
+        let mut out: Vec<(String, u8)> = set
+            .entries()
+            .iter()
+            .map(|&(n, d)| (path(trie, n), d))
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn matches_bruteforce_on_probe_strings() {
+        let strings = ["abcd", "abce", "axcd", "bcd", "zzzz", ""];
+        let coll = StringCollection::from_strs(&strings);
+        let trie = Trie::build(&coll);
+        for probe in ["abcd", "abc", "zzz", "q", ""] {
+            for tau in 0..=3usize {
+                let mut set = ActiveSet::initial(&trie, tau);
+                for &ch in probe.as_bytes() {
+                    set = set.advance(&trie, ch, tau);
+                }
+                assert_eq!(
+                    materialize(&trie, &set),
+                    oracle(&strings, probe.as_bytes(), tau),
+                    "probe={probe} tau={tau}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn initial_set_is_depth_bounded() {
+        let coll = StringCollection::from_strs(&["abc", "ab", "a"]);
+        let trie = Trie::build(&coll);
+        let set = ActiveSet::initial(&trie, 1);
+        // root (d=0), "a" (d=1) only.
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.distance_of(ROOT), Some(0));
+    }
+
+    #[test]
+    fn tau_zero_tracks_exact_path() {
+        let coll = StringCollection::from_strs(&["hello", "help"]);
+        let trie = Trie::build(&coll);
+        let mut set = ActiveSet::initial(&trie, 0);
+        for &ch in b"hel" {
+            set = set.advance(&trie, ch, 0);
+        }
+        // Exactly the "hel" node.
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.entries()[0].1, 0);
+        set = set.advance(&trie, b'z', 0);
+        assert!(set.is_empty());
+    }
+}

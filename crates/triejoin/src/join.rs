@@ -1,0 +1,268 @@
+//! The Trie-Join self-join driver (Wang et al., PVLDB 2010).
+//!
+//! A preorder traversal maintains the active-node set of every node on the
+//! current root-to-node path. When the traversal reaches a node where
+//! strings end, every *already visited* active node with terminals yields
+//! result pairs — by symmetry (`u` active for `v` ⟺ `v` active for `u`),
+//! emitting toward earlier preorder ranks enumerates each pair exactly
+//! once. There is no separate verification phase: active-node distances
+//! are exact edit distances between full strings at terminal nodes.
+//!
+//! Two memory disciplines from the paper:
+//!
+//! * [`TrieVariant::Traverse`] stores the active set of every node for the
+//!   whole run (simple, memory-hungry — the paper's Trie-Traverse);
+//! * [`TrieVariant::PathStack`] keeps only the sets along the current DFS
+//!   path (the paper's Trie-PathStack).
+//!
+//! Both produce identical results; benchmarks show the space/time trade.
+
+use std::time::Instant;
+
+use sj_common::join::emit_pair;
+use sj_common::{JoinOutput, JoinStats, SimilarityJoin, StringCollection};
+
+use crate::active::ActiveSet;
+use crate::trie::{Trie, ROOT};
+
+/// Which memory discipline the traversal uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrieVariant {
+    /// Keep every node's active set (paper's Trie-Traverse).
+    Traverse,
+    /// Keep only the root-to-current-node path (paper's Trie-PathStack).
+    #[default]
+    PathStack,
+    /// Incremental insertion with symmetric set maintenance (paper's
+    /// Trie-Dynamic).
+    Dynamic,
+}
+
+/// The Trie-Join algorithm.
+///
+/// ```
+/// use triejoin::TrieJoin;
+/// use sj_common::{SimilarityJoin, StringCollection};
+///
+/// let c = StringCollection::from_strs(&["vldb", "pvldb", "icde"]);
+/// let out = TrieJoin::new().self_join(&c, 1);
+/// assert_eq!(out.normalized_pairs(), vec![(0, 1)]);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrieJoin {
+    variant: TrieVariant,
+}
+
+impl TrieJoin {
+    /// Trie-Join with the PathStack traversal (the paper's best variant).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the traversal variant.
+    pub fn with_variant(mut self, variant: TrieVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// The configured variant.
+    pub fn variant(&self) -> TrieVariant {
+        self.variant
+    }
+}
+
+impl SimilarityJoin for TrieJoin {
+    fn name(&self) -> &'static str {
+        match self.variant {
+            TrieVariant::Traverse => "trie-traverse",
+            TrieVariant::PathStack => "trie-pathstack",
+            TrieVariant::Dynamic => "trie-dynamic",
+        }
+    }
+
+    fn self_join(&self, collection: &StringCollection, tau: usize) -> JoinOutput {
+        if self.variant == TrieVariant::Dynamic {
+            return crate::dynamic::dynamic_self_join(collection, tau);
+        }
+        let started = Instant::now();
+        let mut pairs = Vec::new();
+        let mut stats = JoinStats {
+            strings: collection.len() as u64,
+            ..JoinStats::default()
+        };
+
+        let trie = Trie::build(collection);
+        stats.index_bytes = trie.index_bytes();
+        let mut visit_rank: Vec<u32> = vec![u32::MAX; trie.len()];
+        let mut next_rank: u32 = 0;
+
+        // DFS frames: (node, index of the next child to descend into).
+        let mut frames: Vec<(u32, usize)> = Vec::new();
+        // PathStack: sets aligned with `frames`. Traverse: sets stored per
+        // node (kept alive for the whole run).
+        let mut path_sets: Vec<ActiveSet> = Vec::new();
+        let mut stored_sets: Vec<Option<ActiveSet>> = match self.variant {
+            TrieVariant::Traverse => vec![None; trie.len()],
+            _ => Vec::new(),
+        };
+
+        let root_set = ActiveSet::initial(&trie, tau);
+        let emit_at = |node: u32,
+                           set: &ActiveSet,
+                           visit_rank: &mut Vec<u32>,
+                           next_rank: &mut u32,
+                           pairs: &mut Vec<(u32, u32)>,
+                           stats: &mut JoinStats| {
+            let rank = *next_rank;
+            visit_rank[node as usize] = rank;
+            *next_rank += 1;
+            let own = &trie.node(node).terminals;
+            if own.is_empty() {
+                return;
+            }
+            stats.candidate_occurrences += set.len() as u64;
+            for &(u, _d) in set.entries() {
+                let u_rank = visit_rank[u as usize];
+                if u_rank > rank {
+                    continue; // not yet visited; emitted from u's side later
+                }
+                let theirs = &trie.node(u).terminals;
+                if theirs.is_empty() {
+                    continue;
+                }
+                stats.candidate_pairs += 1;
+                if u == node {
+                    // Identical strings: all unordered pairs among them.
+                    for (i, &a) in own.iter().enumerate() {
+                        for &b in &own[i + 1..] {
+                            emit_pair(collection, a, b, pairs);
+                            stats.results += 1;
+                        }
+                    }
+                } else {
+                    for &a in theirs {
+                        for &b in own {
+                            emit_pair(collection, a, b, pairs);
+                            stats.results += 1;
+                        }
+                    }
+                }
+            }
+        };
+
+        // Visit the root, then DFS.
+        emit_at(
+            ROOT,
+            &root_set,
+            &mut visit_rank,
+            &mut next_rank,
+            &mut pairs,
+            &mut stats,
+        );
+        frames.push((ROOT, 0));
+        match self.variant {
+            TrieVariant::Traverse => stored_sets[ROOT as usize] = Some(root_set),
+            _ => path_sets.push(root_set),
+        }
+
+        while let Some(&mut (node, ref mut next_child)) = frames.last_mut() {
+            let children = &trie.node(node).children;
+            if *next_child >= children.len() {
+                frames.pop();
+                if self.variant == TrieVariant::PathStack {
+                    path_sets.pop();
+                }
+                continue;
+            }
+            let child = children[*next_child];
+            *next_child += 1;
+
+            let parent_set = match self.variant {
+                TrieVariant::Traverse => stored_sets[node as usize]
+                    .as_ref()
+                    .expect("parent set stored before descending"),
+                _ => path_sets.last().expect("path set present"),
+            };
+            stats.probes += 1;
+            let child_set = parent_set.advance(&trie, trie.node(child).label, tau);
+            if child_set.is_empty() {
+                // No node is within τ of this prefix; no descendant prefix
+                // can recover (distances only grow) — prune the subtree.
+                let _ = child_set;
+                continue;
+            }
+            emit_at(
+                child,
+                &child_set,
+                &mut visit_rank,
+                &mut next_rank,
+                &mut pairs,
+                &mut stats,
+            );
+            frames.push((child, 0));
+            match self.variant {
+                TrieVariant::Traverse => stored_sets[child as usize] = Some(child_set),
+                _ => path_sets.push(child_set),
+            }
+        }
+
+        JoinOutput {
+            pairs,
+            stats,
+            elapsed: started.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1() -> StringCollection {
+        StringCollection::from_strs(&[
+            "avataresha",
+            "caushik chakrabar",
+            "kaushic chaduri",
+            "kaushik chakrab",
+            "kaushuk chadhui",
+            "vankatesh",
+        ])
+    }
+
+    #[test]
+    fn finds_figure1_answer_both_variants() {
+        for variant in [TrieVariant::Traverse, TrieVariant::PathStack, TrieVariant::Dynamic] {
+            let out = TrieJoin::new().with_variant(variant).self_join(&table1(), 3);
+            assert_eq!(out.normalized_pairs(), vec![(1, 3)], "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn duplicates_and_prefix_pairs() {
+        let c = StringCollection::from_strs(&["abc", "abc", "ab", "abcd"]);
+        let out = TrieJoin::new().self_join(&c, 1);
+        // ed(abc,abc)=0, ed(abc,ab)=1 (×2), ed(abc,abcd)=1 (×2),
+        // ed(ab,abcd)=2 ✗.
+        let mut expected = vec![(0, 1), (0, 2), (1, 2), (0, 3), (1, 3)];
+        expected.sort_unstable();
+        assert_eq!(out.normalized_pairs(), expected);
+    }
+
+    #[test]
+    fn subtree_pruning_keeps_results() {
+        // A string far from everything else must not disturb the rest.
+        let c = StringCollection::from_strs(&["aaaa", "aaab", "zzzzzzzzzz"]);
+        let out = TrieJoin::new().self_join(&c, 1);
+        assert_eq!(out.normalized_pairs(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn empty_corpus_and_empty_strings() {
+        let out = TrieJoin::new().self_join(&StringCollection::new(vec![]), 2);
+        assert!(out.pairs.is_empty());
+        let c = StringCollection::from_strs(&["", "", "a"]);
+        let out = TrieJoin::new().self_join(&c, 1);
+        // ("","")=0, ("","a")=1 twice.
+        assert_eq!(out.normalized_pairs(), vec![(0, 1), (0, 2), (1, 2)]);
+    }
+}

@@ -1,0 +1,30 @@
+//! **Trie-Join**: the trie-based baseline Pass-Join is evaluated against
+//! (paper §6.3, Figure 15, Table 3).
+//!
+//! Reimplemented from Wang, Li, Feng — *"Trie-Join: Efficient Trie-based
+//! String Similarity Joins with Edit-Distance Constraints"* (PVLDB 2010):
+//! a byte [`trie`] shares prefixes across the corpus; an incremental
+//! [`active`]-node DP carries, for every prefix, the set of trie nodes
+//! within edit distance τ; and a preorder traversal emits result pairs at
+//! terminal nodes ([`join`]). Efficient exactly when strings are short and
+//! share many prefixes — and measurably not otherwise, which is the
+//! comparison Figure 15 draws.
+//!
+//! ```
+//! use triejoin::{TrieJoin, TrieVariant};
+//! use sj_common::{SimilarityJoin, StringCollection};
+//!
+//! let c = StringCollection::from_strs(&["kaushic", "kaushik", "caushik"]);
+//! let out = TrieJoin::new().self_join(&c, 1);
+//! assert_eq!(out.normalized_pairs(), vec![(0, 1), (1, 2)]);
+//! let out2 = TrieJoin::new().with_variant(TrieVariant::Traverse).self_join(&c, 1);
+//! assert_eq!(out2.normalized_pairs(), out.normalized_pairs());
+//! ```
+
+pub mod active;
+mod dynamic;
+pub mod join;
+pub mod trie;
+
+pub use join::{TrieJoin, TrieVariant};
+pub use trie::Trie;

@@ -1,0 +1,191 @@
+//! A byte trie over a string collection.
+//!
+//! Trie-Join's whole premise (Wang et al., PVLDB 2010) is that short
+//! strings share prefixes: the trie stores each shared prefix once, and the
+//! active-node computation is done per trie *node*, amortizing it across
+//! all strings below that node. Terminal string ids live on their final
+//! node (duplicates share one node).
+
+use sj_common::{StringCollection, StringId};
+
+/// One trie node. Children are kept sorted by label; the alphabet of the
+/// evaluation corpora is small (≤ 40 symbols), so linear scans beat hash
+/// maps here.
+#[derive(Debug, Default)]
+pub struct Node {
+    /// Incoming edge label (unused for the root).
+    pub label: u8,
+    /// Parent node id (self-referential for the root).
+    pub parent: u32,
+    /// Depth = length of the prefix this node spells.
+    pub depth: u32,
+    /// Child node ids, sorted by label.
+    pub children: Vec<u32>,
+    /// Ids of the strings that end exactly here.
+    pub terminals: Vec<StringId>,
+}
+
+/// A trie over an entire collection, nodes in one arena.
+#[derive(Debug)]
+pub struct Trie {
+    nodes: Vec<Node>,
+}
+
+/// Id of the root node.
+pub const ROOT: u32 = 0;
+
+impl Trie {
+    /// An empty trie (just the root), for incremental construction
+    /// (Trie-Dynamic).
+    pub fn empty() -> Self {
+        Self {
+            nodes: vec![Node::default()],
+        }
+    }
+
+    /// Builds the trie; strings are inserted in collection (sorted) order,
+    /// so terminal lists are sorted too.
+    pub fn build(collection: &StringCollection) -> Self {
+        let mut trie = Self::empty();
+        for (id, s) in collection.iter() {
+            let node = trie.insert_path(s);
+            trie.nodes[node as usize].terminals.push(id);
+        }
+        trie
+    }
+
+    /// Inserts the path of `s`, invoking `on_new(node_id)` for every node
+    /// created (in root-to-leaf order), and returns the terminal node.
+    /// Used by Trie-Dynamic, which must initialize active sets for fresh
+    /// nodes.
+    pub fn insert_path_observed(&mut self, s: &[u8], mut on_new: impl FnMut(u32)) -> u32 {
+        let mut at = ROOT;
+        for &ch in s {
+            at = match self.child_with_label(at, ch) {
+                Some(c) => c,
+                None => {
+                    let id = self.push_child(at, ch);
+                    on_new(id);
+                    id
+                }
+            };
+        }
+        at
+    }
+
+    /// Registers string `id` as terminating at `node`.
+    pub fn add_terminal(&mut self, node: u32, id: StringId) {
+        self.nodes[node as usize].terminals.push(id);
+    }
+
+    fn push_child(&mut self, at: u32, ch: u8) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            label: ch,
+            parent: at,
+            depth: self.nodes[at as usize].depth + 1,
+            children: Vec::new(),
+            terminals: Vec::new(),
+        });
+        let slot = self.nodes[at as usize]
+            .children
+            .partition_point(|&c| self.nodes[c as usize].label < ch);
+        self.nodes[at as usize].children.insert(slot, id);
+        id
+    }
+
+    fn insert_path(&mut self, s: &[u8]) -> u32 {
+        self.insert_path_observed(s, |_| {})
+    }
+
+    /// The child of `node` along `label`, if present.
+    pub fn child_with_label(&self, node: u32, label: u8) -> Option<u32> {
+        self.nodes[node as usize]
+            .children
+            .iter()
+            .copied()
+            .find(|&c| self.nodes[c as usize].label == label)
+    }
+
+    /// Borrowed node access.
+    #[inline]
+    pub fn node(&self, id: u32) -> &Node {
+        &self.nodes[id as usize]
+    }
+
+    /// Number of nodes, including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the trie holds only the root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Estimated resident bytes, comparable with the other algorithms'
+    /// index accounting (Table 3): a packed node layout (label, parent,
+    /// depth, two vec headers) plus 4 bytes per child edge and terminal.
+    pub fn index_bytes(&self) -> u64 {
+        let edges: u64 = self.nodes.iter().map(|n| n.children.len() as u64).sum();
+        let terminals: u64 = self.nodes.iter().map(|n| n.terminals.len() as u64).sum();
+        self.nodes.len() as u64 * 24 + edges * 4 + terminals * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_prefixes() {
+        let c = StringCollection::from_strs(&["abc", "abd", "ab", "xyz"]);
+        let trie = Trie::build(&c);
+        // Nodes: root, a, ab, abc, abd, x, xy, xyz = 8.
+        assert_eq!(trie.len(), 8);
+        let a = trie.child_with_label(ROOT, b'a').unwrap();
+        let ab = trie.child_with_label(a, b'b').unwrap();
+        assert_eq!(trie.node(ab).depth, 2);
+        assert_eq!(trie.node(ab).terminals.len(), 1); // "ab"
+        assert_eq!(trie.node(ab).children.len(), 2); // abc, abd
+    }
+
+    #[test]
+    fn duplicates_share_a_terminal_node() {
+        let c = StringCollection::from_strs(&["dup", "dup", "dup"]);
+        let trie = Trie::build(&c);
+        assert_eq!(trie.len(), 4); // root + d + du + dup
+        let d = trie.child_with_label(ROOT, b'd').unwrap();
+        let du = trie.child_with_label(d, b'u').unwrap();
+        let dup = trie.child_with_label(du, b'p').unwrap();
+        assert_eq!(trie.node(dup).terminals, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_string_terminates_at_root() {
+        let c = StringCollection::from_strs(&["", "a"]);
+        let trie = Trie::build(&c);
+        assert_eq!(trie.node(ROOT).terminals, vec![0]);
+    }
+
+    #[test]
+    fn children_sorted_by_label() {
+        let c = StringCollection::from_strs(&["zb", "ab", "mb"]);
+        let trie = Trie::build(&c);
+        let labels: Vec<u8> = trie
+            .node(ROOT)
+            .children
+            .iter()
+            .map(|&c| trie.node(c).label)
+            .collect();
+        assert_eq!(labels, vec![b'a', b'm', b'z']);
+    }
+
+    #[test]
+    fn index_bytes_positive_and_monotone() {
+        let small = Trie::build(&StringCollection::from_strs(&["ab"]));
+        let large = Trie::build(&StringCollection::from_strs(&["ab", "cdxy", "efoo", "ghi"]));
+        assert!(small.index_bytes() > 0);
+        assert!(large.index_bytes() > small.index_bytes());
+    }
+}

@@ -1,0 +1,86 @@
+//! Both Trie-Join variants must produce exactly the ground-truth join.
+
+use editdist::NaiveJoin;
+use proptest::prelude::*;
+use sj_common::{SimilarityJoin, StringCollection};
+use triejoin::{TrieJoin, TrieVariant};
+
+fn check(strings: &[Vec<u8>], tau: usize) {
+    let coll = StringCollection::new(strings.to_vec());
+    let expected = NaiveJoin.self_join(&coll, tau).normalized_pairs();
+    for variant in [TrieVariant::Traverse, TrieVariant::PathStack, TrieVariant::Dynamic] {
+        let out = TrieJoin::new().with_variant(variant).self_join(&coll, tau);
+        assert_eq!(
+            out.normalized_pairs(),
+            expected,
+            "{variant:?} tau={tau} corpus={:?}",
+            strings
+                .iter()
+                .map(|s| String::from_utf8_lossy(s).into_owned())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(out.normalized_pairs().len(), out.pairs.len());
+    }
+}
+
+fn dense_corpus() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..12),
+        0..20,
+    )
+}
+
+fn wide_corpus() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(97u8..=122, 0..24), 0..14)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matches_ground_truth_dense(strings in dense_corpus(), tau in 0usize..4) {
+        check(&strings, tau);
+    }
+
+    #[test]
+    fn matches_ground_truth_wide(strings in wide_corpus(), tau in 0usize..5) {
+        check(&strings, tau);
+    }
+}
+
+#[test]
+fn prefix_heavy_corpus() {
+    // Trie-Join's favourable regime: heavy prefix sharing.
+    let strings: Vec<Vec<u8>> = [
+        "john smith", "john smyth", "john smithe", "johan smith", "john smit",
+        "jane smith", "jane smyth", "john", "johnny smith",
+    ]
+    .iter()
+    .map(|s| s.as_bytes().to_vec())
+    .collect();
+    for tau in 0..=3 {
+        check(&strings, tau);
+    }
+}
+
+#[test]
+fn variants_agree_on_planted_corpus() {
+    let mut strings: Vec<Vec<u8>> = Vec::new();
+    for i in 0..60 {
+        strings.push(format!("entity record {i:02}").into_bytes());
+        if i % 3 == 0 {
+            strings.push(format!("entity recrod {i:02}").into_bytes()); // transposed
+        }
+    }
+    let coll = StringCollection::new(strings);
+    for tau in 0..=3 {
+        let a = TrieJoin::new()
+            .with_variant(TrieVariant::Traverse)
+            .self_join(&coll, tau);
+        let b = TrieJoin::new()
+            .with_variant(TrieVariant::PathStack)
+            .self_join(&coll, tau);
+        assert_eq!(a.normalized_pairs(), b.normalized_pairs());
+        assert_eq!(a.stats.results, b.stats.results);
+    }
+}

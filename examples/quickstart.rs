@@ -1,0 +1,32 @@
+//! Quickstart: find all similar string pairs in a small collection.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use passjoin::PassJoin;
+use sj_common::{SimilarityJoin, StringCollection};
+
+fn main() {
+    // The paper's running example (Table 1).
+    let strings = [
+        "avataresha",
+        "caushik chakrabar",
+        "kaushic chaduri",
+        "kaushik chakrab",
+        "kaushuk chadhui",
+        "vankatesh",
+    ];
+    let collection = StringCollection::from_strs(&strings);
+
+    let tau = 3;
+    let out = PassJoin::new().self_join(&collection, tau);
+
+    println!("similar pairs at edit distance <= {tau}:");
+    for (a, b) in out.normalized_pairs() {
+        println!("  {:?} ~ {:?}", strings[a as usize], strings[b as usize]);
+    }
+    println!();
+    println!("work done: {}", out.stats);
+    println!("elapsed:   {:?}", out.elapsed);
+}

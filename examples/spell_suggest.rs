@@ -1,0 +1,57 @@
+//! Spell suggestion with a prebuilt similarity-search index — the
+//! "approximate string searching" companion problem from the paper's
+//! related work, served by the same partition machinery.
+//!
+//! Builds a dictionary index once, then answers point queries: all
+//! dictionary words within τ of each misspelling, ranked by distance.
+//!
+//! ```sh
+//! cargo run --release --example spell_suggest
+//! ```
+
+use passjoin::SearchIndex;
+use sj_common::StringCollection;
+
+fn main() {
+    let dictionary: Vec<&str> = vec![
+        "similarity", "similarly", "simulation", "partition", "petition",
+        "position", "permutation", "verification", "verifications",
+        "notification", "segment", "argument", "alignment", "assignment",
+        "threshold", "thresholds", "inverted", "inverse", "index", "indices",
+    ];
+    let dict = StringCollection::from_strs(&dictionary);
+    let tau = 2;
+    let index = SearchIndex::build(&dict, tau);
+    println!(
+        "dictionary of {} words indexed ({} bytes) at tau={tau}\n",
+        dictionary.len(),
+        index.index_bytes()
+    );
+
+    let mut searcher = index.searcher();
+    let mut hits = Vec::new();
+    for query in [
+        "similarty",
+        "partitoin",
+        "verfication",
+        "treshold",
+        "alinement",
+        "zzzzz",
+    ] {
+        hits.clear();
+        searcher.query_into(query.as_bytes(), &mut hits);
+        hits.sort_by_key(|&(pos, d)| (d, pos));
+        let suggestions: Vec<String> = hits
+            .iter()
+            .map(|&(pos, d)| format!("{} (d={d})", dictionary[pos as usize]))
+            .collect();
+        println!(
+            "{query:<14} -> {}",
+            if suggestions.is_empty() {
+                "no suggestion".to_string()
+            } else {
+                suggestions.join(", ")
+            }
+        );
+    }
+}

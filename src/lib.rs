@@ -1,0 +1,9 @@
+//! Umbrella crate for the Pass-Join reproduction: examples live in
+//! `examples/`, cross-crate integration tests in `tests/`.
+
+pub use datagen;
+pub use editdist;
+pub use edjoin;
+pub use passjoin;
+pub use sj_common;
+pub use triejoin;

@@ -1,0 +1,109 @@
+//! Cross-crate integration: every join algorithm in the workspace must
+//! produce identical results on every synthetic corpus kind, across
+//! thresholds — Pass-Join (all configurations), ED-Join, All-Pairs-Ed, and
+//! both Trie-Join variants, anchored by the naive oracle.
+
+use datagen::{DatasetKind, DatasetSpec};
+use editdist::NaiveJoin;
+use edjoin::EdJoin;
+use passjoin::{PassJoin, Selection, Verification};
+use sj_common::{SimilarityJoin, StringCollection};
+use triejoin::{TrieJoin, TrieVariant};
+
+fn roster() -> Vec<Box<dyn SimilarityJoin>> {
+    vec![
+        Box::new(PassJoin::new()),
+        Box::new(
+            PassJoin::new()
+                .with_selection(Selection::Length)
+                .with_verification(Verification::Banded),
+        ),
+        Box::new(
+            PassJoin::new()
+                .with_selection(Selection::Position)
+                .with_verification(Verification::Extension {
+                    share_prefix: false,
+                }),
+        ),
+        Box::new(EdJoin::new(2)),
+        Box::new(EdJoin::new(3)),
+        Box::new(EdJoin::all_pairs_ed(2)),
+        Box::new(TrieJoin::new().with_variant(TrieVariant::Traverse)),
+        Box::new(TrieJoin::new().with_variant(TrieVariant::PathStack)),
+    ]
+}
+
+fn check_corpus(kind: DatasetKind, n: usize, taus: &[usize]) {
+    let coll = DatasetSpec::new(kind, n).with_seed(1234).collection();
+    for &tau in taus {
+        let expected = NaiveJoin.self_join(&coll, tau);
+        let expected_pairs = expected.normalized_pairs();
+        for join in roster() {
+            let out = join.self_join(&coll, tau);
+            assert_eq!(
+                out.normalized_pairs(),
+                expected_pairs,
+                "{} disagrees with ground truth on {} at tau={tau}",
+                join.name(),
+                kind.name()
+            );
+            assert_eq!(
+                out.pairs.len(),
+                expected_pairs.len(),
+                "{} emitted duplicates on {} at tau={tau}",
+                join.name(),
+                kind.name()
+            );
+            assert_eq!(out.stats.results as usize, out.pairs.len());
+        }
+    }
+}
+
+#[test]
+fn author_corpus_all_algorithms_agree() {
+    check_corpus(DatasetKind::Author, 600, &[0, 1, 2, 3]);
+}
+
+#[test]
+fn querylog_corpus_all_algorithms_agree() {
+    check_corpus(DatasetKind::QueryLog, 250, &[2, 4, 6]);
+}
+
+#[test]
+fn authortitle_corpus_all_algorithms_agree() {
+    check_corpus(DatasetKind::AuthorTitle, 150, &[4, 8]);
+}
+
+#[test]
+fn result_counts_are_tau_monotone() {
+    // Raising τ can only add results — across all algorithms.
+    let coll = DatasetSpec::new(DatasetKind::Author, 500).collection();
+    for join in roster() {
+        let mut prev = 0u64;
+        for tau in 0..=3 {
+            let results = join.self_join(&coll, tau).stats.results;
+            assert!(
+                results >= prev,
+                "{}: results dropped from {prev} to {results} at tau={tau}",
+                join.name()
+            );
+            prev = results;
+        }
+    }
+}
+
+#[test]
+fn every_result_pair_is_actually_similar() {
+    // Spot-check correctness (no false positives) independently of the
+    // oracle: recompute the distance of every reported pair.
+    let strings = DatasetSpec::new(DatasetKind::Author, 800).generate();
+    let coll = StringCollection::new(strings.clone());
+    let tau = 2;
+    let out = PassJoin::new().self_join(&coll, tau);
+    assert!(out.stats.results > 0, "corpus should contain similar pairs");
+    for &(a, b) in &out.pairs {
+        let d = editdist::edit_distance(&strings[a as usize], &strings[b as usize]);
+        assert!(d <= tau, "reported pair has distance {d} > {tau}");
+        assert_ne!(a, b, "self-pair reported");
+    }
+}

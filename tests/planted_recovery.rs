@@ -1,0 +1,102 @@
+//! Recall guarantees end-to-end: strings planted within τ edits of a seed
+//! must always be paired with it, across corpus kinds and algorithms; and
+//! the R×S driver must agree with the self-join driver.
+
+use datagen::{mutate, DatasetKind, DatasetSpec};
+use edjoin::EdJoin;
+use passjoin::PassJoin;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sj_common::{SimilarityJoin, StringCollection};
+use triejoin::TrieJoin;
+
+/// Builds a corpus of distinct seeds plus exactly one planted mutation per
+/// seed; returns (strings, planted pairs as input positions).
+fn planted_corpus(kind: DatasetKind, seeds: usize, tau: usize) -> (Vec<Vec<u8>>, Vec<(u32, u32)>) {
+    let base = DatasetSpec::new(kind, seeds)
+        .with_duplicate_rate(0.0)
+        .generate();
+    let mut rng = StdRng::seed_from_u64(777);
+    let mut strings = Vec::with_capacity(seeds * 2);
+    let mut planted = Vec::new();
+    for s in base {
+        let idx = strings.len() as u32;
+        let edits = rng.gen_range(0..=tau);
+        let m = mutate(&s, edits, &mut rng);
+        strings.push(s);
+        strings.push(m);
+        planted.push((idx, idx + 1));
+    }
+    (strings, planted)
+}
+
+fn assert_recovers(join: &dyn SimilarityJoin, kind: DatasetKind, tau: usize) {
+    let (strings, planted) = planted_corpus(kind, 200, tau);
+    let coll = StringCollection::new(strings);
+    let found: std::collections::HashSet<(u32, u32)> =
+        join.self_join(&coll, tau).normalized_pairs().into_iter().collect();
+    for pair in planted {
+        assert!(
+            found.contains(&pair),
+            "{} on {} at tau={tau} missed planted pair {pair:?}",
+            join.name(),
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn passjoin_recovers_all_planted_pairs() {
+    for kind in DatasetKind::all() {
+        for tau in [1usize, 3] {
+            assert_recovers(&PassJoin::new(), kind, tau);
+        }
+    }
+}
+
+#[test]
+fn baselines_recover_all_planted_pairs() {
+    assert_recovers(&EdJoin::new(2), DatasetKind::Author, 2);
+    assert_recovers(&EdJoin::new(3), DatasetKind::QueryLog, 3);
+    assert_recovers(&TrieJoin::new(), DatasetKind::Author, 2);
+}
+
+#[test]
+fn rs_join_agrees_with_self_join_on_split_corpus() {
+    // Split one corpus in half; (r, s) pairs across the halves found by
+    // rs_join must equal the cross-half subset of the self-join.
+    let strings = DatasetSpec::new(DatasetKind::Author, 600).generate();
+    let mid = strings.len() / 2;
+    let (left, right) = strings.split_at(mid);
+    let tau = 2;
+
+    let whole = StringCollection::new(strings.clone());
+    let cross_expected: std::collections::BTreeSet<(u32, u32)> = PassJoin::new()
+        .self_join(&whole, tau)
+        .pairs
+        .iter()
+        .filter_map(|&(a, b)| {
+            let (a, b) = (a.min(b), a.max(b));
+            // keep pairs with one side in each half, reindexed
+            (a < mid as u32 && b >= mid as u32).then(|| (a, b - mid as u32))
+        })
+        .collect();
+
+    let r = StringCollection::new(left.to_vec());
+    let s = StringCollection::new(right.to_vec());
+    let cross_got: std::collections::BTreeSet<(u32, u32)> = PassJoin::new()
+        .rs_join(&r, &s, tau)
+        .pairs
+        .into_iter()
+        .collect();
+
+    assert_eq!(cross_got, cross_expected);
+}
+
+#[test]
+fn rs_join_with_empty_side() {
+    let r = StringCollection::from_strs(&["abc", "def"]);
+    let empty = StringCollection::new(vec![]);
+    assert!(PassJoin::new().rs_join(&r, &empty, 2).pairs.is_empty());
+    assert!(PassJoin::new().rs_join(&empty, &r, 2).pairs.is_empty());
+}

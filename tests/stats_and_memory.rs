@@ -1,0 +1,100 @@
+//! Integration checks on the observability surface: statistics invariants,
+//! the Table 3 index-size ordering, and the Figure 12 selector ordering —
+//! the quantitative claims the paper's evaluation rests on.
+
+use datagen::{DatasetKind, DatasetSpec};
+use edjoin::EdJoin;
+use passjoin::{PassJoin, Selection};
+use sj_common::{SimilarityJoin, StringCollection};
+use triejoin::TrieJoin;
+
+fn corpus(kind: DatasetKind, n: usize) -> StringCollection {
+    DatasetSpec::new(kind, n).collection()
+}
+
+#[test]
+fn selector_counts_are_ordered_like_figure12() {
+    // |W_m| ≤ |W_p| ≤ |W_f| ≤ |W_ℓ| must hold on real workloads, not just
+    // in the unit geometry tests.
+    for kind in DatasetKind::all() {
+        let c = corpus(kind, 400);
+        let tau = kind.figure12_taus()[0];
+        let counts: Vec<u64> = Selection::all()
+            .iter()
+            .map(|&sel| {
+                PassJoin::new()
+                    .with_selection(sel)
+                    .self_join(&c, tau)
+                    .stats
+                    .selected_substrings
+            })
+            .collect();
+        // Selection::all() order: Length, Shift, Position, MultiMatch.
+        assert!(counts[0] >= counts[1], "{}: length < shift", kind.name());
+        assert!(counts[1] >= counts[2], "{}: shift < position", kind.name());
+        assert!(counts[2] >= counts[3], "{}: position < multi-match", kind.name());
+        assert!(counts[3] > 0);
+    }
+}
+
+#[test]
+fn index_sizes_are_ordered_like_table3() {
+    // Pass-Join's sliding segment index must be far smaller than both
+    // baselines' indices, on every corpus kind.
+    for kind in DatasetKind::all() {
+        let c = corpus(kind, 2_000);
+        let tau = 3;
+        let pass = PassJoin::new().self_join(&c, tau).stats.index_bytes;
+        let ed = EdJoin::new(3).self_join(&c, tau).stats.index_bytes;
+        let trie = TrieJoin::new().self_join(&c, tau).stats.index_bytes;
+        assert!(
+            pass * 2 < ed,
+            "{}: pass-join index {pass}B not clearly below ed-join {ed}B",
+            kind.name()
+        );
+        assert!(
+            pass * 2 < trie,
+            "{}: pass-join index {pass}B not clearly below trie-join {trie}B",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn candidate_counts_shrink_with_better_selectors() {
+    let c = corpus(DatasetKind::Author, 2_000);
+    let loose = PassJoin::new()
+        .with_selection(Selection::Length)
+        .self_join(&c, 2);
+    let tight = PassJoin::new()
+        .with_selection(Selection::MultiMatch)
+        .self_join(&c, 2);
+    assert!(tight.stats.candidate_occurrences <= loose.stats.candidate_occurrences);
+    assert_eq!(tight.normalized_pairs(), loose.normalized_pairs());
+}
+
+#[test]
+fn join_stats_populated_for_all_algorithms() {
+    let c = corpus(DatasetKind::Author, 1_000);
+    let algos: Vec<Box<dyn SimilarityJoin>> = vec![
+        Box::new(PassJoin::new()),
+        Box::new(EdJoin::new(2)),
+        Box::new(TrieJoin::new()),
+    ];
+    for join in algos {
+        let out = join.self_join(&c, 2);
+        assert_eq!(out.stats.strings, 1_000, "{}", join.name());
+        assert!(out.stats.index_bytes > 0, "{}", join.name());
+        assert!(out.stats.results > 0, "{}", join.name());
+        assert!(out.elapsed.as_nanos() > 0, "{}", join.name());
+    }
+}
+
+#[test]
+fn elapsed_time_is_self_reported() {
+    let c = corpus(DatasetKind::QueryLog, 500);
+    let out = PassJoin::new().self_join(&c, 4);
+    // Sanity: the driver fills `elapsed` and it is commensurate with an
+    // actual run (sub-minute at this scale).
+    assert!(out.elapsed.as_secs() < 60);
+}
