@@ -1,0 +1,104 @@
+//! Online-subsystem benchmark: build-then-query throughput of
+//! `passjoin_online::OnlineIndex` vs. re-running a batch join per query
+//! batch (what serving would cost without a standing index).
+//!
+//! Four measurements on an Author corpus with a mutated query mix:
+//! `build` (index construction), `query-batch` (sequential and parallel
+//! batched queries), `rejoin-baseline` (the same answers via
+//! `PassJoin::rs_join` from scratch), and `query-cached` (a repeating
+//! query mix through the LRU cache).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagen::{DatasetKind, DatasetSpec};
+use passjoin::PassJoin;
+use passjoin_online::OnlineIndex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sj_common::StringCollection;
+
+const CORPUS_N: usize = 20_000;
+const QUERY_N: usize = 1_000;
+const TAU: usize = 2;
+
+fn corpus_strings() -> Vec<Vec<u8>> {
+    DatasetSpec::new(DatasetKind::Author, CORPUS_N)
+        .with_seed(42)
+        .generate()
+}
+
+/// A serving-shaped query mix: half exact corpus strings, half mutated
+/// within TAU edits (so most queries have at least one match).
+fn query_mix(strings: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..QUERY_N)
+        .map(|_| {
+            let s = &strings[rng.gen_range(0..strings.len())];
+            if rng.gen_bool(0.5) {
+                s.clone()
+            } else {
+                datagen::mutate(s, rng.gen_range(1..=TAU), &mut rng)
+            }
+        })
+        .collect()
+}
+
+fn bench_online(c: &mut Criterion) {
+    let strings = corpus_strings();
+    let queries = query_mix(&strings);
+    let index = OnlineIndex::from_strings(strings.iter(), TAU);
+
+    let mut group = c.benchmark_group("online");
+    group.sample_size(10);
+
+    group.throughput(Throughput::Elements(CORPUS_N as u64));
+    group.bench_with_input(
+        BenchmarkId::new("build", CORPUS_N),
+        &strings,
+        |b, strings| b.iter(|| OnlineIndex::from_strings(strings.iter(), TAU)),
+    );
+
+    group.throughput(Throughput::Elements(QUERY_N as u64));
+    group.bench_with_input(
+        BenchmarkId::new("query-batch", "1-thread"),
+        &queries,
+        |b, queries| b.iter(|| index.query_batch(queries, TAU)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("query-batch", "4-threads"),
+        &queries,
+        |b, queries| b.iter(|| index.par_query_batch(queries, TAU, 4)),
+    );
+
+    // The no-subsystem baseline: answering the same batch by joining the
+    // query set against the corpus from scratch each time.
+    let r_coll = StringCollection::new(queries.clone());
+    let s_coll = StringCollection::new(strings.clone());
+    group.bench_with_input(
+        BenchmarkId::new("rejoin-baseline", "rs-join"),
+        &(&r_coll, &s_coll),
+        |b, (r, s)| b.iter(|| PassJoin::new().rs_join(r, s, TAU)),
+    );
+
+    // A skewed repeating mix through the cache (100 hot queries).
+    let mut rng = StdRng::seed_from_u64(3);
+    let hot: Vec<&Vec<u8>> = (0..100)
+        .map(|_| &queries[rng.gen_range(0..queries.len())])
+        .collect();
+    group.bench_with_input(
+        BenchmarkId::new("query-cached", "hot-100"),
+        &hot,
+        |b, hot| {
+            let mut cached = OnlineIndex::from_strings(strings.iter(), TAU);
+            let mut k = 0usize;
+            b.iter(|| {
+                k = (k + 1) % hot.len();
+                cached.query_cached(hot[k], TAU)
+            })
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_online);
+criterion_main!(benches);

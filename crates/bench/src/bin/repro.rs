@@ -75,8 +75,14 @@ fn table2(opts: &Opts) {
     let mut r = Report::new(
         "table2-datasets",
         &[
-            "dataset", "cardinality", "avg-len", "max-len", "min-len",
-            "paper-avg", "paper-max", "paper-min",
+            "dataset",
+            "cardinality",
+            "avg-len",
+            "max-len",
+            "min-len",
+            "paper-avg",
+            "paper-max",
+            "paper-min",
         ],
     );
     for kind in DatasetKind::all() {
@@ -160,7 +166,14 @@ fn fig14(opts: &Opts) {
         let c = opts.corpus(kind);
         let mut r = Report::new(
             format!("fig14-verification-{}", slug(kind)),
-            &["tau", "2tau+1", "tau+1", "extension", "share-prefix", "results"],
+            &[
+                "tau",
+                "2tau+1",
+                "tau+1",
+                "extension",
+                "share-prefix",
+                "results",
+            ],
         );
         for &tau in kind.figure12_taus() {
             let mut row = vec![tau.to_string()];
@@ -254,8 +267,13 @@ fn table3(opts: &Opts) {
     let mut r = Report::new(
         "table3-index-sizes",
         &[
-            "dataset", "data-MB", "ed-join-MB", "trie-join-MB", "pass-join-MB",
-            "(q)", "(tau)",
+            "dataset",
+            "data-MB",
+            "ed-join-MB",
+            "trie-join-MB",
+            "pass-join-MB",
+            "(q)",
+            "(tau)",
         ],
     );
     for kind in DatasetKind::all() {
@@ -323,7 +341,11 @@ fn ablation_partition(opts: &Opts) {
         let mut r = Report::new(
             format!("ablation-partition-{}", slug(kind)),
             &[
-                "tau", "even-s", "left-heavy-s", "even-cands", "left-heavy-cands",
+                "tau",
+                "even-s",
+                "left-heavy-s",
+                "even-cands",
+                "left-heavy-cands",
             ],
         );
         for &tau in &taus[..2.min(taus.len())] {

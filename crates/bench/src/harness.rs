@@ -35,14 +35,19 @@ pub fn tuned_q(kind: DatasetKind) -> usize {
 
 /// Generates the reproduction corpus for `kind` at `cardinality`.
 pub fn corpus(kind: DatasetKind, cardinality: usize, seed: u64) -> StringCollection {
-    DatasetSpec::new(kind, cardinality).with_seed(seed).collection()
+    DatasetSpec::new(kind, cardinality)
+        .with_seed(seed)
+        .collection()
 }
 
 /// The Figure 15 roster: Pass-Join (paper configuration), ED-Join with the
 /// tuned q, and Trie-Join (PathStack).
 pub fn figure15_roster(kind: DatasetKind) -> Vec<(String, Box<dyn SimilarityJoin>)> {
     vec![
-        ("pass-join".into(), Box::new(PassJoin::new()) as Box<dyn SimilarityJoin>),
+        (
+            "pass-join".into(),
+            Box::new(PassJoin::new()) as Box<dyn SimilarityJoin>,
+        ),
         (
             format!("ed-join(q={})", tuned_q(kind)),
             Box::new(EdJoin::new(tuned_q(kind))),
@@ -123,7 +128,8 @@ mod tests {
                     .with_selection(selection)
                     .self_join(&coll, tau);
                 assert_eq!(
-                    count, out.stats.selected_substrings,
+                    count,
+                    out.stats.selected_substrings,
                     "{} tau={tau}",
                     selection.name()
                 );

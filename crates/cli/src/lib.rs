@@ -1,10 +1,20 @@
 //! Library half of the `simjoin` command-line tool: argument parsing and
-//! the join dispatch, kept out of `main.rs` so they are unit-testable.
+//! the join/serve dispatch, kept out of `main.rs` so they are
+//! unit-testable.
+//!
+//! Two modes share the binary:
+//!
+//! * **join mode** (no subcommand): the original batch self-join —
+//!   `simjoin corpus.txt --tau 2`;
+//! * **serve mode** (`index` / `query` / `repl` subcommands): the online
+//!   subsystem from `passjoin-online` — build a dynamic index over a
+//!   corpus and answer queries against it, batch or interactively.
 
 use std::path::PathBuf;
 
 use edjoin::EdJoin;
 use passjoin::PassJoin;
+use passjoin_online::OnlineIndex;
 use sj_common::{JoinOutput, SimilarityJoin, StringCollection};
 use triejoin::TrieJoin;
 
@@ -55,8 +65,13 @@ pub struct Config {
 }
 
 /// The usage string printed on parse errors.
-pub const USAGE: &str = "usage: simjoin <corpus.txt> --tau N \
-[--algorithm pass|pass-par|ed|trie] [--q N] [--threads N] [--out pairs.txt] [--stats]";
+pub const USAGE: &str = "usage:
+  simjoin <corpus.txt> --tau N [--algorithm pass|pass-par|ed|trie] [--q N]
+          [--threads N] [--out pairs.txt] [--stats]
+  simjoin index <corpus.txt> [--tau-max N] [--stats]
+  simjoin query <corpus.txt> [--tau N] [--tau-max N] [--queries q.txt]
+          [--threads N] [--cache N] [--stats]
+  simjoin repl  <corpus.txt> [--tau N] [--tau-max N] [--cache N]";
 
 impl Config {
     /// Parses CLI arguments (without the program name).
@@ -89,9 +104,7 @@ impl Config {
                     threads = take_number(&mut it, "--threads")?;
                 }
                 "--out" => {
-                    output = Some(PathBuf::from(
-                        it.next().ok_or("--out requires a path")?,
-                    ));
+                    output = Some(PathBuf::from(it.next().ok_or("--out requires a path")?));
                 }
                 "--stats" => {
                     stats = true;
@@ -130,14 +143,141 @@ impl Config {
     }
 }
 
-fn take_number(
-    it: &mut impl Iterator<Item = String>,
-    flag: &str,
-) -> Result<usize, String> {
+fn take_number(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<usize, String> {
     it.next()
         .ok_or_else(|| format!("{flag} requires a value"))?
         .parse()
         .map_err(|_| format!("{flag} requires a non-negative integer"))
+}
+
+/// Which serve-mode subcommand was invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Build the index and report statistics.
+    Index,
+    /// Build the index and answer a batch of queries.
+    Query,
+    /// Build the index and serve an interactive query/update session.
+    Repl,
+}
+
+/// Parsed serve-mode command line (`simjoin index|query|repl …`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Subcommand.
+    pub mode: ServeMode,
+    /// Corpus file: one string per line; ids are 0-based line numbers.
+    pub corpus: PathBuf,
+    /// Default query threshold.
+    pub tau: usize,
+    /// Largest supported per-query threshold (the index partitions for
+    /// this); defaults to `tau`.
+    pub tau_max: usize,
+    /// Query file for `query` mode (stdin when `None`).
+    pub queries: Option<PathBuf>,
+    /// Worker threads for batched queries (0 = auto).
+    pub threads: usize,
+    /// LRU query-cache capacity (0 disables).
+    pub cache: usize,
+    /// Print statistics to stderr.
+    pub stats: bool,
+}
+
+impl ServeConfig {
+    fn parse<I: IntoIterator<Item = String>>(mode: ServeMode, args: I) -> Result<Self, String> {
+        let mut corpus: Option<PathBuf> = None;
+        let mut tau: Option<usize> = None;
+        let mut tau_max: Option<usize> = None;
+        let mut queries = None;
+        let mut threads = 0;
+        let mut cache = 1024;
+        let mut stats = false;
+
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--tau" => tau = Some(take_number(&mut it, "--tau")?),
+                "--tau-max" => tau_max = Some(take_number(&mut it, "--tau-max")?),
+                "--queries" => {
+                    queries = Some(PathBuf::from(it.next().ok_or("--queries requires a path")?));
+                }
+                "--threads" => threads = take_number(&mut it, "--threads")?,
+                "--cache" => cache = take_number(&mut it, "--cache")?,
+                "--stats" => stats = true,
+                other if other.starts_with('-') => {
+                    return Err(format!("unknown option '{other}'"));
+                }
+                path => {
+                    if corpus.replace(PathBuf::from(path)).is_some() {
+                        return Err("more than one corpus file given".into());
+                    }
+                }
+            }
+        }
+        // Defaults: τ = 2 capped by an explicit τ_max; τ_max follows τ.
+        let (tau, tau_max) = match (tau, tau_max) {
+            (Some(t), Some(m)) => (t, m),
+            (Some(t), None) => (t, t),
+            (None, Some(m)) => (2.min(m), m),
+            (None, None) => (2, 2),
+        };
+        if tau > tau_max {
+            return Err(format!("--tau {tau} exceeds --tau-max {tau_max}"));
+        }
+        Ok(ServeConfig {
+            mode,
+            corpus: corpus.ok_or("missing corpus path")?,
+            tau,
+            tau_max,
+            queries,
+            threads,
+            cache,
+            stats,
+        })
+    }
+
+    /// Builds the online index over raw corpus lines (ids = line numbers,
+    /// empty lines included so numbering matches the file).
+    pub fn build_index(&self, lines: &[Vec<u8>]) -> OnlineIndex {
+        OnlineIndex::from_strings(lines.iter(), self.tau_max).with_cache_capacity(self.cache)
+    }
+}
+
+/// A parsed `simjoin` invocation: the legacy join mode or a serve-mode
+/// subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Batch self-join over a corpus (the original mode).
+    Join(Config),
+    /// Online subsystem: `index`, `query`, or `repl`.
+    Serve(ServeConfig),
+}
+
+impl Command {
+    /// Parses CLI arguments (without the program name). The first argument
+    /// selects a serve-mode subcommand; anything else is join mode.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut it = args.into_iter().peekable();
+        let mode = match it.peek().map(String::as_str) {
+            Some("index") => Some(ServeMode::Index),
+            Some("query") => Some(ServeMode::Query),
+            Some("repl") => Some(ServeMode::Repl),
+            _ => None,
+        };
+        match mode {
+            Some(mode) => {
+                it.next();
+                Ok(Command::Serve(ServeConfig::parse(mode, it)?))
+            }
+            None => Ok(Command::Join(Config::parse(it)?)),
+        }
+    }
+}
+
+/// Splits a text blob into per-line byte strings, *keeping* empty lines so
+/// ids equal 0-based line numbers of the input file.
+pub fn corpus_lines(text: &str) -> Vec<Vec<u8>> {
+    text.lines().map(|l| l.as_bytes().to_vec()).collect()
 }
 
 #[cfg(test)]
@@ -162,8 +302,18 @@ mod tests {
     #[test]
     fn full_invocation() {
         let c = parse(&[
-            "--tau", "4", "data.txt", "--algorithm", "ed", "--q", "2", "--out",
-            "pairs.txt", "--stats", "--threads", "8",
+            "--tau",
+            "4",
+            "data.txt",
+            "--algorithm",
+            "ed",
+            "--q",
+            "2",
+            "--out",
+            "pairs.txt",
+            "--stats",
+            "--threads",
+            "8",
         ])
         .unwrap();
         assert_eq!(c.algorithm, Algorithm::Ed);
@@ -193,5 +343,98 @@ mod tests {
             let out = c.run(&coll);
             assert_eq!(out.normalized_pairs(), vec![(0, 1)], "{algo}");
         }
+    }
+
+    fn parse_command(args: &[&str]) -> Result<Command, String> {
+        Command::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn subcommands_select_serve_mode() {
+        match parse_command(&["index", "corpus.txt", "--tau-max", "3", "--stats"]).unwrap() {
+            Command::Serve(c) => {
+                assert_eq!(c.mode, ServeMode::Index);
+                assert_eq!(c.corpus, PathBuf::from("corpus.txt"));
+                assert_eq!(c.tau_max, 3);
+                assert!(c.stats);
+            }
+            other => panic!("expected serve command, got {other:?}"),
+        }
+        match parse_command(&[
+            "query",
+            "corpus.txt",
+            "--tau",
+            "1",
+            "--tau-max",
+            "4",
+            "--queries",
+            "q.txt",
+            "--threads",
+            "8",
+            "--cache",
+            "0",
+        ])
+        .unwrap()
+        {
+            Command::Serve(c) => {
+                assert_eq!(c.mode, ServeMode::Query);
+                assert_eq!((c.tau, c.tau_max), (1, 4));
+                assert_eq!(c.queries, Some(PathBuf::from("q.txt")));
+                assert_eq!(c.threads, 8);
+                assert_eq!(c.cache, 0);
+            }
+            other => panic!("expected serve command, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_command(&["repl", "corpus.txt"]).unwrap(),
+            Command::Serve(ServeConfig {
+                mode: ServeMode::Repl,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn join_mode_still_parses_without_subcommand() {
+        match parse_command(&["corpus.txt", "--tau", "2"]).unwrap() {
+            Command::Join(c) => assert_eq!(c.tau, 2),
+            other => panic!("expected join command, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_parse_rejects_bad_input() {
+        assert!(parse_command(&["query"]).is_err(), "missing corpus");
+        assert!(parse_command(&["query", "a.txt", "--tau", "5", "--tau-max", "2"]).is_err());
+        assert!(parse_command(&["index", "a.txt", "--bogus"]).is_err());
+        assert!(parse_command(&["repl", "a.txt", "b.txt"]).is_err());
+        // Defaults: tau = 2, tau_max = tau.
+        match parse_command(&["query", "a.txt"]).unwrap() {
+            Command::Serve(c) => assert_eq!((c.tau, c.tau_max), (2, 2)),
+            other => panic!("{other:?}"),
+        }
+        // An explicit small --tau-max caps the default tau instead of
+        // erroring about a --tau the user never passed.
+        match parse_command(&["index", "a.txt", "--tau-max", "1"]).unwrap() {
+            Command::Serve(c) => assert_eq!((c.tau, c.tau_max), (1, 1)),
+            other => panic!("{other:?}"),
+        }
+        match parse_command(&["query", "a.txt", "--tau-max", "0"]).unwrap() {
+            Command::Serve(c) => assert_eq!((c.tau, c.tau_max), (0, 0)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn build_index_assigns_line_number_ids() {
+        let lines = corpus_lines("vldb\n\npvldb\n");
+        assert_eq!(lines.len(), 3, "empty lines keep their id slot");
+        let c = match parse_command(&["query", "x.txt", "--tau", "1"]).unwrap() {
+            Command::Serve(c) => c,
+            other => panic!("{other:?}"),
+        };
+        let index = c.build_index(&lines);
+        assert_eq!(index.len(), 3);
+        assert_eq!(index.query(b"vldb", 1), vec![(0, 0), (2, 1)]);
     }
 }

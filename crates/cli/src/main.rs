@@ -1,27 +1,46 @@
-//! `simjoin` — string similarity self-join over a newline-delimited file.
+//! `simjoin` — string similarity joins and online similarity search over
+//! newline-delimited files.
 //!
 //! ```text
+//! # batch self-join (the original mode)
 //! simjoin corpus.txt --tau 2 --stats
 //! simjoin corpus.txt --tau 3 --algorithm pass-par --threads 8 --out pairs.tsv
+//!
+//! # online subsystem
+//! simjoin index corpus.txt --tau-max 3 --stats
+//! simjoin query corpus.txt --tau 2 --queries queries.txt --threads 8
+//! simjoin repl  corpus.txt --tau 2 --tau-max 3
 //! ```
 //!
-//! Output: one `i<TAB>j` pair of 0-based input line numbers per line,
-//! `i < j`, for every pair of lines within the edit-distance threshold.
+//! Join mode prints one `i<TAB>j` pair of 0-based input line numbers per
+//! result. Query mode reads one query per line (from `--queries` or stdin)
+//! and prints `q<TAB>id<TAB>dist` per match, where `q` is the query's line
+//! number and `id` the corpus line number. The repl reads queries
+//! interactively and accepts `:add`, `:rm`, `:tau`, `:stats`, `:help`,
+//! `:quit` commands.
 
-use std::io::Write;
+use std::io::{BufRead, Write};
 use std::process::ExitCode;
+use std::time::Instant;
 
-use simjoin_cli::{Config, USAGE};
+use passjoin_online::OnlineIndex;
+use simjoin_cli::{corpus_lines, Command, Config, ServeConfig, ServeMode, USAGE};
 
 fn main() -> ExitCode {
-    let config = match Config::parse(std::env::args().skip(1)) {
+    let command = match Command::parse(std::env::args().skip(1)) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("simjoin: {e}\n{USAGE}");
             return ExitCode::FAILURE;
         }
     };
+    match command {
+        Command::Join(config) => run_join(&config),
+        Command::Serve(config) => run_serve(&config),
+    }
+}
 
+fn run_join(config: &Config) -> ExitCode {
     let collection = match datagen::io::load_lines(&config.input) {
         Ok(c) => c,
         Err(e) => {
@@ -56,13 +75,185 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn write_pairs<W: Write>(
-    pairs: &[(u32, u32)],
-    sink: std::io::Result<W>,
-) -> std::io::Result<()> {
+fn write_pairs<W: Write>(pairs: &[(u32, u32)], sink: std::io::Result<W>) -> std::io::Result<()> {
     let mut w = std::io::BufWriter::new(sink?);
     for (a, b) in pairs {
         writeln!(w, "{a}\t{b}")?;
     }
     w.flush()
+}
+
+fn run_serve(config: &ServeConfig) -> ExitCode {
+    let text = match std::fs::read_to_string(&config.corpus) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("simjoin: cannot read {}: {e}", config.corpus.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let lines = corpus_lines(&text);
+
+    let built = Instant::now();
+    let mut index = config.build_index(&lines);
+    let build_time = built.elapsed();
+    if config.stats || config.mode == ServeMode::Index {
+        let s = index.stats();
+        eprintln!(
+            "simjoin: indexed {} strings (tau_max={}) in {:.3?}: \
+             {} segment entries, {} short-lane, ~{} KB resident",
+            s.live,
+            config.tau_max,
+            build_time,
+            s.segment_entries,
+            s.short_strings,
+            s.resident_bytes / 1024,
+        );
+    }
+
+    match config.mode {
+        ServeMode::Index => ExitCode::SUCCESS,
+        ServeMode::Query => run_query_batch(config, &index),
+        ServeMode::Repl => run_repl(config, &mut index),
+    }
+}
+
+fn run_query_batch(config: &ServeConfig, index: &OnlineIndex) -> ExitCode {
+    let queries: Vec<Vec<u8>> = match &config.queries {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => corpus_lines(&text),
+            Err(e) => {
+                eprintln!("simjoin: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut lines = Vec::new();
+            for line in std::io::stdin().lock().lines() {
+                match line {
+                    Ok(l) => lines.push(l.into_bytes()),
+                    Err(e) => {
+                        eprintln!("simjoin: stdin read failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            lines
+        }
+    };
+
+    let started = Instant::now();
+    let results = index.par_query_batch(&queries, config.tau, config.threads);
+    let elapsed = started.elapsed();
+
+    let stdout = std::io::stdout().lock();
+    let mut w = std::io::BufWriter::new(stdout);
+    let mut matches = 0usize;
+    for (q, result) in results.iter().enumerate() {
+        for (id, dist) in result {
+            matches += 1;
+            if writeln!(w, "{q}\t{id}\t{dist}").is_err() {
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if w.flush().is_err() {
+        return ExitCode::FAILURE;
+    }
+
+    if config.stats {
+        let per_sec = queries.len() as f64 / elapsed.as_secs_f64().max(f64::EPSILON);
+        eprintln!(
+            "simjoin: {} queries, tau={}, {} matches in {:.3?} ({:.0} queries/s)",
+            queries.len(),
+            config.tau,
+            matches,
+            elapsed,
+            per_sec,
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+const REPL_HELP: &str = "commands:
+  <text>      query the index at the current tau
+  :tau N      set the query tau (<= tau_max)
+  :add TEXT   insert a string, printing its id
+  :rm ID      remove a string by id
+  :stats      print index and cache statistics
+  :help       this message
+  :quit       exit";
+
+fn run_repl(config: &ServeConfig, index: &mut OnlineIndex) -> ExitCode {
+    let mut tau = config.tau;
+    eprintln!(
+        "simjoin repl: {} strings, tau={tau} (tau_max={}), :help for commands",
+        index.len(),
+        index.tau_max()
+    );
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("simjoin: stdin read failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let input = line.trim_end_matches(['\r', '\n']);
+        if let Some(command) = input.strip_prefix(':') {
+            let (verb, rest) = command.split_once(' ').unwrap_or((command, ""));
+            match verb {
+                "quit" | "q" | "exit" => break,
+                "help" => println!("{REPL_HELP}"),
+                "tau" => match rest.trim().parse::<usize>() {
+                    Ok(t) if t <= index.tau_max() => {
+                        tau = t;
+                        println!("tau = {tau}");
+                    }
+                    Ok(t) => println!("error: tau {t} exceeds tau_max {}", index.tau_max()),
+                    Err(_) => println!("error: :tau needs a number"),
+                },
+                "add" => {
+                    let id = index.insert(rest.as_bytes());
+                    println!("added id {id}");
+                }
+                "rm" => match rest.trim().parse::<u32>() {
+                    Ok(id) if index.remove(id) => println!("removed id {id}"),
+                    Ok(id) => println!("error: no live string with id {id}"),
+                    Err(_) => println!("error: :rm needs an id"),
+                },
+                "stats" => {
+                    let s = index.stats();
+                    let c = index.cache_stats();
+                    println!(
+                        "live={} tombstones={} segment_entries={} short={} \
+                         resident={}KB epoch={} cache: {} hits / {} misses / {} invalidations",
+                        s.live,
+                        s.tombstones,
+                        s.segment_entries,
+                        s.short_strings,
+                        s.resident_bytes / 1024,
+                        s.epoch,
+                        c.hits,
+                        c.misses,
+                        c.invalidations,
+                    );
+                }
+                other => println!("error: unknown command :{other} (:help)"),
+            }
+            continue;
+        }
+        let started = Instant::now();
+        let matches = index.query_cached(input.as_bytes(), tau);
+        let elapsed = started.elapsed();
+        for &(id, dist) in matches.iter() {
+            let text = index
+                .get(id)
+                .map(|s| String::from_utf8_lossy(s).into_owned())
+                .unwrap_or_default();
+            println!("{id}\t{dist}\t{text}");
+        }
+        println!("({} matches, {elapsed:.1?})", matches.len());
+    }
+    ExitCode::SUCCESS
 }

@@ -270,7 +270,10 @@ mod tests {
     #[test]
     fn histogram_counts() {
         let c = table1();
-        assert_eq!(c.length_histogram(), vec![(9, 1), (10, 1), (15, 3), (17, 1)]);
+        assert_eq!(
+            c.length_histogram(),
+            vec![(9, 1), (10, 1), (15, 3), (17, 1)]
+        );
     }
 
     #[test]

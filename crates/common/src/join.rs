@@ -119,10 +119,7 @@ pub trait SimilarityJoin {
 /// orients the pair.
 #[inline]
 pub fn emit_pair(collection: &StringCollection, a: StringId, b: StringId, out: &mut Vec<Pair>) {
-    let (x, y) = (
-        collection.original_index(a),
-        collection.original_index(b),
-    );
+    let (x, y) = (collection.original_index(a), collection.original_index(b));
     out.push(if x < y { (x, y) } else { (y, x) });
 }
 

@@ -1,45 +1,75 @@
-//! Inverted segment indices `L_l^i` with sliding-window eviction (§3.2).
+//! Inverted segment indices `L_l^i` (§3.2), generic over key storage.
 //!
 //! For every string length `l` and slot `i ∈ 1..=τ+1`, `L_l^i` maps an
 //! i-th-segment byte string to the ids of the indexed strings whose i-th
-//! segment equals it. Pass-Join visits strings in length order and only
-//! probes lengths in `[|s|−τ, |s|]`, so indices for smaller lengths are
-//! evicted as the scan advances — at most `(τ+1)²` maps are live at any
-//! moment (τ+1 lengths × τ+1 slots).
+//! segment equals it. The map structure is [`SegmentMap<K>`], generic over
+//! how segment keys are stored:
 //!
-//! Keys borrow directly from the collection arena (`&'a [u8]`): segments
-//! are never copied.
+//! * [`SegmentIndex`] (`K = &[u8]`) — the paper's scan index. Keys borrow
+//!   directly from the collection arena: segments are never copied. Ids are
+//!   appended in ascending order, and indices for lengths the length-ordered
+//!   scan has passed are dropped with [`SegmentMap::evict_below`] — at most
+//!   `(τ+1)²` maps are live at any moment.
+//! * [`OwnedSegmentIndex`] (`K = Box<[u8]>`) — the online index. Keys own
+//!   copies of the segment bytes, so the index is self-contained, covers
+//!   every length at once, and supports out-of-order
+//!   [`SegmentMap::insert_owned`] and [`SegmentMap::remove_owned`] — the
+//!   substrate of the `passjoin-online` crate's dynamic collections.
+//!
+//! Both share probing, accounting, and eviction code; they differ only in
+//! how a segment key is materialized at insertion time.
+
+use std::borrow::Borrow;
+use std::hash::Hash;
 
 use sj_common::hash::FxHashMap;
 use sj_common::StringId;
 
-use crate::partition::PartitionScheme;
+use crate::partition::{PartitionScheme, SegmentSpec};
+
+/// A segment key: hashable, comparable, and viewable as bytes.
+///
+/// Implemented by `&[u8]` (borrowed from an arena) and `Box<[u8]>` (owned);
+/// blanket-implemented so downstream crates can plug in their own storage
+/// (e.g. interned or integer-encoded keys).
+pub trait SegmentKey: Borrow<[u8]> + Hash + Eq {}
+
+impl<K: Borrow<[u8]> + Hash + Eq> SegmentKey for K {}
 
 /// One inverted list family `L_l^*`, all τ+1 slots for one string length.
-type PerLength<'a> = Vec<FxHashMap<&'a [u8], Vec<StringId>>>;
+type PerLength<K> = Vec<FxHashMap<K, Vec<StringId>>>;
 
-/// The live inverted indices of a Pass-Join scan.
-#[derive(Debug)]
-pub struct SegmentIndex<'a> {
+/// The paper's scan index: keys borrow from the collection arena.
+pub type SegmentIndex<'a> = SegmentMap<&'a [u8]>;
+
+/// The online index substrate: keys own their segment bytes.
+pub type OwnedSegmentIndex = SegmentMap<Box<[u8]>>;
+
+/// The inverted segment indices of a Pass-Join scan or online collection,
+/// generic over key storage (see the module docs).
+#[derive(Debug, Clone)]
+pub struct SegmentMap<K: SegmentKey> {
     tau: usize,
     scheme: PartitionScheme,
     /// Indexed by string length `l`; `None` when empty or evicted.
-    per_len: Vec<Option<PerLength<'a>>>,
+    per_len: Vec<Option<PerLength<K>>>,
     /// Inverted-list entries currently live (Σ list lengths).
     entries: u64,
     /// Distinct (l, i, segment) keys currently live.
     distinct_keys: u64,
-    /// Live key bytes (Σ key lengths) — keys are borrowed, but the paper's
-    /// integer encoding would materialize them; counted for Table 3.
+    /// Live key bytes (Σ key lengths) — borrowed keys don't own them, but
+    /// the paper's integer encoding would materialize them; counted for
+    /// Table 3.
     key_bytes: u64,
     /// Peak of the estimated index size over the scan (Table 3 reports the
     /// maximum resident index, matching the paper's max-over-j complexity).
     peak_bytes: u64,
 }
 
-impl<'a> SegmentIndex<'a> {
+impl<K: SegmentKey> SegmentMap<K> {
     /// Creates an empty index for strings of length up to `max_len`, using
-    /// the paper's even partition.
+    /// the paper's even partition. Inserting longer strings grows the
+    /// length table on demand, so `max_len` is a pre-sizing hint.
     pub fn new(max_len: usize, tau: usize) -> Self {
         Self::with_scheme(max_len, tau, PartitionScheme::Even)
     }
@@ -47,10 +77,12 @@ impl<'a> SegmentIndex<'a> {
     /// Creates an empty index with an explicit partition scheme (used by
     /// the partition ablation).
     pub fn with_scheme(max_len: usize, tau: usize, scheme: PartitionScheme) -> Self {
+        let mut per_len = Vec::new();
+        per_len.resize_with(max_len + 1, || None);
         Self {
             tau,
             scheme,
-            per_len: vec![None; max_len + 1],
+            per_len,
             entries: 0,
             distinct_keys: 0,
             key_bytes: 0,
@@ -58,27 +90,60 @@ impl<'a> SegmentIndex<'a> {
         }
     }
 
-    /// Partitions `s` (which must live as long as the index) into τ+1
-    /// segments and appends `id` to each segment's inverted list.
-    ///
-    /// Ids must be inserted in ascending order — the lists then stay sorted,
-    /// which the shared-prefix verification relies on.
-    pub fn insert(&mut self, s: &'a [u8], id: StringId) {
-        let l = s.len();
-        debug_assert!(l > self.tau, "short strings use the fallback path");
-        let slot_maps = self.per_len[l].get_or_insert_with(|| {
-            (0..=self.tau).map(|_| FxHashMap::default()).collect()
-        });
-        for slot in 1..=self.tau + 1 {
-            let seg = self.scheme.segment(l, self.tau, slot);
-            let key = &s[seg.start..seg.end()];
-            let list = slot_maps[slot - 1].entry(key).or_insert_with(|| {
+    /// The threshold the index partitions for (strings split into
+    /// `tau() + 1` segments).
+    pub fn tau(&self) -> usize {
+        self.tau
+    }
+
+    /// The partition scheme in use.
+    pub fn scheme(&self) -> PartitionScheme {
+        self.scheme
+    }
+
+    /// Largest string length the index currently has a (possibly empty)
+    /// table row for.
+    pub fn max_len(&self) -> usize {
+        self.per_len.len().saturating_sub(1)
+    }
+
+    /// Appends `id` under all τ+1 segment keys produced by `key_of`
+    /// (called with each segment's spec). `sorted_insert` places the id by
+    /// binary search instead of pushing; plain pushes keep the scan's
+    /// ascending-id invariant assertion.
+    fn insert_keys(
+        &mut self,
+        len: usize,
+        id: StringId,
+        sorted_insert: bool,
+        mut key_of: impl FnMut(SegmentSpec) -> K,
+    ) {
+        debug_assert!(len > self.tau, "short strings use the fallback path");
+        if len >= self.per_len.len() {
+            self.per_len.resize_with(len + 1, || None);
+        }
+        let tau = self.tau;
+        let slot_maps = self.per_len[len]
+            .get_or_insert_with(|| (0..=tau).map(|_| FxHashMap::default()).collect());
+        for slot in 1..=tau + 1 {
+            let seg = self.scheme.segment(len, tau, slot);
+            let list = slot_maps[slot - 1].entry(key_of(seg)).or_insert_with(|| {
                 self.distinct_keys += 1;
                 self.key_bytes += seg.len as u64;
                 Vec::new()
             });
-            debug_assert!(list.last().is_none_or(|&last| last < id));
-            list.push(id);
+            if sorted_insert {
+                match list.binary_search(&id) {
+                    Ok(_) => {
+                        debug_assert!(false, "id {id} already indexed at length {len}");
+                        continue;
+                    }
+                    Err(pos) => list.insert(pos, id),
+                }
+            } else {
+                debug_assert!(list.last().is_none_or(|&last| last < id));
+                list.push(id);
+            }
             self.entries += 1;
         }
         self.peak_bytes = self.peak_bytes.max(self.live_bytes());
@@ -106,7 +171,7 @@ impl<'a> SegmentIndex<'a> {
                     for (key, list) in map {
                         self.entries -= list.len() as u64;
                         self.distinct_keys -= 1;
-                        self.key_bytes -= key.len() as u64;
+                        self.key_bytes -= key.borrow().len() as u64;
                     }
                 }
             }
@@ -131,6 +196,69 @@ impl<'a> SegmentIndex<'a> {
     /// Live inverted-list entries (Σ list lengths).
     pub fn entries(&self) -> u64 {
         self.entries
+    }
+}
+
+impl<'a> SegmentMap<&'a [u8]> {
+    /// Partitions `s` (which must live as long as the index) into τ+1
+    /// segments and appends `id` to each segment's inverted list.
+    ///
+    /// Ids must be inserted in ascending order — the lists then stay sorted,
+    /// which the shared-prefix verification relies on.
+    pub fn insert(&mut self, s: &'a [u8], id: StringId) {
+        self.insert_keys(s.len(), id, false, |seg| &s[seg.start..seg.end()]);
+    }
+}
+
+impl SegmentMap<Box<[u8]>> {
+    /// Partitions `s` into τ+1 segments, copies each segment's bytes into
+    /// an owned key, and inserts `id` in sorted position — ids may arrive
+    /// in any order, so dynamic collections can index on insertion.
+    pub fn insert_owned(&mut self, s: &[u8], id: StringId) {
+        self.insert_keys(s.len(), id, true, |seg| s[seg.start..seg.end()].into());
+    }
+
+    /// Removes `id` from every inverted list the partition of `s` maps to,
+    /// dropping keys whose lists become empty. Returns `true` if the id was
+    /// present (under its first segment; the partition is deterministic, so
+    /// presence is all-or-nothing).
+    ///
+    /// `s` must be the exact byte string `id` was inserted with.
+    pub fn remove_owned(&mut self, s: &[u8], id: StringId) -> bool {
+        let l = s.len();
+        debug_assert!(l > self.tau, "short strings use the fallback path");
+        let Some(Some(slot_maps)) = self.per_len.get_mut(l) else {
+            return false;
+        };
+        let mut found = false;
+        for slot in 1..=self.tau + 1 {
+            let seg = self.scheme.segment(l, self.tau, slot);
+            let key = &s[seg.start..seg.end()];
+            let map = &mut slot_maps[slot - 1];
+            let Some(list) = map.get_mut(key) else {
+                debug_assert!(
+                    !found,
+                    "segments of one id must be all present or all absent"
+                );
+                continue;
+            };
+            let Ok(pos) = list.binary_search(&id) else {
+                debug_assert!(!found);
+                continue;
+            };
+            list.remove(pos);
+            self.entries -= 1;
+            found = true;
+            if list.is_empty() {
+                map.remove(key);
+                self.distinct_keys -= 1;
+                self.key_bytes -= seg.len as u64;
+            }
+        }
+        if found && slot_maps.iter().all(|map| map.is_empty()) {
+            self.per_len[l] = None;
+        }
+        found
     }
 }
 
@@ -191,5 +319,66 @@ mod tests {
         assert_eq!(idx.entries(), 4);
         idx.insert(b"abcdefgi", 1);
         assert_eq!(idx.entries(), 8);
+    }
+
+    #[test]
+    fn owned_inserts_in_any_order_stay_sorted() {
+        let mut idx = OwnedSegmentIndex::new(0, 1);
+        idx.insert_owned(b"abcdxxxx", 7);
+        idx.insert_owned(b"abcdyyyy", 2);
+        idx.insert_owned(b"abcdzzzz", 4);
+        assert_eq!(idx.probe(8, 1, b"abcd"), Some(&[2u32, 4, 7][..]));
+        assert_eq!(idx.entries(), 6);
+        // Growing past the pre-sized table works.
+        idx.insert_owned(b"a much longer string than the hint", 9);
+        assert!(idx.has_length(34));
+    }
+
+    #[test]
+    fn owned_remove_round_trips() {
+        let mut idx = OwnedSegmentIndex::new(10, 1);
+        idx.insert_owned(b"abcdxxxx", 0);
+        idx.insert_owned(b"abcdyyyy", 1);
+        let live_full = idx.live_bytes();
+
+        assert!(idx.remove_owned(b"abcdyyyy", 1));
+        assert_eq!(idx.probe(8, 1, b"abcd"), Some(&[0u32][..]));
+        assert_eq!(idx.probe(8, 2, b"yyyy"), None, "emptied key is dropped");
+        assert!(idx.live_bytes() < live_full);
+
+        // Removing an absent id (or a never-inserted string) is a no-op.
+        assert!(!idx.remove_owned(b"abcdyyyy", 1));
+        assert!(!idx.remove_owned(b"qqqqqqqq", 5));
+
+        assert!(idx.remove_owned(b"abcdxxxx", 0));
+        assert!(!idx.has_length(8), "empty length rows are reclaimed");
+        assert_eq!(idx.entries(), 0);
+        assert_eq!(idx.live_bytes(), 0);
+
+        // Re-insertion after removal works (the round trip of the online
+        // index's insert → remove → insert cycle).
+        idx.insert_owned(b"abcdxxxx", 0);
+        assert_eq!(idx.probe(8, 1, b"abcd"), Some(&[0u32][..]));
+    }
+
+    #[test]
+    fn owned_and_borrowed_agree_on_probes() {
+        let strings: Vec<&[u8]> = vec![b"aaabbbccc", b"aaabbbccd", b"xxxyyyzzz"];
+        let mut scan = SegmentIndex::new(16, 2);
+        let mut owned = OwnedSegmentIndex::new(16, 2);
+        for (id, s) in strings.iter().enumerate() {
+            scan.insert(s, id as StringId);
+            owned.insert_owned(s, id as StringId);
+        }
+        for l in 0..=16 {
+            assert_eq!(scan.has_length(l), owned.has_length(l));
+        }
+        for slot in 1..=3 {
+            for key in [&b"aaa"[..], b"bbb", b"ccc", b"ccd", b"xxx", b"zzz"] {
+                assert_eq!(scan.probe(9, slot, key), owned.probe(9, slot, key));
+            }
+        }
+        assert_eq!(scan.entries(), owned.entries());
+        assert_eq!(scan.live_bytes(), owned.live_bytes());
     }
 }

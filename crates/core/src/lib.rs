@@ -48,13 +48,15 @@ pub mod index;
 pub mod joiner;
 mod parallel;
 pub mod partition;
+mod probe;
 pub mod search;
 pub mod select;
 pub mod topk;
 pub mod verify;
 
+pub use index::{OwnedSegmentIndex, SegmentIndex, SegmentKey, SegmentMap};
 pub use joiner::PassJoin;
-pub use search::SearchIndex;
 pub use partition::PartitionScheme;
-pub use select::Selection;
+pub use search::SearchIndex;
+pub use select::{online_window, Selection};
 pub use verify::Verification;

@@ -22,7 +22,8 @@ use sj_common::join::emit_pair;
 use sj_common::{JoinOutput, JoinStats, SimilarityJoin, StringCollection, StringId};
 
 use crate::index::SegmentIndex;
-use crate::joiner::{PassJoin, ProbeState};
+use crate::joiner::PassJoin;
+use crate::probe::ProbeState;
 
 /// Probe ids are handed to workers in blocks of this size: large enough to
 /// amortize the atomic fetch, small enough to balance skewed tails.

@@ -45,8 +45,14 @@ impl SegmentSpec {
 #[inline]
 pub fn segment(len: usize, tau: usize, slot: usize) -> SegmentSpec {
     let parts = tau + 1;
-    debug_assert!(len >= parts, "string of length {len} cannot form {parts} segments");
-    debug_assert!((1..=parts).contains(&slot), "slot {slot} out of 1..={parts}");
+    debug_assert!(
+        len >= parts,
+        "string of length {len} cannot form {parts} segments"
+    );
+    debug_assert!(
+        (1..=parts).contains(&slot),
+        "slot {slot} out of 1..={parts}"
+    );
     let base = len / parts;
     let k = len - base * parts;
     // The first `parts − k` segments have length `base`, the last `k` have

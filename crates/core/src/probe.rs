@@ -1,0 +1,174 @@
+//! Per-probe machinery shared by the self-, R×S, and parallel join drivers:
+//! substring selection against a [`SegmentMap`], candidate deduplication,
+//! and the verification cascade (§4–§5).
+//!
+//! Split out of the join drivers so the scan loop (visit order, eviction,
+//! short-string fallback) is the only thing they own; the probing core is
+//! generic over the index's key storage, so it serves the arena-borrowing
+//! scan index and owned-key indices alike.
+
+use editdist::{
+    banded_within_ws, length_aware_within_ws, myers_within, within_full, DpWorkspace,
+    ExtensionVerifier, Occurrence,
+};
+use sj_common::stamp::StampSet;
+use sj_common::{JoinStats, StringId};
+
+use crate::index::{SegmentKey, SegmentMap};
+use crate::joiner::PassJoin;
+use crate::partition::PartitionScheme;
+use crate::select::Selection;
+use crate::verify::Verification;
+
+/// Reusable per-probe state: scratch sets, DP workspaces, and the
+/// configured selection/verification strategies.
+pub(crate) struct ProbeState {
+    selection: Selection,
+    verification: Verification,
+    partition: PartitionScheme,
+    tau: usize,
+    /// Pairs already resolved for the current probe: results emitted (any
+    /// verifier), or — for whole-pair verifiers only — pairs already
+    /// checked. Occurrence-dependent (extension) verification must re-try
+    /// other occurrences of a rejected pair, so rejections are only cached
+    /// for whole-pair verifiers.
+    resolved: StampSet,
+    /// Distinct candidate pairs of the current probe (statistics).
+    cand_seen: StampSet,
+    ext: ExtensionVerifier,
+    pub(crate) ws: DpWorkspace,
+}
+
+impl ProbeState {
+    pub(crate) fn new(config: &PassJoin, indexed_universe: usize, tau: usize) -> Self {
+        let share = matches!(
+            config.verification(),
+            Verification::Extension { share_prefix: true }
+        );
+        Self {
+            selection: config.selection(),
+            verification: config.verification(),
+            partition: config.partition(),
+            tau,
+            resolved: StampSet::new(indexed_universe),
+            cand_seen: StampSet::new(indexed_universe),
+            ext: ExtensionVerifier::new(share),
+            ws: DpWorkspace::new(),
+        }
+    }
+
+    pub(crate) fn begin_probe(&mut self) {
+        self.resolved.clear();
+        self.cand_seen.clear();
+    }
+
+    /// [`ProbeState::probe_lengths_bounded`] with no id bound — for the
+    /// incremental drivers, whose indices only ever hold earlier ids.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn probe_lengths<'c, K: SegmentKey>(
+        &mut self,
+        s: &[u8],
+        lmin: usize,
+        lmax: usize,
+        index: &SegmentMap<K>,
+        resolve: impl Fn(StringId) -> &'c [u8],
+        stats: &mut JoinStats,
+        emit: impl FnMut(StringId, usize),
+    ) {
+        self.probe_lengths_bounded(s, lmin, lmax, index, u32::MAX, resolve, stats, emit);
+    }
+
+    /// Probes the inverted indices of every length in `[lmin, lmax]` with
+    /// the selected substrings of `s`, verifying candidates with id
+    /// `< max_id` and invoking `emit(indexed_id, certificate)` for each
+    /// result. `resolve` maps an indexed id to its bytes. The id bound lets
+    /// the parallel driver share one full index while still enumerating
+    /// every pair exactly once.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn probe_lengths_bounded<'c, K: SegmentKey>(
+        &mut self,
+        s: &[u8],
+        lmin: usize,
+        lmax: usize,
+        index: &SegmentMap<K>,
+        max_id: StringId,
+        resolve: impl Fn(StringId) -> &'c [u8],
+        stats: &mut JoinStats,
+        mut emit: impl FnMut(StringId, usize),
+    ) {
+        let tau = self.tau;
+        for l in lmin..=lmax {
+            if !index.has_length(l) {
+                continue;
+            }
+            for slot in 1..=tau + 1 {
+                let seg = self.partition.segment(l, tau, slot);
+                let window = self.selection.window(s.len(), l, seg, slot, tau);
+                stats.selected_substrings += window.len() as u64;
+                for p in window {
+                    stats.probes += 1;
+                    let w = &s[p..p + seg.len];
+                    let Some(list) = index.probe(l, slot, w) else {
+                        continue;
+                    };
+                    // Lists are sorted by id; keep only ids below the bound.
+                    let list = &list[..list.partition_point(|&rid| rid < max_id)];
+                    let occ = Occurrence {
+                        slot,
+                        seg_start: seg.start,
+                        seg_len: seg.len,
+                        probe_start: p,
+                    };
+                    match self.verification {
+                        Verification::Extension { .. } => {
+                            self.ext.begin_scan(s, &occ, tau, l);
+                            for &rid in list {
+                                stats.candidate_occurrences += 1;
+                                if self.cand_seen.insert(rid) {
+                                    stats.candidate_pairs += 1;
+                                }
+                                if self.resolved.contains(rid) {
+                                    continue; // already emitted for this probe
+                                }
+                                stats.verifications += 1;
+                                if let Some(cert) = self.ext.verify(resolve(rid), s, &occ) {
+                                    self.resolved.insert(rid);
+                                    emit(rid, cert);
+                                    stats.results += 1;
+                                }
+                            }
+                        }
+                        whole => {
+                            for &rid in list {
+                                stats.candidate_occurrences += 1;
+                                if !self.cand_seen.insert(rid) {
+                                    continue; // pair already checked: sound
+                                              // for whole-pair verifiers
+                                }
+                                stats.candidate_pairs += 1;
+                                stats.verifications += 1;
+                                let r = resolve(rid);
+                                let verdict = match whole {
+                                    Verification::Full => within_full(r, s, tau),
+                                    Verification::Banded => {
+                                        banded_within_ws(r, s, tau, &mut self.ws)
+                                    }
+                                    Verification::LengthAware => {
+                                        length_aware_within_ws(r, s, tau, &mut self.ws)
+                                    }
+                                    Verification::Myers => myers_within(r, s, tau),
+                                    Verification::Extension { .. } => unreachable!(),
+                                };
+                                if let Some(d) = verdict {
+                                    self.resolved.insert(rid);
+                                    emit(rid, d);
+                                    stats.results += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

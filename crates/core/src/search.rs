@@ -153,13 +153,8 @@ impl<'i, 'a> Searcher<'i, 'a> {
                             // The extension certificate is an upper bound;
                             // report the exact distance (cheap: one banded
                             // run over an accepted pair).
-                            let d = length_aware_within_ws(
-                                dict.get(rid),
-                                query,
-                                tau,
-                                &mut self.ws,
-                            )
-                            .expect("certificate implies distance <= tau");
+                            let d = length_aware_within_ws(dict.get(rid), query, tau, &mut self.ws)
+                                .expect("certificate implies distance <= tau");
                             out.push((dict.original_index(rid), d));
                         }
                     }
@@ -176,8 +171,15 @@ mod tests {
 
     fn dict() -> StringCollection {
         StringCollection::from_strs(&[
-            "partition", "petition", "position", "partitions", "parting",
-            "station", "ab", "a", "",
+            "partition",
+            "petition",
+            "position",
+            "partitions",
+            "parting",
+            "station",
+            "ab",
+            "a",
+            "",
         ])
     }
 
@@ -199,7 +201,12 @@ mod tests {
         for tau in 0..=3usize {
             let index = SearchIndex::build(&d, tau);
             for query in [
-                &b"partition"[..], b"partitio", b"petitions", b"b", b"", b"pos1tion",
+                &b"partition"[..],
+                b"partitio",
+                b"petitions",
+                b"b",
+                b"",
+                b"pos1tion",
                 b"zzzzzzzzz",
             ] {
                 let mut got = index.query(query);
@@ -240,7 +247,11 @@ mod tests {
         let d = dict();
         let index = SearchIndex::build(&d, 3);
         for (pos, dist) in index.query(b"partitain") {
-            let entry = d.iter().find(|(id, _)| d.original_index(*id) == pos).unwrap().1;
+            let entry = d
+                .iter()
+                .find(|(id, _)| d.original_index(*id) == pos)
+                .unwrap()
+                .1;
             assert_eq!(dist, edit_distance(entry, b"partitain"));
         }
     }

@@ -110,6 +110,63 @@ impl Selection {
     }
 }
 
+/// The substring window for probing a **τ_max-partitioned index with a
+/// smaller per-query threshold** (the online-index case: one index built at
+/// `tau_index`, queries at any `tau_query ≤ tau_index`).
+///
+/// The paper's multi-match window ties the partition granularity and the
+/// edit budget to the same τ; here they differ, so the window is the
+/// intersection of two independently complete bounds:
+///
+/// * the multi-match pigeonhole of the **index geometry** (§4.2 with
+///   `m = tau_index + 1` segments): some preserved segment `i` matches at a
+///   shift within `i − 1` from the left and `tau_index + 1 − i` from the
+///   right — the proof only needs `m ≥ e + 1`, which `e ≤ tau_query ≤
+///   tau_index` guarantees;
+/// * the position-aware bound of the **query budget** (§4.1): any segment
+///   preserved by a ≤ `tau_query` transcript matches within
+///   `[p − ⌊(τ_q−Δ)/2⌋, p + ⌊(τ_q+Δ)/2⌋]`.
+///
+/// The multi-match witness occurrence is transcript-aligned, hence inside
+/// both bounds, so the intersection is complete. For
+/// `tau_query == tau_index` it is at least as tight as
+/// [`Selection::MultiMatch`].
+pub fn online_window(
+    s_len: usize,
+    l: usize,
+    seg: SegmentSpec,
+    slot: usize,
+    tau_index: usize,
+    tau_query: usize,
+) -> Range<usize> {
+    debug_assert!(
+        tau_query <= tau_index,
+        "per-query τ exceeds the index τ_max"
+    );
+    debug_assert!(s_len.abs_diff(l) <= tau_query, "length filter must hold");
+    if s_len < seg.len {
+        return 0..0;
+    }
+    let max_start = s_len - seg.len; // inclusive upper clamp
+    let p = seg.start as isize;
+    let delta = s_len as isize - l as isize; // Δ = |s| − l, signed
+    let ti = tau_index as isize;
+    let tq = tau_query as isize;
+    let slot_i = slot as isize;
+
+    // Multi-match pigeonhole over the index geometry.
+    let r_reach = ti + 1 - slot_i;
+    let mut lo = (p - (slot_i - 1)).max(p + delta - r_reach);
+    let mut hi = (p + (slot_i - 1)).min(p + delta + r_reach);
+    // Position-aware bound for the query budget.
+    lo = lo.max(p - (tq - delta) / 2);
+    hi = hi.min(p + (tq + delta) / 2);
+
+    let lo = lo.clamp(0, max_start as isize + 1) as usize;
+    let hi_exclusive = (hi + 1).clamp(lo as isize, max_start as isize + 1) as usize;
+    lo..hi_exclusive
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,9 +294,7 @@ mod tests {
                 let total: usize = (1..=tau + 1)
                     .map(|slot| {
                         let seg = segment(l, tau, slot);
-                        Selection::MultiMatch
-                            .window(s_len, l, seg, slot, tau)
-                            .len()
+                        Selection::MultiMatch.window(s_len, l, seg, slot, tau).len()
                     })
                     .sum();
                 assert_eq!(
@@ -263,6 +318,58 @@ mod tests {
                     let w = Selection::Position.window(s_len, l, seg, slot, tau);
                     assert!(w.len() <= tau + 1);
                     assert!(!w.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn online_window_matches_multi_match_at_equal_taus_up_to_tightening() {
+        // With tau_query == tau_index the online window is contained in the
+        // paper's multi-match window (it additionally intersects the
+        // position bound) and always contains the multi-match ∩ position
+        // intersection — i.e. it loses nothing a complete selector keeps.
+        for s_len in 4..24usize {
+            for tau in 1..5usize {
+                for l in s_len.saturating_sub(tau).max(tau + 1)..=s_len + tau {
+                    for slot in 1..=tau + 1 {
+                        let seg = segment(l, tau, slot);
+                        let mm = Selection::MultiMatch.window(s_len, l, seg, slot, tau);
+                        let pos = Selection::Position.window(s_len, l, seg, slot, tau);
+                        let online = online_window(s_len, l, seg, slot, tau, tau);
+                        let within = |inner: &Range<usize>, outer: &Range<usize>| {
+                            inner.is_empty()
+                                || (inner.start >= outer.start && inner.end <= outer.end)
+                        };
+                        assert!(within(&online, &mm), "s={s_len} l={l} τ={tau} i={slot}");
+                        let both = mm.start.max(pos.start)..mm.end.min(pos.end);
+                        assert!(within(&both, &online), "s={s_len} l={l} τ={tau} i={slot}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn online_window_shrinks_with_query_tau() {
+        // Smaller per-query budgets can only shrink the window.
+        for s_len in 6..20usize {
+            let tau_index = 4usize;
+            for l in s_len.saturating_sub(2).max(tau_index + 1)..=s_len + 2 {
+                for slot in 1..=tau_index + 1 {
+                    let seg = segment(l, tau_index, slot);
+                    let delta = s_len.abs_diff(l);
+                    let mut prev: Option<Range<usize>> = None;
+                    for tq in (delta..=tau_index).rev() {
+                        let w = online_window(s_len, l, seg, slot, tau_index, tq);
+                        if let Some(prev) = prev {
+                            assert!(
+                                w.is_empty() || (w.start >= prev.start && w.end <= prev.end),
+                                "τ_q={tq} window {w:?} not inside {prev:?}"
+                            );
+                        }
+                        prev = Some(w);
+                    }
                 }
             }
         }

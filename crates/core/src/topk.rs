@@ -80,8 +80,16 @@ mod tests {
     #[test]
     fn matches_bruteforce_topk() {
         let strings = [
-            "partition", "petition", "position", "partitions", "parting",
-            "station", "startion", "ab", "ax", "completely different text",
+            "partition",
+            "petition",
+            "position",
+            "partitions",
+            "parting",
+            "station",
+            "startion",
+            "ab",
+            "ax",
+            "completely different text",
         ];
         let coll = StringCollection::from_strs(&strings);
         for k in [1usize, 3, 5, 10, 45, 100] {
@@ -98,7 +106,10 @@ mod tests {
             for ((a, b), d) in got {
                 assert_eq!(
                     d,
-                    edit_distance(strings[a as usize].as_bytes(), strings[b as usize].as_bytes())
+                    edit_distance(
+                        strings[a as usize].as_bytes(),
+                        strings[b as usize].as_bytes()
+                    )
                 );
             }
         }

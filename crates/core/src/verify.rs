@@ -45,7 +45,9 @@ impl Verification {
             Verification::Banded => "2tau+1",
             Verification::LengthAware => "tau+1",
             Verification::Myers => "myers",
-            Verification::Extension { share_prefix: false } => "extension",
+            Verification::Extension {
+                share_prefix: false,
+            } => "extension",
             Verification::Extension { share_prefix: true } => "share-prefix",
         }
     }
@@ -100,6 +102,9 @@ mod tests {
         assert!(Verification::LengthAware.is_whole_pair());
         assert!(Verification::Myers.is_whole_pair());
         assert!(!Verification::Extension { share_prefix: true }.is_whole_pair());
-        assert!(!Verification::Extension { share_prefix: false }.is_whole_pair());
+        assert!(!Verification::Extension {
+            share_prefix: false
+        }
+        .is_whole_pair());
     }
 }

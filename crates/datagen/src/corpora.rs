@@ -294,7 +294,12 @@ mod tests {
         let c = spec.collection();
         assert_eq!(c.len(), 5_000);
         let (_, paper_avg, paper_max, paper_min) = DatasetKind::Author.paper_stats();
-        assert!(c.min_len() >= paper_min, "min {} < {}", c.min_len(), paper_min);
+        assert!(
+            c.min_len() >= paper_min,
+            "min {} < {}",
+            c.min_len(),
+            paper_min
+        );
         assert!(c.max_len() <= paper_max);
         let avg = c.avg_len();
         assert!(

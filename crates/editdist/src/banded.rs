@@ -23,12 +23,7 @@ pub fn banded_within(a: &[u8], b: &[u8], tau: usize) -> Option<usize> {
 }
 
 /// [`banded_within`] with caller-provided row buffers (hot-path variant).
-pub fn banded_within_ws(
-    a: &[u8],
-    b: &[u8],
-    tau: usize,
-    ws: &mut DpWorkspace,
-) -> Option<usize> {
+pub fn banded_within_ws(a: &[u8], b: &[u8], tau: usize, ws: &mut DpWorkspace) -> Option<usize> {
     // Rows iterate over the shorter string: O((2τ+1)·min(|a|,|b|)).
     let (r, s) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     let (m, n) = (r.len(), s.len());

@@ -150,12 +150,7 @@ impl ExtensionVerifier {
 
 /// One-shot extension verification of a single occurrence (test/demo
 /// convenience; join drivers use [`ExtensionVerifier`] for buffer reuse).
-pub fn verify_extension(
-    r: &[u8],
-    s: &[u8],
-    occ: &Occurrence,
-    tau: usize,
-) -> Option<usize> {
+pub fn verify_extension(r: &[u8], s: &[u8], occ: &Occurrence, tau: usize) -> Option<usize> {
     let mut v = ExtensionVerifier::new(false);
     v.begin_scan(s, occ, tau, r.len());
     v.verify(r, s, occ)

@@ -56,7 +56,10 @@ mod tests {
         for &(x, y) in cases {
             let d = edit_distance(x, y);
             for tau in d..d + 3 {
-                assert!(!content_prune(x, y, tau), "pruned a pair with ed={d} at tau={tau}");
+                assert!(
+                    !content_prune(x, y, tau),
+                    "pruned a pair with ed={d} at tau={tau}"
+                );
             }
         }
     }

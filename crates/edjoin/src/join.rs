@@ -174,9 +174,7 @@ impl SimilarityJoin for EdJoin {
                 };
                 // Length filter: ids ascend by length; skip entries whose
                 // strings are shorter than |s| − τ.
-                let cut = list.partition_point(|&(rid, _)| {
-                    collection.str_len(rid) + tau < s.len()
-                });
+                let cut = list.partition_point(|&(rid, _)| collection.str_len(rid) + tau < s.len());
                 for &(rid, rpos) in &list[cut..] {
                     stats.candidate_occurrences += 1;
                     // Positional filter: a gram surviving ≤ τ edits shifts
@@ -205,9 +203,9 @@ impl SimilarityJoin for EdJoin {
                     mismatch_positions.clear();
                     for g in &grams[..prefix_len] {
                         let bytes = &s[g.pos as usize..g.pos as usize + q];
-                        let matched = y_gram_positions.get(bytes).is_some_and(|ps| {
-                            ps.iter().any(|&p| p.abs_diff(g.pos) <= tau as u32)
-                        });
+                        let matched = y_gram_positions
+                            .get(bytes)
+                            .is_some_and(|ps| ps.iter().any(|&p| p.abs_diff(g.pos) <= tau as u32));
                         if !matched {
                             mismatch_positions.push(g.pos);
                         }
@@ -237,8 +235,7 @@ impl SimilarityJoin for EdJoin {
         // Index accounting mirrors `SegmentIndex::live_bytes`: 8 bytes per
         // posting (id + position) plus a 12-byte header and the q key bytes
         // per distinct indexed gram.
-        stats.index_bytes =
-            index_entries * 8 + index.len() as u64 * (12 + q as u64);
+        stats.index_bytes = index_entries * 8 + index.len() as u64 * (12 + q as u64);
         JoinOutput {
             pairs,
             stats,

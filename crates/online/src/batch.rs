@@ -1,0 +1,189 @@
+//! Batched query execution: length grouping + multi-threaded dispatch.
+//!
+//! A similarity query's control skeleton — which lengths to visit, which
+//! slots exist, each slot's segment spec and selection window — depends
+//! only on the **query length**, not the query bytes. Real query streams
+//! are length-skewed (names, titles, and log queries concentrate on a few
+//! dozen lengths), so the batch driver sorts queries by length and computes
+//! that skeleton once per distinct length ([`LengthPlan`]), leaving only
+//! substring hashing, list probing, and verification per query.
+//!
+//! Parallel execution reuses the workspace's join-driver idiom (see
+//! `passjoin`'s parallel module): workers pull fixed-size blocks of the
+//! length-sorted order off an atomic cursor — dynamic balancing without a
+//! scheduler dependency — keep private scratch, and write results into
+//! disjoint slots of the shared output.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use passjoin::online_window;
+use passjoin::partition::{PartitionScheme, SegmentSpec};
+use sj_common::StringId;
+
+use crate::index::{Inner, QueryScratch};
+use crate::Match;
+
+/// Queries per cursor pull: large enough to amortize the atomic, small
+/// enough to balance length-skewed tails.
+const BLOCK: usize = 32;
+
+/// The per-length probing skeleton: every `(l, slot)` pair with a resident
+/// index, its segment spec, and the selection window for this query length.
+pub(crate) struct LengthPlan {
+    query_len: usize,
+    /// `(l, slot, segment, window)` — windows are already clamped.
+    probes: Vec<(usize, usize, SegmentSpec, std::ops::Range<usize>)>,
+    /// Short-lane ids passing the length filter for this query length.
+    short_ids: Vec<StringId>,
+}
+
+impl LengthPlan {
+    pub(crate) fn build(inner: &Inner, query_len: usize, tau: usize) -> Self {
+        let tau_max = inner.tau_max();
+        assert!(
+            tau <= tau_max,
+            "query τ = {tau} exceeds the index's τ_max = {tau_max}"
+        );
+        let mut probes = Vec::new();
+        let lmin = (tau_max + 1).max(query_len.saturating_sub(tau));
+        let lmax = (query_len + tau).min(inner.segments().max_len());
+        for l in lmin..=lmax {
+            if !inner.segments().has_length(l) {
+                continue;
+            }
+            for slot in 1..=tau_max + 1 {
+                let seg = PartitionScheme::Even.segment(l, tau_max, slot);
+                let window = online_window(query_len, l, seg, slot, tau_max, tau);
+                if !window.is_empty() {
+                    probes.push((l, slot, seg, window));
+                }
+            }
+        }
+        let short_ids = inner
+            .short_ids()
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let len = inner.get(id).expect("short lane holds live ids").len();
+                query_len.abs_diff(len) <= tau
+            })
+            .collect();
+        Self {
+            query_len,
+            probes,
+            short_ids,
+        }
+    }
+}
+
+/// Runs the plan for one query (must have length `plan.query_len`),
+/// appending `(id, distance)` matches to `out` in ascending id order.
+pub(crate) fn query_with_plan(
+    inner: &Inner,
+    plan: &LengthPlan,
+    query: &[u8],
+    tau: usize,
+    scratch: &mut QueryScratch,
+    out: &mut Vec<Match>,
+) {
+    debug_assert_eq!(query.len(), plan.query_len);
+    let from = out.len();
+    scratch.begin(inner.universe());
+    for &rid in &plan.short_ids {
+        let r = inner.get(rid).expect("short lane holds live ids");
+        if let Some(d) = scratch.exact_within(r, query, tau) {
+            out.push((rid, d));
+        }
+    }
+    for (l, slot, seg, window) in &plan.probes {
+        inner.probe_occurrences(query, tau, *l, *slot, *seg, window.clone(), scratch, out);
+    }
+    out[from..].sort_unstable();
+}
+
+/// Executes `queries` against `inner` with `threads` workers (0 = available
+/// parallelism, 1 = sequential). Results align with `queries` by position.
+pub(crate) fn run<Q: AsRef<[u8]> + Sync>(
+    inner: &Inner,
+    queries: &[Q],
+    tau: usize,
+    threads: usize,
+) -> Vec<Vec<Match>> {
+    // Length-sorted execution order (stable within a length for cache
+    // friendliness of identical repeated queries).
+    let mut order: Vec<u32> = (0..queries.len() as u32).collect();
+    order.sort_by_key(|&i| queries[i as usize].as_ref().len());
+
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    };
+
+    if threads <= 1 || queries.len() < 2 * BLOCK {
+        let mut results: Vec<Vec<Match>> = vec![Vec::new(); queries.len()];
+        let mut scratch = QueryScratch::default();
+        let mut plan: Option<LengthPlan> = None;
+        for &qi in &order {
+            let query = queries[qi as usize].as_ref();
+            let plan = match &mut plan {
+                Some(p) if p.query_len == query.len() => p,
+                slot => slot.insert(LengthPlan::build(inner, query.len(), tau)),
+            };
+            query_with_plan(
+                inner,
+                plan,
+                query,
+                tau,
+                &mut scratch,
+                &mut results[qi as usize],
+            );
+        }
+        return results;
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let order = &order;
+    let mut results: Vec<Vec<Match>> = vec![Vec::new(); queries.len()];
+    // Workers own disjoint result slots, handed out as raw chunks through a
+    // shared slice of per-query output cells is not possible without
+    // interior mutability; instead each worker returns (index, matches)
+    // pairs and the merge writes them — the pairs reuse the result Vecs, so
+    // nothing is copied twice.
+    let collected = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(u32, Vec<Match>)> = Vec::new();
+                let mut scratch = QueryScratch::default();
+                let mut plan: Option<LengthPlan> = None;
+                loop {
+                    let start = cursor.fetch_add(BLOCK, Ordering::Relaxed);
+                    if start >= order.len() {
+                        break;
+                    }
+                    for &qi in &order[start..(start + BLOCK).min(order.len())] {
+                        let query = queries[qi as usize].as_ref();
+                        let plan = match &mut plan {
+                            Some(p) if p.query_len == query.len() => p,
+                            slot => slot.insert(LengthPlan::build(inner, query.len(), tau)),
+                        };
+                        let mut out = Vec::new();
+                        query_with_plan(inner, plan, query, tau, &mut scratch, &mut out);
+                        local.push((qi, out));
+                    }
+                }
+                local
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("batch worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    for (qi, matches) in collected {
+        results[qi as usize] = matches;
+    }
+    results
+}

@@ -1,0 +1,325 @@
+//! An epoch-validated LRU cache for query results.
+//!
+//! Serving workloads repeat queries (hot entities, retried lookups), and a
+//! similarity query is orders of magnitude more expensive than a hash-map
+//! hit — so [`crate::OnlineIndex`] keeps recent results keyed by
+//! `(query bytes, τ)`. Correctness under mutation is handled by **epoch
+//! validation** rather than fine-grained invalidation: every insert/remove
+//! bumps the index's mutation epoch, and the first cache access under a
+//! newer epoch drops everything. Fine-grained invalidation (which cached
+//! queries does this inserted string match?) would itself be a similarity
+//! query per mutation; the wholesale drop is the classic cheap alternative
+//! and is exact.
+//!
+//! The cache is an intrusive doubly-linked LRU over a slab: hits are O(1)
+//! (one small key allocation to probe the map — see
+//! [`QueryCache::lookup`]), and values are `Arc`ed so a hit never copies
+//! the result vector.
+
+use std::sync::Arc;
+
+use sj_common::hash::FxHashMap;
+
+use crate::Match;
+
+/// Slab-index sentinel for "no node".
+const NIL: usize = usize::MAX;
+
+type Key = (Box<[u8]>, u32);
+
+#[derive(Debug)]
+struct Node {
+    key: Key,
+    value: Arc<Vec<Match>>,
+    prev: usize,
+    next: usize,
+}
+
+/// Hit/miss counters of a [`QueryCache`] (monotonic over its lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the query.
+    pub misses: u64,
+    /// Wholesale drops triggered by a newer mutation epoch.
+    pub invalidations: u64,
+}
+
+/// The LRU result cache; see the module docs.
+#[derive(Debug)]
+pub struct QueryCache {
+    capacity: usize,
+    /// Mutation epoch of the index state the entries were computed under.
+    epoch: u64,
+    map: FxHashMap<Key, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    stats: CacheStats,
+}
+
+impl QueryCache {
+    /// A cache holding at most `capacity` results (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            epoch: 0,
+            map: FxHashMap::default(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lifetime hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up `(query, tau)` computed under `epoch`; a newer epoch drops
+    /// all entries first, and a lookup for an *older* epoch than the cache
+    /// holds is a miss (entries from a newer index state must not answer
+    /// it). Hits move the entry to the front and are counted; misses are
+    /// counted too (callers always follow up with [`QueryCache::insert`]).
+    pub fn lookup(&mut self, query: &[u8], tau: usize, epoch: u64) -> Option<Arc<Vec<Match>>> {
+        if self.capacity == 0 {
+            self.stats.misses += 1;
+            return None;
+        }
+        self.validate(epoch);
+        if epoch < self.epoch {
+            self.stats.misses += 1;
+            return None;
+        }
+        // The map is keyed by (Box<[u8]>, u32), which has no cheap borrowed
+        // form, so probing builds a temporary key — one small allocation
+        // per lookup; queries are short.
+        let key: Key = (query.into(), tau as u32);
+        match self.map.get(&key) {
+            Some(&slot) => {
+                self.stats.hits += 1;
+                self.unlink(slot);
+                self.push_front(slot);
+                Some(Arc::clone(&self.nodes[slot].value))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Caches a result computed under `epoch`, evicting the least recently
+    /// used entry if full. No-op when disabled or when `epoch` is already
+    /// stale.
+    pub fn insert(&mut self, query: &[u8], tau: usize, epoch: u64, value: Arc<Vec<Match>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.validate(epoch);
+        if epoch < self.epoch {
+            return; // result from an older index state: never store it
+        }
+        let key: Key = (query.into(), tau as u32);
+        if let Some(&slot) = self.map.get(&key) {
+            self.nodes[slot].value = value;
+            self.unlink(slot);
+            self.push_front(slot);
+            return;
+        }
+        if self.map.len() == self.capacity {
+            let lru = self.tail;
+            self.unlink(lru);
+            let node = &mut self.nodes[lru];
+            self.map.remove(&node.key);
+            self.free.push(lru);
+        }
+        let node = Node {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot] = node;
+                slot
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+    }
+
+    /// Drops every entry (also resets the stored epoch to `epoch`).
+    pub fn clear(&mut self, epoch: u64) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.epoch = epoch;
+    }
+
+    /// Advances the cache to a newer epoch, dropping the outdated entries.
+    /// An *older* caller epoch leaves the cache untouched — the caller's
+    /// view is stale, not the cache (lookup/insert then reject it).
+    fn validate(&mut self, epoch: u64) {
+        if epoch > self.epoch {
+            if !self.map.is_empty() {
+                self.stats.invalidations += 1;
+            }
+            self.clear(epoch);
+        }
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn value(ids: &[u32]) -> Arc<Vec<Match>> {
+        Arc::new(ids.iter().map(|&id| (id, 1usize)).collect())
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut cache = QueryCache::new(4);
+        assert!(cache.lookup(b"abc", 1, 0).is_none());
+        cache.insert(b"abc", 1, 0, value(&[7]));
+        let hit = cache.lookup(b"abc", 1, 0).expect("hit");
+        assert_eq!(hit[0].0, 7);
+        // Different τ is a different key.
+        assert!(cache.lookup(b"abc", 2, 0).is_none());
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 2,
+                invalidations: 0
+            }
+        );
+    }
+
+    #[test]
+    fn epoch_bump_invalidates() {
+        let mut cache = QueryCache::new(4);
+        cache.insert(b"abc", 1, 0, value(&[1]));
+        assert!(cache.lookup(b"abc", 1, 0).is_some());
+        assert!(
+            cache.lookup(b"abc", 1, 1).is_none(),
+            "newer epoch drops entries"
+        );
+        assert_eq!(cache.stats().invalidations, 1);
+        // A stale insert (old epoch) is refused.
+        cache.insert(b"abc", 1, 0, value(&[1]));
+        assert!(cache.lookup(b"abc", 1, 1).is_none());
+    }
+
+    #[test]
+    fn stale_operations_leave_current_entries_intact() {
+        let mut cache = QueryCache::new(4);
+        cache.insert(b"abc", 1, 7, value(&[1]));
+        // A stale insert must neither wipe the epoch-7 entries nor be
+        // stored and served later.
+        cache.insert(b"abc", 1, 5, value(&[99]));
+        assert!(
+            cache.lookup(b"abc", 1, 5).is_none(),
+            "stale lookup is a miss"
+        );
+        let current = cache.lookup(b"abc", 1, 7).expect("current entry survives");
+        assert_eq!(current[0].0, 1);
+        assert_eq!(cache.stats().invalidations, 0);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut cache = QueryCache::new(2);
+        cache.insert(b"a", 0, 0, value(&[1]));
+        cache.insert(b"b", 0, 0, value(&[2]));
+        assert!(cache.lookup(b"a", 0, 0).is_some()); // refresh "a"
+        cache.insert(b"c", 0, 0, value(&[3])); // evicts "b"
+        assert!(cache.lookup(b"a", 0, 0).is_some());
+        assert!(cache.lookup(b"b", 0, 0).is_none());
+        assert!(cache.lookup(b"c", 0, 0).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_value() {
+        let mut cache = QueryCache::new(2);
+        cache.insert(b"a", 0, 0, value(&[1]));
+        cache.insert(b"a", 0, 0, value(&[1, 2]));
+        assert_eq!(cache.lookup(b"a", 0, 0).unwrap().len(), 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut cache = QueryCache::new(0);
+        cache.insert(b"a", 0, 0, value(&[1]));
+        assert!(cache.lookup(b"a", 0, 0).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn churn_exercises_slab_reuse() {
+        let mut cache = QueryCache::new(3);
+        for round in 0u32..50 {
+            let key = [round as u8, (round % 7) as u8];
+            cache.insert(&key, 0, 0, value(&[round]));
+            assert!(cache.len() <= 3);
+            assert_eq!(cache.lookup(&key, 0, 0).unwrap()[0].0, round);
+        }
+    }
+}

@@ -1,0 +1,738 @@
+//! The dynamic Pass-Join index: [`OnlineIndex`] and [`Snapshot`].
+//!
+//! # Structure
+//!
+//! The index owns its strings (`Box<[u8]>` per entry, `None` tombstones for
+//! removed ids) and keeps two lanes, mirroring the join drivers:
+//!
+//! * a **segment lane** — an [`passjoin::OwnedSegmentIndex`] partitioning
+//!   every string of length > τ_max into τ_max+1 segments (§3.1/§3.2 of the
+//!   paper, without the scan's sliding-window eviction: all lengths stay
+//!   resident);
+//! * a **short lane** — ids of strings with length ≤ τ_max, which cannot be
+//!   partitioned; queries check them brute-force (there are at most
+//!   `O(|Σ|^τ_max)` meaningfully distinct ones).
+//!
+//! # Per-query thresholds
+//!
+//! The index is partitioned once for `τ_max`, but queries may use any
+//! `τ ≤ τ_max`: [`passjoin::online_window`] intersects the multi-match
+//! pigeonhole of the *index geometry* with the position bound of the
+//! *query budget*, which stays complete (see its docs for the argument).
+//! Candidates are screened with the extension cascade (§5.2) under mixed
+//! budgets — left `min(i−1, τ)`, right `min(τ_max+1−i, τ−d_left)` — and
+//! accepted matches are reported with their **exact** distance.
+//!
+//! # Concurrency
+//!
+//! All state lives behind an [`Arc`]; [`OnlineIndex::snapshot`] hands out a
+//! cheap clone of the pointer. Mutations go through [`Arc::make_mut`]:
+//! while no snapshot is alive they mutate in place (the common case), and
+//! the first mutation under a live snapshot clones the state once
+//! (copy-on-write), leaving readers on the old version — readers never
+//! block and never observe partial mutations.
+
+use std::sync::Arc;
+
+use editdist::{length_aware_within_ws, DpWorkspace};
+use passjoin::partition::SegmentSpec;
+use passjoin::OwnedSegmentIndex;
+use sj_common::stamp::StampSet;
+use sj_common::StringId;
+
+use crate::cache::{CacheStats, QueryCache};
+use crate::Match;
+
+/// Default capacity of the per-index query cache.
+const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// Aggregate statistics of an [`OnlineIndex`] (for dashboards and the CLI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnlineStats {
+    /// Live (non-removed) strings.
+    pub live: usize,
+    /// Removed ids still occupying tombstones.
+    pub tombstones: usize,
+    /// Inverted-list entries in the segment lane.
+    pub segment_entries: u64,
+    /// Strings in the brute-force short lane.
+    pub short_strings: usize,
+    /// Estimated resident bytes: segment index + owned string bytes.
+    pub resident_bytes: u64,
+    /// Mutation epoch (increments on every insert/remove).
+    pub epoch: u64,
+}
+
+/// The shared, copy-on-write state of an index and its snapshots.
+#[derive(Debug, Clone)]
+pub(crate) struct Inner {
+    tau_max: usize,
+    /// `strings[id]` is the string's bytes, or `None` once removed.
+    strings: Vec<Option<Box<[u8]>>>,
+    /// Total owned string bytes (live entries only).
+    string_bytes: u64,
+    live: usize,
+    segments: OwnedSegmentIndex,
+    /// Ascending ids of live strings with length ≤ τ_max.
+    short: Vec<StringId>,
+}
+
+/// Reusable per-thread scratch for queries (dedup stamps + DP rows).
+/// Create one per worker via [`OnlineIndex::scratch`]/[`Snapshot::scratch`]
+/// and pass it to the `*_with` query variants to avoid per-query
+/// allocation.
+#[derive(Debug)]
+pub struct QueryScratch {
+    resolved: StampSet,
+    ws: DpWorkspace,
+}
+
+impl Default for QueryScratch {
+    fn default() -> Self {
+        Self {
+            resolved: StampSet::new(0),
+            ws: DpWorkspace::new(),
+        }
+    }
+}
+
+impl QueryScratch {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepares for one query over an id universe of the given size.
+    pub(crate) fn begin(&mut self, universe: usize) {
+        self.resolved.grow(universe);
+        self.resolved.clear();
+    }
+
+    /// Exact thresholded edit distance using the scratch DP rows.
+    pub(crate) fn exact_within(&mut self, r: &[u8], s: &[u8], tau: usize) -> Option<usize> {
+        length_aware_within_ws(r, s, tau, &mut self.ws)
+    }
+}
+
+impl Inner {
+    fn new(tau_max: usize) -> Self {
+        Self {
+            tau_max,
+            strings: Vec::new(),
+            string_bytes: 0,
+            live: 0,
+            segments: OwnedSegmentIndex::new(0, tau_max),
+            short: Vec::new(),
+        }
+    }
+
+    pub(crate) fn tau_max(&self) -> usize {
+        self.tau_max
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.live
+    }
+
+    pub(crate) fn get(&self, id: StringId) -> Option<&[u8]> {
+        self.strings.get(id as usize)?.as_deref()
+    }
+
+    /// Size of the id universe (live strings + tombstones).
+    pub(crate) fn universe(&self) -> usize {
+        self.strings.len()
+    }
+
+    pub(crate) fn segments(&self) -> &OwnedSegmentIndex {
+        &self.segments
+    }
+
+    pub(crate) fn short_ids(&self) -> &[StringId] {
+        &self.short
+    }
+
+    pub(crate) fn stats(&self, epoch: u64) -> OnlineStats {
+        OnlineStats {
+            live: self.live,
+            tombstones: self.strings.len() - self.live,
+            segment_entries: self.segments.entries(),
+            short_strings: self.short.len(),
+            resident_bytes: self.segments.live_bytes() + self.string_bytes,
+            epoch,
+        }
+    }
+
+    fn insert(&mut self, s: &[u8]) -> StringId {
+        assert!(
+            self.strings.len() < u32::MAX as usize,
+            "online index exceeds u32 id space"
+        );
+        let id = self.strings.len() as StringId;
+        if s.len() > self.tau_max {
+            self.segments.insert_owned(s, id);
+        } else {
+            self.short.push(id); // new ids are maximal: stays ascending
+        }
+        self.strings.push(Some(s.into()));
+        self.string_bytes += s.len() as u64;
+        self.live += 1;
+        id
+    }
+
+    fn remove(&mut self, id: StringId) -> bool {
+        let Some(slot) = self.strings.get_mut(id as usize) else {
+            return false;
+        };
+        let Some(bytes) = slot.take() else {
+            return false;
+        };
+        if bytes.len() > self.tau_max {
+            let removed = self.segments.remove_owned(&bytes, id);
+            debug_assert!(removed, "live string must be segment-indexed");
+        } else {
+            let pos = self.short.binary_search(&id).expect("live short id");
+            self.short.remove(pos);
+        }
+        self.string_bytes -= bytes.len() as u64;
+        self.live -= 1;
+        true
+    }
+
+    /// Appends every live id within distance `tau` of `query` to `out` as
+    /// `(id, exact distance)`, in ascending id order.
+    pub(crate) fn query_into(
+        &self,
+        query: &[u8],
+        tau: usize,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Match>,
+    ) {
+        // One query is a one-entry batch: build the length plan (which
+        // validates τ ≤ τ_max) and run it, so the single and batched paths
+        // share one probing skeleton.
+        let plan = crate::batch::LengthPlan::build(self, query.len(), tau);
+        crate::batch::query_with_plan(self, &plan, query, tau, scratch, out);
+    }
+
+    /// Probes one `(length, slot)` inverted index with the substrings of
+    /// `query` in `window`, screening candidates with the extension cascade
+    /// and emitting `(id, exact distance)` matches. Shared by the single
+    /// query path and the batch driver's precomputed length plans.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn probe_occurrences(
+        &self,
+        query: &[u8],
+        tau: usize,
+        l: usize,
+        slot: usize,
+        seg: SegmentSpec,
+        window: std::ops::Range<usize>,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Match>,
+    ) {
+        for p in window {
+            let w = &query[p..p + seg.len];
+            let Some(list) = self.segments.probe(l, slot, w) else {
+                continue;
+            };
+            for &rid in list {
+                if scratch.resolved.contains(rid) {
+                    continue; // already accepted this query
+                }
+                let r = self.get(rid).expect("segment lane holds live ids");
+                // Extension cascade (§5.2) under mixed budgets: the
+                // partition geometry contributes i−1 / τ_max+1−i, the
+                // query budget contributes τ — the pigeonhole witness
+                // satisfies both, so screening on their minimum never
+                // rejects a true match (see the module docs).
+                let tau_left = (slot - 1).min(tau);
+                let Some(d_left) =
+                    length_aware_within_ws(&r[..seg.start], &query[..p], tau_left, &mut scratch.ws)
+                else {
+                    continue; // this occurrence fails; others may pass
+                };
+                let tau_right = (self.tau_max + 1 - slot).min(tau - d_left);
+                if length_aware_within_ws(
+                    &r[seg.end()..],
+                    &query[p + seg.len..],
+                    tau_right,
+                    &mut scratch.ws,
+                )
+                .is_none()
+                {
+                    continue;
+                }
+                // The alignment certifies ed ≤ τ; report it exactly.
+                let d = length_aware_within_ws(r, query, tau, &mut scratch.ws)
+                    .expect("extension certificate implies distance <= tau");
+                scratch.resolved.insert(rid);
+                out.push((rid, d));
+            }
+        }
+    }
+}
+
+/// A dynamic Pass-Join index over an owned string collection, supporting
+/// inserts, removes, per-query thresholds up to a build-time `τ_max`,
+/// batched/parallel queries, an LRU result cache, and copy-on-write
+/// snapshots for concurrent readers.
+///
+/// ```
+/// use passjoin_online::OnlineIndex;
+///
+/// let mut index = OnlineIndex::new(2);
+/// let vldb = index.insert(b"vldb");
+/// index.insert(b"pvldb");
+/// index.insert(b"sigmod");
+///
+/// assert_eq!(index.query(b"vldbb", 1), vec![(vldb, 1)]);
+/// assert_eq!(index.query(b"vldbb", 2), vec![(vldb, 1), (1, 2)]);
+/// index.remove(vldb);
+/// assert_eq!(index.query(b"vldbb", 2), vec![(1, 2)]);
+/// ```
+#[derive(Debug)]
+pub struct OnlineIndex {
+    inner: Arc<Inner>,
+    /// Mutation counter; validates cached results and tells snapshot users
+    /// how stale they are.
+    epoch: u64,
+    cache: QueryCache,
+}
+
+impl OnlineIndex {
+    /// An empty index accepting queries with thresholds up to `tau_max`.
+    ///
+    /// Larger `tau_max` costs index space (τ_max+1 inverted entries per
+    /// string) and candidate selectivity; the paper's workloads use τ ≤ 8.
+    pub fn new(tau_max: usize) -> Self {
+        Self {
+            inner: Arc::new(Inner::new(tau_max)),
+            epoch: 0,
+            cache: QueryCache::new(DEFAULT_CACHE_CAPACITY),
+        }
+    }
+
+    /// Builds an index from an initial collection (ids are assigned in
+    /// iteration order, starting at 0).
+    pub fn from_strings<I, S>(strings: I, tau_max: usize) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<[u8]>,
+    {
+        let mut index = Self::new(tau_max);
+        for s in strings {
+            index.insert(s.as_ref());
+        }
+        index
+    }
+
+    /// Replaces the query cache with one holding `capacity` results
+    /// (0 disables caching). Existing entries are dropped.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = QueryCache::new(capacity);
+        self
+    }
+
+    /// The largest per-query threshold this index supports.
+    pub fn tau_max(&self) -> usize {
+        self.inner.tau_max()
+    }
+
+    /// Live (non-removed) strings.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True if no live strings are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.inner.len() == 0
+    }
+
+    /// The bytes of string `id`, if it is live.
+    pub fn get(&self, id: StringId) -> Option<&[u8]> {
+        self.inner.get(id)
+    }
+
+    /// The mutation epoch: increments on every insert/remove. Comparing a
+    /// snapshot's epoch with the index's tells how stale the snapshot is.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Aggregate statistics (sizes, lanes, epoch).
+    pub fn stats(&self) -> OnlineStats {
+        self.inner.stats(self.epoch)
+    }
+
+    /// Cache hit/miss counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Inserts a string and returns its id. Ids are dense and ascending;
+    /// removed ids are never reused.
+    ///
+    /// O(τ_max) hash-map insertions — plus, once per outstanding
+    /// [`Snapshot`], a one-time copy-on-write clone of the whole state.
+    pub fn insert(&mut self, s: &[u8]) -> StringId {
+        self.epoch += 1;
+        Arc::make_mut(&mut self.inner).insert(s)
+    }
+
+    /// Removes string `id`; returns `false` if it was never inserted or was
+    /// already removed. Same cost shape as [`OnlineIndex::insert`].
+    pub fn remove(&mut self, id: StringId) -> bool {
+        // Bump the epoch only on an actual removal: a failed remove must
+        // not invalidate the cache.
+        let removed = Arc::make_mut(&mut self.inner).remove(id);
+        if removed {
+            self.epoch += 1;
+        }
+        removed
+    }
+
+    /// All live strings within edit distance `tau` of `query`, as
+    /// `(id, exact distance)` in ascending id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau > tau_max`.
+    pub fn query(&self, query: &[u8], tau: usize) -> Vec<Match> {
+        let mut scratch = QueryScratch::new();
+        let mut out = Vec::new();
+        self.inner.query_into(query, tau, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`OnlineIndex::query`] through the LRU cache: repeated queries
+    /// against an unmodified index are answered without probing. Results
+    /// are shared (`Arc`), not copied.
+    pub fn query_cached(&mut self, query: &[u8], tau: usize) -> Arc<Vec<Match>> {
+        if let Some(hit) = self.cache.lookup(query, tau, self.epoch) {
+            return hit;
+        }
+        let result = Arc::new(self.query(query, tau));
+        self.cache
+            .insert(query, tau, self.epoch, Arc::clone(&result));
+        result
+    }
+
+    /// A reusable scratch buffer for [`OnlineIndex::query_with`].
+    pub fn scratch(&self) -> QueryScratch {
+        QueryScratch::new()
+    }
+
+    /// Allocation-free query variant: appends matches to `out` using a
+    /// caller-owned scratch (the hot-path form; see [`QueryScratch`]).
+    pub fn query_with(
+        &self,
+        query: &[u8],
+        tau: usize,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Match>,
+    ) {
+        self.inner.query_into(query, tau, scratch, out);
+    }
+
+    /// Answers a batch of queries, sharing substring-selection work across
+    /// queries of equal length; see [`Snapshot::query_batch`] for the
+    /// parallel form's semantics. Results align with `queries` by position.
+    pub fn query_batch<Q: AsRef<[u8]> + Sync>(&self, queries: &[Q], tau: usize) -> Vec<Vec<Match>> {
+        crate::batch::run(&self.inner, queries, tau, 1)
+    }
+
+    /// [`OnlineIndex::query_batch`] across `threads` worker threads
+    /// (0 = available parallelism).
+    pub fn par_query_batch<Q: AsRef<[u8]> + Sync>(
+        &self,
+        queries: &[Q],
+        tau: usize,
+        threads: usize,
+    ) -> Vec<Vec<Match>> {
+        crate::batch::run(&self.inner, queries, tau, threads)
+    }
+
+    /// A cheap point-in-time view for concurrent readers: O(1) now; the
+    /// *next* mutation of the index pays a one-time clone of the state
+    /// (copy-on-write). Queries on the snapshot see exactly the state at
+    /// snapshot time, regardless of later mutations.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            inner: Arc::clone(&self.inner),
+            epoch: self.epoch,
+        }
+    }
+}
+
+/// An immutable point-in-time view of an [`OnlineIndex`], safe to query
+/// from any thread (`Send + Sync`; queries take `&self`).
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    inner: Arc<Inner>,
+    epoch: u64,
+}
+
+impl Snapshot {
+    /// The mutation epoch the snapshot was taken at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The largest per-query threshold the underlying index supports.
+    pub fn tau_max(&self) -> usize {
+        self.inner.tau_max()
+    }
+
+    /// Live strings at snapshot time.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True if the snapshot holds no live strings.
+    pub fn is_empty(&self) -> bool {
+        self.inner.len() == 0
+    }
+
+    /// The bytes of string `id` at snapshot time.
+    pub fn get(&self, id: StringId) -> Option<&[u8]> {
+        self.inner.get(id)
+    }
+
+    /// See [`OnlineIndex::query`].
+    pub fn query(&self, query: &[u8], tau: usize) -> Vec<Match> {
+        let mut scratch = QueryScratch::new();
+        let mut out = Vec::new();
+        self.inner.query_into(query, tau, &mut scratch, &mut out);
+        out
+    }
+
+    /// See [`OnlineIndex::query_with`].
+    pub fn query_with(
+        &self,
+        query: &[u8],
+        tau: usize,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Match>,
+    ) {
+        self.inner.query_into(query, tau, scratch, out);
+    }
+
+    /// A reusable scratch buffer for [`Snapshot::query_with`].
+    pub fn scratch(&self) -> QueryScratch {
+        QueryScratch::new()
+    }
+
+    /// Answers a batch of queries (position-aligned results), grouping by
+    /// query length to share substring-selection work.
+    pub fn query_batch<Q: AsRef<[u8]> + Sync>(&self, queries: &[Q], tau: usize) -> Vec<Vec<Match>> {
+        crate::batch::run(&self.inner, queries, tau, 1)
+    }
+
+    /// [`Snapshot::query_batch`] across `threads` worker threads
+    /// (0 = available parallelism).
+    pub fn par_query_batch<Q: AsRef<[u8]> + Sync>(
+        &self,
+        queries: &[Q],
+        tau: usize,
+        threads: usize,
+    ) -> Vec<Vec<Match>> {
+        crate::batch::run(&self.inner, queries, tau, threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute(index: &OnlineIndex, query: &[u8], tau: usize) -> Vec<Match> {
+        (0..index.inner.strings.len() as u32)
+            .filter_map(|id| {
+                let s = index.get(id)?;
+                let d = editdist::edit_distance(s, query);
+                (d <= tau).then_some((id, d))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn insert_query_remove_roundtrip() {
+        let mut index = OnlineIndex::new(2);
+        let a = index.insert(b"partition");
+        let b = index.insert(b"petition");
+        let c = index.insert(b"postition");
+        assert_eq!(index.len(), 3);
+
+        let hits = index.query(b"partition", 2);
+        assert_eq!(hits, vec![(a, 0), (b, 2), (c, 2)]);
+        assert_eq!(index.query(b"partition", 0), vec![(a, 0)]);
+
+        assert!(index.remove(b));
+        assert!(!index.remove(b), "double remove is a no-op");
+        assert_eq!(index.query(b"partition", 2), vec![(a, 0), (c, 2)]);
+        assert_eq!(index.len(), 2);
+        assert_eq!(index.get(b), None);
+    }
+
+    #[test]
+    fn per_query_taus_share_one_index() {
+        let mut index = OnlineIndex::new(3);
+        for s in [
+            "string similarity",
+            "string similarty",
+            "strong similarity",
+            "unrelated",
+        ] {
+            index.insert(s.as_bytes());
+        }
+        for tau in 0..=3 {
+            let mut expected = brute(&index, b"string similarity", tau);
+            expected.sort_unstable();
+            assert_eq!(
+                index.query(b"string similarity", tau),
+                expected,
+                "tau={tau}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the index's τ_max")]
+    fn tau_above_max_panics() {
+        let index = OnlineIndex::new(1);
+        index.query(b"x", 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the index's τ_max")]
+    fn batch_tau_above_max_panics_too() {
+        // Regression: the batch path must validate τ like the single path
+        // (in release builds it would otherwise silently drop matches).
+        let mut index = OnlineIndex::new(1);
+        index.insert(b"abcdefgh");
+        index.insert(b"abXdeXgh");
+        index.query_batch(&[b"abcdefgh".as_slice()], 2);
+    }
+
+    #[test]
+    fn short_strings_are_served() {
+        let mut index = OnlineIndex::new(3);
+        let a = index.insert(b"ab");
+        let b = index.insert(b"");
+        let c = index.insert(b"abcd");
+        assert_eq!(index.query(b"ab", 2), vec![(a, 0), (b, 2), (c, 2)]);
+        assert_eq!(index.query(b"", 2), vec![(a, 2), (b, 0)]);
+        index.remove(a);
+        assert_eq!(index.query(b"ab", 2), vec![(b, 2), (c, 2)]);
+    }
+
+    #[test]
+    fn duplicates_get_distinct_ids() {
+        let mut index = OnlineIndex::new(1);
+        let a = index.insert(b"duplicate");
+        let b = index.insert(b"duplicate");
+        assert_ne!(a, b);
+        assert_eq!(index.query(b"duplicate", 0), vec![(a, 0), (b, 0)]);
+        index.remove(a);
+        assert_eq!(index.query(b"duplicate", 0), vec![(b, 0)]);
+    }
+
+    #[test]
+    fn snapshot_is_point_in_time() {
+        let mut index = OnlineIndex::new(1);
+        index.insert(b"original entry");
+        let snap = index.snapshot();
+        let removed_late = index.insert(b"added after snapshot");
+        index.remove(0);
+
+        // The snapshot still sees the original state…
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap.query(b"original entry", 1), vec![(0, 0)]);
+        assert_eq!(snap.get(removed_late), None);
+        // …while the index sees the new one.
+        assert_eq!(index.len(), 1);
+        assert!(index.query(b"original entry", 1).is_empty());
+        assert_eq!(
+            index.query(b"added after snapshot", 1),
+            vec![(removed_late, 0)]
+        );
+        assert_ne!(snap.epoch(), index.epoch());
+    }
+
+    #[test]
+    fn snapshots_are_queryable_across_threads() {
+        let mut index = OnlineIndex::new(2);
+        for i in 0..200u32 {
+            index.insert(format!("record number {i:03}").as_bytes());
+        }
+        let snap = index.snapshot();
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let snap = snap.clone();
+                    scope.spawn(move || snap.query(b"record number 007", 2).len())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        // Mutating under live snapshots must not disturb them (COW).
+        index.insert(b"record number 007");
+        assert!(results.iter().all(|&n| n == results[0] && n >= 1));
+    }
+
+    #[test]
+    fn cache_serves_repeats_and_invalidates_on_mutation() {
+        let mut index = OnlineIndex::new(2);
+        for i in 0..50u32 {
+            index.insert(format!("cached entry {i:02}").as_bytes());
+        }
+        let first = index.query_cached(b"cached entry 07", 1);
+        let again = index.query_cached(b"cached entry 07", 1);
+        assert!(
+            Arc::ptr_eq(&first, &again),
+            "second lookup must be a cache hit"
+        );
+        assert_eq!(index.cache_stats().hits, 1);
+
+        let added = index.insert(b"cached entry 07");
+        let after = index.query_cached(b"cached entry 07", 1);
+        assert!(
+            after.iter().any(|&(id, d)| id == added && d == 0),
+            "post-mutation lookup must see the new string"
+        );
+        assert_eq!(index.cache_stats().invalidations, 1);
+    }
+
+    #[test]
+    fn query_with_reuses_scratch() {
+        let mut index = OnlineIndex::new(1);
+        index.insert(b"alpha beta");
+        index.insert(b"alpha bete");
+        let mut scratch = index.scratch();
+        let mut out = Vec::new();
+        index.query_with(b"alpha beta", 1, &mut scratch, &mut out);
+        assert_eq!(out.len(), 2);
+        out.clear();
+        index.query_with(b"gamma delta", 1, &mut scratch, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stats_track_lanes_and_bytes() {
+        let mut index = OnlineIndex::new(2);
+        index.insert(b"ab");
+        index.insert(b"abcdefgh");
+        let before = index.stats();
+        assert_eq!(before.live, 2);
+        assert_eq!(before.short_strings, 1);
+        assert_eq!(before.segment_entries, 3); // τ_max+1 entries
+        assert!(before.resident_bytes > 0);
+        index.remove(0);
+        let after = index.stats();
+        assert_eq!(after.live, 1);
+        assert_eq!(after.tombstones, 1);
+        assert!(after.resident_bytes < before.resident_bytes);
+        assert!(after.epoch > before.epoch);
+    }
+}

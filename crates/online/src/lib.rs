@@ -1,0 +1,69 @@
+//! **passjoin-online** — online similarity search on the Pass-Join index.
+//!
+//! The batch join (the `passjoin` crate) is built for one-shot scans: it
+//! visits strings in length order, probes only already-visited strings, and
+//! evicts index slices the scan has passed. That is the right shape for
+//! joining two datasets once — and the wrong one for *serving*: a standing
+//! collection that takes inserts and removes, and answers a stream of
+//! queries, each with its own threshold.
+//!
+//! This crate provides that subsystem on the same partition machinery
+//! (even partition §3.1, segment indices §3.2, multi-match-aware selection
+//! §4, extension verification §5.2 — Li, Deng, Wang, Feng, PVLDB 2011):
+//!
+//! * [`OnlineIndex`] — a dynamic, non-evicting index over an owned string
+//!   store: `insert` / `remove` / `query(s, τ)` for any `τ ≤ τ_max`;
+//! * [`OnlineIndex::query_batch`] — batched queries that share
+//!   substring-selection work across queries of equal length, with a
+//!   multi-threaded variant;
+//! * [`OnlineIndex::query_cached`] — an LRU result cache invalidated by
+//!   mutation epoch;
+//! * [`Snapshot`] — a cheap copy-on-write view for concurrent readers.
+//!
+//! # Quick start
+//!
+//! ```
+//! use passjoin_online::OnlineIndex;
+//!
+//! let mut index = OnlineIndex::new(2); // τ_max = 2
+//! for name in ["jim gray", "jim grey", "michael stonebraker"] {
+//!     index.insert(name.as_bytes());
+//! }
+//!
+//! // Single query, per-query threshold: (id, exact distance) pairs.
+//! assert_eq!(index.query(b"jim gray", 1), vec![(0, 0), (1, 1)]);
+//!
+//! // The collection is dynamic.
+//! index.remove(1);
+//! assert_eq!(index.query(b"jim gray", 1), vec![(0, 0)]);
+//!
+//! // Batched queries (grouped by length; parallel variant available).
+//! let results = index.query_batch(&[b"jim gray".as_slice(), b"jon gray"], 2);
+//! assert_eq!(results[0], vec![(0, 0)]);
+//! assert_eq!(results[1], vec![(0, 2)]); // two substitutions away
+//!
+//! // Snapshots give concurrent readers a stable view.
+//! let snapshot = index.snapshot();
+//! index.insert(b"jim gray");
+//! assert_eq!(snapshot.len(), 2, "snapshot is point-in-time");
+//! ```
+//!
+//! # Relation to `passjoin::SearchIndex`
+//!
+//! [`passjoin::SearchIndex`] is the static half-step: immutable, one fixed
+//! τ, borrowing its dictionary. `OnlineIndex` owns its strings, accepts
+//! mutations, serves any `τ ≤ τ_max` from one index (via
+//! [`passjoin::online_window`]'s mixed-τ selection windows), and adds the
+//! serving-layer pieces: batching, caching, snapshots.
+
+mod batch;
+pub mod cache;
+mod index;
+
+use sj_common::StringId;
+
+pub use cache::CacheStats;
+pub use index::{OnlineIndex, OnlineStats, QueryScratch, Snapshot};
+
+/// A query match: `(string id, exact edit distance)`.
+pub type Match = (StringId, usize);

@@ -1,0 +1,252 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — benchmark
+//! groups, [`BenchmarkId`], [`Throughput`], `bench_with_input`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a plain
+//! wall-clock measurement loop: a short calibration phase sizes batches so
+//! each sample runs ≥ ~5 ms, then `sample_size` samples are taken and the
+//! minimum / median / maximum per-iteration times are printed. No HTML
+//! reports, no statistical regression analysis — numbers on stdout, enough
+//! to compare configurations within one run.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related measurements.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// Identifies one measurement: a function name plus a parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`, matching criterion's display convention.
+    pub fn new<S: Into<String>, P: Display>(function: S, parameter: P) -> Self {
+        Self {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// Units processed per iteration, for derived throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of measurements sharing a name and configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per measurement.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent measurements.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measures `f(bencher, input)`; `f` must call [`Bencher::iter`].
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher, input);
+        self.report(&id, &bencher.samples);
+        self
+    }
+
+    /// Measures a closure with no input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher.samples);
+        self
+    }
+
+    /// Ends the group (printing happens per measurement).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, samples: &[Duration]) {
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort_unstable();
+        let (min, max) = (sorted[0], sorted[sorted.len() - 1]);
+        let median = sorted[sorted.len() / 2];
+        let label = format!("{}/{}/{}", self.name, id.function, id.parameter);
+        print!(
+            "{label:<60} time: [{} {} {}]",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(max)
+        );
+        if let Some(throughput) = self.throughput {
+            let per_sec = |units: u64| units as f64 / median.as_secs_f64();
+            match throughput {
+                Throughput::Elements(n) => print!("  thrpt: {}/s", fmt_count(per_sec(n))),
+                Throughput::Bytes(n) => print!("  thrpt: {}B/s", fmt_count(per_sec(n))),
+            }
+        }
+        println!();
+    }
+}
+
+/// Runs and times the measured closure.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`: calibrates a batch size targeting ≥ ~5 ms per sample,
+    /// then records `sample_size` samples of the mean per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        const TARGET: Duration = Duration::from_millis(5);
+        // Calibrate: double the batch until it takes long enough to time.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= TARGET || batch >= 1 << 20 {
+                break;
+            }
+            batch = if elapsed.is_zero() {
+                batch * 16
+            } else {
+                (batch * 2).max((TARGET.as_nanos() / elapsed.as_nanos().max(1)) as u64)
+            };
+        }
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                t.elapsed() / batch as u32
+            })
+            .collect();
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn fmt_count(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.3} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.3} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.3} K", v / 1e3)
+    } else {
+        format!("{v:.1} ")
+    }
+}
+
+/// Declares a group-runner function over benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running one or more `criterion_group!` groups.
+/// Ignores harness CLI arguments (`--bench`, filters) that cargo passes.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim-self-test");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn formatting_is_sane() {
+        assert!(fmt_duration(Duration::from_nanos(12)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+        assert_eq!(fmt_count(1_500.0), "1.500 K");
+        assert_eq!(fmt_count(2_500_000.0), "2.500 M");
+    }
+}

@@ -1,0 +1,405 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset the workspace's property tests use: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(..)]` header),
+//! [`strategy::Strategy`] with integer-range / [`strategy::Just`] /
+//! [`prop_oneof!`] / tuple / [`collection::vec`] strategies, [`arbitrary::any`],
+//! and the `prop_assert*` macros. Cases are generated from a deterministic
+//! per-test seed; there is **no shrinking** — a failing case panics with the
+//! case number and the failed assertion, and the deterministic seed makes it
+//! reproducible by re-running the test.
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Generates values of an output type from a seeded RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    /// `&S` is a strategy wherever `S` is (lets strategies be shared).
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (backs [`prop_oneof!`]).
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; `arms` must be non-empty.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Self { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let k = (rng.next_u64() as usize) % self.arms.len();
+            self.arms[k].generate(rng)
+        }
+    }
+
+    /// Boxes a strategy for [`Union`] (used by [`crate::prop_oneof!`]).
+    pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(strategy)
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — full-domain strategies for primitive types.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+    use std::marker::PhantomData;
+
+    /// Strategy over the full domain of `T` (see [`any`]).
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The full-domain strategy for a primitive type.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy<Value = T>,
+    {
+        Any(PhantomData)
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(element, len_range)` — the proptest collection constructor.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(!len.is_empty(), "empty length range in collection::vec");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-case plumbing used by the [`crate::proptest!`] macro.
+
+    /// Number of generated cases per property.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// How many random cases each `#[test]` runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real crate's default is 256; property bodies in this
+            // workspace are heavyweight (whole joins), so stay comparable.
+            Self { cases: 256 }
+        }
+    }
+
+    /// A failed property case (carries the assertion message).
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Builds a failure with a message.
+        pub fn fail<S: Into<String>>(msg: S) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic per-test seed: FNV-1a over the test path, so every
+    /// test has its own reproducible stream independent of run order.
+    pub fn seed_for(test_path: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each function runs `cases` times with fresh
+/// strategy-generated arguments. No shrinking; failures report the case
+/// number and are reproducible (fixed per-test seed).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let seed = $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut __rng =
+                <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(seed);
+            for __case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!(
+                        "proptest case {}/{} of {} failed: {}",
+                        __case + 1, config.cases, stringify!($name), e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+/// Asserts inside a property body (returns an `Err` instead of panicking,
+/// so the harness can report the case number).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}: {:?} != {:?}", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                l, r
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs(v in crate::collection::vec(0u8..10, 1..20), x in 3usize..7) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&b| b < 10));
+            prop_assert!((3..7).contains(&x));
+        }
+
+        #[test]
+        fn oneof_and_tuples(pair in (prop_oneof![Just(1u32), Just(2), Just(3)], any::<bool>())) {
+            prop_assert!((1..=3).contains(&pair.0));
+            let _: bool = pair.1;
+        }
+
+        #[test]
+        fn early_ok_return_works(n in 0usize..10) {
+            if n > 100 {
+                return Ok(());
+            }
+            prop_assert_eq!(n.min(9), n);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_per_test() {
+        assert_ne!(
+            crate::test_runner::seed_for("a::b"),
+            crate::test_runner::seed_for("a::c")
+        );
+    }
+
+    #[test]
+    fn prop_assert_produces_err_not_panic() {
+        let body = |n: usize| -> Result<(), TestCaseError> {
+            prop_assert!(n > 100, "n was {}", n);
+            Ok(())
+        };
+        assert!(body(5).is_err());
+        assert!(body(101).is_ok());
+    }
+}

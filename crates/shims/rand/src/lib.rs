@@ -1,0 +1,201 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace builds in environments without access to crates.io, so the
+//! small API subset it uses — [`Rng::gen_range`], [`Rng::gen_bool`],
+//! [`SeedableRng::seed_from_u64`], and [`rngs::StdRng`] — is provided here,
+//! backed by SplitMix64. Seeded streams are deterministic and portable but
+//! intentionally **not** bit-compatible with the real `rand` crate; nothing
+//! in this workspace depends on the exact stream, only on seeded
+//! reproducibility within one build.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A uniform f64 in `[0, 1)` from the top 53 bits of one word.
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`] (mirroring the real crate's `Rng: RngCore` split).
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} not in [0, 1]"
+        );
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that can produce uniform samples of `T`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                self.start + (unit_f64(rng) as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+/// An RNG constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a deterministic generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014): tiny, fast, and passes
+            // BigCrush — ample for test corpora and synthetic datasets.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut rng = StdRng { state: seed };
+            // One warm-up step decorrelates small consecutive seeds.
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same: usize = (0..64)
+            .filter(|_| {
+                StdRng::seed_from_u64(9).gen_range(0u64..u64::MAX) == c.gen_range(0u64..u64::MAX)
+            })
+            .count();
+        assert!(same < 4, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..2000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(b'a'..=b'e');
+            assert!((b'a'..=b'e').contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let i = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn all_values_of_small_ranges_are_hit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_000..4_000).contains(&heads), "got {heads}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(
+            rng.gen_bool(1.0),
+            "unit_f64 is in [0, 1), so p = 1.0 always wins"
+        );
+    }
+}

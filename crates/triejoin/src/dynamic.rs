@@ -118,8 +118,16 @@ mod tests {
     #[test]
     fn matches_oracle_on_prefix_heavy_corpus() {
         let strings = [
-            "john smith", "john smyth", "john smithe", "johan smith", "jane smith",
-            "", "j", "jo", "dup", "dup",
+            "john smith",
+            "john smyth",
+            "john smithe",
+            "johan smith",
+            "jane smith",
+            "",
+            "j",
+            "jo",
+            "dup",
+            "dup",
         ];
         for tau in 0..=3 {
             check(&strings, tau);

@@ -108,11 +108,11 @@ impl SimilarityJoin for TrieJoin {
 
         let root_set = ActiveSet::initial(&trie, tau);
         let emit_at = |node: u32,
-                           set: &ActiveSet,
-                           visit_rank: &mut Vec<u32>,
-                           next_rank: &mut u32,
-                           pairs: &mut Vec<(u32, u32)>,
-                           stats: &mut JoinStats| {
+                       set: &ActiveSet,
+                       visit_rank: &mut Vec<u32>,
+                       next_rank: &mut u32,
+                       pairs: &mut Vec<(u32, u32)>,
+                       stats: &mut JoinStats| {
             let rank = *next_rank;
             visit_rank[node as usize] = rank;
             *next_rank += 1;
@@ -231,8 +231,14 @@ mod tests {
 
     #[test]
     fn finds_figure1_answer_both_variants() {
-        for variant in [TrieVariant::Traverse, TrieVariant::PathStack, TrieVariant::Dynamic] {
-            let out = TrieJoin::new().with_variant(variant).self_join(&table1(), 3);
+        for variant in [
+            TrieVariant::Traverse,
+            TrieVariant::PathStack,
+            TrieVariant::Dynamic,
+        ] {
+            let out = TrieJoin::new()
+                .with_variant(variant)
+                .self_join(&table1(), 3);
             assert_eq!(out.normalized_pairs(), vec![(1, 3)], "{variant:?}");
         }
     }

@@ -8,7 +8,11 @@ use triejoin::{TrieJoin, TrieVariant};
 fn check(strings: &[Vec<u8>], tau: usize) {
     let coll = StringCollection::new(strings.to_vec());
     let expected = NaiveJoin.self_join(&coll, tau).normalized_pairs();
-    for variant in [TrieVariant::Traverse, TrieVariant::PathStack, TrieVariant::Dynamic] {
+    for variant in [
+        TrieVariant::Traverse,
+        TrieVariant::PathStack,
+        TrieVariant::Dynamic,
+    ] {
         let out = TrieJoin::new().with_variant(variant).self_join(&coll, tau);
         assert_eq!(
             out.normalized_pairs(),
@@ -52,8 +56,15 @@ proptest! {
 fn prefix_heavy_corpus() {
     // Trie-Join's favourable regime: heavy prefix sharing.
     let strings: Vec<Vec<u8>> = [
-        "john smith", "john smyth", "john smithe", "johan smith", "john smit",
-        "jane smith", "jane smyth", "john", "johnny smith",
+        "john smith",
+        "john smyth",
+        "john smithe",
+        "johan smith",
+        "john smit",
+        "jane smith",
+        "jane smyth",
+        "john",
+        "johnny smith",
     ]
     .iter()
     .map(|s| s.as_bytes().to_vec())

@@ -14,10 +14,26 @@ use sj_common::StringCollection;
 
 fn main() {
     let dictionary: Vec<&str> = vec![
-        "similarity", "similarly", "simulation", "partition", "petition",
-        "position", "permutation", "verification", "verifications",
-        "notification", "segment", "argument", "alignment", "assignment",
-        "threshold", "thresholds", "inverted", "inverse", "index", "indices",
+        "similarity",
+        "similarly",
+        "simulation",
+        "partition",
+        "petition",
+        "position",
+        "permutation",
+        "verification",
+        "verifications",
+        "notification",
+        "segment",
+        "argument",
+        "alignment",
+        "assignment",
+        "threshold",
+        "thresholds",
+        "inverted",
+        "inverse",
+        "index",
+        "indices",
     ];
     let dict = StringCollection::from_strs(&dictionary);
     let tau = 2;

@@ -5,5 +5,6 @@ pub use datagen;
 pub use editdist;
 pub use edjoin;
 pub use passjoin;
+pub use passjoin_online;
 pub use sj_common;
 pub use triejoin;

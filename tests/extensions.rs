@@ -46,8 +46,7 @@ fn topk_distances_match_threshold_join() {
             "more pairs at distance <= {} than k={k}",
             kth - 1
         );
-        let top_set: std::collections::HashSet<(u32, u32)> =
-            top.iter().map(|&(p, _)| p).collect();
+        let top_set: std::collections::HashSet<(u32, u32)> = top.iter().map(|&(p, _)| p).collect();
         for (pair, _) in within {
             assert!(top_set.contains(&pair), "missing better pair {pair:?}");
         }

@@ -33,8 +33,11 @@ fn planted_corpus(kind: DatasetKind, seeds: usize, tau: usize) -> (Vec<Vec<u8>>,
 fn assert_recovers(join: &dyn SimilarityJoin, kind: DatasetKind, tau: usize) {
     let (strings, planted) = planted_corpus(kind, 200, tau);
     let coll = StringCollection::new(strings);
-    let found: std::collections::HashSet<(u32, u32)> =
-        join.self_join(&coll, tau).normalized_pairs().into_iter().collect();
+    let found: std::collections::HashSet<(u32, u32)> = join
+        .self_join(&coll, tau)
+        .normalized_pairs()
+        .into_iter()
+        .collect();
     for pair in planted {
         assert!(
             found.contains(&pair),

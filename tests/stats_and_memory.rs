@@ -32,7 +32,11 @@ fn selector_counts_are_ordered_like_figure12() {
         // Selection::all() order: Length, Shift, Position, MultiMatch.
         assert!(counts[0] >= counts[1], "{}: length < shift", kind.name());
         assert!(counts[1] >= counts[2], "{}: shift < position", kind.name());
-        assert!(counts[2] >= counts[3], "{}: position < multi-match", kind.name());
+        assert!(
+            counts[2] >= counts[3],
+            "{}: position < multi-match",
+            kind.name()
+        );
         assert!(counts[3] > 0);
     }
 }
