@@ -1,0 +1,41 @@
+//! Temporary review fuzz: external (non-corpus) queries vs brute force.
+
+use passjoin_online::OnlineIndex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rand_string(rng: &mut StdRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..=max_len);
+    (0..len).map(|_| rng.gen_range(b'a'..=b'c')).collect()
+}
+
+#[test]
+fn external_queries_match_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for round in 0..300 {
+        let tau_max = rng.gen_range(1..=4);
+        let n = rng.gen_range(0..30);
+        let strings: Vec<Vec<u8>> = (0..n).map(|_| rand_string(&mut rng, 14)).collect();
+        let index = OnlineIndex::from_strings(strings.iter(), tau_max);
+        for _ in 0..20 {
+            let q = rand_string(&mut rng, 16);
+            let tau = rng.gen_range(0..=tau_max);
+            let mut expected: Vec<(u32, usize)> = strings
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| {
+                    let d = editdist::edit_distance(s, &q);
+                    (d <= tau).then_some((i as u32, d))
+                })
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(
+                index.query(&q, tau),
+                expected,
+                "round {round} tau={tau} tau_max={tau_max} q={:?} corpus={:?}",
+                String::from_utf8_lossy(&q),
+                strings.len()
+            );
+        }
+    }
+}
