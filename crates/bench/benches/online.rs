@@ -2,11 +2,17 @@
 //! `passjoin_online::OnlineIndex` vs. re-running a batch join per query
 //! batch (what serving would cost without a standing index).
 //!
-//! Four measurements on an Author corpus with a mutated query mix:
+//! Measurements on an Author corpus with a mutated query mix:
 //! `build` (index construction), `query-batch` (sequential and parallel
 //! batched queries), `rejoin-baseline` (the same answers via
 //! `PassJoin::rs_join` from scratch), and `query-cached` (a repeating
 //! query mix through the LRU cache).
+//!
+//! The `persist` group measures the restart path: `save` (snapshot write),
+//! `load` (snapshot read, zero-copy arena + posting replay), and
+//! `rebuild-baseline` (what a restart costs without persistence —
+//! `OnlineIndex::from_strings` from the raw corpus). The load-vs-rebuild
+//! ratio is the headline number persistence exists for.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use datagen::{DatasetKind, DatasetSpec};
@@ -100,5 +106,37 @@ fn bench_online(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_online);
+fn bench_persist(c: &mut Criterion) {
+    let strings = corpus_strings();
+    let index = OnlineIndex::from_strings(strings.iter(), TAU);
+    let snapshot = index.snapshot();
+    let path =
+        std::env::temp_dir().join(format!("passjoin-bench-online-{}.snap", std::process::id()));
+
+    let mut group = c.benchmark_group("persist");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(CORPUS_N as u64));
+
+    group.bench_with_input(BenchmarkId::new("save", CORPUS_N), &snapshot, |b, snap| {
+        b.iter(|| snap.save(&path).expect("snapshot save"))
+    });
+
+    snapshot.save(&path).expect("snapshot save");
+    group.bench_with_input(BenchmarkId::new("load", CORPUS_N), &path, |b, path| {
+        b.iter(|| OnlineIndex::load(path).expect("snapshot load"))
+    });
+
+    // The no-persistence restart baseline: rebuild the index from the raw
+    // corpus (re-partition + re-insert every string).
+    group.bench_with_input(
+        BenchmarkId::new("rebuild-baseline", CORPUS_N),
+        &strings,
+        |b, strings| b.iter(|| OnlineIndex::from_strings(strings.iter(), TAU)),
+    );
+
+    group.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
+criterion_group!(benches, bench_online, bench_persist);
 criterion_main!(benches);

@@ -68,10 +68,11 @@ pub struct Config {
 pub const USAGE: &str = "usage:
   simjoin <corpus.txt> --tau N [--algorithm pass|pass-par|ed|trie] [--q N]
           [--threads N] [--out pairs.txt] [--stats]
-  simjoin index <corpus.txt> [--tau-max N] [--stats]
-  simjoin query <corpus.txt> [--tau N] [--tau-max N] [--queries q.txt]
-          [--threads N] [--cache N] [--stats]
-  simjoin repl  <corpus.txt> [--tau N] [--tau-max N] [--cache N]";
+  simjoin index <corpus.txt> [--tau-max N] [--save index.snap] [--stats]
+  simjoin query <corpus.txt | --load index.snap> [--tau N] [--tau-max N]
+          [--queries q.txt] [--threads N] [--cache N] [--stats]
+  simjoin repl  <corpus.txt | --load index.snap> [--tau N] [--tau-max N]
+          [--cache N]";
 
 impl Config {
     /// Parses CLI arguments (without the program name).
@@ -161,18 +162,33 @@ pub enum ServeMode {
     Repl,
 }
 
+/// Where a serve-mode index comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexSource {
+    /// Build by indexing a corpus file (one string per line; ids are
+    /// 0-based line numbers).
+    Corpus(PathBuf),
+    /// Load a saved snapshot file (`--load`); skips the rebuild entirely.
+    Snapshot(PathBuf),
+}
+
 /// Parsed serve-mode command line (`simjoin index|query|repl …`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Subcommand.
     pub mode: ServeMode,
-    /// Corpus file: one string per line; ids are 0-based line numbers.
-    pub corpus: PathBuf,
+    /// Corpus to index, or snapshot to load.
+    pub source: IndexSource,
     /// Default query threshold.
     pub tau: usize,
+    /// Whether `--tau` was given explicitly (an explicit τ above a loaded
+    /// snapshot's τ_max is an error; the default is silently capped).
+    pub tau_explicit: bool,
     /// Largest supported per-query threshold (the index partitions for
-    /// this); defaults to `tau`.
+    /// this); defaults to `tau`. With `--load` the snapshot dictates it.
     pub tau_max: usize,
+    /// Where to write a snapshot of the index after building (`--save`).
+    pub save: Option<PathBuf>,
     /// Query file for `query` mode (stdin when `None`).
     pub queries: Option<PathBuf>,
     /// Worker threads for batched queries (0 = auto).
@@ -186,6 +202,8 @@ pub struct ServeConfig {
 impl ServeConfig {
     fn parse<I: IntoIterator<Item = String>>(mode: ServeMode, args: I) -> Result<Self, String> {
         let mut corpus: Option<PathBuf> = None;
+        let mut load: Option<PathBuf> = None;
+        let mut save = None;
         let mut tau: Option<usize> = None;
         let mut tau_max: Option<usize> = None;
         let mut queries = None;
@@ -198,6 +216,12 @@ impl ServeConfig {
             match arg.as_str() {
                 "--tau" => tau = Some(take_number(&mut it, "--tau")?),
                 "--tau-max" => tau_max = Some(take_number(&mut it, "--tau-max")?),
+                "--save" => {
+                    save = Some(PathBuf::from(it.next().ok_or("--save requires a path")?));
+                }
+                "--load" => {
+                    load = Some(PathBuf::from(it.next().ok_or("--load requires a path")?));
+                }
                 "--queries" => {
                     queries = Some(PathBuf::from(it.next().ok_or("--queries requires a path")?));
                 }
@@ -214,7 +238,34 @@ impl ServeConfig {
                 }
             }
         }
+        let source = match (corpus, load) {
+            (Some(_), Some(_)) => {
+                return Err("give a corpus file or --load <snapshot>, not both".into());
+            }
+            (Some(corpus), None) => IndexSource::Corpus(corpus),
+            (None, Some(snapshot)) => {
+                if mode == ServeMode::Index {
+                    return Err(
+                        "--load is for query/repl; `index` builds from a corpus (use --save to \
+                         write a snapshot)"
+                            .into(),
+                    );
+                }
+                if tau_max.is_some() {
+                    return Err(
+                        "--tau-max is fixed by the snapshot and not valid with --load".into(),
+                    );
+                }
+                IndexSource::Snapshot(snapshot)
+            }
+            (None, None) => {
+                return Err("missing corpus path (or --load <snapshot> for query/repl)".into());
+            }
+        };
         // Defaults: τ = 2 capped by an explicit τ_max; τ_max follows τ.
+        // (With --load, τ_max here is only a placeholder — the snapshot's
+        // own τ_max governs at run time.)
+        let tau_explicit = tau.is_some();
         let (tau, tau_max) = match (tau, tau_max) {
             (Some(t), Some(m)) => (t, m),
             (Some(t), None) => (t, t),
@@ -226,9 +277,11 @@ impl ServeConfig {
         }
         Ok(ServeConfig {
             mode,
-            corpus: corpus.ok_or("missing corpus path")?,
+            source,
             tau,
+            tau_explicit,
             tau_max,
+            save,
             queries,
             threads,
             cache,
@@ -240,6 +293,23 @@ impl ServeConfig {
     /// empty lines included so numbering matches the file).
     pub fn build_index(&self, lines: &[Vec<u8>]) -> OnlineIndex {
         OnlineIndex::from_strings(lines.iter(), self.tau_max).with_cache_capacity(self.cache)
+    }
+
+    /// Resolves the query threshold against the index actually being
+    /// served. A default τ quietly adapts to a smaller loaded τ_max; an
+    /// *explicit* `--tau` above the index's τ_max is reported as an error
+    /// instead of being silently weakened.
+    pub fn resolve_tau(&self, index_tau_max: usize) -> Result<usize, String> {
+        if self.tau <= index_tau_max {
+            return Ok(self.tau);
+        }
+        if self.tau_explicit {
+            return Err(format!(
+                "--tau {} exceeds the index's tau_max {index_tau_max}",
+                self.tau
+            ));
+        }
+        Ok(index_tau_max)
     }
 }
 
@@ -354,7 +424,7 @@ mod tests {
         match parse_command(&["index", "corpus.txt", "--tau-max", "3", "--stats"]).unwrap() {
             Command::Serve(c) => {
                 assert_eq!(c.mode, ServeMode::Index);
-                assert_eq!(c.corpus, PathBuf::from("corpus.txt"));
+                assert_eq!(c.source, IndexSource::Corpus(PathBuf::from("corpus.txt")));
                 assert_eq!(c.tau_max, 3);
                 assert!(c.stats);
             }
@@ -423,6 +493,64 @@ mod tests {
             Command::Serve(c) => assert_eq!((c.tau, c.tau_max), (0, 0)),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn save_and_load_flags_parse() {
+        match parse_command(&["index", "corpus.txt", "--tau-max", "2", "--save", "x.snap"]).unwrap()
+        {
+            Command::Serve(c) => {
+                assert_eq!(c.save, Some(PathBuf::from("x.snap")));
+                assert_eq!(c.source, IndexSource::Corpus(PathBuf::from("corpus.txt")));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_command(&["query", "--load", "x.snap", "--tau", "1"]).unwrap() {
+            Command::Serve(c) => {
+                assert_eq!(c.source, IndexSource::Snapshot(PathBuf::from("x.snap")));
+                assert_eq!(c.tau, 1);
+                assert!(c.tau_explicit);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_command(&["repl", "--load", "x.snap"]).unwrap() {
+            Command::Serve(c) => {
+                assert_eq!(c.source, IndexSource::Snapshot(PathBuf::from("x.snap")));
+                assert!(!c.tau_explicit);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn save_and_load_flags_reject_bad_combinations() {
+        // A corpus and a snapshot are mutually exclusive sources.
+        assert!(parse_command(&["query", "corpus.txt", "--load", "x.snap"]).is_err());
+        // `index` builds from a corpus; loading is for the serving modes.
+        assert!(parse_command(&["index", "--load", "x.snap"]).is_err());
+        // The snapshot dictates tau_max.
+        assert!(parse_command(&["query", "--load", "x.snap", "--tau-max", "3"]).is_err());
+        // Flag values are required.
+        assert!(parse_command(&["query", "a.txt", "--load"]).is_err());
+        assert!(parse_command(&["index", "a.txt", "--save"]).is_err());
+    }
+
+    #[test]
+    fn resolve_tau_respects_explicitness() {
+        // Default tau adapts to a smaller loaded tau_max…
+        let c = match parse_command(&["query", "--load", "x.snap"]).unwrap() {
+            Command::Serve(c) => c,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(c.resolve_tau(1), Ok(1));
+        assert_eq!(c.resolve_tau(4), Ok(2));
+        // …but an explicit --tau above it is an error, not a silent cap.
+        let c = match parse_command(&["query", "--load", "x.snap", "--tau", "3"]).unwrap() {
+            Command::Serve(c) => c,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(c.resolve_tau(3), Ok(3));
+        assert!(c.resolve_tau(2).is_err());
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //! simjoin index corpus.txt --tau-max 3 --stats
 //! simjoin query corpus.txt --tau 2 --queries queries.txt --threads 8
 //! simjoin repl  corpus.txt --tau 2 --tau-max 3
+//!
+//! # persistence: index once, serve from the snapshot (no rebuild)
+//! simjoin index corpus.txt --tau-max 3 --save corpus.snap
+//! simjoin query --load corpus.snap --tau 2 --queries queries.txt
+//! simjoin repl  --load corpus.snap
 //! ```
 //!
 //! Join mode prints one `i<TAB>j` pair of 0-based input line numbers per
@@ -24,7 +29,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use passjoin_online::OnlineIndex;
-use simjoin_cli::{corpus_lines, Command, Config, ServeConfig, ServeMode, USAGE};
+use simjoin_cli::{corpus_lines, Command, Config, IndexSource, ServeConfig, ServeMode, USAGE};
 
 fn main() -> ExitCode {
     let command = match Command::parse(std::env::args().skip(1)) {
@@ -84,40 +89,100 @@ fn write_pairs<W: Write>(pairs: &[(u32, u32)], sink: std::io::Result<W>) -> std:
 }
 
 fn run_serve(config: &ServeConfig) -> ExitCode {
-    let text = match std::fs::read_to_string(&config.corpus) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("simjoin: cannot read {}: {e}", config.corpus.display());
+    let mut index = match obtain_index(config) {
+        Ok(index) => index,
+        Err(message) => {
+            eprintln!("simjoin: {message}");
             return ExitCode::FAILURE;
         }
     };
-    let lines = corpus_lines(&text);
 
-    let built = Instant::now();
-    let mut index = config.build_index(&lines);
-    let build_time = built.elapsed();
-    if config.stats || config.mode == ServeMode::Index {
-        let s = index.stats();
-        eprintln!(
-            "simjoin: indexed {} strings (tau_max={}) in {:.3?}: \
-             {} segment entries, {} short-lane, ~{} KB resident",
-            s.live,
-            config.tau_max,
-            build_time,
-            s.segment_entries,
-            s.short_strings,
-            s.resident_bytes / 1024,
-        );
+    let tau = match config.resolve_tau(index.tau_max()) {
+        Ok(tau) => tau,
+        Err(message) => {
+            eprintln!("simjoin: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = &config.save {
+        let started = Instant::now();
+        match index.save(path) {
+            Ok(bytes) => {
+                if config.stats || config.mode == ServeMode::Index {
+                    eprintln!(
+                        "simjoin: saved snapshot to {} ({} KB in {:.3?})",
+                        path.display(),
+                        bytes / 1024,
+                        started.elapsed(),
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("simjoin: cannot save snapshot {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     match config.mode {
         ServeMode::Index => ExitCode::SUCCESS,
-        ServeMode::Query => run_query_batch(config, &index),
-        ServeMode::Repl => run_repl(config, &mut index),
+        ServeMode::Query => run_query_batch(config, tau, &index),
+        ServeMode::Repl => run_repl(tau, &mut index),
     }
 }
 
-fn run_query_batch(config: &ServeConfig, index: &OnlineIndex) -> ExitCode {
+/// Builds the index from the corpus, or loads it from a snapshot —
+/// reporting failures (missing files, corrupt or incompatible snapshots)
+/// as messages, never panics.
+fn obtain_index(config: &ServeConfig) -> Result<OnlineIndex, String> {
+    match &config.source {
+        IndexSource::Corpus(corpus) => {
+            let text = std::fs::read_to_string(corpus)
+                .map_err(|e| format!("cannot read {}: {e}", corpus.display()))?;
+            let lines = corpus_lines(&text);
+            let built = Instant::now();
+            let index = config.build_index(&lines);
+            if config.stats || config.mode == ServeMode::Index {
+                let s = index.stats();
+                eprintln!(
+                    "simjoin: indexed {} strings (tau_max={}) in {:.3?}: \
+                     {} segment entries, {} short-lane, ~{} KB resident",
+                    s.live,
+                    config.tau_max,
+                    built.elapsed(),
+                    s.segment_entries,
+                    s.short_strings,
+                    s.resident_bytes / 1024,
+                );
+            }
+            Ok(index)
+        }
+        IndexSource::Snapshot(snapshot) => {
+            let started = Instant::now();
+            let index = OnlineIndex::load(snapshot)
+                .map_err(|e| format!("cannot load snapshot {}: {e}", snapshot.display()))?
+                .with_cache_capacity(config.cache);
+            if config.stats {
+                let s = index.stats();
+                eprintln!(
+                    "simjoin: loaded {} strings (tau_max={}) in {:.3?} from {}: \
+                     {} segment entries, {} short-lane, ~{} KB resident",
+                    s.live,
+                    index.tau_max(),
+                    started.elapsed(),
+                    snapshot.display(),
+                    s.segment_entries,
+                    s.short_strings,
+                    s.resident_bytes / 1024,
+                );
+            }
+            Ok(index)
+        }
+    }
+}
+
+fn run_query_batch(config: &ServeConfig, tau: usize, index: &OnlineIndex) -> ExitCode {
     let queries: Vec<Vec<u8>> = match &config.queries {
         Some(path) => match std::fs::read_to_string(path) {
             Ok(text) => corpus_lines(&text),
@@ -142,7 +207,7 @@ fn run_query_batch(config: &ServeConfig, index: &OnlineIndex) -> ExitCode {
     };
 
     let started = Instant::now();
-    let results = index.par_query_batch(&queries, config.tau, config.threads);
+    let results = index.par_query_batch(&queries, tau, config.threads);
     let elapsed = started.elapsed();
 
     let stdout = std::io::stdout().lock();
@@ -165,7 +230,7 @@ fn run_query_batch(config: &ServeConfig, index: &OnlineIndex) -> ExitCode {
         eprintln!(
             "simjoin: {} queries, tau={}, {} matches in {:.3?} ({:.0} queries/s)",
             queries.len(),
-            config.tau,
+            tau,
             matches,
             elapsed,
             per_sec,
@@ -183,8 +248,8 @@ const REPL_HELP: &str = "commands:
   :help       this message
   :quit       exit";
 
-fn run_repl(config: &ServeConfig, index: &mut OnlineIndex) -> ExitCode {
-    let mut tau = config.tau;
+fn run_repl(tau: usize, index: &mut OnlineIndex) -> ExitCode {
+    let mut tau = tau;
     eprintln!(
         "simjoin repl: {} strings, tau={tau} (tau_max={}), :help for commands",
         index.len(),

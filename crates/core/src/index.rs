@@ -197,6 +197,117 @@ impl<K: SegmentKey> SegmentMap<K> {
     pub fn entries(&self) -> u64 {
         self.entries
     }
+
+    /// Visits every live inverted list as `(length, slot, segment key,
+    /// ids)` in a **deterministic** order — lengths ascending, slots
+    /// ascending, keys lexicographic — regardless of hash-map iteration
+    /// order. This is the serialization half of the raw-parts API used by
+    /// `passjoin-persist`: the order guarantee makes saved snapshots
+    /// byte-identical across runs.
+    pub fn visit_postings(&self, mut f: impl FnMut(usize, usize, &[u8], &[StringId])) {
+        for (l, row) in self.per_len.iter().enumerate() {
+            let Some(slot_maps) = row else { continue };
+            for (slot0, map) in slot_maps.iter().enumerate() {
+                let mut lists: Vec<(&[u8], &Vec<StringId>)> =
+                    map.iter().map(|(k, ids)| (k.borrow(), ids)).collect();
+                lists.sort_unstable_by_key(|&(key, _)| key);
+                for (key, ids) in lists {
+                    f(l, slot0 + 1, key, ids);
+                }
+            }
+        }
+    }
+
+    /// Visits every `(length, id)` posting reference in unspecified order
+    /// — the fast sibling of [`SegmentMap::visit_postings`] for callers
+    /// that only cross-validate ids (the snapshot loader checks each
+    /// reference against its string table), skipping the deterministic
+    /// sort the full visitor pays for.
+    pub fn visit_posting_ids(&self, mut f: impl FnMut(usize, StringId)) {
+        for (l, row) in self.per_len.iter().enumerate() {
+            let Some(slot_maps) = row else { continue };
+            for map in slot_maps {
+                for ids in map.values() {
+                    for &id in ids {
+                        f(l, id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pre-sizes the `(l, slot)` map for `additional` distinct keys, so a
+    /// bulk [`SegmentMap::restore_posting`] replay (the snapshot loader)
+    /// pays no incremental rehash growth. A no-op for out-of-range
+    /// coordinates — reservation is an optimization, never a validation.
+    pub fn reserve_keys(&mut self, l: usize, slot: usize, additional: usize) {
+        if !(1..=self.tau + 1).contains(&slot) || l < self.tau + 1 {
+            return;
+        }
+        if l >= self.per_len.len() {
+            self.per_len.resize_with(l + 1, || None);
+        }
+        let tau = self.tau;
+        let slot_maps = self.per_len[l]
+            .get_or_insert_with(|| (0..=tau).map(|_| FxHashMap::default()).collect());
+        slot_maps[slot - 1].reserve(additional);
+    }
+
+    /// Restores one inverted list — the inverse of
+    /// [`SegmentMap::visit_postings`], used by the snapshot loader to
+    /// rebuild an index without re-partitioning any string. Accounting
+    /// (entries, distinct keys, key bytes) is restored alongside.
+    ///
+    /// Returns `Err` (instead of panicking) on structurally invalid input,
+    /// since the caller may be feeding it attacker- or corruption-shaped
+    /// data that passed checksums: the slot must exist for this τ, the
+    /// length must be partitionable, the key must match the partition
+    /// geometry, ids must be strictly ascending, and the `(l, slot, key)`
+    /// triple must not already be present.
+    pub fn restore_posting(
+        &mut self,
+        l: usize,
+        slot: usize,
+        key: K,
+        ids: Vec<StringId>,
+    ) -> Result<(), &'static str> {
+        if !(1..=self.tau + 1).contains(&slot) {
+            return Err("posting slot out of range for tau");
+        }
+        if l < self.tau + 1 {
+            return Err("posting length is too short to partition");
+        }
+        if ids.is_empty() {
+            return Err("posting list is empty");
+        }
+        if !ids.windows(2).all(|w| w[0] < w[1]) {
+            return Err("posting ids are not strictly ascending");
+        }
+        let seg = self.scheme.segment(l, self.tau, slot);
+        if key.borrow().len() != seg.len {
+            return Err("posting key does not match the partition geometry");
+        }
+        if l >= self.per_len.len() {
+            self.per_len.resize_with(l + 1, || None);
+        }
+        let tau = self.tau;
+        let slot_maps = self.per_len[l]
+            .get_or_insert_with(|| (0..=tau).map(|_| FxHashMap::default()).collect());
+        let count = ids.len() as u64;
+        match slot_maps[slot - 1].entry(key) {
+            std::collections::hash_map::Entry::Occupied(_) => {
+                return Err("duplicate posting key");
+            }
+            std::collections::hash_map::Entry::Vacant(vacant) => {
+                vacant.insert(ids);
+            }
+        }
+        self.entries += count;
+        self.distinct_keys += 1;
+        self.key_bytes += seg.len as u64;
+        self.peak_bytes = self.peak_bytes.max(self.live_bytes());
+        Ok(())
+    }
 }
 
 impl<'a> SegmentMap<&'a [u8]> {
@@ -359,6 +470,60 @@ mod tests {
         // index's insert → remove → insert cycle).
         idx.insert_owned(b"abcdxxxx", 0);
         assert_eq!(idx.probe(8, 1, b"abcd"), Some(&[0u32][..]));
+    }
+
+    #[test]
+    fn visit_and_restore_round_trip() {
+        let mut original = OwnedSegmentIndex::new(0, 2);
+        original.insert_owned(b"aaabbbccc", 3);
+        original.insert_owned(b"aaabbbccc", 7);
+        original.insert_owned(b"aaabbbccd", 5);
+        original.insert_owned(b"xxyyzzqqe", 1);
+
+        // Replay the visited postings into a fresh index.
+        let mut restored = OwnedSegmentIndex::new(0, 2);
+        let mut visited = Vec::new();
+        original.visit_postings(|l, slot, key, ids| {
+            visited.push((l, slot, key.to_vec(), ids.to_vec()));
+            restored
+                .restore_posting(l, slot, key.into(), ids.to_vec())
+                .unwrap();
+        });
+        assert!(!visited.is_empty());
+        // Deterministic order: (length, slot, key) strictly ascending.
+        for w in visited.windows(2) {
+            let a = (&w[0].0, &w[0].1, &w[0].2);
+            let b = (&w[1].0, &w[1].1, &w[1].2);
+            assert!(a < b, "visit order must be strictly ascending");
+        }
+
+        assert_eq!(restored.entries(), original.entries());
+        assert_eq!(restored.live_bytes(), original.live_bytes());
+        for (l, slot, key, ids) in &visited {
+            assert_eq!(restored.probe(*l, *slot, key), Some(&ids[..]));
+        }
+        // The restored index stays mutable: removal works as usual.
+        assert!(restored.remove_owned(b"xxyyzzqqe", 1));
+    }
+
+    #[test]
+    fn restore_posting_rejects_invalid_shapes() {
+        let mut idx = OwnedSegmentIndex::new(0, 1);
+        let key = |s: &[u8]| -> Box<[u8]> { s.into() };
+        // Slot/length/geometry violations.
+        assert!(idx.restore_posting(8, 0, key(b"abcd"), vec![1]).is_err());
+        assert!(idx.restore_posting(8, 3, key(b"abcd"), vec![1]).is_err());
+        assert!(idx.restore_posting(1, 1, key(b"a"), vec![1]).is_err());
+        assert!(idx.restore_posting(8, 1, key(b"abc"), vec![1]).is_err());
+        // List violations: empty, unsorted, duplicate key.
+        assert!(idx.restore_posting(8, 1, key(b"abcd"), vec![]).is_err());
+        assert!(idx.restore_posting(8, 1, key(b"abcd"), vec![2, 1]).is_err());
+        assert!(idx.restore_posting(8, 1, key(b"abcd"), vec![1, 1]).is_err());
+        assert!(idx.restore_posting(8, 1, key(b"abcd"), vec![1, 2]).is_ok());
+        assert!(idx.restore_posting(8, 1, key(b"abcd"), vec![3]).is_err());
+        // The valid restore landed and is probeable.
+        assert_eq!(idx.probe(8, 1, b"abcd"), Some(&[1u32, 2][..]));
+        assert_eq!(idx.entries(), 2);
     }
 
     #[test]

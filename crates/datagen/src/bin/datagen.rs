@@ -1,0 +1,105 @@
+//! `datagen` — writes a synthetic corpus as a newline-delimited file, for
+//! scripting the `simjoin` pipeline (CI smoke tests, benchmarks, demos).
+//!
+//! ```text
+//! datagen --kind author --n 20000 --seed 42 --out corpus.txt
+//! ```
+//!
+//! Kinds mirror the paper's evaluation corpora: `author` (short strings),
+//! `querylog` (medium), `authortitle` (long). Output is deterministic in
+//! the seed.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use datagen::{DatasetKind, DatasetSpec};
+
+const USAGE: &str = "usage:
+  datagen --kind author|querylog|authortitle --n N [--seed S] [--out corpus.txt]";
+
+struct Args {
+    kind: DatasetKind,
+    n: usize,
+    seed: u64,
+    out: Option<PathBuf>,
+}
+
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+    let mut kind = None;
+    let mut n = None;
+    let mut seed = 42u64;
+    let mut out = None;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--kind" => {
+                let v = it.next().ok_or("--kind requires a value")?;
+                kind = Some(match v.as_str() {
+                    "author" => DatasetKind::Author,
+                    "querylog" => DatasetKind::QueryLog,
+                    "authortitle" => DatasetKind::AuthorTitle,
+                    other => {
+                        return Err(format!(
+                            "unknown kind '{other}' (expected author, querylog, authortitle)"
+                        ))
+                    }
+                });
+            }
+            "--n" => {
+                n = Some(
+                    it.next()
+                        .ok_or("--n requires a value")?
+                        .parse()
+                        .map_err(|_| "--n requires a non-negative integer")?,
+                );
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed requires a value")?
+                    .parse()
+                    .map_err(|_| "--seed requires a non-negative integer")?;
+            }
+            "--out" => {
+                out = Some(PathBuf::from(it.next().ok_or("--out requires a path")?));
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(Args {
+        kind: kind.ok_or("missing required --kind")?,
+        n: n.ok_or("missing required --n")?,
+        seed,
+        out,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("datagen: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let strings = DatasetSpec::new(args.kind, args.n)
+        .with_seed(args.seed)
+        .generate();
+    let result = match &args.out {
+        Some(path) => datagen::io::save_lines(path, &strings),
+        None => {
+            use std::io::Write;
+            let mut stdout = std::io::BufWriter::new(std::io::stdout().lock());
+            strings
+                .iter()
+                .try_for_each(|s| stdout.write_all(s).and_then(|()| stdout.write_all(b"\n")))
+                .and_then(|()| stdout.flush())
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("datagen: write failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -44,7 +44,7 @@ use crate::cache::{CacheStats, QueryCache};
 use crate::Match;
 
 /// Default capacity of the per-index query cache.
-const DEFAULT_CACHE_CAPACITY: usize = 1024;
+pub(crate) const DEFAULT_CACHE_CAPACITY: usize = 1024;
 
 /// Aggregate statistics of an [`OnlineIndex`] (for dashboards and the CLI).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,24 +57,59 @@ pub struct OnlineStats {
     pub segment_entries: u64,
     /// Strings in the brute-force short lane.
     pub short_strings: usize,
-    /// Estimated resident bytes: segment index + owned string bytes.
+    /// Estimated resident bytes: segment index + live string bytes +
+    /// (for a snapshot-loaded index) the rest of the pinned file buffer.
     pub resident_bytes: u64,
     /// Mutation epoch (increments on every insert/remove).
     pub epoch: u64,
+}
+
+/// One string's storage: its own heap allocation, or a zero-copy span of
+/// the shared snapshot arena ([`Inner::arena`]). Strings inserted at
+/// runtime are always `Owned`; strings loaded from a snapshot stay
+/// `Arena` views for their whole life — loading never copies the corpus.
+#[derive(Debug, Clone)]
+enum Stored {
+    Owned(Box<[u8]>),
+    Arena { start: usize, len: usize },
 }
 
 /// The shared, copy-on-write state of an index and its snapshots.
 #[derive(Debug, Clone)]
 pub(crate) struct Inner {
     tau_max: usize,
+    /// The loaded snapshot buffer that `Stored::Arena` spans point into
+    /// (`None` for indices built in memory). Shared, never mutated;
+    /// cloning the `Inner` (snapshot copy-on-write) clones the `Arc`.
+    /// Dropped once the last arena-backed string is removed.
+    arena: Option<Arc<[u8]>>,
+    /// Live bytes still referencing the arena (stats accounting).
+    arena_live_bytes: u64,
+    /// Live strings still referencing the arena; reaching 0 releases it
+    /// (counted separately from bytes: zero-length strings are live
+    /// references too).
+    arena_live_strings: usize,
     /// `strings[id]` is the string's bytes, or `None` once removed.
-    strings: Vec<Option<Box<[u8]>>>,
-    /// Total owned string bytes (live entries only).
+    strings: Vec<Option<Stored>>,
+    /// Total live string bytes (owned and arena-backed alike).
     string_bytes: u64,
     live: usize,
     segments: OwnedSegmentIndex,
     /// Ascending ids of live strings with length ≤ τ_max.
     short: Vec<StringId>,
+}
+
+/// Resolves a stored string against the arena. A free function (not a
+/// method) so call sites can borrow `arena` and mutate sibling `Inner`
+/// fields simultaneously.
+fn resolve<'a>(arena: &'a Option<Arc<[u8]>>, stored: &'a Stored) -> &'a [u8] {
+    match stored {
+        Stored::Owned(bytes) => bytes,
+        Stored::Arena { start, len } => {
+            let arena = arena.as_ref().expect("arena-backed string without arena");
+            &arena[*start..*start + *len]
+        }
+    }
 }
 
 /// Reusable per-thread scratch for queries (dedup stamps + DP rows).
@@ -117,12 +152,71 @@ impl Inner {
     fn new(tau_max: usize) -> Self {
         Self {
             tau_max,
+            arena: None,
+            arena_live_bytes: 0,
+            arena_live_strings: 0,
             strings: Vec::new(),
             string_bytes: 0,
             live: 0,
             segments: OwnedSegmentIndex::new(0, tau_max),
             short: Vec::new(),
         }
+    }
+
+    /// Reassembles an `Inner` from snapshot parts: the loaded file buffer,
+    /// per-id spans into it (`None` = tombstone), and the already-decoded
+    /// segment index. Strings stay zero-copy views of `arena`; the short
+    /// lane and byte accounting are rebuilt from the spans. Returns `Err`
+    /// when the parts are mutually inconsistent (checksums cannot catch a
+    /// file written with lying metadata).
+    pub(crate) fn from_loaded_parts(
+        tau_max: usize,
+        arena: Arc<[u8]>,
+        spans: Vec<Option<(usize, usize)>>,
+        segments: OwnedSegmentIndex,
+    ) -> Result<Self, &'static str> {
+        if segments.tau() != tau_max {
+            return Err("segment index tau does not match tau_max");
+        }
+        let mut strings = Vec::with_capacity(spans.len());
+        let mut short = Vec::new();
+        let mut string_bytes = 0u64;
+        let mut live = 0usize;
+        let mut long = 0u64;
+        for (id, span) in spans.into_iter().enumerate() {
+            let Some((start, len)) = span else {
+                strings.push(None);
+                continue;
+            };
+            if start.checked_add(len).is_none_or(|end| end > arena.len()) {
+                return Err("string span exceeds the arena");
+            }
+            if len > tau_max {
+                long += 1;
+            } else {
+                short.push(id as StringId); // ids ascend: lane stays sorted
+            }
+            string_bytes += len as u64;
+            live += 1;
+            strings.push(Some(Stored::Arena { start, len }));
+        }
+        // Every long live string contributes exactly τ_max+1 postings; a
+        // mismatch means the segment section and the string table describe
+        // different collections.
+        if segments.entries() != long * (tau_max as u64 + 1) {
+            return Err("segment postings do not cover the live strings");
+        }
+        Ok(Self {
+            tau_max,
+            arena: Some(arena),
+            arena_live_bytes: string_bytes,
+            arena_live_strings: live,
+            strings,
+            string_bytes,
+            live,
+            segments,
+            short,
+        })
     }
 
     pub(crate) fn tau_max(&self) -> usize {
@@ -134,7 +228,10 @@ impl Inner {
     }
 
     pub(crate) fn get(&self, id: StringId) -> Option<&[u8]> {
-        self.strings.get(id as usize)?.as_deref()
+        self.strings
+            .get(id as usize)?
+            .as_ref()
+            .map(|stored| resolve(&self.arena, stored))
     }
 
     /// Size of the id universe (live strings + tombstones).
@@ -156,7 +253,12 @@ impl Inner {
             tombstones: self.strings.len() - self.live,
             segment_entries: self.segments.entries(),
             short_strings: self.short.len(),
-            resident_bytes: self.segments.live_bytes() + self.string_bytes,
+            resident_bytes: self.segments.live_bytes()
+                + self.string_bytes
+                + self
+                    .arena
+                    .as_ref()
+                    .map_or(0, |arena| arena.len() as u64 - self.arena_live_bytes),
             epoch,
         }
     }
@@ -172,7 +274,7 @@ impl Inner {
         } else {
             self.short.push(id); // new ids are maximal: stays ascending
         }
-        self.strings.push(Some(s.into()));
+        self.strings.push(Some(Stored::Owned(s.into())));
         self.string_bytes += s.len() as u64;
         self.live += 1;
         id
@@ -182,17 +284,30 @@ impl Inner {
         let Some(slot) = self.strings.get_mut(id as usize) else {
             return false;
         };
-        let Some(bytes) = slot.take() else {
+        let Some(stored) = slot.take() else {
             return false;
         };
-        if bytes.len() > self.tau_max {
-            let removed = self.segments.remove_owned(&bytes, id);
+        let bytes = resolve(&self.arena, &stored);
+        let len = bytes.len();
+        if len > self.tau_max {
+            let removed = self.segments.remove_owned(bytes, id);
             debug_assert!(removed, "live string must be segment-indexed");
         } else {
             let pos = self.short.binary_search(&id).expect("live short id");
             self.short.remove(pos);
         }
-        self.string_bytes -= bytes.len() as u64;
+        if let Stored::Arena { .. } = stored {
+            self.arena_live_bytes -= len as u64;
+            self.arena_live_strings -= 1;
+            if self.arena_live_strings == 0 {
+                // Nothing references the snapshot buffer any more: stop
+                // pinning it (a fully churned loaded index converges to
+                // the memory profile of a built one).
+                debug_assert_eq!(self.arena_live_bytes, 0);
+                self.arena = None;
+            }
+        }
+        self.string_bytes -= len as u64;
         self.live -= 1;
         true
     }
@@ -291,11 +406,11 @@ impl Inner {
 /// ```
 #[derive(Debug)]
 pub struct OnlineIndex {
-    inner: Arc<Inner>,
+    pub(crate) inner: Arc<Inner>,
     /// Mutation counter; validates cached results and tells snapshot users
     /// how stale they are.
-    epoch: u64,
-    cache: QueryCache,
+    pub(crate) epoch: u64,
+    pub(crate) cache: QueryCache,
 }
 
 impl OnlineIndex {
@@ -467,8 +582,8 @@ impl OnlineIndex {
 /// from any thread (`Send + Sync`; queries take `&self`).
 #[derive(Debug, Clone)]
 pub struct Snapshot {
-    inner: Arc<Inner>,
-    epoch: u64,
+    pub(crate) inner: Arc<Inner>,
+    pub(crate) epoch: u64,
 }
 
 impl Snapshot {

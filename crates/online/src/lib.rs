@@ -18,7 +18,11 @@
 //!   multi-threaded variant;
 //! * [`OnlineIndex::query_cached`] — an LRU result cache invalidated by
 //!   mutation epoch;
-//! * [`Snapshot`] — a cheap copy-on-write view for concurrent readers.
+//! * [`Snapshot`] — a cheap copy-on-write view for concurrent readers;
+//! * [`Snapshot::save`] / [`OnlineIndex::load`] — durable snapshots: a
+//!   versioned, checksummed on-disk format (`passjoin-persist`) that a
+//!   restarting process loads with zero-copy string-arena views instead
+//!   of re-partitioning the whole corpus.
 //!
 //! # Quick start
 //!
@@ -59,11 +63,13 @@
 mod batch;
 pub mod cache;
 mod index;
+mod persist;
 
 use sj_common::StringId;
 
 pub use cache::CacheStats;
 pub use index::{OnlineIndex, OnlineStats, QueryScratch, Snapshot};
+pub use passjoin_persist::PersistError;
 
 /// A query match: `(string id, exact edit distance)`.
 pub type Match = (StringId, usize);

@@ -1,0 +1,256 @@
+//! Snapshot persistence: [`Snapshot::save`] and [`OnlineIndex::load`].
+//!
+//! A saved snapshot is one `passjoin-persist` container with four
+//! sections:
+//!
+//! | id | section  | contents |
+//! |----|----------|----------|
+//! | 1  | META     | τ_max, epoch, universe, live count, arena length, posting-entry count |
+//! | 2  | SPANS    | per id: `(start: u64, len: u32)` into the arena; `start = u64::MAX` marks a tombstone |
+//! | 3  | STRINGS  | the arena: every live string's bytes, concatenated in id order |
+//! | 4  | SEGMENTS | the segment inverted index as a posting stream (`passjoin_persist::segmap`) |
+//!
+//! Saving walks the index in id order, so output is deterministic.
+//! Loading reads the file into **one contiguous buffer** and reconstructs
+//! the index around it: string entries become zero-copy spans of that
+//! buffer (see `Stored::Arena` in the index module), and the segment maps
+//! are replayed posting-by-posting — no string is re-partitioned, no
+//! corpus byte is copied. The loaded index is fully mutable: later inserts
+//! own their bytes, removes drop span entries, and the arena `Arc` keeps
+//! the buffer alive exactly as long as any snapshot or clone needs it.
+//!
+//! Load-time validation is layered: the container re-checks magic,
+//! version, and per-section CRCs ([`PersistError`] covers each failure
+//! mode); span bounds, posting geometry, id ranges, and the
+//! live-count/entry-count cross-checks are re-validated structurally, so
+//! even a CRC-valid file written by a buggy producer is rejected rather
+//! than trusted.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use passjoin_persist::{segmap, Cursor, PersistError, SnapshotFile, SnapshotWriter};
+
+use crate::cache::QueryCache;
+use crate::index::{Inner, DEFAULT_CACHE_CAPACITY};
+use crate::{OnlineIndex, Snapshot};
+
+/// Section ids of the online-snapshot format.
+const SEC_META: u32 = 1;
+const SEC_SPANS: u32 = 2;
+const SEC_STRINGS: u32 = 3;
+const SEC_SEGMENTS: u32 = 4;
+
+/// Sentinel `start` marking a removed id in the SPANS section.
+const TOMBSTONE: u64 = u64::MAX;
+
+/// Bytes per SPANS entry (`start: u64` + `len: u32`).
+const SPAN_LEN: usize = 12;
+
+/// Largest τ_max a snapshot may declare. Far above any useful threshold
+/// (the paper's workloads use τ ≤ 8; index cost grows with τ_max²), and
+/// small enough that τ-derived arithmetic on a crafted META section can
+/// neither overflow nor justify outsized allocations.
+const MAX_TAU_MAX: usize = 4096;
+
+impl Snapshot {
+    /// Writes this point-in-time view as a snapshot file at `path`
+    /// (truncating any existing file); returns the file's byte length.
+    ///
+    /// The write is deterministic: saving the same snapshot twice
+    /// produces byte-identical files.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<u64, PersistError> {
+        save_inner(&self.inner, self.epoch, path.as_ref())
+    }
+}
+
+impl OnlineIndex {
+    /// [`Snapshot::save`] on the index's current state.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<u64, PersistError> {
+        self.snapshot().save(path)
+    }
+
+    /// Loads a snapshot file into a queryable, fully mutable index.
+    ///
+    /// The whole file is read into one contiguous buffer; string entries
+    /// are zero-copy views into it, and the segment index is replayed from
+    /// the serialized postings — no re-partitioning. Ids, tombstones, the
+    /// mutation epoch, and τ_max all round-trip exactly, so a loaded index
+    /// answers every query byte-identically to the index that was saved.
+    ///
+    /// The index keeps the *entire* file buffer alive (not just the
+    /// string-arena section) for as long as any arena-backed string is
+    /// live. That is a deliberate trade: one buffer, one ownership story,
+    /// and the layout the mmap follow-on needs — under `mmap(2)` the
+    /// consumed SPANS/SEGMENTS pages are simply evicted by the OS. Callers
+    /// that must minimize heap today can rebuild from the corpus instead.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let file = SnapshotFile::open(path.as_ref())?;
+
+        let mut meta = Cursor::new(file.section(SEC_META)?, "meta section");
+        let tau_max = meta.len64()?;
+        let epoch = meta.u64()?;
+        let universe = meta.len64()?;
+        let live = meta.len64()?;
+        let arena_len = meta.len64()?;
+        let segment_entries = meta.u64()?;
+        meta.finish()?;
+        if tau_max > MAX_TAU_MAX {
+            return Err(PersistError::Corrupt {
+                context: "tau_max exceeds the format maximum",
+            });
+        }
+        // Ids are u32; a universe beyond that could not have been written
+        // by any producer and would truncate ids on reconstruction.
+        if universe > u32::MAX as usize {
+            return Err(PersistError::Corrupt {
+                context: "universe exceeds the u32 id space",
+            });
+        }
+
+        let strings_range = file.section_range(SEC_STRINGS)?;
+        if strings_range.len() != arena_len {
+            return Err(PersistError::Corrupt {
+                context: "arena length disagrees with the meta section",
+            });
+        }
+
+        let spans_payload = file.section(SEC_SPANS)?;
+        if universe
+            .checked_mul(SPAN_LEN)
+            .is_none_or(|expected| spans_payload.len() != expected)
+        {
+            return Err(PersistError::Corrupt {
+                context: "span table length disagrees with the meta section",
+            });
+        }
+        // Spans are recorded relative to the arena; rebase them onto the
+        // whole-file buffer so the index can keep the single `Arc` alive.
+        let base = strings_range.start;
+        let mut spans = Vec::with_capacity(universe);
+        let mut cursor = Cursor::new(spans_payload, "span table");
+        let mut live_seen = 0usize;
+        let mut max_live_len = 0usize;
+        for _ in 0..universe {
+            let start = cursor.u64()?;
+            let len = cursor.u32()? as usize;
+            if start == TOMBSTONE {
+                spans.push(None);
+                continue;
+            }
+            let start = usize::try_from(start).map_err(|_| PersistError::Corrupt {
+                context: "span offset exceeds the platform",
+            })?;
+            if start
+                .checked_add(len)
+                .is_none_or(|end| end > strings_range.len())
+            {
+                return Err(PersistError::Corrupt {
+                    context: "string span exceeds the arena",
+                });
+            }
+            live_seen += 1;
+            max_live_len = max_live_len.max(len);
+            spans.push(Some((base + start, len)));
+        }
+        cursor.finish()?;
+        if live_seen != live {
+            return Err(PersistError::Corrupt {
+                context: "live count disagrees with the meta section",
+            });
+        }
+
+        // The longest live string bounds every legal posting length — and,
+        // with it, the allocation any hostile SEGMENTS section can force.
+        let segments =
+            segmap::decode(file.section(SEC_SEGMENTS)?, tau_max, universe, max_live_len)?;
+        if segments.entries() != segment_entries {
+            return Err(PersistError::Corrupt {
+                context: "posting count disagrees with the meta section",
+            });
+        }
+        // The online query planner derives probe windows from the even
+        // partition; a snapshot with any other scheme would load fine and
+        // then silently miss every match.
+        if segments.scheme() != passjoin::PartitionScheme::Even {
+            return Err(PersistError::Corrupt {
+                context: "online snapshots require the even partition scheme",
+            });
+        }
+        // Cross-validate postings against the string table: every
+        // reference must point at a live string of the posting's length,
+        // and every live long string must be referenced exactly τ_max+1
+        // times. Checksums cannot catch a producer that wrote internally
+        // inconsistent sections, and the query path trusts these
+        // invariants (`expect`s and slices on them).
+        let mut references = vec![0u32; universe];
+        let mut consistent = true;
+        segments.visit_posting_ids(|l, id| match spans.get(id as usize) {
+            Some(Some((_, len))) if *len == l => references[id as usize] += 1,
+            _ => consistent = false,
+        });
+        let expected = tau_max as u32 + 1;
+        consistent &= spans
+            .iter()
+            .zip(&references)
+            .all(|(span, &refs)| match span {
+                Some((_, len)) if *len > tau_max => refs == expected,
+                _ => refs == 0,
+            });
+        if !consistent {
+            return Err(PersistError::Corrupt {
+                context: "segment postings do not cover the live strings",
+            });
+        }
+
+        let arena = Arc::clone(file.buffer());
+        let inner = Inner::from_loaded_parts(tau_max, arena, spans, segments).map_err(|_| {
+            PersistError::Corrupt {
+                context: "snapshot sections are mutually inconsistent",
+            }
+        })?;
+        Ok(OnlineIndex {
+            inner: Arc::new(inner),
+            epoch,
+            cache: QueryCache::new(DEFAULT_CACHE_CAPACITY),
+        })
+    }
+}
+
+fn save_inner(inner: &Inner, epoch: u64, path: &Path) -> Result<u64, PersistError> {
+    let universe = inner.universe();
+
+    let mut spans = Vec::with_capacity(universe * SPAN_LEN);
+    let mut arena = Vec::new();
+    let mut live = 0usize;
+    for id in 0..universe {
+        match inner.get(id as u32) {
+            Some(bytes) => {
+                spans.extend_from_slice(&(arena.len() as u64).to_le_bytes());
+                spans.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                arena.extend_from_slice(bytes);
+                live += 1;
+            }
+            None => {
+                spans.extend_from_slice(&TOMBSTONE.to_le_bytes());
+                spans.extend_from_slice(&0u32.to_le_bytes());
+            }
+        }
+    }
+
+    let mut meta = Vec::with_capacity(48);
+    meta.extend_from_slice(&(inner.tau_max() as u64).to_le_bytes());
+    meta.extend_from_slice(&epoch.to_le_bytes());
+    meta.extend_from_slice(&(universe as u64).to_le_bytes());
+    meta.extend_from_slice(&(live as u64).to_le_bytes());
+    meta.extend_from_slice(&(arena.len() as u64).to_le_bytes());
+    meta.extend_from_slice(&inner.segments().entries().to_le_bytes());
+
+    let mut writer = SnapshotWriter::new();
+    writer
+        .section(SEC_META, meta)
+        .section(SEC_SPANS, spans)
+        .section(SEC_STRINGS, arena)
+        .section(SEC_SEGMENTS, segmap::encode(inner.segments()));
+    writer.save(path)
+}

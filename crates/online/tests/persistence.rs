@@ -1,0 +1,540 @@
+//! Persistence contract: a saved-then-loaded index is indistinguishable
+//! from the index it was saved from — byte-identical query results for
+//! **every** τ ≤ τ_max, identical stats, identical tombstones — on random
+//! and planted corpora, through churn, and the loaded index stays fully
+//! mutable. And every way a file can rot — truncation, any flipped byte,
+//! a wrong version, garbage — is rejected with a typed error, never a
+//! panic.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use passjoin_online::{OnlineIndex, PersistError};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A unique temp path per call (tests run concurrently in one process).
+fn temp_snapshot_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "passjoin-persistence-{}-{tag}-{n}.snap",
+        std::process::id()
+    ))
+}
+
+/// RAII cleanup so failing tests don't leak files into the temp dir.
+struct TempFile(PathBuf);
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn save_to_temp(index: &OnlineIndex, tag: &str) -> TempFile {
+    let file = TempFile(temp_snapshot_path(tag));
+    index.save(&file.0).expect("save must succeed");
+    file
+}
+
+/// Asserts the loaded index is equivalent to `original`: same metadata,
+/// same per-id strings (tombstones included), and byte-identical query
+/// results for every τ ≤ τ_max over `queries`.
+fn assert_equivalent(original: &OnlineIndex, loaded: &OnlineIndex, queries: &[Vec<u8>]) {
+    assert_eq!(loaded.tau_max(), original.tau_max());
+    assert_eq!(loaded.len(), original.len());
+    assert_eq!(loaded.epoch(), original.epoch());
+    // Stats agree except resident_bytes, which (deliberately) also counts
+    // the pinned snapshot buffer on the loaded side.
+    let (ls, os) = (loaded.stats(), original.stats());
+    assert_eq!(
+        (
+            ls.live,
+            ls.tombstones,
+            ls.segment_entries,
+            ls.short_strings,
+            ls.epoch
+        ),
+        (
+            os.live,
+            os.tombstones,
+            os.segment_entries,
+            os.short_strings,
+            os.epoch
+        )
+    );
+    for id in 0..original.stats().live as u32 + original.stats().tombstones as u32 {
+        assert_eq!(loaded.get(id), original.get(id), "string id {id}");
+    }
+    for q in queries {
+        for tau in 0..=original.tau_max() {
+            assert_eq!(
+                loaded.query(q, tau),
+                original.query(q, tau),
+                "query {:?} at tau={tau}",
+                String::from_utf8_lossy(q)
+            );
+        }
+    }
+}
+
+fn small_corpus() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..12),
+        0..24,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn round_trip_on_random_corpora(strings in small_corpus(), tau_max in 1usize..5) {
+        let index = OnlineIndex::from_strings(strings.iter(), tau_max);
+        let file = save_to_temp(&index, "random");
+        let loaded = OnlineIndex::load(&file.0).expect("load must succeed");
+        // Probe with the corpus itself plus off-corpus neighbours.
+        let mut queries = strings.clone();
+        queries.push(b"abab".to_vec());
+        queries.push(Vec::new());
+        assert_equivalent(&index, &loaded, &queries);
+    }
+
+    #[test]
+    fn round_trip_survives_churn(
+        strings in small_corpus(),
+        tau_max in 1usize..4,
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        // Remove a pseudo-random subset first: tombstones, short-lane
+        // holes, and emptied segment lists must all round-trip.
+        let mut index = OnlineIndex::from_strings(strings.iter(), tau_max);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for id in 0..strings.len() as u32 {
+            if rng.gen_bool(0.35) {
+                index.remove(id);
+            }
+        }
+        let file = save_to_temp(&index, "churn");
+        let loaded = OnlineIndex::load(&file.0).expect("load must succeed");
+        assert_equivalent(&index, &loaded, &strings);
+    }
+}
+
+/// A planted corpus: datagen base strings plus controlled near-duplicates
+/// (the same shape `properties.rs` uses against the batch join).
+fn planted_corpus(n: usize, seed: u64, max_edits: usize) -> Vec<Vec<u8>> {
+    let base = datagen::DatasetSpec::new(datagen::DatasetKind::Author, n)
+        .with_seed(seed)
+        .generate();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37);
+    let mut strings = Vec::with_capacity(2 * n);
+    for s in base {
+        if rng.gen_bool(0.5) {
+            strings.push(datagen::mutate(&s, rng.gen_range(1..=max_edits), &mut rng));
+        }
+        strings.push(s);
+    }
+    strings
+}
+
+#[test]
+fn round_trip_on_planted_corpus() {
+    let strings = planted_corpus(300, 42, 2);
+    let index = OnlineIndex::from_strings(strings.iter(), 3);
+    let file = save_to_temp(&index, "planted");
+    let loaded = OnlineIndex::load(&file.0).expect("load must succeed");
+    let queries: Vec<Vec<u8>> = strings.iter().step_by(5).cloned().collect();
+    assert_equivalent(&index, &loaded, &queries);
+}
+
+#[test]
+fn loaded_index_stays_fully_mutable() {
+    let strings = planted_corpus(100, 7, 2);
+    let index = OnlineIndex::from_strings(strings.iter(), 2);
+    let file = save_to_temp(&index, "mutable");
+    let mut loaded = OnlineIndex::load(&file.0).expect("load must succeed");
+
+    // Mutate the loaded index and a parallel in-memory twin identically;
+    // they must stay equivalent (exercises removing arena-backed strings
+    // and mixing owned inserts over the arena).
+    let mut twin = OnlineIndex::from_strings(strings.iter(), 2);
+    for id in (0..strings.len() as u32).step_by(3) {
+        assert_eq!(loaded.remove(id), twin.remove(id));
+    }
+    let added_l = loaded.insert(b"freshly inserted after load");
+    let added_t = twin.insert(b"freshly inserted after load");
+    assert_eq!(added_l, added_t);
+    for q in strings.iter().step_by(7) {
+        assert_eq!(loaded.query(q, 2), twin.query(q, 2));
+    }
+    assert_eq!(
+        loaded.query(b"freshly inserted after load", 1),
+        vec![(added_l, 0)]
+    );
+
+    // A snapshot save of the *mutated* loaded index round-trips again
+    // (arena spans and owned strings interleave in the new arena).
+    let file2 = save_to_temp(&loaded, "mutable-resave");
+    let reloaded = OnlineIndex::load(&file2.0).expect("re-load must succeed");
+    let queries: Vec<Vec<u8>> = strings.iter().step_by(7).cloned().collect();
+    assert_equivalent(&loaded, &reloaded, &queries);
+}
+
+#[test]
+fn loaded_stats_count_the_pinned_buffer_and_churn_releases_it() {
+    let strings = planted_corpus(60, 11, 2);
+    let index = OnlineIndex::from_strings(strings.iter(), 2);
+    let file = save_to_temp(&index, "pinned");
+    let file_size = std::fs::metadata(&file.0).unwrap().len();
+
+    // A loaded index pins the whole snapshot buffer; resident_bytes must
+    // say so (an operator sizing a box from --stats must not be lied to).
+    let mut loaded = OnlineIndex::load(&file.0).unwrap();
+    assert!(
+        loaded.stats().resident_bytes >= file_size,
+        "resident {} must count the pinned {file_size}-byte buffer",
+        loaded.stats().resident_bytes
+    );
+
+    // Removing the last arena-backed string releases the buffer: a fully
+    // churned loaded index converges to a built index's memory profile.
+    for id in 0..strings.len() as u32 {
+        assert!(loaded.remove(id));
+    }
+    assert_eq!(loaded.len(), 0);
+    assert_eq!(loaded.stats().resident_bytes, 0);
+    // And it keeps serving: post-release inserts and queries work.
+    let id = loaded.insert(b"fresh after arena release");
+    assert_eq!(loaded.query(b"fresh after arena release", 1), vec![(id, 0)]);
+}
+
+#[test]
+fn zero_length_arena_strings_keep_the_arena_alive() {
+    // Empty strings occupy zero arena bytes but are live arena references:
+    // removing the last *non-empty* loaded string must not release the
+    // buffer out from under them.
+    let mut index = OnlineIndex::new(2);
+    let empty = index.insert(b"");
+    let full = index.insert(b"abcdef");
+    let file = save_to_temp(&index, "zero-len");
+    let mut loaded = OnlineIndex::load(&file.0).unwrap();
+
+    assert!(loaded.remove(full));
+    // The empty string is still live and must stay queryable/savable.
+    assert_eq!(loaded.get(empty), Some(&b""[..]));
+    assert_eq!(loaded.query(b"", 0), vec![(empty, 0)]);
+    let resave = save_to_temp(&loaded, "zero-len-resave");
+    assert_eq!(
+        OnlineIndex::load(&resave.0).unwrap().get(empty),
+        Some(&b""[..])
+    );
+    // Only once the empty string goes too is the buffer released.
+    assert!(loaded.remove(empty));
+    assert_eq!(loaded.stats().resident_bytes, 0);
+}
+
+#[test]
+fn saves_are_deterministic() {
+    let strings = planted_corpus(80, 3, 2);
+    let mut index = OnlineIndex::from_strings(strings.iter(), 2);
+    index.remove(5);
+    let a = save_to_temp(&index, "det-a");
+    let b = save_to_temp(&index, "det-b");
+    assert_eq!(
+        std::fs::read(&a.0).unwrap(),
+        std::fs::read(&b.0).unwrap(),
+        "same state must serialize to identical bytes"
+    );
+}
+
+#[test]
+fn save_is_atomic_over_an_existing_snapshot() {
+    let strings = planted_corpus(40, 9, 2);
+    let index = OnlineIndex::from_strings(strings.iter(), 2);
+    let file = save_to_temp(&index, "atomic");
+    // Re-saving over an existing snapshot must go through the temp-file
+    // rename (no lingering sibling) and leave a loadable file.
+    index.save(&file.0).unwrap();
+    let mut tmp = file.0.as_os_str().to_owned();
+    tmp.push(".tmp");
+    assert!(
+        !std::path::Path::new(&tmp).exists(),
+        "temp file must not outlive a successful save"
+    );
+    assert_eq!(OnlineIndex::load(&file.0).unwrap().len(), index.len());
+
+    // A *failed* save must leave the existing snapshot untouched: point
+    // the save at a path whose parent directory does not exist.
+    let bogus = file.0.join("sub/never.snap");
+    assert!(matches!(index.save(&bogus), Err(PersistError::Io(_))));
+    assert_eq!(OnlineIndex::load(&file.0).unwrap().len(), index.len());
+}
+
+#[test]
+fn empty_index_round_trips() {
+    let index = OnlineIndex::new(2);
+    let file = save_to_temp(&index, "empty");
+    let loaded = OnlineIndex::load(&file.0).unwrap();
+    assert!(loaded.is_empty());
+    assert_eq!(loaded.tau_max(), 2);
+    assert!(loaded.query(b"anything", 2).is_empty());
+}
+
+fn sample_snapshot_bytes() -> Vec<u8> {
+    let strings = ["pass-join", "pass-joins", "snapshot", "ab", ""];
+    let mut index = OnlineIndex::from_strings(strings.iter().map(|s| s.as_bytes()), 2);
+    index.remove(2);
+    let file = save_to_temp(&index, "corruption-base");
+    std::fs::read(&file.0).unwrap()
+}
+
+fn load_bytes(bytes: &[u8], tag: &str) -> Result<OnlineIndex, PersistError> {
+    let file = TempFile(temp_snapshot_path(tag));
+    std::fs::write(&file.0, bytes).unwrap();
+    OnlineIndex::load(&file.0)
+}
+
+#[test]
+fn rejects_truncation_at_every_length() {
+    let bytes = sample_snapshot_bytes();
+    for cut in 0..bytes.len() {
+        assert!(
+            load_bytes(&bytes[..cut], "trunc").is_err(),
+            "truncation to {cut}/{} bytes must be rejected",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn rejects_every_flipped_byte() {
+    // Every byte of a snapshot is covered by the header CRC or a section
+    // CRC, so *any* single-byte corruption must surface as a typed error.
+    let bytes = sample_snapshot_bytes();
+    for at in 0..bytes.len() {
+        let mut flipped = bytes.clone();
+        flipped[at] ^= 0x20;
+        assert!(
+            load_bytes(&flipped, "flip").is_err(),
+            "flipped byte at offset {at} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn rejects_wrong_version_with_typed_error() {
+    let mut bytes = sample_snapshot_bytes();
+    // Patch the version field (offset 8) and leave everything else alone:
+    // the loader must identify the *version* as the problem, not fail on
+    // an opaque checksum error.
+    bytes[8] = 0xFE;
+    assert!(matches!(
+        load_bytes(&bytes, "version"),
+        Err(PersistError::UnsupportedVersion { found }) if found != 1
+    ));
+}
+
+#[test]
+fn rejects_non_snapshot_files_with_bad_magic() {
+    assert!(matches!(
+        load_bytes(b"this is not a snapshot file at all", "magic"),
+        Err(PersistError::BadMagic { .. })
+    ));
+    assert!(matches!(
+        load_bytes(b"", "empty"),
+        Err(PersistError::Truncated { .. })
+    ));
+}
+
+/// Hand-assembles a snapshot container from raw parts — a stand-in for a
+/// *buggy producer*: framing and CRCs are valid, so only the loader's
+/// structural cross-checks stand between these files and a query-time
+/// panic.
+mod inconsistent_producer {
+    use super::*;
+    use passjoin::OwnedSegmentIndex;
+    use passjoin_persist::{segmap, SnapshotWriter};
+
+    /// META + SPANS for one live string `"abcd"` (id 0) and one tombstone
+    /// (id 1) at τ_max = 1, paired with the given segment map.
+    fn craft(segments: &OwnedSegmentIndex, tag: &str) -> Result<OnlineIndex, PersistError> {
+        let mut meta = Vec::new();
+        for v in [1u64, 0, 2, 1, 4, segments.entries()] {
+            meta.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut spans = Vec::new();
+        spans.extend_from_slice(&0u64.to_le_bytes()); // id 0: live "abcd"
+        spans.extend_from_slice(&4u32.to_le_bytes());
+        spans.extend_from_slice(&u64::MAX.to_le_bytes()); // id 1: tombstone
+        spans.extend_from_slice(&0u32.to_le_bytes());
+
+        let mut writer = SnapshotWriter::new();
+        writer
+            .section(1, meta)
+            .section(2, spans)
+            .section(3, b"abcd".to_vec())
+            .section(4, segmap::encode(segments));
+        let file = TempFile(temp_snapshot_path(tag));
+        writer.save(&file.0)?;
+        OnlineIndex::load(&file.0)
+    }
+
+    #[test]
+    fn consistent_parts_load() {
+        // The crafting itself is sound: postings matching the string
+        // table load and answer queries.
+        let mut segments = OwnedSegmentIndex::new(0, 1);
+        segments.insert_owned(b"abcd", 0);
+        let index = craft(&segments, "crafted-ok").expect("consistent parts must load");
+        assert_eq!(index.query(b"abcd", 1), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn rejects_postings_referencing_a_tombstone() {
+        // Same posting count, but the references point at the removed id:
+        // the query path would `expect` liveness and panic.
+        let mut segments = OwnedSegmentIndex::new(0, 1);
+        segments.insert_owned(b"abcd", 1);
+        assert!(matches!(
+            craft(&segments, "crafted-tombstone"),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_postings_with_mismatched_length() {
+        // References a live id, but under the wrong string length: probing
+        // would slice the 4-byte string with 5-length geometry and panic.
+        let mut segments = OwnedSegmentIndex::new(0, 1);
+        segments.insert_owned(b"abcde", 0);
+        assert!(matches!(
+            craft(&segments, "crafted-length"),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_even_partition_schemes() {
+        // The online planner probes with the even partition; a left-heavy
+        // snapshot would load and then silently miss every match.
+        use passjoin::PartitionScheme;
+        let mut segments = OwnedSegmentIndex::with_scheme(0, 1, PartitionScheme::LeftHeavy);
+        segments.insert_owned(b"abcd", 0);
+        assert!(matches!(
+            craft(&segments, "crafted-scheme"),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_incomplete_posting_coverage() {
+        // One of the live long string's τ_max+1 postings is missing (the
+        // entry count in META is kept honest): the index would silently
+        // miss matches that probe the absent slot.
+        let mut segments = OwnedSegmentIndex::new(0, 1);
+        segments
+            .restore_posting(4, 1, b"ab".to_vec().into_boxed_slice(), vec![0])
+            .unwrap();
+        assert!(matches!(
+            craft(&segments, "crafted-missing-slot"),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_hostile_tau_max_without_panicking() {
+        // META claiming tau_max = u32::MAX (with a matching SEGMENTS tau
+        // field, so the codec's equality check passes) must be a typed
+        // error — not an arithmetic overflow panic in debug builds or a
+        // silently accepted bogus index in release.
+        let mut meta = Vec::new();
+        for v in [u32::MAX as u64, 0, 0, 0, 0, 0] {
+            meta.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut segments_payload = Vec::new();
+        segments_payload.extend_from_slice(&0u32.to_le_bytes()); // even scheme
+        segments_payload.extend_from_slice(&u32::MAX.to_le_bytes()); // tau
+        segments_payload.extend_from_slice(&0u64.to_le_bytes()); // no postings
+        let mut writer = SnapshotWriter::new();
+        writer
+            .section(1, meta)
+            .section(2, Vec::new())
+            .section(3, Vec::new())
+            .section(4, segments_payload);
+        let file = TempFile(temp_snapshot_path("crafted-tau-bomb"));
+        writer.save(&file.0).unwrap();
+        assert!(matches!(
+            OnlineIndex::load(&file.0),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_hostile_posting_length_without_huge_allocation() {
+        // A tiny CRC-valid file whose one posting frame claims a
+        // ~4-billion-byte string length must be rejected cheaply — not
+        // balloon the per-length table into an OOM abort during the
+        // pre-reservation skim.
+        let mut meta = Vec::new();
+        for v in [1u64, 0, 2, 1, 4, 2] {
+            meta.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut spans = Vec::new();
+        spans.extend_from_slice(&0u64.to_le_bytes());
+        spans.extend_from_slice(&4u32.to_le_bytes());
+        spans.extend_from_slice(&u64::MAX.to_le_bytes());
+        spans.extend_from_slice(&0u32.to_le_bytes());
+        let mut segments_payload = Vec::new();
+        segments_payload.extend_from_slice(&0u32.to_le_bytes()); // even scheme
+        segments_payload.extend_from_slice(&1u32.to_le_bytes()); // tau = 1
+        segments_payload.extend_from_slice(&1u64.to_le_bytes()); // one posting
+        segments_payload.extend_from_slice(&(u32::MAX - 1).to_le_bytes()); // l bomb
+        segments_payload.extend_from_slice(&1u32.to_le_bytes()); // slot
+        segments_payload.extend_from_slice(&0u32.to_le_bytes()); // key_len
+        segments_payload.extend_from_slice(&0u32.to_le_bytes()); // n_ids
+        let mut writer = SnapshotWriter::new();
+        writer
+            .section(1, meta)
+            .section(2, spans)
+            .section(3, b"abcd".to_vec())
+            .section(4, segments_payload);
+        let file = TempFile(temp_snapshot_path("crafted-length-bomb"));
+        writer.save(&file.0).unwrap();
+        assert!(matches!(
+            OnlineIndex::load(&file.0),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_overflowing_universe() {
+        // A META section claiming a universe whose span-table size
+        // overflows must be a typed error, not a panic or huge allocation.
+        let mut meta = Vec::new();
+        for v in [1u64, 0, u64::MAX / 2, 0, 0, 0] {
+            meta.extend_from_slice(&v.to_le_bytes());
+        }
+        let segments = OwnedSegmentIndex::new(0, 1);
+        let mut writer = SnapshotWriter::new();
+        writer
+            .section(1, meta)
+            .section(2, Vec::new())
+            .section(3, Vec::new())
+            .section(4, segmap::encode(&segments));
+        let file = TempFile(temp_snapshot_path("crafted-overflow"));
+        writer.save(&file.0).unwrap();
+        assert!(matches!(
+            OnlineIndex::load(&file.0),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+}
+
+#[test]
+fn missing_file_is_an_io_error() {
+    let path = temp_snapshot_path("never-written");
+    assert!(matches!(OnlineIndex::load(&path), Err(PersistError::Io(_))));
+}

@@ -96,6 +96,43 @@ proptest! {
     }
 
     #[test]
+    fn external_queries_match_brute_force(
+        strings in dense_corpus(),
+        queries in proptest::collection::vec(
+            proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..16),
+            1..16,
+        ),
+        tau_max in 1usize..5,
+    ) {
+        // Queries that are *not* corpus members (longer, shorter, or just
+        // absent) must agree with brute force at every τ ≤ τ_max — the
+        // batch-join comparison above only ever queries corpus strings,
+        // which cannot catch window bugs that need |q| ≠ |s| asymmetry.
+        let index = OnlineIndex::from_strings(strings.iter(), tau_max);
+        for q in &queries {
+            for tau in 0..=tau_max {
+                let mut expected: Vec<(u32, usize)> = strings
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| {
+                        let d = editdist::edit_distance(s, q);
+                        (d <= tau).then_some((i as u32, d))
+                    })
+                    .collect();
+                expected.sort_unstable();
+                prop_assert_eq!(
+                    index.query(q, tau),
+                    expected,
+                    "tau={} tau_max={} q={:?}",
+                    tau,
+                    tau_max,
+                    String::from_utf8_lossy(q)
+                );
+            }
+        }
+    }
+
+    #[test]
     fn removal_equals_never_inserted(strings in dense_corpus(), tau_max in 1usize..4, seed in proptest::arbitrary::any::<u64>()) {
         // Insert everything, remove a pseudo-random subset: queries must
         // equal an index over the survivors alone (modulo ids).

@@ -1,0 +1,99 @@
+//! The typed failure modes of snapshot persistence.
+
+use std::fmt;
+
+/// Why a snapshot could not be written or read back.
+///
+/// Every load-path failure is typed and recoverable — a corrupt or
+/// incompatible file is reported, never panicked on — so callers (the CLI,
+/// a serving process deciding whether to fall back to a rebuild) can react
+/// to the *kind* of failure.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The underlying file could not be read or written.
+    Io(std::io::Error),
+    /// The file does not start with the snapshot magic — it is not a
+    /// snapshot at all (or the header was destroyed).
+    BadMagic {
+        /// The first bytes actually found.
+        found: [u8; 8],
+    },
+    /// The file is a snapshot, but of a format revision this build does
+    /// not understand. The versioning policy is strict equality: any
+    /// layout change bumps [`crate::FORMAT_VERSION`].
+    UnsupportedVersion {
+        /// The version recorded in the file.
+        found: u32,
+    },
+    /// The file ends before the structure it promises (header, section
+    /// table, or a section's payload).
+    Truncated {
+        /// Which structure was cut short.
+        context: &'static str,
+    },
+    /// A section's payload does not match its recorded CRC32 — bit rot,
+    /// a torn write, or in-place tampering.
+    ChecksumMismatch {
+        /// The section id whose checksum failed.
+        section: u32,
+    },
+    /// A section required by the reader is absent from the table.
+    MissingSection {
+        /// The absent section id.
+        section: u32,
+    },
+    /// The framing is intact (magic, version, CRCs all pass) but the
+    /// decoded content is structurally inconsistent.
+    Corrupt {
+        /// What invariant the content violated.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::BadMagic { found } => write!(
+                f,
+                "not a pass-join snapshot (bad magic {:02x?})",
+                &found[..]
+            ),
+            PersistError::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported snapshot format version {found} (this build reads version {})",
+                crate::FORMAT_VERSION
+            ),
+            PersistError::Truncated { context } => {
+                write!(f, "snapshot truncated: {context}")
+            }
+            PersistError::ChecksumMismatch { section } => {
+                write!(
+                    f,
+                    "checksum mismatch in section {section} (file is corrupt)"
+                )
+            }
+            PersistError::MissingSection { section } => {
+                write!(f, "snapshot is missing required section {section}")
+            }
+            PersistError::Corrupt { context } => {
+                write!(f, "snapshot is corrupt: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}

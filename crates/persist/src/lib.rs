@@ -1,0 +1,55 @@
+//! **passjoin-persist** — the on-disk snapshot format for Pass-Join
+//! indices.
+//!
+//! `OnlineIndex::from_strings` rebuilds the whole index on every process
+//! start: it re-partitions every string and re-inserts every segment into
+//! the inverted maps. This crate makes the index a durable artifact
+//! instead: a single-file, versioned, checksummed **snapshot** that a
+//! serving process writes once and reloads in a fraction of the rebuild
+//! time, with the string arena mapped **zero-copy** out of the loaded
+//! buffer.
+//!
+//! The crate is deliberately split in two layers:
+//!
+//! * **Framing** ([`format`]) — a generic container: magic + version
+//!   header, a section table, and densely packed per-section payloads,
+//!   each protected by CRC32. [`SnapshotWriter`] builds a file;
+//!   [`SnapshotFile`] validates and exposes one. Nothing here knows what
+//!   an index is.
+//! * **Codecs** ([`segmap`]) — the encoding of `passjoin`'s segment
+//!   inverted indices (`SegmentMap`) as a flat posting stream, built on
+//!   the raw-parts API the core crate exposes for exactly this purpose
+//!   ([`passjoin::SegmentMap::visit_postings`] /
+//!   [`passjoin::SegmentMap::restore_posting`]).
+//!
+//! The *snapshot semantics* — which sections exist and how the online
+//! index's strings, tombstones, and lanes map onto them — live in
+//! `passjoin-online`'s `persist` module, next to the structures they
+//! serialize. See the README's "Snapshot file format" section for the
+//! byte-level layout and the versioning policy.
+//!
+//! Everything is hand-rolled little-endian `std`-only code: the build
+//! environment has no crates.io access, so there is no `serde`, no `bincode`,
+//! and no mmap crate — the loader reads the file into one contiguous
+//! buffer and hands out `Arc`-shared views instead.
+//!
+//! # Corruption model
+//!
+//! Every load re-validates the file: wrong magic ([`PersistError::BadMagic`]),
+//! unknown version ([`PersistError::UnsupportedVersion`]), truncation
+//! ([`PersistError::Truncated`]), bit rot inside a section
+//! ([`PersistError::ChecksumMismatch`]), and structural lies that survive
+//! framing ([`PersistError::Corrupt`]) are all typed errors, never panics.
+//! The corruption property test in `passjoin-online` flips every byte of a
+//! snapshot and asserts each flip is rejected — which is why sections are
+//! packed without padding: every byte of the file is covered by either a
+//! semantic header field or a section CRC.
+
+mod crc;
+mod error;
+pub mod format;
+pub mod segmap;
+
+pub use crc::crc32;
+pub use error::PersistError;
+pub use format::{Cursor, SnapshotFile, SnapshotWriter, FORMAT_VERSION, MAGIC};

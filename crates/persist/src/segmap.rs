@@ -1,0 +1,251 @@
+//! Codec for `passjoin`'s segment inverted indices ([`SegmentMap`]).
+//!
+//! The encoding is a flat posting stream over the core crate's raw-parts
+//! API:
+//!
+//! ```text
+//! scheme: u32          (0 = even partition, 1 = left-heavy)
+//! tau:    u32          (the τ the map partitions for)
+//! n_postings: u64
+//! n_postings × {
+//!   l: u32  slot: u32  key_len: u32  n_ids: u32
+//!   key bytes (key_len)
+//!   ids (n_ids × u32, strictly ascending)
+//! }
+//! ```
+//!
+//! [`SegmentMap::visit_postings`] guarantees a deterministic visiting
+//! order, so encoding the same index twice yields identical bytes — and
+//! decoding replays each posting through
+//! [`SegmentMap::restore_posting`], which re-validates the partition
+//! geometry and id ordering. No string is ever re-partitioned on load:
+//! that is where the load-vs-rebuild speedup comes from (restoring a
+//! posting is one hash insert of a ready-made list, while a rebuild pays
+//! τ+1 sorted inserts *per string*).
+
+use passjoin::{OwnedSegmentIndex, PartitionScheme, SegmentKey, SegmentMap};
+use sj_common::StringId;
+
+use crate::error::PersistError;
+use crate::format::Cursor;
+
+fn scheme_code(scheme: PartitionScheme) -> u32 {
+    match scheme {
+        PartitionScheme::Even => 0,
+        PartitionScheme::LeftHeavy => 1,
+    }
+}
+
+fn scheme_from_code(code: u32) -> Option<PartitionScheme> {
+    match code {
+        0 => Some(PartitionScheme::Even),
+        1 => Some(PartitionScheme::LeftHeavy),
+        _ => None,
+    }
+}
+
+/// Serializes a segment map (any key storage) into a section payload.
+pub fn encode<K: SegmentKey>(map: &SegmentMap<K>) -> Vec<u8> {
+    // Single visiting pass (each visit re-sorts every bucket for the
+    // deterministic order, so walking twice to pre-count would double the
+    // dominant save cost): write a placeholder count, patch it after.
+    let mut out = Vec::with_capacity(64 + map.entries() as usize * 8);
+    out.extend_from_slice(&scheme_code(map.scheme()).to_le_bytes());
+    out.extend_from_slice(&(map.tau() as u32).to_le_bytes());
+    let count_at = out.len();
+    out.extend_from_slice(&0u64.to_le_bytes());
+    let mut postings = 0u64;
+    map.visit_postings(|l, slot, key, ids| {
+        postings += 1;
+        out.extend_from_slice(&(l as u32).to_le_bytes());
+        out.extend_from_slice(&(slot as u32).to_le_bytes());
+        out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+        out.extend_from_slice(key);
+        for &id in ids {
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+    });
+    out[count_at..count_at + 8].copy_from_slice(&postings.to_le_bytes());
+    out
+}
+
+/// Decodes a section payload into an owned segment map.
+///
+/// `expected_tau` cross-checks the payload against the snapshot's
+/// metadata; every id must be below `universe` (the loaded string
+/// table's size) and every posting length at most `max_len` (the longest
+/// live string) — postings referencing ids or lengths the string table
+/// cannot contain are rejected as corrupt. The length bound is also the
+/// allocation guard: the per-length table is sized by the largest `l`
+/// restored, so a crafted length field must be rejected *before* it can
+/// force a multi-gigabyte resize.
+pub fn decode(
+    payload: &[u8],
+    expected_tau: usize,
+    universe: usize,
+    max_len: usize,
+) -> Result<OwnedSegmentIndex, PersistError> {
+    const CONTEXT: &str = "segment postings section";
+    let corrupt = |_: &'static str| PersistError::Corrupt { context: CONTEXT };
+
+    let mut cursor = Cursor::new(payload, CONTEXT);
+    let scheme = scheme_from_code(cursor.u32()?).ok_or(PersistError::Corrupt {
+        context: "unknown partition scheme",
+    })?;
+    let tau = cursor.u32()? as usize;
+    if tau != expected_tau {
+        return Err(PersistError::Corrupt {
+            context: "segment postings disagree with the snapshot's tau_max",
+        });
+    }
+    let n_postings = cursor.u64()?;
+
+    let mut map = OwnedSegmentIndex::with_scheme(0, tau, scheme);
+    reserve_from_counts(&mut map, payload, cursor.position(), n_postings, max_len);
+    for _ in 0..n_postings {
+        let l = cursor.u32()? as usize;
+        if l > max_len {
+            return Err(PersistError::Corrupt {
+                context: "posting length exceeds the longest live string",
+            });
+        }
+        let slot = cursor.u32()? as usize;
+        let key_len = cursor.u32()? as usize;
+        let n_ids = cursor.u32()? as usize;
+        let key: Box<[u8]> = cursor.bytes(key_len)?.into();
+        // Cap the pre-reservation: a CRC-valid but hostile `n_ids` must not
+        // trigger a huge allocation before the cursor runs out of bytes.
+        let mut ids = Vec::with_capacity(n_ids.min(1 << 16));
+        for _ in 0..n_ids {
+            let id: StringId = cursor.u32()?;
+            if (id as usize) >= universe {
+                return Err(PersistError::Corrupt {
+                    context: "posting id outside the string table",
+                });
+            }
+            ids.push(id);
+        }
+        map.restore_posting(l, slot, key, ids).map_err(corrupt)?;
+    }
+    cursor.finish()?;
+    Ok(map)
+}
+
+/// Skims the posting stream once, counting distinct keys per `(l, slot)`,
+/// and reserves the target maps accordingly — replaying tens of thousands
+/// of postings into unreserved hash maps would otherwise pay log₂(n)
+/// rehash-and-move rounds, a large slice of total load time. Purely an
+/// optimization: any malformed frame aborts the skim and leaves validation
+/// to the decode loop.
+fn reserve_from_counts(
+    map: &mut OwnedSegmentIndex,
+    payload: &[u8],
+    start: usize,
+    n_postings: u64,
+    max_len: usize,
+) {
+    // Reserving also sizes the per-length table, so skip lengths the
+    // string table cannot contain — a hostile length field must not
+    // trigger a multi-gigabyte table resize before the decode loop gets
+    // to reject it.
+    let mut counts: Vec<((u32, u32), usize)> = Vec::new();
+    let mut cursor = Cursor::new(&payload[start..], "posting skim");
+    for _ in 0..n_postings {
+        let Ok(l) = cursor.u32() else { return };
+        let Ok(slot) = cursor.u32() else { return };
+        let Ok(key_len) = cursor.u32() else { return };
+        let Ok(n_ids) = cursor.u32() else { return };
+        if cursor.bytes(key_len as usize + n_ids as usize * 4).is_err() {
+            return;
+        }
+        if l as usize > max_len {
+            continue;
+        }
+        // Postings arrive grouped by (l, slot) (the visit order), so the
+        // run-length accumulation stays tiny.
+        match counts.last_mut() {
+            Some((coords, n)) if *coords == (l, slot) => *n += 1,
+            _ => counts.push(((l, slot), 1)),
+        }
+    }
+    for ((l, slot), n) in counts {
+        map.reserve_keys(l as usize, slot as usize, n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_map() -> OwnedSegmentIndex {
+        let mut map = OwnedSegmentIndex::new(0, 2);
+        map.insert_owned(b"aaabbbccc", 0);
+        map.insert_owned(b"aaabbbccc", 4);
+        map.insert_owned(b"aaabbbccd", 2);
+        map.insert_owned(b"wwwxxyyzzq", 9);
+        map
+    }
+
+    #[test]
+    fn round_trip_preserves_probes_and_accounting() {
+        let original = sample_map();
+        let encoded = encode(&original);
+        let decoded = decode(&encoded, 2, 10, 10).unwrap();
+        assert_eq!(decoded.entries(), original.entries());
+        assert_eq!(decoded.live_bytes(), original.live_bytes());
+        assert_eq!(decoded.tau(), original.tau());
+        original.visit_postings(|l, slot, key, ids| {
+            assert_eq!(decoded.probe(l, slot, key), Some(ids));
+        });
+        // And nothing extra appeared.
+        let mut decoded_postings = 0;
+        decoded.visit_postings(|_, _, _, _| decoded_postings += 1);
+        let mut original_postings = 0;
+        original.visit_postings(|_, _, _, _| original_postings += 1);
+        assert_eq!(decoded_postings, original_postings);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        assert_eq!(encode(&sample_map()), encode(&sample_map()));
+    }
+
+    #[test]
+    fn empty_map_round_trips() {
+        let empty = OwnedSegmentIndex::new(0, 3);
+        let decoded = decode(&encode(&empty), 3, 0, 0).unwrap();
+        assert_eq!(decoded.entries(), 0);
+        assert_eq!(decoded.tau(), 3);
+    }
+
+    #[test]
+    fn rejects_mismatched_tau_and_out_of_range_ids() {
+        let encoded = encode(&sample_map());
+        assert!(matches!(
+            decode(&encoded, 3, 10, 10),
+            Err(PersistError::Corrupt { .. })
+        ));
+        // Universe too small for id 9.
+        assert!(matches!(
+            decode(&encoded, 2, 5, 10),
+            Err(PersistError::Corrupt { .. })
+        ));
+        // Length bound too small for the 10-byte string's postings.
+        assert!(matches!(
+            decode(&encoded, 2, 10, 9),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_and_padded_payloads() {
+        let encoded = encode(&sample_map());
+        for cut in 0..encoded.len() {
+            assert!(decode(&encoded[..cut], 2, 10, 10).is_err(), "cut at {cut}");
+        }
+        let mut padded = encoded.clone();
+        padded.push(0);
+        assert!(decode(&padded, 2, 10, 10).is_err());
+    }
+}

@@ -6,5 +6,6 @@ pub use editdist;
 pub use edjoin;
 pub use passjoin;
 pub use passjoin_online;
+pub use passjoin_persist;
 pub use sj_common;
 pub use triejoin;
