@@ -8,6 +8,10 @@
 //! `PassJoin::rs_join` from scratch), and `query-cached` (a repeating
 //! query mix through the LRU cache).
 //!
+//! The `keys` group compares the segment-key backends (owned bytes vs.
+//! integer-interned) on build and probe throughput, printing each side's
+//! resident index size.
+//!
 //! The `persist` group measures the restart path: `save` (snapshot write),
 //! `load` (snapshot read, zero-copy arena + posting replay), and
 //! `rebuild-baseline` (what a restart costs without persistence —
@@ -17,7 +21,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use datagen::{DatasetKind, DatasetSpec};
 use passjoin::PassJoin;
-use passjoin_online::OnlineIndex;
+use passjoin_online::{KeyBackend, OnlineIndex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sj_common::StringCollection;
@@ -106,6 +110,73 @@ fn bench_online(c: &mut Criterion) {
     group.finish();
 }
 
+/// Key-backend comparison (paper §6, "encode segments as integers"): the
+/// same corpus through an owned-key and an interned-key index.
+///
+/// * `build` — insertion throughput (the interned side pays dictionary
+///   interning up front);
+/// * `probe` — the serving mix (half exact, half mutated queries): mostly
+///   *verification*-bound, so it shows whether the backend swap is free on
+///   an end-to-end hot path;
+/// * `probe-miss` — matchless queries: nothing survives to verification,
+///   so this isolates the probe machinery itself. The interned side
+///   resolves each probed substring against the dictionary once (memoized
+///   per query) and a global miss short-circuits every `(l, slot)` probe
+///   of that substring, while the owned side re-hashes it per probe.
+///
+/// Resident index sizes are printed so the README's memory numbers come
+/// from the same run.
+fn bench_keys(c: &mut Criterion) {
+    let strings = corpus_strings();
+    let queries = query_mix(&strings);
+    // Matchless probes: same length profile as the corpus, disjoint
+    // alphabet — every candidate list lookup misses.
+    let mut rng = StdRng::seed_from_u64(11);
+    let miss_queries: Vec<Vec<u8>> = (0..QUERY_N)
+        .map(|_| {
+            let len = strings[rng.gen_range(0..strings.len())].len();
+            (0..len).map(|_| rng.gen_range(b'0'..=b'9')).collect()
+        })
+        .collect();
+    let backends = [KeyBackend::Owned, KeyBackend::Interned];
+
+    let mut group = c.benchmark_group("keys");
+    group.sample_size(10);
+
+    group.throughput(Throughput::Elements(CORPUS_N as u64));
+    for backend in backends {
+        group.bench_with_input(
+            BenchmarkId::new("build", backend.name()),
+            &strings,
+            |b, strings| b.iter(|| OnlineIndex::from_strings_with(strings.iter(), TAU, backend)),
+        );
+    }
+
+    group.throughput(Throughput::Elements(QUERY_N as u64));
+    for backend in backends {
+        let index = OnlineIndex::from_strings_with(strings.iter(), TAU, backend);
+        let stats = index.stats();
+        eprintln!(
+            "keys/{}: {} segment entries, resident index ~{} KB",
+            backend.name(),
+            stats.segment_entries,
+            stats.resident_bytes / 1024,
+        );
+        group.bench_with_input(
+            BenchmarkId::new("probe", backend.name()),
+            &queries,
+            |b, queries| b.iter(|| index.query_batch(queries, TAU)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("probe-miss", backend.name()),
+            &miss_queries,
+            |b, queries| b.iter(|| index.query_batch(queries, TAU)),
+        );
+    }
+
+    group.finish();
+}
+
 fn bench_persist(c: &mut Criterion) {
     let strings = corpus_strings();
     let index = OnlineIndex::from_strings(strings.iter(), TAU);
@@ -138,5 +209,5 @@ fn bench_persist(c: &mut Criterion) {
     let _ = std::fs::remove_file(&path);
 }
 
-criterion_group!(benches, bench_online, bench_persist);
+criterion_group!(benches, bench_online, bench_keys, bench_persist);
 criterion_main!(benches);

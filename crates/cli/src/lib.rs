@@ -14,7 +14,7 @@ use std::path::PathBuf;
 
 use edjoin::EdJoin;
 use passjoin::PassJoin;
-use passjoin_online::OnlineIndex;
+use passjoin_online::{KeyBackend, OnlineIndex};
 use sj_common::{JoinOutput, SimilarityJoin, StringCollection};
 use triejoin::TrieJoin;
 
@@ -68,11 +68,13 @@ pub struct Config {
 pub const USAGE: &str = "usage:
   simjoin <corpus.txt> --tau N [--algorithm pass|pass-par|ed|trie] [--q N]
           [--threads N] [--out pairs.txt] [--stats]
-  simjoin index <corpus.txt> [--tau-max N] [--save index.snap] [--stats]
+  simjoin index <corpus.txt> [--tau-max N] [--keys owned|interned]
+          [--save index.snap] [--stats]
   simjoin query <corpus.txt | --load index.snap> [--tau N] [--tau-max N]
-          [--queries q.txt] [--threads N] [--cache N] [--stats]
+          [--keys owned|interned] [--queries q.txt] [--threads N]
+          [--cache N] [--stats]
   simjoin repl  <corpus.txt | --load index.snap> [--tau N] [--tau-max N]
-          [--cache N]";
+          [--keys owned|interned] [--cache N]";
 
 impl Config {
     /// Parses CLI arguments (without the program name).
@@ -187,6 +189,9 @@ pub struct ServeConfig {
     /// Largest supported per-query threshold (the index partitions for
     /// this); defaults to `tau`. With `--load` the snapshot dictates it.
     pub tau_max: usize,
+    /// Segment-key backend for a corpus-built index (`--keys`); the
+    /// snapshot dictates it with `--load`.
+    pub keys: KeyBackend,
     /// Where to write a snapshot of the index after building (`--save`).
     pub save: Option<PathBuf>,
     /// Query file for `query` mode (stdin when `None`).
@@ -206,6 +211,7 @@ impl ServeConfig {
         let mut save = None;
         let mut tau: Option<usize> = None;
         let mut tau_max: Option<usize> = None;
+        let mut keys: Option<KeyBackend> = None;
         let mut queries = None;
         let mut threads = 0;
         let mut cache = 1024;
@@ -216,6 +222,18 @@ impl ServeConfig {
             match arg.as_str() {
                 "--tau" => tau = Some(take_number(&mut it, "--tau")?),
                 "--tau-max" => tau_max = Some(take_number(&mut it, "--tau-max")?),
+                "--keys" => {
+                    let v = it.next().ok_or("--keys requires a value")?;
+                    keys = Some(match v.as_str() {
+                        "owned" => KeyBackend::Owned,
+                        "interned" => KeyBackend::Interned,
+                        other => {
+                            return Err(format!(
+                                "unknown key backend '{other}' (expected owned or interned)"
+                            ));
+                        }
+                    });
+                }
                 "--save" => {
                     save = Some(PathBuf::from(it.next().ok_or("--save requires a path")?));
                 }
@@ -256,6 +274,9 @@ impl ServeConfig {
                         "--tau-max is fixed by the snapshot and not valid with --load".into(),
                     );
                 }
+                if keys.is_some() {
+                    return Err("--keys is fixed by the snapshot and not valid with --load".into());
+                }
                 IndexSource::Snapshot(snapshot)
             }
             (None, None) => {
@@ -281,6 +302,7 @@ impl ServeConfig {
             tau,
             tau_explicit,
             tau_max,
+            keys: keys.unwrap_or_default(),
             save,
             queries,
             threads,
@@ -292,7 +314,8 @@ impl ServeConfig {
     /// Builds the online index over raw corpus lines (ids = line numbers,
     /// empty lines included so numbering matches the file).
     pub fn build_index(&self, lines: &[Vec<u8>]) -> OnlineIndex {
-        OnlineIndex::from_strings(lines.iter(), self.tau_max).with_cache_capacity(self.cache)
+        OnlineIndex::from_strings_with(lines.iter(), self.tau_max, self.keys)
+            .with_cache_capacity(self.cache)
     }
 
     /// Resolves the query threshold against the index actually being
@@ -493,6 +516,38 @@ mod tests {
             Command::Serve(c) => assert_eq!((c.tau, c.tau_max), (0, 0)),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn keys_flag_selects_the_backend() {
+        // Default is owned.
+        match parse_command(&["index", "a.txt"]).unwrap() {
+            Command::Serve(c) => assert_eq!(c.keys, KeyBackend::Owned),
+            other => panic!("{other:?}"),
+        }
+        for (mode, expected) in [
+            ("owned", KeyBackend::Owned),
+            ("interned", KeyBackend::Interned),
+        ] {
+            match parse_command(&["index", "a.txt", "--keys", mode]).unwrap() {
+                Command::Serve(c) => assert_eq!(c.keys, expected, "{mode}"),
+                other => panic!("{other:?}"),
+            }
+        }
+        match parse_command(&["query", "a.txt", "--keys", "interned", "--tau", "1"]).unwrap() {
+            Command::Serve(c) => {
+                assert_eq!(c.keys, KeyBackend::Interned);
+                // And the built index actually uses it.
+                let index = c.build_index(&corpus_lines("vldb\npvldb\n"));
+                assert_eq!(index.key_backend(), KeyBackend::Interned);
+                assert_eq!(index.query(b"vldb", 1), vec![(0, 0), (1, 1)]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Bad values and bad combinations are rejected.
+        assert!(parse_command(&["index", "a.txt", "--keys"]).is_err());
+        assert!(parse_command(&["index", "a.txt", "--keys", "boxed"]).is_err());
+        assert!(parse_command(&["query", "--load", "x.snap", "--keys", "interned"]).is_err());
     }
 
     #[test]

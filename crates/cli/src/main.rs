@@ -15,6 +15,9 @@
 //! simjoin index corpus.txt --tau-max 3 --save corpus.snap
 //! simjoin query --load corpus.snap --tau 2 --queries queries.txt
 //! simjoin repl  --load corpus.snap
+//!
+//! # integer-interned segment keys (smaller index, same answers)
+//! simjoin index corpus.txt --tau-max 3 --keys interned --save corpus.snap
 //! ```
 //!
 //! Join mode prints one `i<TAB>j` pair of 0-based input line numbers per
@@ -146,10 +149,11 @@ fn obtain_index(config: &ServeConfig) -> Result<OnlineIndex, String> {
             if config.stats || config.mode == ServeMode::Index {
                 let s = index.stats();
                 eprintln!(
-                    "simjoin: indexed {} strings (tau_max={}) in {:.3?}: \
+                    "simjoin: indexed {} strings (tau_max={}, {} keys) in {:.3?}: \
                      {} segment entries, {} short-lane, ~{} KB resident",
                     s.live,
                     config.tau_max,
+                    index.key_backend().name(),
                     built.elapsed(),
                     s.segment_entries,
                     s.short_strings,
@@ -166,10 +170,11 @@ fn obtain_index(config: &ServeConfig) -> Result<OnlineIndex, String> {
             if config.stats {
                 let s = index.stats();
                 eprintln!(
-                    "simjoin: loaded {} strings (tau_max={}) in {:.3?} from {}: \
+                    "simjoin: loaded {} strings (tau_max={}, {} keys) in {:.3?} from {}: \
                      {} segment entries, {} short-lane, ~{} KB resident",
                     s.live,
                     index.tau_max(),
+                    index.key_backend().name(),
                     started.elapsed(),
                     snapshot.display(),
                     s.segment_entries,

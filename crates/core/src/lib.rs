@@ -45,6 +45,7 @@
 //! codepoints.
 
 pub mod index;
+pub mod intern;
 pub mod joiner;
 mod parallel;
 pub mod partition;
@@ -54,7 +55,8 @@ pub mod select;
 pub mod topk;
 pub mod verify;
 
-pub use index::{OwnedSegmentIndex, SegmentIndex, SegmentKey, SegmentMap};
+pub use index::{OwnedSegmentIndex, SegmentIndex, SegmentKey, SegmentMap, SegmentProbe};
+pub use intern::{InternedSegmentIndex, SegId, SegmentInterner};
 pub use joiner::PassJoin;
 pub use partition::PartitionScheme;
 pub use search::SearchIndex;

@@ -4,8 +4,10 @@
 //!
 //! Split out of the join drivers so the scan loop (visit order, eviction,
 //! short-string fallback) is the only thing they own; the probing core is
-//! generic over the index's key storage, so it serves the arena-borrowing
-//! scan index and owned-key indices alike.
+//! generic over [`SegmentProbe`], so it serves the arena-borrowing scan
+//! index, owned-key indices, and the integer-interned index alike — the
+//! backend decides how a probed substring resolves to an inverted list
+//! (direct byte lookup vs. intern-then-integer lookup).
 
 use editdist::{
     banded_within_ws, length_aware_within_ws, myers_within, within_full, DpWorkspace,
@@ -14,7 +16,7 @@ use editdist::{
 use sj_common::stamp::StampSet;
 use sj_common::{JoinStats, StringId};
 
-use crate::index::{SegmentKey, SegmentMap};
+use crate::index::SegmentProbe;
 use crate::joiner::PassJoin;
 use crate::partition::PartitionScheme;
 use crate::select::Selection;
@@ -65,12 +67,12 @@ impl ProbeState {
     /// [`ProbeState::probe_lengths_bounded`] with no id bound — for the
     /// incremental drivers, whose indices only ever hold earlier ids.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn probe_lengths<'c, K: SegmentKey>(
+    pub(crate) fn probe_lengths<'c, I: SegmentProbe>(
         &mut self,
         s: &[u8],
         lmin: usize,
         lmax: usize,
-        index: &SegmentMap<K>,
+        index: &I,
         resolve: impl Fn(StringId) -> &'c [u8],
         stats: &mut JoinStats,
         emit: impl FnMut(StringId, usize),
@@ -85,12 +87,12 @@ impl ProbeState {
     /// the parallel driver share one full index while still enumerating
     /// every pair exactly once.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn probe_lengths_bounded<'c, K: SegmentKey>(
+    pub(crate) fn probe_lengths_bounded<'c, I: SegmentProbe>(
         &mut self,
         s: &[u8],
         lmin: usize,
         lmax: usize,
-        index: &SegmentMap<K>,
+        index: &I,
         max_id: StringId,
         resolve: impl Fn(StringId) -> &'c [u8],
         stats: &mut JoinStats,
@@ -108,7 +110,7 @@ impl ProbeState {
                 for p in window {
                     stats.probes += 1;
                     let w = &s[p..p + seg.len];
-                    let Some(list) = index.probe(l, slot, w) else {
+                    let Some(list) = index.probe_bytes(l, slot, w) else {
                         continue;
                     };
                     // Lists are sorted by id; keep only ids below the bound.
@@ -169,6 +171,70 @@ impl ProbeState {
                     }
                 }
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::OwnedSegmentIndex;
+    use crate::intern::InternedSegmentIndex;
+
+    /// The probing core must be strictly backend-agnostic: the same probe
+    /// over an owned-key and an interned-key index with identical contents
+    /// must emit identical (id, certificate) sequences and stats.
+    #[test]
+    fn probe_lengths_is_backend_agnostic() {
+        let strings: &[&[u8]] = &[
+            b"kaushik chakrab",
+            b"caushik chakrabar",
+            b"kaushic chaduri",
+            b"kaushuk chadhui",
+            b"vankatesh",
+            b"avataresha",
+        ];
+        let tau = 3;
+        let config = PassJoin::new();
+        let mut owned = OwnedSegmentIndex::new(0, tau);
+        let mut interned = InternedSegmentIndex::new(0, tau);
+        for (id, s) in strings.iter().enumerate() {
+            owned.insert_owned(s, id as StringId);
+            interned.insert(s, id as StringId);
+        }
+        for probe in strings {
+            let lmin = (tau + 1).max(probe.len().saturating_sub(tau));
+            let lmax = probe.len() + tau;
+            let mut state = ProbeState::new(&config, strings.len(), tau);
+            let mut stats_a = JoinStats::default();
+            let mut got_a = Vec::new();
+            state.begin_probe();
+            state.probe_lengths(
+                probe,
+                lmin,
+                lmax,
+                &owned,
+                |rid| strings[rid as usize],
+                &mut stats_a,
+                |rid, cert| got_a.push((rid, cert)),
+            );
+            let mut state = ProbeState::new(&config, strings.len(), tau);
+            let mut stats_b = JoinStats::default();
+            let mut got_b = Vec::new();
+            state.begin_probe();
+            state.probe_lengths(
+                probe,
+                lmin,
+                lmax,
+                &interned,
+                |rid| strings[rid as usize],
+                &mut stats_b,
+                |rid, cert| got_b.push((rid, cert)),
+            );
+            assert_eq!(got_a, got_b, "probe {:?}", String::from_utf8_lossy(probe));
+            assert_eq!(stats_a.probes, stats_b.probes);
+            assert_eq!(stats_a.candidate_pairs, stats_b.candidate_pairs);
+            assert_eq!(stats_a.results, stats_b.results);
         }
     }
 }

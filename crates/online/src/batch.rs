@@ -88,7 +88,7 @@ pub(crate) fn query_with_plan(
 ) {
     debug_assert_eq!(query.len(), plan.query_len);
     let from = out.len();
-    scratch.begin(inner.universe());
+    scratch.begin(inner.universe(), query.len());
     for &rid in &plan.short_ids {
         let r = inner.get(rid).expect("short lane holds live ids");
         if let Some(d) = scratch.exact_within(r, query, tau) {

@@ -5,10 +5,12 @@
 //! The index owns its strings (`Box<[u8]>` per entry, `None` tombstones for
 //! removed ids) and keeps two lanes, mirroring the join drivers:
 //!
-//! * a **segment lane** — an [`passjoin::OwnedSegmentIndex`] partitioning
-//!   every string of length > τ_max into τ_max+1 segments (§3.1/§3.2 of the
-//!   paper, without the scan's sliding-window eviction: all lengths stay
-//!   resident);
+//! * a **segment lane** — a [`SegmentStore`] partitioning every string of
+//!   length > τ_max into τ_max+1 segments (§3.1/§3.2 of the paper, without
+//!   the scan's sliding-window eviction: all lengths stay resident),
+//!   behind one of two [`KeyBackend`]s: byte-owning keys
+//!   ([`passjoin::OwnedSegmentIndex`]) or integer-interned keys
+//!   ([`passjoin::InternedSegmentIndex`]);
 //! * a **short lane** — ids of strings with length ≤ τ_max, which cannot be
 //!   partitioned; queries check them brute-force (there are at most
 //!   `O(|Σ|^τ_max)` meaningfully distinct ones).
@@ -36,7 +38,7 @@ use std::sync::Arc;
 
 use editdist::{length_aware_within_ws, DpWorkspace};
 use passjoin::partition::SegmentSpec;
-use passjoin::OwnedSegmentIndex;
+use passjoin::{InternedSegmentIndex, OwnedSegmentIndex, PartitionScheme, SegmentProbe};
 use sj_common::stamp::StampSet;
 use sj_common::StringId;
 
@@ -45,6 +47,130 @@ use crate::Match;
 
 /// Default capacity of the per-index query cache.
 pub(crate) const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// How the segment lane stores its inverted-index keys.
+///
+/// Both backends answer every query byte-identically (pinned by the
+/// `key_backends` differential suite); they trade memory layout:
+///
+/// * [`KeyBackend::Owned`] — every distinct `(length, slot, segment)` key
+///   owns a copy of its segment bytes. Simple, no shared state, the
+///   default since PR 1.
+/// * [`KeyBackend::Interned`] — the paper's §6 "encode segments as
+///   integers": segment bytes are interned once into a shared dictionary
+///   (`passjoin::SegmentInterner`) and the maps are keyed by dense `u32`
+///   ids. Smaller resident index on segment-heavy corpora (each distinct
+///   byte string is stored once globally, not once per `(l, slot)`) and
+///   faster probes (integer-keyed map hits after one dictionary lookup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KeyBackend {
+    /// Byte-owning keys (the default).
+    #[default]
+    Owned,
+    /// Integer-interned keys over a shared segment dictionary.
+    Interned,
+}
+
+impl KeyBackend {
+    /// Short name used in CLI output and benchmark tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KeyBackend::Owned => "owned",
+            KeyBackend::Interned => "interned",
+        }
+    }
+}
+
+/// The segment lane behind one of the two key backends. Dispatch is by
+/// enum rather than generics so `OnlineIndex` stays a single (non-generic)
+/// type — backends are a runtime choice (CLI flag, snapshot metadata), and
+/// the per-probe match is branch-predicted noise next to the hash lookup
+/// it guards.
+#[derive(Debug, Clone)]
+pub(crate) enum SegmentStore {
+    Owned(OwnedSegmentIndex),
+    Interned(InternedSegmentIndex),
+}
+
+impl SegmentStore {
+    pub(crate) fn new(tau_max: usize, backend: KeyBackend) -> Self {
+        match backend {
+            KeyBackend::Owned => SegmentStore::Owned(OwnedSegmentIndex::new(0, tau_max)),
+            KeyBackend::Interned => SegmentStore::Interned(InternedSegmentIndex::new(0, tau_max)),
+        }
+    }
+
+    pub(crate) fn backend(&self) -> KeyBackend {
+        match self {
+            SegmentStore::Owned(_) => KeyBackend::Owned,
+            SegmentStore::Interned(_) => KeyBackend::Interned,
+        }
+    }
+
+    pub(crate) fn tau(&self) -> usize {
+        match self {
+            SegmentStore::Owned(map) => map.tau(),
+            SegmentStore::Interned(index) => index.tau(),
+        }
+    }
+
+    pub(crate) fn scheme(&self) -> PartitionScheme {
+        match self {
+            SegmentStore::Owned(map) => map.scheme(),
+            SegmentStore::Interned(index) => index.scheme(),
+        }
+    }
+
+    pub(crate) fn insert(&mut self, s: &[u8], id: StringId) {
+        match self {
+            SegmentStore::Owned(map) => map.insert_owned(s, id),
+            SegmentStore::Interned(index) => index.insert(s, id),
+        }
+    }
+
+    pub(crate) fn remove(&mut self, s: &[u8], id: StringId) -> bool {
+        match self {
+            SegmentStore::Owned(map) => map.remove_owned(s, id),
+            SegmentStore::Interned(index) => index.remove(s, id),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn has_length(&self, l: usize) -> bool {
+        match self {
+            SegmentStore::Owned(map) => map.has_length(l),
+            SegmentStore::Interned(index) => SegmentProbe::has_length(index, l),
+        }
+    }
+
+    pub(crate) fn max_len(&self) -> usize {
+        match self {
+            SegmentStore::Owned(map) => map.max_len(),
+            SegmentStore::Interned(index) => SegmentProbe::max_len(index),
+        }
+    }
+
+    pub(crate) fn entries(&self) -> u64 {
+        match self {
+            SegmentStore::Owned(map) => map.entries(),
+            SegmentStore::Interned(index) => index.entries(),
+        }
+    }
+
+    pub(crate) fn live_bytes(&self) -> u64 {
+        match self {
+            SegmentStore::Owned(map) => map.live_bytes(),
+            SegmentStore::Interned(index) => index.live_bytes(),
+        }
+    }
+
+    pub(crate) fn visit_posting_ids(&self, f: impl FnMut(usize, StringId)) {
+        match self {
+            SegmentStore::Owned(map) => map.visit_posting_ids(f),
+            SegmentStore::Interned(index) => index.visit_posting_ids(f),
+        }
+    }
+}
 
 /// Aggregate statistics of an [`OnlineIndex`] (for dashboards and the CLI).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,7 +220,7 @@ pub(crate) struct Inner {
     /// Total live string bytes (owned and arena-backed alike).
     string_bytes: u64,
     live: usize,
-    segments: OwnedSegmentIndex,
+    segments: SegmentStore,
     /// Ascending ids of live strings with length ≤ τ_max.
     short: Vec<StringId>,
 }
@@ -112,7 +238,65 @@ fn resolve<'a>(arena: &'a Option<Arc<[u8]>>, stored: &'a Stored) -> &'a [u8] {
     }
 }
 
-/// Reusable per-thread scratch for queries (dedup stamps + DP rows).
+/// Per-query memo of `(position, segment length)` → resolved dictionary
+/// id, for the interned backend. Probe windows of adjacent lengths overlap
+/// heavily, so the same query substring is probed against several
+/// `(l, slot)` indices; the memo pays the byte-hash once per distinct
+/// substring and answers every repeat with a couple of integer compares
+/// and an array load — cheaper than any re-hash. Rows are addressed by
+/// segment-length rank (a query sees only a handful of distinct segment
+/// lengths), columns by position.
+#[derive(Debug, Default)]
+struct SegMemo {
+    query_len: usize,
+    /// rank → segment length (tiny; scanned linearly).
+    lens: Vec<u32>,
+    /// `cells[rank * query_len + p]`: 0 = unresolved, 1 = resolved to
+    /// nothing, otherwise `SegId::raw() + 2`.
+    cells: Vec<u64>,
+}
+
+impl SegMemo {
+    fn begin(&mut self, query_len: usize) {
+        self.query_len = query_len;
+        self.lens.clear();
+        self.cells.clear();
+    }
+
+    /// The dictionary id of `query[p..p + len]`, resolved at most once.
+    /// Only called with `p + len <= query.len()` (so `p < query_len`).
+    #[inline]
+    fn resolve(
+        &mut self,
+        index: &InternedSegmentIndex,
+        query: &[u8],
+        p: usize,
+        len: usize,
+    ) -> Option<passjoin::SegId> {
+        let rank = match self.lens.iter().position(|&l| l == len as u32) {
+            Some(rank) => rank,
+            None => {
+                self.lens.push(len as u32);
+                self.cells.resize(self.cells.len() + self.query_len, 0);
+                self.lens.len() - 1
+            }
+        };
+        let cell = &mut self.cells[rank * self.query_len + p];
+        if *cell == 0 {
+            *cell = match index.resolve(&query[p..p + len]) {
+                Some(id) => u64::from(id.raw()) + 2,
+                None => 1,
+            };
+        }
+        match *cell {
+            1 => None,
+            id => Some(passjoin::SegId::from_raw((id - 2) as u32)),
+        }
+    }
+}
+
+/// Reusable per-thread scratch for queries (dedup stamps + DP rows + the
+/// interned backend's substring-resolution memo).
 /// Create one per worker via [`OnlineIndex::scratch`]/[`Snapshot::scratch`]
 /// and pass it to the `*_with` query variants to avoid per-query
 /// allocation.
@@ -120,6 +304,7 @@ fn resolve<'a>(arena: &'a Option<Arc<[u8]>>, stored: &'a Stored) -> &'a [u8] {
 pub struct QueryScratch {
     resolved: StampSet,
     ws: DpWorkspace,
+    seg_memo: SegMemo,
 }
 
 impl Default for QueryScratch {
@@ -127,6 +312,7 @@ impl Default for QueryScratch {
         Self {
             resolved: StampSet::new(0),
             ws: DpWorkspace::new(),
+            seg_memo: SegMemo::default(),
         }
     }
 }
@@ -136,10 +322,12 @@ impl QueryScratch {
         Self::default()
     }
 
-    /// Prepares for one query over an id universe of the given size.
-    pub(crate) fn begin(&mut self, universe: usize) {
+    /// Prepares for one query of `query_len` bytes over an id universe of
+    /// the given size.
+    pub(crate) fn begin(&mut self, universe: usize, query_len: usize) {
         self.resolved.grow(universe);
         self.resolved.clear();
+        self.seg_memo.begin(query_len);
     }
 
     /// Exact thresholded edit distance using the scratch DP rows.
@@ -149,7 +337,7 @@ impl QueryScratch {
 }
 
 impl Inner {
-    fn new(tau_max: usize) -> Self {
+    fn new(tau_max: usize, backend: KeyBackend) -> Self {
         Self {
             tau_max,
             arena: None,
@@ -158,7 +346,7 @@ impl Inner {
             strings: Vec::new(),
             string_bytes: 0,
             live: 0,
-            segments: OwnedSegmentIndex::new(0, tau_max),
+            segments: SegmentStore::new(tau_max, backend),
             short: Vec::new(),
         }
     }
@@ -173,7 +361,7 @@ impl Inner {
         tau_max: usize,
         arena: Arc<[u8]>,
         spans: Vec<Option<(usize, usize)>>,
-        segments: OwnedSegmentIndex,
+        segments: SegmentStore,
     ) -> Result<Self, &'static str> {
         if segments.tau() != tau_max {
             return Err("segment index tau does not match tau_max");
@@ -239,7 +427,7 @@ impl Inner {
         self.strings.len()
     }
 
-    pub(crate) fn segments(&self) -> &OwnedSegmentIndex {
+    pub(crate) fn segments(&self) -> &SegmentStore {
         &self.segments
     }
 
@@ -270,7 +458,7 @@ impl Inner {
         );
         let id = self.strings.len() as StringId;
         if s.len() > self.tau_max {
-            self.segments.insert_owned(s, id);
+            self.segments.insert(s, id);
         } else {
             self.short.push(id); // new ids are maximal: stays ascending
         }
@@ -290,7 +478,7 @@ impl Inner {
         let bytes = resolve(&self.arena, &stored);
         let len = bytes.len();
         if len > self.tau_max {
-            let removed = self.segments.remove_owned(bytes, id);
+            let removed = self.segments.remove(bytes, id);
             debug_assert!(removed, "live string must be segment-indexed");
         } else {
             let pos = self.short.binary_search(&id).expect("live short id");
@@ -332,6 +520,11 @@ impl Inner {
     /// `query` in `window`, screening candidates with the extension cascade
     /// and emitting `(id, exact distance)` matches. Shared by the single
     /// query path and the batch driver's precomputed length plans.
+    ///
+    /// The owned backend looks each substring up by bytes; the interned
+    /// backend resolves it to a dictionary id once per `(position, length)`
+    /// — memoized in the scratch, because windows of adjacent lengths
+    /// overlap — and every (repeated) probe after that is integer-keyed.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn probe_occurrences(
         &self,
@@ -344,44 +537,74 @@ impl Inner {
         scratch: &mut QueryScratch,
         out: &mut Vec<Match>,
     ) {
-        for p in window {
-            let w = &query[p..p + seg.len];
-            let Some(list) = self.segments.probe(l, slot, w) else {
-                continue;
-            };
-            for &rid in list {
-                if scratch.resolved.contains(rid) {
-                    continue; // already accepted this query
+        match &self.segments {
+            SegmentStore::Owned(map) => {
+                for p in window {
+                    let w = &query[p..p + seg.len];
+                    let Some(list) = map.probe(l, slot, w) else {
+                        continue;
+                    };
+                    self.screen_list(query, tau, slot, seg, p, list, scratch, out);
                 }
-                let r = self.get(rid).expect("segment lane holds live ids");
-                // Extension cascade (§5.2) under mixed budgets: the
-                // partition geometry contributes i−1 / τ_max+1−i, the
-                // query budget contributes τ — the pigeonhole witness
-                // satisfies both, so screening on their minimum never
-                // rejects a true match (see the module docs).
-                let tau_left = (slot - 1).min(tau);
-                let Some(d_left) =
-                    length_aware_within_ws(&r[..seg.start], &query[..p], tau_left, &mut scratch.ws)
-                else {
-                    continue; // this occurrence fails; others may pass
-                };
-                let tau_right = (self.tau_max + 1 - slot).min(tau - d_left);
-                if length_aware_within_ws(
-                    &r[seg.end()..],
-                    &query[p + seg.len..],
-                    tau_right,
-                    &mut scratch.ws,
-                )
-                .is_none()
-                {
-                    continue;
-                }
-                // The alignment certifies ed ≤ τ; report it exactly.
-                let d = length_aware_within_ws(r, query, tau, &mut scratch.ws)
-                    .expect("extension certificate implies distance <= tau");
-                scratch.resolved.insert(rid);
-                out.push((rid, d));
             }
+            SegmentStore::Interned(index) => {
+                for p in window {
+                    let key = scratch.seg_memo.resolve(index, query, p, seg.len);
+                    let Some(list) = key.and_then(|key| index.probe_id(l, slot, key)) else {
+                        continue;
+                    };
+                    self.screen_list(query, tau, slot, seg, p, list, scratch, out);
+                }
+            }
+        }
+    }
+
+    /// Screens one inverted list's candidates with the extension cascade
+    /// (§5.2) and pushes accepted `(id, exact distance)` matches.
+    #[allow(clippy::too_many_arguments)]
+    fn screen_list(
+        &self,
+        query: &[u8],
+        tau: usize,
+        slot: usize,
+        seg: SegmentSpec,
+        p: usize,
+        list: &[StringId],
+        scratch: &mut QueryScratch,
+        out: &mut Vec<Match>,
+    ) {
+        for &rid in list {
+            if scratch.resolved.contains(rid) {
+                continue; // already accepted this query
+            }
+            let r = self.get(rid).expect("segment lane holds live ids");
+            // Extension cascade (§5.2) under mixed budgets: the
+            // partition geometry contributes i−1 / τ_max+1−i, the
+            // query budget contributes τ — the pigeonhole witness
+            // satisfies both, so screening on their minimum never
+            // rejects a true match (see the module docs).
+            let tau_left = (slot - 1).min(tau);
+            let Some(d_left) =
+                length_aware_within_ws(&r[..seg.start], &query[..p], tau_left, &mut scratch.ws)
+            else {
+                continue; // this occurrence fails; others may pass
+            };
+            let tau_right = (self.tau_max + 1 - slot).min(tau - d_left);
+            if length_aware_within_ws(
+                &r[seg.end()..],
+                &query[p + seg.len..],
+                tau_right,
+                &mut scratch.ws,
+            )
+            .is_none()
+            {
+                continue;
+            }
+            // The alignment certifies ed ≤ τ; report it exactly.
+            let d = length_aware_within_ws(r, query, tau, &mut scratch.ws)
+                .expect("extension certificate implies distance <= tau");
+            scratch.resolved.insert(rid);
+            out.push((rid, d));
         }
     }
 }
@@ -414,13 +637,20 @@ pub struct OnlineIndex {
 }
 
 impl OnlineIndex {
-    /// An empty index accepting queries with thresholds up to `tau_max`.
+    /// An empty index accepting queries with thresholds up to `tau_max`,
+    /// using the default [`KeyBackend::Owned`] segment lane.
     ///
     /// Larger `tau_max` costs index space (τ_max+1 inverted entries per
     /// string) and candidate selectivity; the paper's workloads use τ ≤ 8.
     pub fn new(tau_max: usize) -> Self {
+        Self::with_key_backend(tau_max, KeyBackend::Owned)
+    }
+
+    /// An empty index with an explicit segment-key backend (see
+    /// [`KeyBackend`] for the trade-off).
+    pub fn with_key_backend(tau_max: usize, backend: KeyBackend) -> Self {
         Self {
-            inner: Arc::new(Inner::new(tau_max)),
+            inner: Arc::new(Inner::new(tau_max, backend)),
             epoch: 0,
             cache: QueryCache::new(DEFAULT_CACHE_CAPACITY),
         }
@@ -433,7 +663,16 @@ impl OnlineIndex {
         I: IntoIterator<Item = S>,
         S: AsRef<[u8]>,
     {
-        let mut index = Self::new(tau_max);
+        Self::from_strings_with(strings, tau_max, KeyBackend::Owned)
+    }
+
+    /// [`OnlineIndex::from_strings`] with an explicit key backend.
+    pub fn from_strings_with<I, S>(strings: I, tau_max: usize, backend: KeyBackend) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<[u8]>,
+    {
+        let mut index = Self::with_key_backend(tau_max, backend);
         for s in strings {
             index.insert(s.as_ref());
         }
@@ -450,6 +689,11 @@ impl OnlineIndex {
     /// The largest per-query threshold this index supports.
     pub fn tau_max(&self) -> usize {
         self.inner.tau_max()
+    }
+
+    /// Which segment-key backend the index was built with.
+    pub fn key_backend(&self) -> KeyBackend {
+        self.inner.segments().backend()
     }
 
     /// Live (non-removed) strings.
@@ -595,6 +839,11 @@ impl Snapshot {
     /// The largest per-query threshold the underlying index supports.
     pub fn tau_max(&self) -> usize {
         self.inner.tau_max()
+    }
+
+    /// Which segment-key backend the underlying index was built with.
+    pub fn key_backend(&self) -> KeyBackend {
+        self.inner.segments().backend()
     }
 
     /// Live strings at snapshot time.

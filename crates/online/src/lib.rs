@@ -68,7 +68,7 @@ mod persist;
 use sj_common::StringId;
 
 pub use cache::CacheStats;
-pub use index::{OnlineIndex, OnlineStats, QueryScratch, Snapshot};
+pub use index::{KeyBackend, OnlineIndex, OnlineStats, QueryScratch, Snapshot};
 pub use passjoin_persist::PersistError;
 
 /// A query match: `(string id, exact edit distance)`.

@@ -1,14 +1,20 @@
 //! Snapshot persistence: [`Snapshot::save`] and [`OnlineIndex::load`].
 //!
-//! A saved snapshot is one `passjoin-persist` container with four
-//! sections:
+//! A saved snapshot is one `passjoin-persist` container. Format version 2
+//! (what this build writes) carries four sections:
 //!
-//! | id | section  | contents |
-//! |----|----------|----------|
-//! | 1  | META     | τ_max, epoch, universe, live count, arena length, posting-entry count |
-//! | 2  | SPANS    | per id: `(start: u64, len: u32)` into the arena; `start = u64::MAX` marks a tombstone |
-//! | 3  | STRINGS  | the arena: every live string's bytes, concatenated in id order |
-//! | 4  | SEGMENTS | the segment inverted index as a posting stream (`passjoin_persist::segmap`) |
+//! | id | section      | contents |
+//! |----|--------------|----------|
+//! | 1  | META         | τ_max, epoch, universe, live count, arena length, posting-entry count, key backend |
+//! | 2  | SPANS        | per id: `(start: u64, len: u32)` into the arena; `start = u64::MAX` marks a tombstone |
+//! | 3  | STRINGS      | the arena: every live string's bytes, concatenated in id order |
+//! | 4  | SEGMENTS     | byte-keyed posting stream (`passjoin_persist::segmap::encode`) — owned backend only |
+//! | 5  | SEGMENTS_INT | interner dictionary + id-keyed postings (`segmap::encode_interned`) — interned backend only |
+//!
+//! Exactly one of sections 4/5 is present, matching the META backend code.
+//! **Version 1** files (written before the interned backend existed) have
+//! a 6-field META, always carry section 4, and keep loading — the backend
+//! defaults to owned.
 //!
 //! Saving walks the index in id order, so output is deterministic.
 //! Loading reads the file into **one contiguous buffer** and reconstructs
@@ -21,10 +27,10 @@
 //!
 //! Load-time validation is layered: the container re-checks magic,
 //! version, and per-section CRCs ([`PersistError`] covers each failure
-//! mode); span bounds, posting geometry, id ranges, and the
-//! live-count/entry-count cross-checks are re-validated structurally, so
-//! even a CRC-valid file written by a buggy producer is rejected rather
-//! than trusted.
+//! mode); span bounds, posting geometry, interner-table shape, id ranges,
+//! and the live-count/entry-count cross-checks are re-validated
+//! structurally, so even a CRC-valid file written by a buggy producer is
+//! rejected rather than trusted.
 
 use std::path::Path;
 use std::sync::Arc;
@@ -32,7 +38,7 @@ use std::sync::Arc;
 use passjoin_persist::{segmap, Cursor, PersistError, SnapshotFile, SnapshotWriter};
 
 use crate::cache::QueryCache;
-use crate::index::{Inner, DEFAULT_CACHE_CAPACITY};
+use crate::index::{Inner, KeyBackend, SegmentStore, DEFAULT_CACHE_CAPACITY};
 use crate::{OnlineIndex, Snapshot};
 
 /// Section ids of the online-snapshot format.
@@ -40,6 +46,11 @@ const SEC_META: u32 = 1;
 const SEC_SPANS: u32 = 2;
 const SEC_STRINGS: u32 = 3;
 const SEC_SEGMENTS: u32 = 4;
+const SEC_SEGMENTS_INTERNED: u32 = 5;
+
+/// META backend codes (v2+; v1 files predate the field and are owned).
+const BACKEND_OWNED: u64 = 0;
+const BACKEND_INTERNED: u64 = 1;
 
 /// Sentinel `start` marking a removed id in the SPANS section.
 const TOMBSTONE: u64 = u64::MAX;
@@ -58,7 +69,8 @@ impl Snapshot {
     /// (truncating any existing file); returns the file's byte length.
     ///
     /// The write is deterministic: saving the same snapshot twice
-    /// produces byte-identical files.
+    /// produces byte-identical files. The segment section matches the
+    /// index's key backend, and loading restores that backend.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<u64, PersistError> {
         save_inner(&self.inner, self.epoch, path.as_ref())
     }
@@ -75,8 +87,9 @@ impl OnlineIndex {
     /// The whole file is read into one contiguous buffer; string entries
     /// are zero-copy views into it, and the segment index is replayed from
     /// the serialized postings — no re-partitioning. Ids, tombstones, the
-    /// mutation epoch, and τ_max all round-trip exactly, so a loaded index
-    /// answers every query byte-identically to the index that was saved.
+    /// mutation epoch, τ_max, and the key backend all round-trip exactly,
+    /// so a loaded index answers every query byte-identically to the index
+    /// that was saved.
     ///
     /// The index keeps the *entire* file buffer alive (not just the
     /// string-arena section) for as long as any arena-backed string is
@@ -94,6 +107,12 @@ impl OnlineIndex {
         let live = meta.len64()?;
         let arena_len = meta.len64()?;
         let segment_entries = meta.u64()?;
+        // v1 predates the backend field; its snapshots are all owned-key.
+        let backend = if file.version() >= 2 {
+            meta.u64()?
+        } else {
+            BACKEND_OWNED
+        };
         meta.finish()?;
         if tau_max > MAX_TAU_MAX {
             return Err(PersistError::Corrupt {
@@ -161,9 +180,26 @@ impl OnlineIndex {
         }
 
         // The longest live string bounds every legal posting length — and,
-        // with it, the allocation any hostile SEGMENTS section can force.
-        let segments =
-            segmap::decode(file.section(SEC_SEGMENTS)?, tau_max, universe, max_live_len)?;
+        // with it, the allocation any hostile segment section can force.
+        let segments = match backend {
+            BACKEND_OWNED => SegmentStore::Owned(segmap::decode(
+                file.section(SEC_SEGMENTS)?,
+                tau_max,
+                universe,
+                max_live_len,
+            )?),
+            BACKEND_INTERNED => SegmentStore::Interned(segmap::decode_interned(
+                file.section(SEC_SEGMENTS_INTERNED)?,
+                tau_max,
+                universe,
+                max_live_len,
+            )?),
+            _ => {
+                return Err(PersistError::Corrupt {
+                    context: "unknown key-backend code in the meta section",
+                })
+            }
+        };
         if segments.entries() != segment_entries {
             return Err(PersistError::Corrupt {
                 context: "posting count disagrees with the meta section",
@@ -238,19 +274,31 @@ fn save_inner(inner: &Inner, epoch: u64, path: &Path) -> Result<u64, PersistErro
         }
     }
 
-    let mut meta = Vec::with_capacity(48);
+    let backend_code = match inner.segments().backend() {
+        KeyBackend::Owned => BACKEND_OWNED,
+        KeyBackend::Interned => BACKEND_INTERNED,
+    };
+    let mut meta = Vec::with_capacity(56);
     meta.extend_from_slice(&(inner.tau_max() as u64).to_le_bytes());
     meta.extend_from_slice(&epoch.to_le_bytes());
     meta.extend_from_slice(&(universe as u64).to_le_bytes());
     meta.extend_from_slice(&(live as u64).to_le_bytes());
     meta.extend_from_slice(&(arena.len() as u64).to_le_bytes());
     meta.extend_from_slice(&inner.segments().entries().to_le_bytes());
+    meta.extend_from_slice(&backend_code.to_le_bytes());
 
     let mut writer = SnapshotWriter::new();
     writer
         .section(SEC_META, meta)
         .section(SEC_SPANS, spans)
-        .section(SEC_STRINGS, arena)
-        .section(SEC_SEGMENTS, segmap::encode(inner.segments()));
+        .section(SEC_STRINGS, arena);
+    match inner.segments() {
+        SegmentStore::Owned(map) => {
+            writer.section(SEC_SEGMENTS, segmap::encode(map));
+        }
+        SegmentStore::Interned(index) => {
+            writer.section(SEC_SEGMENTS_INTERNED, segmap::encode_interned(index));
+        }
+    }
     writer.save(path)
 }

@@ -1,0 +1,244 @@
+//! Differential harness for the segment-key backends: an interned-key
+//! [`OnlineIndex`] must be **byte-identical** to an owned-key one on every
+//! query surface — same ids, same distances, same order — for every
+//! τ ≤ τ_max, on random, planted, and churned corpora, through the single,
+//! batched, parallel, cached, and snapshot query paths, and across
+//! save/load. A second key representation is a classic source of silent
+//! divergence; this suite is the contract that keeps the two backends one
+//! index.
+
+use passjoin_online::{KeyBackend, OnlineIndex};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds the same collection under both backends.
+fn both(strings: &[Vec<u8>], tau_max: usize) -> (OnlineIndex, OnlineIndex) {
+    let owned = OnlineIndex::from_strings_with(strings.iter(), tau_max, KeyBackend::Owned);
+    let interned = OnlineIndex::from_strings_with(strings.iter(), tau_max, KeyBackend::Interned);
+    assert_eq!(owned.key_backend(), KeyBackend::Owned);
+    assert_eq!(interned.key_backend(), KeyBackend::Interned);
+    (owned, interned)
+}
+
+/// Asserts every query surface agrees between the two indices for every
+/// τ ≤ τ_max over `queries`.
+fn assert_all_paths_agree(owned: &OnlineIndex, interned: &OnlineIndex, queries: &[Vec<u8>]) {
+    let tau_max = owned.tau_max();
+    assert_eq!(tau_max, interned.tau_max());
+    assert_eq!(owned.len(), interned.len());
+    for tau in 0..=tau_max {
+        for q in queries {
+            assert_eq!(
+                owned.query(q, tau),
+                interned.query(q, tau),
+                "single query {:?} at tau={tau}",
+                String::from_utf8_lossy(q)
+            );
+        }
+        assert_eq!(
+            owned.query_batch(queries, tau),
+            interned.query_batch(queries, tau),
+            "batch at tau={tau}"
+        );
+        assert_eq!(
+            owned.par_query_batch(queries, tau, 3),
+            interned.par_query_batch(queries, tau, 3),
+            "parallel batch at tau={tau}"
+        );
+        assert_eq!(
+            owned.snapshot().query_batch(queries, tau),
+            interned.snapshot().query_batch(queries, tau),
+            "snapshot batch at tau={tau}"
+        );
+    }
+}
+
+fn dense_corpus() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..12),
+        0..24,
+    )
+}
+
+fn wide_corpus() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(97u8..=122, 0..30), 0..16)
+}
+
+fn off_corpus_queries() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..16),
+        1..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn backends_agree_on_dense_corpora(
+        strings in dense_corpus(),
+        extra in off_corpus_queries(),
+        tau_max in 1usize..5,
+    ) {
+        let (owned, interned) = both(&strings, tau_max);
+        let mut queries = strings.clone();
+        queries.extend(extra);
+        assert_all_paths_agree(&owned, &interned, &queries);
+    }
+
+    #[test]
+    fn backends_agree_on_wide_corpora(strings in wide_corpus(), tau_max in 1usize..6) {
+        let (owned, interned) = both(&strings, tau_max);
+        assert_all_paths_agree(&owned, &interned, &strings);
+    }
+
+    #[test]
+    fn backends_agree_under_churn(
+        strings in dense_corpus(),
+        tau_max in 1usize..4,
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        // Mirror an insert → remove → insert history on both backends: ids
+        // evolve identically, so results must stay byte-identical. Churn is
+        // where the interned backend's liveness counting earns its keep
+        // (emptied keys must release dictionary ids, revivals must reuse
+        // them) — divergence here and not on fresh builds would point
+        // straight at the refcounts.
+        let (mut owned, mut interned) = both(&strings, tau_max);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut live: Vec<u32> = (0..strings.len() as u32).collect();
+        for round in 0..3 {
+            let mut i = 0;
+            while i < live.len() {
+                if rng.gen_bool(0.4) {
+                    let id = live.swap_remove(i);
+                    prop_assert_eq!(owned.remove(id), interned.remove(id), "round {}", round);
+                } else {
+                    i += 1;
+                }
+            }
+            for s in strings.iter().filter(|_| rng.gen_bool(0.5)) {
+                let a = owned.insert(s);
+                let b = interned.insert(s);
+                prop_assert_eq!(a, b);
+                live.push(a);
+            }
+            assert_all_paths_agree(&owned, &interned, &strings);
+        }
+    }
+
+    #[test]
+    fn cached_paths_agree(strings in dense_corpus(), tau_max in 1usize..4) {
+        let (mut owned, mut interned) = both(&strings, tau_max);
+        for q in strings.iter().chain(strings.iter()) {
+            // Second pass hits the cache on both sides.
+            prop_assert_eq!(
+                owned.query_cached(q, tau_max),
+                interned.query_cached(q, tau_max)
+            );
+        }
+        if !strings.is_empty() {
+            // Mutate, then re-query: both caches must invalidate alike.
+            prop_assert_eq!(owned.remove(0), interned.remove(0));
+            for q in &strings {
+                prop_assert_eq!(
+                    owned.query_cached(q, tau_max),
+                    interned.query_cached(q, tau_max)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backends_agree_across_save_load(strings in dense_corpus(), tau_max in 1usize..4) {
+        // Save each backend's index and reload it: all four (fresh × loaded,
+        // owned × interned) must agree, and each load must restore its
+        // backend.
+        let (owned, interned) = both(&strings, tau_max);
+        let dir = std::env::temp_dir();
+        let tag = std::process::id();
+        let o_path = dir.join(format!("passjoin-diff-owned-{tag}-{:p}.snap", &owned));
+        let i_path = dir.join(format!("passjoin-diff-interned-{tag}-{:p}.snap", &owned));
+        owned.save(&o_path).expect("save owned");
+        interned.save(&i_path).expect("save interned");
+        let o_loaded = OnlineIndex::load(&o_path).expect("load owned");
+        let i_loaded = OnlineIndex::load(&i_path).expect("load interned");
+        let _ = std::fs::remove_file(&o_path);
+        let _ = std::fs::remove_file(&i_path);
+        prop_assert_eq!(o_loaded.key_backend(), KeyBackend::Owned);
+        prop_assert_eq!(i_loaded.key_backend(), KeyBackend::Interned);
+        assert_all_paths_agree(&o_loaded, &i_loaded, &strings);
+        assert_all_paths_agree(&owned, &i_loaded, &strings);
+        assert_all_paths_agree(&o_loaded, &interned, &strings);
+    }
+}
+
+/// A planted corpus: datagen base strings plus controlled near-duplicates
+/// (the same shape `properties.rs` uses against the batch join).
+fn planted_corpus(n: usize, seed: u64, max_edits: usize) -> Vec<Vec<u8>> {
+    let base = datagen::DatasetSpec::new(datagen::DatasetKind::Author, n)
+        .with_seed(seed)
+        .generate();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37);
+    let mut strings = Vec::with_capacity(2 * n);
+    for s in base {
+        if rng.gen_bool(0.5) {
+            strings.push(datagen::mutate(&s, rng.gen_range(1..=max_edits), &mut rng));
+        }
+        strings.push(s);
+    }
+    strings
+}
+
+#[test]
+fn backends_agree_on_planted_corpus() {
+    let strings = planted_corpus(250, 42, 2);
+    let (owned, interned) = both(&strings, 3);
+    let queries: Vec<Vec<u8>> = strings.iter().step_by(5).cloned().collect();
+    assert_all_paths_agree(&owned, &interned, &queries);
+}
+
+#[test]
+fn interned_backend_is_smaller_on_planted_corpus() {
+    // The memory claim behind the backend (paper §6): author-style corpora
+    // repeat segments across strings, slots, and lengths, so one shared
+    // dictionary plus 4-byte keys beats per-key byte copies. Pinned here
+    // on the same corpus family the benches use, so a regression shows up
+    // as a test failure rather than a silent bench drift.
+    let strings = planted_corpus(500, 7, 2);
+    let (owned, interned) = both(&strings, 2);
+    let (o, i) = (owned.stats(), interned.stats());
+    assert_eq!(o.segment_entries, i.segment_entries);
+    assert!(
+        i.resident_bytes < o.resident_bytes,
+        "interned {} must be smaller than owned {}",
+        i.resident_bytes,
+        o.resident_bytes
+    );
+}
+
+#[test]
+fn backends_agree_after_full_churn_cycle() {
+    // Insert → remove everything → re-insert: the interned dictionary is
+    // fully released and revived; results must match a fresh owned build.
+    let strings = planted_corpus(150, 13, 2);
+    let mut interned = OnlineIndex::from_strings_with(strings.iter(), 2, KeyBackend::Interned);
+    for id in 0..strings.len() as u32 {
+        assert!(interned.remove(id));
+    }
+    assert!(interned.is_empty());
+    let mut renamed = Vec::with_capacity(strings.len());
+    for s in &strings {
+        renamed.push(interned.insert(s));
+    }
+    let owned = OnlineIndex::from_strings_with(strings.iter(), 2, KeyBackend::Owned);
+    for q in strings.iter().step_by(3) {
+        let expected: Vec<(u32, usize)> = owned
+            .query(q, 2)
+            .into_iter()
+            .map(|(id, d)| (renamed[id as usize], d))
+            .collect();
+        assert_eq!(interned.query(q, 2), expected);
+    }
+}

@@ -19,8 +19,8 @@ pub enum PersistError {
         found: [u8; 8],
     },
     /// The file is a snapshot, but of a format revision this build does
-    /// not understand. The versioning policy is strict equality: any
-    /// layout change bumps [`crate::FORMAT_VERSION`].
+    /// not understand. Any layout change bumps [`crate::FORMAT_VERSION`];
+    /// loaders read [`crate::MIN_SUPPORTED_VERSION`]`..=`the current one.
     UnsupportedVersion {
         /// The version recorded in the file.
         found: u32,
@@ -61,7 +61,8 @@ impl fmt::Display for PersistError {
             ),
             PersistError::UnsupportedVersion { found } => write!(
                 f,
-                "unsupported snapshot format version {found} (this build reads version {})",
+                "unsupported snapshot format version {found} (this build reads versions {}..={})",
+                crate::MIN_SUPPORTED_VERSION,
                 crate::FORMAT_VERSION
             ),
             PersistError::Truncated { context } => {

@@ -32,10 +32,23 @@ use crate::error::PersistError;
 /// First 8 bytes of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"PASSJSNP";
 
-/// The format revision this build writes and reads. Strict equality is
-/// required on load: any change to the layout of the container *or* of any
-/// section payload bumps this number.
-pub const FORMAT_VERSION: u32 = 1;
+/// The format revision this build writes. Any change to the layout of the
+/// container *or* of any section payload bumps this number.
+///
+/// Version history:
+///
+/// * **1** — initial container; online snapshots carry byte-keyed segment
+///   postings (section 4).
+/// * **2** — online snapshots record their key backend in META and may
+///   carry an interned-segment section (dictionary + id-keyed postings,
+///   section 5) instead of section 4.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The oldest format revision this build still reads. Loaders accept
+/// `MIN_SUPPORTED_VERSION..=FORMAT_VERSION` and dispatch on
+/// [`SnapshotFile::version`]; v1 files (owned keys, 6-field META) remain
+/// loadable forever-until-announced.
+pub const MIN_SUPPORTED_VERSION: u32 = 1;
 
 /// Fixed header length (magic + version + section count).
 const HEADER_LEN: usize = 16;
@@ -159,6 +172,7 @@ impl SnapshotWriter {
 #[derive(Debug, Clone)]
 pub struct SnapshotFile {
     buf: Arc<[u8]>,
+    version: u32,
     sections: Vec<(u32, Range<usize>)>,
 }
 
@@ -180,7 +194,7 @@ impl SnapshotFile {
             return Err(PersistError::BadMagic { found });
         }
         let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
-        if version != FORMAT_VERSION {
+        if !(MIN_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(PersistError::UnsupportedVersion { found: version });
         }
         let count = u32::from_le_bytes(buf[12..16].try_into().unwrap());
@@ -247,7 +261,18 @@ impl SnapshotFile {
                 context: "trailing bytes after the last section",
             });
         }
-        Ok(Self { buf, sections })
+        Ok(Self {
+            buf,
+            version,
+            sections,
+        })
+    }
+
+    /// The format revision the file was written with (within
+    /// [`MIN_SUPPORTED_VERSION`]`..=`[`FORMAT_VERSION`]); consumers
+    /// dispatch their section layouts on this.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// The payload of section `id`.
@@ -380,6 +405,27 @@ mod tests {
     #[test]
     fn writer_is_deterministic() {
         assert_eq!(sample(), sample());
+    }
+
+    #[test]
+    fn accepts_the_previous_format_version() {
+        // Rewrite the sample's version field to 1 and repair the header
+        // CRC: the parser must accept it and report the version it found.
+        let mut bytes = sample();
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let payload_len = b"first section".len() + 200;
+        let table_end = bytes.len() - payload_len - 4;
+        let crc = crc32(&bytes[..table_end]);
+        bytes[table_end..table_end + 4].copy_from_slice(&crc.to_le_bytes());
+        let file = SnapshotFile::parse(bytes.into()).unwrap();
+        assert_eq!(file.version(), 1);
+        assert_eq!(file.section(1).unwrap(), b"first section");
+    }
+
+    #[test]
+    fn reports_the_written_version() {
+        let file = SnapshotFile::parse(sample().into()).unwrap();
+        assert_eq!(file.version(), FORMAT_VERSION);
     }
 
     #[test]

@@ -52,4 +52,6 @@ pub mod segmap;
 
 pub use crc::crc32;
 pub use error::PersistError;
-pub use format::{Cursor, SnapshotFile, SnapshotWriter, FORMAT_VERSION, MAGIC};
+pub use format::{
+    Cursor, SnapshotFile, SnapshotWriter, FORMAT_VERSION, MAGIC, MIN_SUPPORTED_VERSION,
+};

@@ -23,7 +23,9 @@
 //! posting is one hash insert of a ready-made list, while a rebuild pays
 //! τ+1 sorted inserts *per string*).
 
-use passjoin::{OwnedSegmentIndex, PartitionScheme, SegmentKey, SegmentMap};
+use passjoin::{
+    InternedSegmentIndex, OwnedSegmentIndex, PartitionScheme, SegId, SegmentKey, SegmentMap,
+};
 use sj_common::StringId;
 
 use crate::error::PersistError;
@@ -44,8 +46,8 @@ fn scheme_from_code(code: u32) -> Option<PartitionScheme> {
     }
 }
 
-/// Serializes a segment map (any key storage) into a section payload.
-pub fn encode<K: SegmentKey>(map: &SegmentMap<K>) -> Vec<u8> {
+/// Serializes a byte-keyed segment map into a section payload.
+pub fn encode<K: SegmentKey + std::borrow::Borrow<[u8]> + Ord>(map: &SegmentMap<K>) -> Vec<u8> {
     // Single visiting pass (each visit re-sorts every bucket for the
     // deterministic order, so walking twice to pre-count would double the
     // dominant save cost): write a placeholder count, patch it after.
@@ -174,6 +176,160 @@ fn reserve_from_counts(
     }
 }
 
+/// Serializes an interned segment index into a section payload:
+///
+/// ```text
+/// scheme: u32   tau: u32
+/// n_segments: u64
+/// n_segments × { len: u32, bytes }     — the dictionary, byte-sorted
+/// n_postings: u64
+/// n_postings × {
+///   l: u32  slot: u32  seg: u32 (dictionary rank)  n_ids: u32
+///   ids (n_ids × u32, strictly ascending)
+/// }
+/// ```
+///
+/// Only dictionary entries referenced by at least one posting are written,
+/// renumbered by their **byte order** — so the output depends on the
+/// index's logical content alone, not on its insertion history (dead
+/// interner ids are compacted away), and encoding the same content twice
+/// yields identical bytes. Postings follow in `(l, slot, rank)` order.
+pub fn encode_interned(index: &InternedSegmentIndex) -> Vec<u8> {
+    let mut postings: Vec<(u32, u32, SegId, Vec<StringId>)> = Vec::new();
+    index.visit_postings(|l, slot, seg, ids| {
+        postings.push((l as u32, slot as u32, seg, ids.to_vec()));
+    });
+
+    // Rank the referenced dictionary entries by their bytes.
+    let mut used: Vec<SegId> = postings.iter().map(|&(_, _, seg, _)| seg).collect();
+    used.sort_unstable();
+    used.dedup();
+    let interner = index.interner();
+    let resolve = |seg: SegId| interner.bytes_of(seg).expect("visited id is interned");
+    used.sort_by(|&a, &b| resolve(a).cmp(resolve(b)));
+    let rank_of = |seg: SegId| {
+        used.binary_search_by(|&e| resolve(e).cmp(resolve(seg)))
+            .unwrap() as u32
+    };
+
+    let mut out = Vec::with_capacity(64 + index.entries() as usize * 8);
+    out.extend_from_slice(&scheme_code(index.scheme()).to_le_bytes());
+    out.extend_from_slice(&(index.tau() as u32).to_le_bytes());
+    out.extend_from_slice(&(used.len() as u64).to_le_bytes());
+    for &seg in &used {
+        let bytes = resolve(seg);
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(bytes);
+    }
+    for posting in &mut postings {
+        posting.2 = SegId::from_raw(rank_of(posting.2));
+    }
+    postings.sort_unstable_by_key(|&(l, slot, seg, _)| (l, slot, seg.raw()));
+    out.extend_from_slice(&(postings.len() as u64).to_le_bytes());
+    for (l, slot, seg, ids) in &postings {
+        out.extend_from_slice(&l.to_le_bytes());
+        out.extend_from_slice(&slot.to_le_bytes());
+        out.extend_from_slice(&seg.raw().to_le_bytes());
+        out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+        for &id in ids {
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes an [`encode_interned`] payload into an interned segment index.
+///
+/// The same caller-supplied bounds as [`decode`] apply (`expected_tau`,
+/// `universe`, `max_len`) — plus the checks only the interned layout can
+/// make: the dictionary must be strictly byte-sorted (which also proves it
+/// duplicate-free), every posting's segment rank must be a dictionary
+/// entry whose byte length matches the partition geometry of its
+/// `(l, slot)`, and every dictionary entry must be referenced by at least
+/// one posting (the encoder compacts dead entries; a file with unreferenced
+/// entries was not written by it).
+pub fn decode_interned(
+    payload: &[u8],
+    expected_tau: usize,
+    universe: usize,
+    max_len: usize,
+) -> Result<InternedSegmentIndex, PersistError> {
+    const CONTEXT: &str = "interned segment section";
+    let corrupt = |_: &'static str| PersistError::Corrupt { context: CONTEXT };
+
+    let mut cursor = Cursor::new(payload, CONTEXT);
+    let scheme = scheme_from_code(cursor.u32()?).ok_or(PersistError::Corrupt {
+        context: "unknown partition scheme",
+    })?;
+    let tau = cursor.u32()? as usize;
+    if tau != expected_tau {
+        return Err(PersistError::Corrupt {
+            context: "interned segment section disagrees with the snapshot's tau_max",
+        });
+    }
+    let n_segments = cursor.u64()?;
+    let mut index = InternedSegmentIndex::with_scheme(0, tau, scheme);
+    let mut prev: Option<&[u8]> = None;
+    for _ in 0..n_segments {
+        let len = cursor.u32()? as usize;
+        // A segment is a slice of a live string, so it can never be longer
+        // than the longest one — and bounding it here keeps a hostile
+        // length field from forcing a huge read-ahead allocation.
+        if len > max_len {
+            return Err(PersistError::Corrupt {
+                context: "interned segment exceeds the longest live string",
+            });
+        }
+        let bytes = cursor.bytes(len)?;
+        if prev.is_some_and(|prev| prev >= bytes) {
+            return Err(PersistError::Corrupt {
+                context: "interner table is not strictly byte-sorted",
+            });
+        }
+        prev = Some(bytes);
+        index.restore_segment(bytes).map_err(corrupt)?;
+    }
+    let n_postings = cursor.u64()?;
+    for _ in 0..n_postings {
+        let l = cursor.u32()? as usize;
+        if l > max_len {
+            return Err(PersistError::Corrupt {
+                context: "posting length exceeds the longest live string",
+            });
+        }
+        let slot = cursor.u32()? as usize;
+        let seg = cursor.u32()?;
+        if (seg as u64) >= n_segments {
+            return Err(PersistError::Corrupt {
+                context: "posting references an unknown interned segment",
+            });
+        }
+        let n_ids = cursor.u32()? as usize;
+        // Cap the pre-reservation: a CRC-valid but hostile `n_ids` must not
+        // trigger a huge allocation before the cursor runs out of bytes.
+        let mut ids = Vec::with_capacity(n_ids.min(1 << 16));
+        for _ in 0..n_ids {
+            let id: StringId = cursor.u32()?;
+            if (id as usize) >= universe {
+                return Err(PersistError::Corrupt {
+                    context: "posting id outside the string table",
+                });
+            }
+            ids.push(id);
+        }
+        index
+            .restore_posting(l, slot, SegId::from_raw(seg), ids)
+            .map_err(corrupt)?;
+    }
+    cursor.finish()?;
+    if index.interner().live() != index.interner().len() {
+        return Err(PersistError::Corrupt {
+            context: "interner table entry unreferenced by any posting",
+        });
+    }
+    Ok(index)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,5 +403,160 @@ mod tests {
         let mut padded = encoded.clone();
         padded.push(0);
         assert!(decode(&padded, 2, 10, 10).is_err());
+    }
+
+    fn sample_interned() -> InternedSegmentIndex {
+        let mut index = InternedSegmentIndex::new(0, 2);
+        index.insert(b"aaabbbccc", 0);
+        index.insert(b"aaabbbccc", 4);
+        index.insert(b"aaabbbccd", 2);
+        index.insert(b"wwwxxyyzzq", 9);
+        index
+    }
+
+    #[test]
+    fn interned_round_trip_preserves_probes_and_dictionary() {
+        let original = sample_interned();
+        let encoded = encode_interned(&original);
+        let decoded = decode_interned(&encoded, 2, 10, 10).unwrap();
+        assert_eq!(decoded.entries(), original.entries());
+        assert_eq!(decoded.tau(), original.tau());
+        assert_eq!(decoded.interner().live(), original.interner().live());
+        original.visit_postings(|l, slot, seg, ids| {
+            let bytes = original.interner().bytes_of(seg).unwrap();
+            assert_eq!(
+                passjoin::SegmentProbe::probe_bytes(&decoded, l, slot, bytes),
+                Some(ids)
+            );
+        });
+    }
+
+    #[test]
+    fn interned_encoding_is_content_deterministic() {
+        assert_eq!(
+            encode_interned(&sample_interned()),
+            encode_interned(&sample_interned())
+        );
+
+        // Different insertion (and interning) histories with the same
+        // final content must serialize identically: the encoder renumbers
+        // by byte order and compacts dead dictionary ids away.
+        let mut churned = InternedSegmentIndex::new(0, 2);
+        churned.insert(b"zzzyyyxxx", 7); // interns ids the final state won't use
+        churned.insert(b"wwwxxyyzzq", 9);
+        churned.insert(b"aaabbbccd", 2);
+        churned.insert(b"aaabbbccc", 4);
+        churned.insert(b"aaabbbccc", 0);
+        assert!(churned.remove(b"zzzyyyxxx", 7));
+        assert_eq!(
+            encode_interned(&churned),
+            encode_interned(&sample_interned())
+        );
+    }
+
+    #[test]
+    fn interned_empty_round_trips() {
+        let empty = InternedSegmentIndex::new(0, 3);
+        let decoded = decode_interned(&encode_interned(&empty), 3, 0, 0).unwrap();
+        assert_eq!(decoded.entries(), 0);
+        assert_eq!(decoded.tau(), 3);
+        assert_eq!(decoded.interner().len(), 0);
+    }
+
+    #[test]
+    fn interned_rejects_mismatches_and_corruption() {
+        let encoded = encode_interned(&sample_interned());
+        // Wrong tau, small universe, small length bound.
+        assert!(decode_interned(&encoded, 3, 10, 10).is_err());
+        assert!(decode_interned(&encoded, 2, 5, 10).is_err());
+        assert!(decode_interned(&encoded, 2, 10, 9).is_err());
+        // Every truncation and a padded tail.
+        for cut in 0..encoded.len() {
+            assert!(
+                decode_interned(&encoded[..cut], 2, 10, 10).is_err(),
+                "cut at {cut}"
+            );
+        }
+        let mut padded = encoded.clone();
+        padded.push(0);
+        assert!(decode_interned(&padded, 2, 10, 10).is_err());
+    }
+
+    #[test]
+    fn interned_rejects_structural_lies() {
+        // Hand-assemble payloads the encoder would never produce. Header:
+        // even scheme, τ=1.
+        let header = |n_segments: u64| {
+            let mut p = Vec::new();
+            p.extend_from_slice(&0u32.to_le_bytes());
+            p.extend_from_slice(&1u32.to_le_bytes());
+            p.extend_from_slice(&n_segments.to_le_bytes());
+            p
+        };
+        let seg_entry = |p: &mut Vec<u8>, bytes: &[u8]| {
+            p.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            p.extend_from_slice(bytes);
+        };
+        let posting = |p: &mut Vec<u8>, l: u32, slot: u32, seg: u32, ids: &[u32]| {
+            p.extend_from_slice(&l.to_le_bytes());
+            p.extend_from_slice(&slot.to_le_bytes());
+            p.extend_from_slice(&seg.to_le_bytes());
+            p.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+            for &id in ids {
+                p.extend_from_slice(&id.to_le_bytes());
+            }
+        };
+
+        // Unsorted (and duplicate) dictionary entries.
+        let mut unsorted = header(2);
+        seg_entry(&mut unsorted, b"bb");
+        seg_entry(&mut unsorted, b"aa");
+        unsorted.extend_from_slice(&0u64.to_le_bytes());
+        assert!(decode_interned(&unsorted, 1, 4, 4).is_err());
+        let mut duplicate = header(2);
+        seg_entry(&mut duplicate, b"aa");
+        seg_entry(&mut duplicate, b"aa");
+        duplicate.extend_from_slice(&0u64.to_le_bytes());
+        assert!(decode_interned(&duplicate, 1, 4, 4).is_err());
+
+        // A posting referencing a rank outside the dictionary.
+        let mut out_of_range = header(1);
+        seg_entry(&mut out_of_range, b"ab");
+        out_of_range.extend_from_slice(&1u64.to_le_bytes());
+        posting(&mut out_of_range, 4, 1, 1, &[0]);
+        assert!(decode_interned(&out_of_range, 1, 4, 4).is_err());
+
+        // A dictionary entry whose byte length lies about the geometry:
+        // length-4 slot 1 under τ=1 is a 2-byte segment, not 3.
+        let mut bad_geometry = header(1);
+        seg_entry(&mut bad_geometry, b"abc");
+        bad_geometry.extend_from_slice(&1u64.to_le_bytes());
+        posting(&mut bad_geometry, 4, 1, 0, &[0]);
+        assert!(decode_interned(&bad_geometry, 1, 4, 4).is_err());
+
+        // An entry no posting references (the encoder compacts these).
+        let mut unreferenced = header(2);
+        seg_entry(&mut unreferenced, b"ab");
+        seg_entry(&mut unreferenced, b"cd");
+        unreferenced.extend_from_slice(&1u64.to_le_bytes());
+        posting(&mut unreferenced, 4, 1, 0, &[0]);
+        posting(&mut unreferenced, 4, 2, 0, &[0]);
+        assert!(matches!(
+            decode_interned(&unreferenced, 1, 4, 4),
+            Err(PersistError::Corrupt { .. })
+        ));
+
+        // And the well-formed sibling of the above loads.
+        let mut ok = header(2);
+        seg_entry(&mut ok, b"ab");
+        seg_entry(&mut ok, b"cd");
+        ok.extend_from_slice(&2u64.to_le_bytes());
+        posting(&mut ok, 4, 1, 0, &[0]);
+        posting(&mut ok, 4, 2, 1, &[0]);
+        let decoded = decode_interned(&ok, 1, 4, 4).unwrap();
+        assert_eq!(
+            passjoin::SegmentProbe::probe_bytes(&decoded, 4, 1, b"ab"),
+            Some(&[0u32][..])
+        );
     }
 }
