@@ -17,11 +17,23 @@
 //! `rebuild-baseline` (what a restart costs without persistence —
 //! `OnlineIndex::from_strings` from the raw corpus). The load-vs-rebuild
 //! ratio is the headline number persistence exists for.
+//!
+//! The `sinks` group measures the typed API's result shapes on a
+//! match-heavy corpus: `full` (materialize everything), `topk`
+//! (bounded-heap retrieval whose verification budget tightens as it
+//! fills), `count` (no materialization), and `exists` (a capped count
+//! that aborts probing at the first match) — the early-exit claims of
+//! `SearchRequest::with_limit`/`count_only`, measured.
+//!
+//! All query groups run through `Queryable::search_batch`, the single
+//! execution path behind every surface since the typed-API redesign.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use datagen::{DatasetKind, DatasetSpec};
 use passjoin::PassJoin;
-use passjoin_online::{KeyBackend, OnlineIndex};
+use passjoin_online::{
+    CachePolicy, KeyBackend, OnlineIndex, Parallelism, Queryable, SearchRequest,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sj_common::StringCollection;
@@ -68,15 +80,20 @@ fn bench_online(c: &mut Criterion) {
     );
 
     group.throughput(Throughput::Elements(QUERY_N as u64));
+    let serial_reqs = SearchRequest::uniform(&queries, TAU);
     group.bench_with_input(
         BenchmarkId::new("query-batch", "1-thread"),
-        &queries,
-        |b, queries| b.iter(|| index.query_batch(queries, TAU)),
+        &serial_reqs,
+        |b, reqs| b.iter(|| index.search_batch(reqs)),
     );
+    let par_reqs: Vec<SearchRequest> = queries
+        .iter()
+        .map(|q| SearchRequest::new(q.as_slice(), TAU).with_parallelism(Parallelism::Threads(4)))
+        .collect();
     group.bench_with_input(
         BenchmarkId::new("query-batch", "4-threads"),
-        &queries,
-        |b, queries| b.iter(|| index.par_query_batch(queries, TAU, 4)),
+        &par_reqs,
+        |b, reqs| b.iter(|| index.search_batch(reqs)),
     );
 
     // The no-subsystem baseline: answering the same batch by joining the
@@ -98,11 +115,15 @@ fn bench_online(c: &mut Criterion) {
         BenchmarkId::new("query-cached", "hot-100"),
         &hot,
         |b, hot| {
-            let mut cached = OnlineIndex::from_strings(strings.iter(), TAU);
+            let cached = OnlineIndex::from_strings(strings.iter(), TAU);
+            let reqs: Vec<SearchRequest> = hot
+                .iter()
+                .map(|q| SearchRequest::new(q.as_slice(), TAU).with_cache(CachePolicy::Use))
+                .collect();
             let mut k = 0usize;
             b.iter(|| {
-                k = (k + 1) % hot.len();
-                cached.query_cached(hot[k], TAU)
+                k = (k + 1) % reqs.len();
+                cached.search(&reqs[k])
             })
         },
     );
@@ -148,13 +169,23 @@ fn bench_keys(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("build", backend.name()),
             &strings,
-            |b, strings| b.iter(|| OnlineIndex::from_strings_with(strings.iter(), TAU, backend)),
+            |b, strings| {
+                b.iter(|| {
+                    OnlineIndex::builder(TAU)
+                        .key_backend(backend)
+                        .build_from(strings.iter())
+                })
+            },
         );
     }
 
     group.throughput(Throughput::Elements(QUERY_N as u64));
+    let hit_reqs = SearchRequest::uniform(&queries, TAU);
+    let miss_reqs = SearchRequest::uniform(&miss_queries, TAU);
     for backend in backends {
-        let index = OnlineIndex::from_strings_with(strings.iter(), TAU, backend);
+        let index = OnlineIndex::builder(TAU)
+            .key_backend(backend)
+            .build_from(strings.iter());
         let stats = index.stats();
         eprintln!(
             "keys/{}: {} segment entries, resident index ~{} KB",
@@ -164,16 +195,85 @@ fn bench_keys(c: &mut Criterion) {
         );
         group.bench_with_input(
             BenchmarkId::new("probe", backend.name()),
-            &queries,
-            |b, queries| b.iter(|| index.query_batch(queries, TAU)),
+            &hit_reqs,
+            |b, reqs| b.iter(|| index.search_batch(reqs)),
         );
         group.bench_with_input(
             BenchmarkId::new("probe-miss", backend.name()),
-            &miss_queries,
-            |b, queries| b.iter(|| index.query_batch(queries, TAU)),
+            &miss_reqs,
+            |b, reqs| b.iter(|| index.search_batch(reqs)),
         );
     }
 
+    group.finish();
+}
+
+/// Result-shape comparison on a match-heavy corpus (every query has tens
+/// of matches): what `limit`/`count_only` buy over full materialization.
+///
+/// * `full` — the classic collect-everything query;
+/// * `topk` — the 10 closest matches on a bounded heap: once full, the
+///   heap's worst distance tightens verification budgets and skips
+///   whole probe lengths;
+/// * `count` — same probing as `full` but no result vector;
+/// * `exists` — `count_only` capped at 1: probing aborts at the first
+///   verified match, the strongest early exit.
+fn bench_sinks(c: &mut Criterion) {
+    // ~9 length-diverse near-duplicates per base string.
+    let base = DatasetSpec::new(DatasetKind::Author, 2_000)
+        .with_seed(17)
+        .generate();
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut strings = Vec::with_capacity(base.len() * 10);
+    for s in &base {
+        for _ in 0..9 {
+            strings.push(datagen::mutate(s, rng.gen_range(1..=TAU), &mut rng));
+        }
+        strings.push(s.clone());
+    }
+    let queries: Vec<Vec<u8>> = base.iter().step_by(10).take(200).cloned().collect();
+    let index = OnlineIndex::from_strings(strings.iter(), TAU);
+
+    let shapes: [(&str, Vec<SearchRequest>); 4] = [
+        ("full", SearchRequest::uniform(&queries, TAU)),
+        (
+            "topk-10",
+            SearchRequest::uniform(&queries, TAU)
+                .into_iter()
+                .map(|r| r.with_limit(10))
+                .collect(),
+        ),
+        (
+            "count",
+            SearchRequest::uniform(&queries, TAU)
+                .into_iter()
+                .map(|r| r.count_only())
+                .collect(),
+        ),
+        (
+            "exists",
+            SearchRequest::uniform(&queries, TAU)
+                .into_iter()
+                .map(|r| r.count_only().with_limit(1))
+                .collect(),
+        ),
+    ];
+
+    // The early exit is also *observable*, not just fast: print the
+    // verification totals each shape actually ran.
+    for (name, reqs) in &shapes {
+        let totals = index.search_batch(reqs).totals();
+        eprintln!("sinks/{name}: {} matches, {}", totals.matches, totals.stats);
+    }
+
+    let mut group = c.benchmark_group("sinks");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    for (name, reqs) in &shapes {
+        group.bench_with_input(BenchmarkId::new(*name, queries.len()), reqs, |b, reqs| {
+            b.iter(|| index.search_batch(reqs))
+        });
+    }
     group.finish();
 }
 
@@ -209,5 +309,11 @@ fn bench_persist(c: &mut Criterion) {
     let _ = std::fs::remove_file(&path);
 }
 
-criterion_group!(benches, bench_online, bench_keys, bench_persist);
+criterion_group!(
+    benches,
+    bench_online,
+    bench_keys,
+    bench_persist,
+    bench_sinks
+);
 criterion_main!(benches);

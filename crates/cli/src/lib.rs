@@ -18,6 +18,8 @@ use passjoin_online::{KeyBackend, OnlineIndex};
 use sj_common::{JoinOutput, SimilarityJoin, StringCollection};
 use triejoin::TrieJoin;
 
+pub use passjoin_online::Queryable;
+
 /// Which algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algorithm {
@@ -72,7 +74,7 @@ pub const USAGE: &str = "usage:
           [--save index.snap] [--stats]
   simjoin query <corpus.txt | --load index.snap> [--tau N] [--tau-max N]
           [--keys owned|interned] [--queries q.txt] [--threads N]
-          [--cache N] [--stats]
+          [--cache N] [--limit K] [--count] [--stats]
   simjoin repl  <corpus.txt | --load index.snap> [--tau N] [--tau-max N]
           [--keys owned|interned] [--cache N]";
 
@@ -200,6 +202,10 @@ pub struct ServeConfig {
     pub threads: usize,
     /// LRU query-cache capacity (0 disables).
     pub cache: usize,
+    /// Report only the `K` closest matches per query (`--limit`).
+    pub limit: Option<usize>,
+    /// Report match counts instead of matches (`--count`).
+    pub count_only: bool,
     /// Print statistics to stderr.
     pub stats: bool,
 }
@@ -215,12 +221,26 @@ impl ServeConfig {
         let mut queries = None;
         let mut threads = 0;
         let mut cache = 1024;
+        let mut limit = None;
+        let mut count_only = false;
         let mut stats = false;
 
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--tau" => tau = Some(take_number(&mut it, "--tau")?),
+                "--limit" => {
+                    if mode != ServeMode::Query {
+                        return Err("--limit is only valid for the query subcommand".into());
+                    }
+                    limit = Some(take_number(&mut it, "--limit")?);
+                }
+                "--count" => {
+                    if mode != ServeMode::Query {
+                        return Err("--count is only valid for the query subcommand".into());
+                    }
+                    count_only = true;
+                }
                 "--tau-max" => tau_max = Some(take_number(&mut it, "--tau-max")?),
                 "--keys" => {
                     let v = it.next().ok_or("--keys requires a value")?;
@@ -307,6 +327,8 @@ impl ServeConfig {
             queries,
             threads,
             cache,
+            limit,
+            count_only,
             stats,
         })
     }
@@ -314,8 +336,10 @@ impl ServeConfig {
     /// Builds the online index over raw corpus lines (ids = line numbers,
     /// empty lines included so numbering matches the file).
     pub fn build_index(&self, lines: &[Vec<u8>]) -> OnlineIndex {
-        OnlineIndex::from_strings_with(lines.iter(), self.tau_max, self.keys)
-            .with_cache_capacity(self.cache)
+        OnlineIndex::builder(self.tau_max)
+            .key_backend(self.keys)
+            .cache_capacity(self.cache)
+            .build_from(lines.iter())
     }
 
     /// Resolves the query threshold against the index actually being
@@ -519,6 +543,30 @@ mod tests {
     }
 
     #[test]
+    fn limit_and_count_flags_parse_for_query_mode() {
+        match parse_command(&["query", "a.txt", "--limit", "5", "--count"]).unwrap() {
+            Command::Serve(c) => {
+                assert_eq!(c.limit, Some(5));
+                assert!(c.count_only);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults: no limit, full matches.
+        match parse_command(&["query", "a.txt"]).unwrap() {
+            Command::Serve(c) => {
+                assert_eq!(c.limit, None);
+                assert!(!c.count_only);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Result shaping is a query-mode feature.
+        assert!(parse_command(&["index", "a.txt", "--limit", "5"]).is_err());
+        assert!(parse_command(&["repl", "a.txt", "--count"]).is_err());
+        assert!(parse_command(&["query", "a.txt", "--limit"]).is_err());
+        assert!(parse_command(&["query", "a.txt", "--limit", "x"]).is_err());
+    }
+
+    #[test]
     fn keys_flag_selects_the_backend() {
         // Default is owned.
         match parse_command(&["index", "a.txt"]).unwrap() {
@@ -540,7 +588,7 @@ mod tests {
                 // And the built index actually uses it.
                 let index = c.build_index(&corpus_lines("vldb\npvldb\n"));
                 assert_eq!(index.key_backend(), KeyBackend::Interned);
-                assert_eq!(index.query(b"vldb", 1), vec![(0, 0), (1, 1)]);
+                assert_eq!(index.matches(b"vldb", 1), vec![(0, 0), (1, 1)]);
             }
             other => panic!("{other:?}"),
         }
@@ -618,6 +666,6 @@ mod tests {
         };
         let index = c.build_index(&lines);
         assert_eq!(index.len(), 3);
-        assert_eq!(index.query(b"vldb", 1), vec![(0, 0), (2, 1)]);
+        assert_eq!(index.matches(b"vldb", 1), vec![(0, 0), (2, 1)]);
     }
 }

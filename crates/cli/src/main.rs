@@ -31,7 +31,9 @@ use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use passjoin_online::OnlineIndex;
+use passjoin_online::{
+    CacheOutcome, CachePolicy, OnlineIndex, Parallelism, Queryable, SearchRequest,
+};
 use simjoin_cli::{corpus_lines, Command, Config, IndexSource, ServeConfig, ServeMode, USAGE};
 
 fn main() -> ExitCode {
@@ -130,7 +132,20 @@ fn run_serve(config: &ServeConfig) -> ExitCode {
 
     match config.mode {
         ServeMode::Index => ExitCode::SUCCESS,
-        ServeMode::Query => run_query_batch(config, tau, &index),
+        ServeMode::Query => {
+            // Loaded snapshots are served read-only through a `Snapshot`;
+            // corpus builds are queried directly. `Queryable` is
+            // object-safe, so one binding covers both source kinds.
+            let snapshot;
+            let source: &dyn Queryable = match &config.source {
+                IndexSource::Snapshot(_) => {
+                    snapshot = index.snapshot();
+                    &snapshot
+                }
+                IndexSource::Corpus(_) => &index,
+            };
+            run_query_batch(config, tau, source)
+        }
         ServeMode::Repl => run_repl(tau, &mut index),
     }
 }
@@ -164,9 +179,9 @@ fn obtain_index(config: &ServeConfig) -> Result<OnlineIndex, String> {
         }
         IndexSource::Snapshot(snapshot) => {
             let started = Instant::now();
-            let index = OnlineIndex::load(snapshot)
-                .map_err(|e| format!("cannot load snapshot {}: {e}", snapshot.display()))?
-                .with_cache_capacity(config.cache);
+            let mut index = OnlineIndex::load(snapshot)
+                .map_err(|e| format!("cannot load snapshot {}: {e}", snapshot.display()))?;
+            index.set_cache_capacity(config.cache);
             if config.stats {
                 let s = index.stats();
                 eprintln!(
@@ -187,7 +202,7 @@ fn obtain_index(config: &ServeConfig) -> Result<OnlineIndex, String> {
     }
 }
 
-fn run_query_batch(config: &ServeConfig, tau: usize, index: &OnlineIndex) -> ExitCode {
+fn run_query_batch(config: &ServeConfig, tau: usize, source: &dyn Queryable) -> ExitCode {
     let queries: Vec<Vec<u8>> = match &config.queries {
         Some(path) => match std::fs::read_to_string(path) {
             Ok(text) => corpus_lines(&text),
@@ -211,16 +226,39 @@ fn run_query_batch(config: &ServeConfig, tau: usize, index: &OnlineIndex) -> Exi
         }
     };
 
+    let parallelism = match config.threads {
+        0 => Parallelism::Auto,
+        1 => Parallelism::Serial,
+        n => Parallelism::Threads(n),
+    };
+    let requests: Vec<SearchRequest> = queries
+        .iter()
+        .map(|q| {
+            let mut req = SearchRequest::borrowed(q, tau).with_parallelism(parallelism);
+            if let Some(k) = config.limit {
+                req = req.with_limit(k);
+            }
+            if config.count_only {
+                req = req.count_only();
+            }
+            req
+        })
+        .collect();
+
     let started = Instant::now();
-    let results = index.par_query_batch(&queries, tau, config.threads);
+    let response = source.search_batch(&requests);
     let elapsed = started.elapsed();
 
     let stdout = std::io::stdout().lock();
     let mut w = std::io::BufWriter::new(stdout);
-    let mut matches = 0usize;
-    for (q, result) in results.iter().enumerate() {
-        for (id, dist) in result {
-            matches += 1;
+    for (q, outcome) in response.outcomes.iter().enumerate() {
+        if config.count_only {
+            if writeln!(w, "{q}\t{}", outcome.count).is_err() {
+                return ExitCode::FAILURE;
+            }
+            continue;
+        }
+        for (id, dist) in outcome.matches.iter() {
             if writeln!(w, "{q}\t{id}\t{dist}").is_err() {
                 return ExitCode::FAILURE;
             }
@@ -231,14 +269,16 @@ fn run_query_batch(config: &ServeConfig, tau: usize, index: &OnlineIndex) -> Exi
     }
 
     if config.stats {
+        let totals = response.totals();
         let per_sec = queries.len() as f64 / elapsed.as_secs_f64().max(f64::EPSILON);
         eprintln!(
-            "simjoin: {} queries, tau={}, {} matches in {:.3?} ({:.0} queries/s)",
+            "simjoin: {} queries, tau={}, {} matches in {:.3?} ({:.0} queries/s; {})",
             queries.len(),
             tau,
-            matches,
+            totals.matches,
             elapsed,
             per_sec,
+            totals.stats,
         );
     }
     ExitCode::SUCCESS
@@ -247,6 +287,8 @@ fn run_query_batch(config: &ServeConfig, tau: usize, index: &OnlineIndex) -> Exi
 const REPL_HELP: &str = "commands:
   <text>      query the index at the current tau
   :tau N      set the query tau (<= tau_max)
+  :limit N    keep only the N closest matches (:limit off to reset)
+  :count      toggle count-only mode (no match listing)
   :add TEXT   insert a string, printing its id
   :rm ID      remove a string by id
   :stats      print index and cache statistics
@@ -255,6 +297,8 @@ const REPL_HELP: &str = "commands:
 
 fn run_repl(tau: usize, index: &mut OnlineIndex) -> ExitCode {
     let mut tau = tau;
+    let mut limit: Option<usize> = None;
+    let mut count_only = false;
     eprintln!(
         "simjoin repl: {} strings, tau={tau} (tau_max={}), :help for commands",
         index.len(),
@@ -283,6 +327,23 @@ fn run_repl(tau: usize, index: &mut OnlineIndex) -> ExitCode {
                     Ok(t) => println!("error: tau {t} exceeds tau_max {}", index.tau_max()),
                     Err(_) => println!("error: :tau needs a number"),
                 },
+                "limit" => match rest.trim() {
+                    "off" | "none" => {
+                        limit = None;
+                        println!("limit off");
+                    }
+                    n => match n.parse::<usize>() {
+                        Ok(k) => {
+                            limit = Some(k);
+                            println!("limit = {k}");
+                        }
+                        Err(_) => println!("error: :limit needs a number or 'off'"),
+                    },
+                },
+                "count" => {
+                    count_only = !count_only;
+                    println!("count-only {}", if count_only { "on" } else { "off" });
+                }
                 "add" => {
                     let id = index.insert(rest.as_bytes());
                     println!("added id {id}");
@@ -293,37 +354,39 @@ fn run_repl(tau: usize, index: &mut OnlineIndex) -> ExitCode {
                     Err(_) => println!("error: :rm needs an id"),
                 },
                 "stats" => {
-                    let s = index.stats();
-                    let c = index.cache_stats();
-                    println!(
-                        "live={} tombstones={} segment_entries={} short={} \
-                         resident={}KB epoch={} cache: {} hits / {} misses / {} invalidations",
-                        s.live,
-                        s.tombstones,
-                        s.segment_entries,
-                        s.short_strings,
-                        s.resident_bytes / 1024,
-                        s.epoch,
-                        c.hits,
-                        c.misses,
-                        c.invalidations,
-                    );
+                    println!("{} cache: {}", index.stats(), index.cache_stats());
                 }
                 other => println!("error: unknown command :{other} (:help)"),
             }
             continue;
         }
+        let mut request =
+            SearchRequest::borrowed(input.as_bytes(), tau).with_cache(CachePolicy::Use);
+        if let Some(k) = limit {
+            request = request.with_limit(k);
+        }
+        if count_only {
+            request = request.count_only();
+        }
         let started = Instant::now();
-        let matches = index.query_cached(input.as_bytes(), tau);
+        let outcome = index.search(&request);
         let elapsed = started.elapsed();
-        for &(id, dist) in matches.iter() {
+        for &(id, dist) in outcome.matches.iter() {
             let text = index
                 .get(id)
                 .map(|s| String::from_utf8_lossy(s).into_owned())
                 .unwrap_or_default();
             println!("{id}\t{dist}\t{text}");
         }
-        println!("({} matches, {elapsed:.1?})", matches.len());
+        let cache = match outcome.cache {
+            CacheOutcome::Hit => "cache hit",
+            CacheOutcome::Miss => "cache miss",
+            CacheOutcome::Bypass => "cache bypassed",
+        };
+        println!(
+            "({} matches, {elapsed:.1?}, {cache}, {})",
+            outcome.count, outcome.stats
+        );
     }
     ExitCode::SUCCESS
 }

@@ -23,6 +23,7 @@ use crate::index::SegmentIndex;
 use crate::partition::PartitionScheme;
 use crate::probe::ProbeState;
 use crate::select::Selection;
+use crate::sink::FnSink;
 use crate::verify::Verification;
 
 /// The Pass-Join algorithm, configured by a substring-selection strategy
@@ -152,9 +153,9 @@ impl PassJoin {
                 &index,
                 |sid| s_coll.get(sid),
                 &mut stats,
-                |sid, _| {
+                &mut FnSink(|sid, _| {
                     pairs.push((r_coll.original_index(r_id), s_coll.original_index(sid)));
-                },
+                }),
             );
         }
 
@@ -221,11 +222,11 @@ impl PassJoin {
                 &index,
                 |rid| collection.get(rid),
                 &mut stats,
-                |rid, d| {
+                &mut FnSink(|rid, d| {
                     scratch_pair.clear();
                     emit_pair(collection, rid, id, &mut scratch_pair);
                     on_result(scratch_pair[0], d);
-                },
+                }),
             );
 
             // Index the probe string for subsequent (longer) strings.

@@ -52,6 +52,7 @@ pub mod partition;
 mod probe;
 pub mod search;
 pub mod select;
+pub mod sink;
 pub mod topk;
 pub mod verify;
 
@@ -61,4 +62,6 @@ pub use joiner::PassJoin;
 pub use partition::PartitionScheme;
 pub use search::SearchIndex;
 pub use select::{online_window, Selection};
+pub use sink::{CollectSink, CountSink, FnSink, MatchSink, TopKSink};
+pub use topk::TopK;
 pub use verify::Verification;

@@ -24,6 +24,7 @@ use sj_common::{JoinOutput, JoinStats, SimilarityJoin, StringCollection, StringI
 use crate::index::SegmentIndex;
 use crate::joiner::PassJoin;
 use crate::probe::ProbeState;
+use crate::sink::FnSink;
 
 /// Probe ids are handed to workers in blocks of this size: large enough to
 /// amortize the atomic fetch, small enough to balance skewed tails.
@@ -105,7 +106,7 @@ impl PassJoin {
                                 id,
                                 |rid| collection.get(rid),
                                 &mut stats,
-                                |rid, _| emit_pair(collection, rid, id, &mut pairs),
+                                &mut FnSink(|rid, _| emit_pair(collection, rid, id, &mut pairs)),
                             );
                         }
                     }

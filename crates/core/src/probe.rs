@@ -20,6 +20,7 @@ use crate::index::SegmentProbe;
 use crate::joiner::PassJoin;
 use crate::partition::PartitionScheme;
 use crate::select::Selection;
+use crate::sink::MatchSink;
 use crate::verify::Verification;
 
 /// Reusable per-probe state: scratch sets, DP workspaces, and the
@@ -75,17 +76,23 @@ impl ProbeState {
         index: &I,
         resolve: impl Fn(StringId) -> &'c [u8],
         stats: &mut JoinStats,
-        emit: impl FnMut(StringId, usize),
+        sink: &mut impl MatchSink,
     ) {
-        self.probe_lengths_bounded(s, lmin, lmax, index, u32::MAX, resolve, stats, emit);
+        self.probe_lengths_bounded(s, lmin, lmax, index, u32::MAX, resolve, stats, sink);
     }
 
     /// Probes the inverted indices of every length in `[lmin, lmax]` with
     /// the selected substrings of `s`, verifying candidates with id
-    /// `< max_id` and invoking `emit(indexed_id, certificate)` for each
-    /// result. `resolve` maps an indexed id to its bytes. The id bound lets
+    /// `< max_id` and pushing each `(indexed_id, certificate)` result into
+    /// `sink`. `resolve` maps an indexed id to its bytes. The id bound lets
     /// the parallel driver share one full index while still enumerating
     /// every pair exactly once.
+    ///
+    /// The sink steers the scan: lengths outside its current
+    /// [`MatchSink::bound`] are skipped, whole-pair verification runs
+    /// under the (possibly tightened) bound, and a saturated sink stops
+    /// probing entirely. Collecting sinks leave both at their defaults, so
+    /// the join drivers are byte-for-byte unchanged.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn probe_lengths_bounded<'c, I: SegmentProbe>(
         &mut self,
@@ -96,11 +103,14 @@ impl ProbeState {
         max_id: StringId,
         resolve: impl Fn(StringId) -> &'c [u8],
         stats: &mut JoinStats,
-        mut emit: impl FnMut(StringId, usize),
+        sink: &mut impl MatchSink,
     ) {
         let tau = self.tau;
         for l in lmin..=lmax {
-            if !index.has_length(l) {
+            if sink.saturated() {
+                return;
+            }
+            if !index.has_length(l) || s.len().abs_diff(l) > sink.bound(tau) {
                 continue;
             }
             for slot in 1..=tau + 1 {
@@ -121,8 +131,28 @@ impl ProbeState {
                         seg_len: seg.len,
                         probe_start: p,
                     };
+                    // The sink's bound only ever shrinks, so verifying
+                    // under the value read at occurrence entry is sound:
+                    // any match it rejects has distance above every later
+                    // acceptance bound too. The extension verifier keeps
+                    // the full τ — its per-side budgets come from the
+                    // occurrence geometry (slots run 1..=τ+1) — and its
+                    // certificates are *upper bounds* ≤ τ, not exact
+                    // distances, so this branch cannot honor a tightened
+                    // bound: a bounded sink (top-k, capped count) must be
+                    // paired with a whole-pair verifier here. The join
+                    // drivers only pass collecting FnSinks (bound = τ);
+                    // the exact-distance sink paths live in core::search
+                    // and the online engine.
+                    let bound = sink.bound(tau);
                     match self.verification {
                         Verification::Extension { .. } => {
+                            debug_assert_eq!(
+                                bound, tau,
+                                "extension verification reports upper-bound certificates, \
+                                 not exact distances: pair bounded sinks with a whole-pair \
+                                 verifier"
+                            );
                             self.ext.begin_scan(s, &occ, tau, l);
                             for &rid in list {
                                 stats.candidate_occurrences += 1;
@@ -135,7 +165,7 @@ impl ProbeState {
                                 stats.verifications += 1;
                                 if let Some(cert) = self.ext.verify(resolve(rid), s, &occ) {
                                     self.resolved.insert(rid);
-                                    emit(rid, cert);
+                                    sink.push(rid, cert);
                                     stats.results += 1;
                                 }
                             }
@@ -151,19 +181,19 @@ impl ProbeState {
                                 stats.verifications += 1;
                                 let r = resolve(rid);
                                 let verdict = match whole {
-                                    Verification::Full => within_full(r, s, tau),
+                                    Verification::Full => within_full(r, s, bound),
                                     Verification::Banded => {
-                                        banded_within_ws(r, s, tau, &mut self.ws)
+                                        banded_within_ws(r, s, bound, &mut self.ws)
                                     }
                                     Verification::LengthAware => {
-                                        length_aware_within_ws(r, s, tau, &mut self.ws)
+                                        length_aware_within_ws(r, s, bound, &mut self.ws)
                                     }
-                                    Verification::Myers => myers_within(r, s, tau),
+                                    Verification::Myers => myers_within(r, s, bound),
                                     Verification::Extension { .. } => unreachable!(),
                                 };
                                 if let Some(d) = verdict {
                                     self.resolved.insert(rid);
-                                    emit(rid, d);
+                                    sink.push(rid, d);
                                     stats.results += 1;
                                 }
                             }
@@ -216,7 +246,7 @@ mod tests {
                 &owned,
                 |rid| strings[rid as usize],
                 &mut stats_a,
-                |rid, cert| got_a.push((rid, cert)),
+                &mut crate::sink::FnSink(|rid, cert| got_a.push((rid, cert))),
             );
             let mut state = ProbeState::new(&config, strings.len(), tau);
             let mut stats_b = JoinStats::default();
@@ -229,7 +259,7 @@ mod tests {
                 &interned,
                 |rid| strings[rid as usize],
                 &mut stats_b,
-                |rid, cert| got_b.push((rid, cert)),
+                &mut crate::sink::FnSink(|rid, cert| got_b.push((rid, cert))),
             );
             assert_eq!(got_a, got_b, "probe {:?}", String::from_utf8_lossy(probe));
             assert_eq!(stats_a.probes, stats_b.probes);

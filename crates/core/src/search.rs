@@ -15,6 +15,7 @@ use sj_common::{StringCollection, StringId};
 
 use crate::index::SegmentIndex;
 use crate::select::Selection;
+use crate::sink::{CollectSink, FnSink, MatchSink, TopKSink};
 
 /// An immutable similarity-search index over a dictionary.
 ///
@@ -77,6 +78,17 @@ impl<'a> SearchIndex<'a> {
         out
     }
 
+    /// The `k` dictionary entries closest to `query` among those within τ,
+    /// as `(input position, distance)` ascending by `(distance, position)`.
+    /// Runs on a bounded heap whose worst retained distance tightens the
+    /// verification budget as it fills (see [`crate::sink::TopKSink`]).
+    pub fn query_topk(&self, query: &[u8], k: usize) -> Vec<(u32, usize)> {
+        let mut searcher = Searcher::new(self);
+        let mut sink = TopKSink::new(k);
+        searcher.query_sink(query, &mut sink);
+        sink.into_matches()
+    }
+
     /// Creates a reusable searcher holding the per-query scratch state
     /// (the right choice when issuing many queries).
     pub fn searcher(&self) -> Searcher<'_, 'a> {
@@ -106,18 +118,36 @@ impl<'i, 'a> Searcher<'i, 'a> {
     /// Appends all `(input position, distance)` matches of `query` to
     /// `out`. Distances are exact.
     pub fn query_into(&mut self, query: &[u8], out: &mut Vec<(u32, usize)>) {
+        self.query_sink(query, &mut CollectSink::new(out));
+    }
+
+    /// Streams `(input position, distance)` matches into a closure.
+    pub fn query_each(&mut self, query: &[u8], on_match: impl FnMut(u32, usize)) {
+        self.query_sink(query, &mut FnSink(on_match));
+    }
+
+    /// Runs one query against an arbitrary [`MatchSink`]: the sink's
+    /// [`bound`](MatchSink::bound) tightens verification as results
+    /// accumulate (a filling top-k heap), and a
+    /// [`saturated`](MatchSink::saturated) sink stops the scan. Distances
+    /// are exact; ids pushed into the sink are input positions.
+    pub fn query_sink<S: MatchSink>(&mut self, query: &[u8], sink: &mut S) {
         let tau = self.index.tau;
         let dict = self.index.dictionary;
         self.seen.clear();
 
         // Brute-force lane for unpartitionable dictionary entries.
         for &rid in &self.index.short_ids {
+            if sink.saturated() {
+                return;
+            }
+            let bound = sink.bound(tau);
             let r = dict.get(rid);
-            if query.len().abs_diff(r.len()) > tau {
+            if query.len().abs_diff(r.len()) > bound {
                 continue;
             }
-            if let Some(d) = length_aware_within_ws(r, query, tau, &mut self.ws) {
-                out.push((dict.original_index(rid), d));
+            if let Some(d) = length_aware_within_ws(r, query, bound, &mut self.ws) {
+                sink.push(dict.original_index(rid), d);
             }
         }
 
@@ -126,7 +156,10 @@ impl<'i, 'a> Searcher<'i, 'a> {
         let lmin = (tau + 1).max(query.len().saturating_sub(tau));
         let lmax = query.len() + tau;
         for l in lmin..=lmax {
-            if !self.index.segments.has_length(l) {
+            if sink.saturated() {
+                return;
+            }
+            if !self.index.segments.has_length(l) || query.len().abs_diff(l) > sink.bound(tau) {
                 continue;
             }
             for slot in 1..=tau + 1 {
@@ -143,6 +176,12 @@ impl<'i, 'a> Searcher<'i, 'a> {
                         seg_len: seg.len,
                         probe_start: p,
                     };
+                    // The extension screen runs under the full τ (its
+                    // per-side budgets are slot geometry, slots 1..=τ+1);
+                    // the sink's bound — which only ever shrinks — is
+                    // applied at the exact-distance step, so a certified
+                    // candidate beyond the bound is dropped there.
+                    let bound = sink.bound(tau);
                     self.ext.begin_scan(query, &occ, tau, l);
                     for &rid in list {
                         if self.seen.contains(rid) {
@@ -152,10 +191,14 @@ impl<'i, 'a> Searcher<'i, 'a> {
                             self.seen.insert(rid);
                             // The extension certificate is an upper bound;
                             // report the exact distance (cheap: one banded
-                            // run over an accepted pair).
-                            let d = length_aware_within_ws(dict.get(rid), query, tau, &mut self.ws)
-                                .expect("certificate implies distance <= tau");
-                            out.push((dict.original_index(rid), d));
+                            // run over an accepted pair). Under a tightened
+                            // bound the exact run may reject — the match is
+                            // beyond anything the sink can still use.
+                            if let Some(d) =
+                                length_aware_within_ws(dict.get(rid), query, bound, &mut self.ws)
+                            {
+                                sink.push(dict.original_index(rid), d);
+                            }
                         }
                     }
                 }
@@ -254,6 +297,42 @@ mod tests {
                 .1;
             assert_eq!(dist, edit_distance(entry, b"partitain"));
         }
+    }
+
+    #[test]
+    fn topk_equals_truncated_sorted_full_result() {
+        let d = dict();
+        for tau in 0..=3usize {
+            let index = SearchIndex::build(&d, tau);
+            for query in [&b"partition"[..], b"petitions", b"a", b"", b"zzzz"] {
+                let mut full: Vec<(usize, u32)> = index
+                    .query(query)
+                    .into_iter()
+                    .map(|(pos, d)| (d, pos))
+                    .collect();
+                full.sort_unstable();
+                for k in [0usize, 1, 2, 5, 100] {
+                    let expected: Vec<(u32, usize)> =
+                        full.iter().take(k).map(|&(d, pos)| (pos, d)).collect();
+                    assert_eq!(
+                        index.query_topk(query, k),
+                        expected,
+                        "tau={tau} k={k} query={query:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sink_saturation_stops_the_scan() {
+        let d = dict();
+        let index = SearchIndex::build(&d, 2);
+        let mut searcher = index.searcher();
+        let mut sink = crate::sink::CountSink::capped(1);
+        searcher.query_sink(b"partition", &mut sink);
+        assert_eq!(sink.count(), 1);
+        assert!(sink.saturated());
     }
 
     #[test]

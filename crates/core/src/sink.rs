@@ -1,0 +1,245 @@
+//! Match sinks: where verified matches go, and how they steer the search.
+//!
+//! Every probing path (the join drivers' probing core, the
+//! [`crate::search::SearchIndex`] query loop, and the online subsystem's
+//! execution engine) ends the same way: a candidate survives the
+//! verification cascade and a `(string id, distance)` match is produced.
+//! What happens *next* used to be hard-coded as "push onto a `Vec`" — which
+//! forces full materialization even when the caller wants only a count, the
+//! k closest matches, or a streaming callback.
+//!
+//! [`MatchSink`] inverts that: verification reports matches *into* a sink,
+//! and the sink reports back two pieces of steering information:
+//!
+//! * [`MatchSink::bound`] — the largest distance still worth verifying.
+//!   A full top-k heap whose worst entry is at distance `w` has no use for
+//!   matches beyond `w`, so verification can tighten its DP budgets and
+//!   skip candidates whose length difference already exceeds `w`. The
+//!   bound must never grow over a query's lifetime (sinks only get more
+//!   selective), which is what makes skipping permanently sound.
+//! * [`MatchSink::saturated`] — true once additional matches cannot change
+//!   the outcome (e.g. a capped count that has reached its cap), letting
+//!   the whole probe loop stop early.
+//!
+//! Collecting sinks ([`CollectSink`], [`FnSink`]) leave both hooks at their
+//! defaults, so threading a sink through a previously `Vec`-pushing path
+//! changes nothing byte-for-byte.
+
+use sj_common::StringId;
+
+use crate::topk::TopK;
+
+/// Receiver of verified `(id, exact distance)` matches; see the module
+/// docs for the steering contract.
+pub trait MatchSink {
+    /// Records a verified match. `dist` is exact and `≤ bound(tau)` as of
+    /// the verification that produced it; the sink is free to discard the
+    /// match (a full top-k heap does). One caveat: the batch joiners'
+    /// *extension*-verified probe path reports upper-bound certificates,
+    /// not exact distances — bounded sinks must not be combined with it
+    /// (see the note in `probe.rs`); every exact-distance path
+    /// (`core::search`, the online engine) upholds the contract.
+    fn push(&mut self, id: StringId, dist: usize);
+
+    /// The largest distance still worth verifying, given the query
+    /// threshold `tau`. Must be `≤ tau` and non-increasing over a query.
+    fn bound(&self, tau: usize) -> usize {
+        tau
+    }
+
+    /// True once further matches cannot change the outcome; probing stops.
+    fn saturated(&self) -> bool {
+        false
+    }
+}
+
+/// Appends every match to a borrowed vector — the classic materializing
+/// path. No bound tightening, no early exit.
+pub struct CollectSink<'a> {
+    out: &'a mut Vec<(StringId, usize)>,
+}
+
+impl<'a> CollectSink<'a> {
+    /// A sink appending to `out`.
+    pub fn new(out: &'a mut Vec<(StringId, usize)>) -> Self {
+        Self { out }
+    }
+}
+
+impl MatchSink for CollectSink<'_> {
+    fn push(&mut self, id: StringId, dist: usize) {
+        self.out.push((id, dist));
+    }
+}
+
+/// Forwards every match to a closure (streaming consumers; also how the
+/// join drivers' emit-closures ride the sink-shaped probing core).
+pub struct FnSink<F>(pub F);
+
+impl<F: FnMut(StringId, usize)> MatchSink for FnSink<F> {
+    fn push(&mut self, id: StringId, dist: usize) {
+        (self.0)(id, dist);
+    }
+}
+
+/// Counts matches without materializing them; an optional cap turns it
+/// into an existence test that saturates (and stops the search) as soon as
+/// the cap is reached.
+pub struct CountSink {
+    count: usize,
+    cap: Option<usize>,
+}
+
+impl CountSink {
+    /// Counts every match.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            cap: None,
+        }
+    }
+
+    /// Counts up to `cap` matches, then reports saturation ("are there at
+    /// least `cap` matches?" without finding the rest).
+    pub fn capped(cap: usize) -> Self {
+        Self {
+            count: 0,
+            cap: Some(cap),
+        }
+    }
+
+    /// Matches counted so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+impl Default for CountSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MatchSink for CountSink {
+    fn push(&mut self, _id: StringId, _dist: usize) {
+        self.count += 1;
+    }
+
+    fn saturated(&self) -> bool {
+        self.cap.is_some_and(|cap| self.count >= cap)
+    }
+}
+
+/// Keeps the `k` matches smallest by `(distance, id)` on a bounded heap
+/// ([`TopK`]); once full, its [`MatchSink::bound`] shrinks to the worst
+/// retained distance, so verification stops paying for matches that could
+/// never displace anything.
+pub struct TopKSink {
+    top: TopK<(usize, StringId)>,
+}
+
+impl TopKSink {
+    /// A sink retaining the `k` best matches.
+    pub fn new(k: usize) -> Self {
+        Self { top: TopK::new(k) }
+    }
+
+    /// The retained matches as `(id, distance)`, ascending by
+    /// `(distance, id)`.
+    pub fn into_matches(self) -> Vec<(StringId, usize)> {
+        self.top
+            .into_sorted_vec()
+            .into_iter()
+            .map(|(d, id)| (id, d))
+            .collect()
+    }
+}
+
+impl MatchSink for TopKSink {
+    fn push(&mut self, id: StringId, dist: usize) {
+        self.top.offer((dist, id));
+    }
+
+    fn bound(&self, tau: usize) -> usize {
+        match self.top.worst() {
+            Some(&(worst, _)) => tau.min(worst),
+            None => tau,
+        }
+    }
+
+    fn saturated(&self) -> bool {
+        // k = 0 retains nothing: no match can change the outcome.
+        self.top.k() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_sink_appends() {
+        let mut out = vec![(9, 9)];
+        let mut sink = CollectSink::new(&mut out);
+        sink.push(1, 2);
+        assert_eq!(sink.bound(5), 5);
+        assert!(!sink.saturated());
+        assert_eq!(out, vec![(9, 9), (1, 2)]);
+    }
+
+    #[test]
+    fn fn_sink_streams() {
+        let mut seen = Vec::new();
+        let mut sink = FnSink(|id, d| seen.push((id, d)));
+        sink.push(3, 1);
+        sink.push(4, 0);
+        assert_eq!(seen, vec![(3, 1), (4, 0)]);
+    }
+
+    #[test]
+    fn count_sink_counts_and_saturates() {
+        let mut sink = CountSink::new();
+        for id in 0..5 {
+            sink.push(id, 0);
+        }
+        assert_eq!(sink.count(), 5);
+        assert!(!sink.saturated());
+
+        let mut capped = CountSink::capped(2);
+        assert!(!capped.saturated());
+        capped.push(0, 0);
+        assert!(!capped.saturated());
+        capped.push(1, 0);
+        assert!(capped.saturated());
+        assert_eq!(capped.count(), 2);
+    }
+
+    #[test]
+    fn topk_sink_keeps_best_and_tightens_bound() {
+        let mut sink = TopKSink::new(2);
+        assert_eq!(sink.bound(4), 4, "not full: no tightening");
+        sink.push(10, 3);
+        sink.push(11, 1);
+        assert_eq!(sink.bound(4), 3, "full: bound is the worst kept");
+        sink.push(12, 2); // displaces (3, 10)
+        assert_eq!(sink.bound(4), 2);
+        sink.push(13, 4); // ignored
+        assert_eq!(sink.into_matches(), vec![(11, 1), (12, 2)]);
+    }
+
+    #[test]
+    fn topk_ties_break_by_id() {
+        let mut sink = TopKSink::new(2);
+        sink.push(7, 1);
+        sink.push(5, 1);
+        sink.push(3, 1);
+        assert_eq!(sink.into_matches(), vec![(3, 1), (5, 1)]);
+    }
+
+    #[test]
+    fn topk_zero_is_saturated() {
+        let sink = TopKSink::new(0);
+        assert!(sink.saturated());
+        assert!(sink.into_matches().is_empty());
+    }
+}

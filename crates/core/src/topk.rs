@@ -9,6 +9,8 @@
 //! exactly the global top-k. Geometric growth keeps the total work within
 //! a constant factor of the final (successful) join.
 
+use std::collections::BinaryHeap;
+
 use sj_common::StringCollection;
 
 use crate::joiner::PassJoin;
@@ -16,6 +18,83 @@ use crate::joiner::PassJoin;
 /// A top-k result: the pair (as input positions, `first < second`) and its
 /// exact edit distance.
 pub type ScoredPair = ((u32, u32), usize);
+
+/// A bounded selection heap: retains the `k` smallest items offered (by
+/// `Ord`), in O(log k) per offer and O(k) space.
+///
+/// Shared by [`PassJoin::topk_self_join`] and the online subsystem's
+/// top-k sink (`passjoin_online`): both need "the k best by
+/// (distance, tiebreak)" without materializing everything first, and both
+/// need the current worst retained item to tighten further work.
+#[derive(Debug, Clone)]
+pub struct TopK<T: Ord> {
+    k: usize,
+    /// Max-heap: the *worst* retained item is at the top, ready to be
+    /// displaced (or to bound further search).
+    heap: BinaryHeap<T>,
+}
+
+impl<T: Ord> TopK<T> {
+    /// A heap retaining the `k` smallest items.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k.min(1024).saturating_add(1)),
+        }
+    }
+
+    /// The retention capacity.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Items currently retained.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// True once `k` items are retained (every further offer must displace
+    /// one to be kept). Vacuously true for `k = 0`.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// The worst retained item — only meaningful as a pruning bound once
+    /// the heap [`is full`](TopK::is_full); `None` before that.
+    pub fn worst(&self) -> Option<&T> {
+        if self.is_full() {
+            self.heap.peek()
+        } else {
+            None
+        }
+    }
+
+    /// Offers an item; returns whether it was retained.
+    pub fn offer(&mut self, item: T) -> bool {
+        if self.heap.len() < self.k {
+            self.heap.push(item);
+            return true;
+        }
+        match self.heap.peek() {
+            Some(worst) if item < *worst => {
+                self.heap.pop();
+                self.heap.push(item);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The retained items in ascending order.
+    pub fn into_sorted_vec(self) -> Vec<T> {
+        self.heap.into_sorted_vec()
+    }
+}
 
 impl PassJoin {
     /// The `k` pairs with the smallest edit distances (ties broken by pair
@@ -44,13 +123,21 @@ impl PassJoin {
 
         let mut tau = 0usize;
         loop {
-            let mut found = self.self_join_distances(collection, tau);
-            if found.len() >= want || tau >= tau_ceiling {
+            // Select on a bounded heap instead of materializing every pair
+            // found at this threshold: O(k) space however dense the join.
+            let mut top: TopK<(usize, (u32, u32))> = TopK::new(want);
+            let exact = self.with_verification(crate::verify::Verification::LengthAware);
+            exact.run_self_join(collection, tau, |pair, d| {
+                top.offer((d, pair));
+            });
+            if top.is_full() || tau >= tau_ceiling {
                 // Exact top-k: unfound pairs all have distance > τ ≥ any
-                // found distance.
-                found.sort_unstable_by_key(|&(pair, d)| (d, pair));
-                found.truncate(want);
-                return found;
+                // retained distance.
+                return top
+                    .into_sorted_vec()
+                    .into_iter()
+                    .map(|(d, pair)| (pair, d))
+                    .collect();
             }
             tau = (tau.max(1) * 2).min(tau_ceiling);
         }
@@ -124,6 +211,27 @@ mod tests {
             vec![((0, 1), 0), ((0, 3), 0), ((1, 3), 0)],
             "the three duplicate pairs come first, at distance 0"
         );
+    }
+
+    #[test]
+    fn bounded_heap_retains_k_smallest() {
+        let mut top = TopK::new(3);
+        assert!(!top.is_full());
+        assert_eq!(top.worst(), None);
+        for x in [9, 4, 7, 1, 8, 2] {
+            top.offer(x);
+        }
+        assert!(top.is_full());
+        assert_eq!(top.len(), 3);
+        assert_eq!(top.worst(), Some(&4));
+        assert!(!top.offer(5), "worse than the worst retained");
+        assert!(top.offer(3));
+        assert_eq!(top.into_sorted_vec(), vec![1, 2, 3]);
+
+        let mut zero: TopK<u32> = TopK::new(0);
+        assert!(zero.is_full() && zero.is_empty());
+        assert!(!zero.offer(1));
+        assert!(zero.into_sorted_vec().is_empty());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! [`QueryCache::lookup`]), and values are `Arc`ed so a hit never copies
 //! the result vector.
 
+use std::fmt;
 use std::sync::Arc;
 
 use sj_common::hash::FxHashMap;
@@ -44,6 +45,32 @@ pub struct CacheStats {
     pub misses: u64,
     /// Wholesale drops triggered by a newer mutation epoch.
     pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups, in `[0, 1]` (0 when nothing has
+    /// been looked up yet).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses / {} invalidations ({:.1}% hit rate)",
+            self.hits,
+            self.misses,
+            self.invalidations,
+            self.hit_rate() * 100.0,
+        )
+    }
 }
 
 /// The LRU result cache; see the module docs.
@@ -230,6 +257,20 @@ mod tests {
 
     fn value(ids: &[u32]) -> Arc<Vec<Match>> {
         Arc::new(ids.iter().map(|&id| (id, 1usize)).collect())
+    }
+
+    #[test]
+    fn hit_rate_and_display() {
+        let mut stats = CacheStats::default();
+        assert_eq!(stats.hit_rate(), 0.0, "no lookups yet");
+        stats.hits = 3;
+        stats.misses = 1;
+        stats.invalidations = 2;
+        assert_eq!(stats.hit_rate(), 0.75);
+        assert_eq!(
+            stats.to_string(),
+            "3 hits / 1 misses / 2 invalidations (75.0% hit rate)"
+        );
     }
 
     #[test]

@@ -1,0 +1,645 @@
+//! The one execution engine behind every query surface.
+//!
+//! [`OnlineIndex`](crate::OnlineIndex) and [`Snapshot`](crate::Snapshot)
+//! used to carry near-duplicate `query*` method families; both now
+//! implement [`Queryable`] by handing the engine an [`ExecSource`] (their
+//! shared inner state, epoch, and — for the index — its cache), and
+//! everything else lives here exactly once:
+//!
+//! * **Length plans** — a query's control skeleton (which `(length, slot)`
+//!   indices to visit, each slot's segment spec and selection window)
+//!   depends only on `(query length, τ)`, so batches sort by that key and
+//!   rebuild the plan only when it changes ([`LengthPlan`]).
+//! * **Sinks** — verification reports matches into a
+//!   [`passjoin::sink::MatchSink`] chosen by the request shape: collect
+//!   (plain), bounded top-k heap (`limit`, tightening verification as it
+//!   fills), or a counter (`count_only`, saturating at an optional cap).
+//! * **Batch dispatch** — mixed-τ batches are first-class; workers pull
+//!   blocks of the `(length, τ)`-sorted order off an atomic cursor, keep
+//!   private scratch (dedup stamps, DP rows, the interned backend's
+//!   substring-resolution memo), and write position-aligned outcomes.
+//! * **Cache integration** — cacheable requests (plain shape, policy
+//!   [`CachePolicy::Use`](crate::CachePolicy::Use)) consult the source's
+//!   epoch-validated LRU cache; the per-request outcome is reported in
+//!   [`QueryOutcome::cache`].
+//!
+//! The deprecated legacy methods are one-line wrappers over the
+//! `legacy_*` helpers at the bottom — same engine, fixed shape.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use passjoin::online_window;
+use passjoin::partition::{PartitionScheme, SegmentSpec};
+use passjoin::sink::{CollectSink, CountSink, MatchSink, TopKSink};
+use sj_common::StringId;
+
+use crate::cache::QueryCache;
+use crate::index::{Inner, KeyBackend, QueryScratch, SegmentStore};
+use crate::request::{
+    CacheOutcome, CachePolicy, ExecStats, Parallelism, QueryOutcome, SearchRequest, SearchResponse,
+};
+use crate::Match;
+
+/// Queries per cursor pull in parallel batches: large enough to amortize
+/// the atomic, small enough to balance length-skewed tails.
+const BLOCK: usize = 32;
+
+/// A similarity-search source the engine can execute requests against.
+///
+/// Implemented by [`OnlineIndex`](crate::OnlineIndex) and
+/// [`Snapshot`](crate::Snapshot); everything except
+/// [`exec_source`](Queryable::exec_source) is provided, so both types
+/// share one execution path by construction. The trait is object-safe —
+/// callers that serve either a live index or a point-in-time snapshot can
+/// hold `&dyn Queryable` (the CLI does).
+///
+/// ```
+/// use passjoin_online::{OnlineIndex, Queryable, SearchRequest};
+///
+/// let mut index = OnlineIndex::new(1);
+/// index.insert(b"vldb");
+/// let snapshot = index.snapshot();
+///
+/// // One binding serves both source kinds.
+/// let source: &dyn Queryable = &snapshot;
+/// let outcome = source.search(&SearchRequest::new(b"pvldb", 1));
+/// assert_eq!(*outcome.matches, vec![(0, 1)]);
+/// ```
+pub trait Queryable {
+    /// The engine-facing view of this source (internal plumbing; exposed
+    /// only so the provided methods can be defined once on the trait).
+    #[doc(hidden)]
+    fn exec_source(&self) -> ExecSource<'_>;
+
+    /// Executes one request; see [`SearchRequest`] for the knobs and
+    /// [`QueryOutcome`] for what comes back.
+    fn search(&self, req: &SearchRequest) -> QueryOutcome {
+        let source = self.exec_source();
+        let mut plans = PlanSlot::default();
+        let mut scratch = QueryScratch::default();
+        run_view(&source, ReqView::of(req), &mut plans, &mut scratch)
+    }
+
+    /// Executes a batch of requests — thresholds, limits, and cache
+    /// policies may differ per request — sharing substring-selection work
+    /// across requests with equal `(query length, τ)` and parallelizing
+    /// across the strongest [`Parallelism`](crate::Parallelism) hint in
+    /// the batch. Outcomes align with `reqs` by position.
+    fn search_batch(&self, reqs: &[SearchRequest]) -> SearchResponse {
+        run_batch(&self.exec_source(), reqs)
+    }
+
+    /// Convenience for the plain one-query case: all matches within `tau`
+    /// as `(id, exact distance)`, ascending by id. Equivalent to
+    /// `search(&SearchRequest::new(query, tau)).matches`.
+    fn matches(&self, query: &[u8], tau: usize) -> Vec<Match> {
+        legacy_query(self.exec_source().inner, query, tau)
+    }
+
+    /// The largest per-query threshold this source supports.
+    fn tau_max(&self) -> usize {
+        self.exec_source().inner.tau_max()
+    }
+
+    /// Which segment-key backend the source was built with.
+    fn key_backend(&self) -> KeyBackend {
+        self.exec_source().inner.segments().backend()
+    }
+
+    /// Live strings visible to queries.
+    fn len(&self) -> usize {
+        self.exec_source().inner.len()
+    }
+
+    /// True if no live strings are visible.
+    fn is_empty(&self) -> bool {
+        self.exec_source().inner.len() == 0
+    }
+
+    /// The mutation epoch of the visible state.
+    fn epoch(&self) -> u64 {
+        self.exec_source().epoch
+    }
+}
+
+/// The engine's view of a query source: shared index state, the epoch it
+/// is valid for, and (for sources that have one) the query cache.
+#[doc(hidden)]
+pub struct ExecSource<'a> {
+    pub(crate) inner: &'a Inner,
+    pub(crate) epoch: u64,
+    pub(crate) cache: Option<&'a Mutex<QueryCache>>,
+}
+
+/// The engine-internal view of one request: borrowed bytes plus the shape
+/// flags, so legacy surfaces (borrowed query lists + one τ) run the same
+/// loop without materializing `SearchRequest`s.
+#[derive(Clone, Copy)]
+struct ReqView<'a> {
+    query: &'a [u8],
+    tau: usize,
+    limit: Option<usize>,
+    count_only: bool,
+    use_cache: bool,
+}
+
+impl<'a> ReqView<'a> {
+    fn of(req: &'a SearchRequest) -> Self {
+        Self {
+            query: req.query(),
+            tau: req.tau(),
+            limit: req.limit(),
+            count_only: req.is_count_only(),
+            use_cache: req.cache() == CachePolicy::Use,
+        }
+    }
+
+    fn plain(query: &'a [u8], tau: usize) -> Self {
+        Self {
+            query,
+            tau,
+            limit: None,
+            count_only: false,
+            use_cache: false,
+        }
+    }
+
+    /// Only full collect results are cacheable (the cache stores them
+    /// keyed by `(query, τ)`).
+    fn cacheable(&self) -> bool {
+        self.use_cache && self.limit.is_none() && !self.count_only
+    }
+}
+
+/// The per-`(query length, τ)` probing skeleton: every `(l, slot)` pair
+/// with a resident index, its segment spec, and the selection window.
+pub(crate) struct LengthPlan {
+    query_len: usize,
+    tau: usize,
+    /// `(l, slot, segment, window)` — windows are already clamped.
+    probes: Vec<(usize, usize, SegmentSpec, std::ops::Range<usize>)>,
+    /// Short-lane ids passing the τ length filter for this query length.
+    short_ids: Vec<StringId>,
+}
+
+impl LengthPlan {
+    pub(crate) fn build(inner: &Inner, query_len: usize, tau: usize) -> Self {
+        let tau_max = inner.tau_max();
+        assert!(
+            tau <= tau_max,
+            "query τ = {tau} exceeds the index's τ_max = {tau_max}"
+        );
+        let mut probes = Vec::new();
+        let lmin = (tau_max + 1).max(query_len.saturating_sub(tau));
+        let lmax = (query_len + tau).min(inner.segments().max_len());
+        for l in lmin..=lmax {
+            if !inner.segments().has_length(l) {
+                continue;
+            }
+            for slot in 1..=tau_max + 1 {
+                let seg = PartitionScheme::Even.segment(l, tau_max, slot);
+                let window = online_window(query_len, l, seg, slot, tau_max, tau);
+                if !window.is_empty() {
+                    probes.push((l, slot, seg, window));
+                }
+            }
+        }
+        let short_ids = inner
+            .short_ids()
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let len = inner.get(id).expect("short lane holds live ids").len();
+                query_len.abs_diff(len) <= tau
+            })
+            .collect();
+        Self {
+            query_len,
+            tau,
+            probes,
+            short_ids,
+        }
+    }
+}
+
+/// A one-plan cache keyed by `(query length, τ)` — batches sorted by that
+/// key rebuild only at group boundaries.
+#[derive(Default)]
+struct PlanSlot(Option<LengthPlan>);
+
+impl PlanSlot {
+    fn get(&mut self, inner: &Inner, query_len: usize, tau: usize) -> &LengthPlan {
+        let stale = !matches!(&self.0, Some(p) if p.query_len == query_len && p.tau == tau);
+        if stale {
+            self.0 = Some(LengthPlan::build(inner, query_len, tau));
+        }
+        self.0.as_ref().expect("plan was just ensured")
+    }
+}
+
+/// Runs one query's plan into a sink. The sink steers the scan: probes
+/// whose length falls outside its current bound are skipped, verification
+/// budgets tighten to the bound, and a saturated sink stops everything.
+/// For collecting sinks (bound = τ, never saturated) this is byte-for-byte
+/// the legacy probing loop.
+fn run_plan<S: MatchSink>(
+    inner: &Inner,
+    plan: &LengthPlan,
+    query: &[u8],
+    tau: usize,
+    scratch: &mut QueryScratch,
+    sink: &mut S,
+    stats: &mut ExecStats,
+) {
+    debug_assert_eq!(query.len(), plan.query_len);
+    debug_assert_eq!(tau, plan.tau);
+    scratch.begin(inner.universe(), query.len());
+    for &rid in &plan.short_ids {
+        if sink.saturated() {
+            return;
+        }
+        let bound = sink.bound(tau);
+        let r = inner.get(rid).expect("short lane holds live ids");
+        if query.len().abs_diff(r.len()) > bound {
+            continue; // plan filtered at τ; the sink may demand tighter
+        }
+        stats.short_checked += 1;
+        if let Some(d) = scratch.exact_within(r, query, bound) {
+            stats.short_matches += 1;
+            sink.push(rid, d);
+        }
+    }
+    for (l, slot, seg, window) in &plan.probes {
+        if sink.saturated() {
+            return;
+        }
+        if l.abs_diff(query.len()) > sink.bound(tau) {
+            continue; // no match of this length can beat the sink's worst
+        }
+        probe_occurrences(
+            inner,
+            query,
+            tau,
+            *l,
+            *slot,
+            *seg,
+            window.clone(),
+            scratch,
+            sink,
+            stats,
+        );
+    }
+}
+
+/// Probes one `(length, slot)` inverted index with the substrings of
+/// `query` in `window`, screening candidates with the extension cascade
+/// and pushing `(id, exact distance)` matches into the sink.
+///
+/// The owned backend looks each substring up by bytes; the interned
+/// backend resolves it to a dictionary id once per `(position, length)` —
+/// memoized in the scratch, because windows of adjacent lengths overlap —
+/// and every (repeated) probe after that is integer-keyed.
+#[allow(clippy::too_many_arguments)]
+fn probe_occurrences<S: MatchSink>(
+    inner: &Inner,
+    query: &[u8],
+    tau: usize,
+    l: usize,
+    slot: usize,
+    seg: SegmentSpec,
+    window: std::ops::Range<usize>,
+    scratch: &mut QueryScratch,
+    sink: &mut S,
+    stats: &mut ExecStats,
+) {
+    match inner.segments() {
+        SegmentStore::Owned(map) => {
+            for p in window {
+                if sink.saturated() {
+                    return;
+                }
+                let w = &query[p..p + seg.len];
+                let Some(list) = map.probe(l, slot, w) else {
+                    continue;
+                };
+                screen_list(inner, query, tau, slot, seg, p, list, scratch, sink, stats);
+            }
+        }
+        SegmentStore::Interned(index) => {
+            for p in window {
+                if sink.saturated() {
+                    return;
+                }
+                let key = scratch.seg_memo.resolve(index, query, p, seg.len);
+                let Some(list) = key.and_then(|key| index.probe_id(l, slot, key)) else {
+                    continue;
+                };
+                screen_list(inner, query, tau, slot, seg, p, list, scratch, sink, stats);
+            }
+        }
+    }
+}
+
+/// Screens one inverted list's candidates with the extension cascade
+/// (§5.2) and pushes accepted `(id, exact distance)` matches.
+#[allow(clippy::too_many_arguments)]
+fn screen_list<S: MatchSink>(
+    inner: &Inner,
+    query: &[u8],
+    tau: usize,
+    slot: usize,
+    seg: SegmentSpec,
+    p: usize,
+    list: &[StringId],
+    scratch: &mut QueryScratch,
+    sink: &mut S,
+    stats: &mut ExecStats,
+) {
+    for &rid in list {
+        if sink.saturated() {
+            return;
+        }
+        stats.candidates += 1;
+        if scratch.resolved.contains(rid) {
+            continue; // already accepted this query
+        }
+        // The sink's bound only shrinks, so rejecting against the value
+        // read here can never lose a match a later bound would accept.
+        let bound = sink.bound(tau);
+        let r = inner.get(rid).expect("segment lane holds live ids");
+        if r.len().abs_diff(query.len()) > bound {
+            continue; // selection guaranteed ≤ τ; the bound is tighter
+        }
+        stats.verifications += 1;
+        // Extension cascade (§5.2) under mixed budgets: the partition
+        // geometry contributes i−1 / τ_max+1−i, the query budget
+        // contributes the sink bound — the pigeonhole witness satisfies
+        // both, so screening on their minimum never rejects a match the
+        // sink could still use (see the index module docs).
+        let tau_left = (slot - 1).min(bound);
+        let Some(d_left) = scratch.exact_within(&r[..seg.start], &query[..p], tau_left) else {
+            continue; // this occurrence fails; others may pass
+        };
+        let tau_right = (inner.tau_max() + 1 - slot).min(bound - d_left);
+        if scratch
+            .exact_within(&r[seg.end()..], &query[p + seg.len..], tau_right)
+            .is_none()
+        {
+            continue;
+        }
+        // The alignment certifies ed ≤ bound; report it exactly.
+        let d = scratch
+            .exact_within(r, query, bound)
+            .expect("extension certificate implies distance <= bound");
+        scratch.resolved.insert(rid);
+        stats.segment_matches += 1;
+        sink.push(rid, d);
+    }
+}
+
+/// Executes one view (no cache involvement), picking the sink from the
+/// request shape.
+fn execute_shaped(
+    inner: &Inner,
+    view: ReqView<'_>,
+    plans: &mut PlanSlot,
+    scratch: &mut QueryScratch,
+) -> QueryOutcome {
+    let plan = plans.get(inner, view.query.len(), view.tau);
+    let mut stats = ExecStats::default();
+    if view.count_only {
+        let mut sink = match view.limit {
+            Some(cap) => CountSink::capped(cap),
+            None => CountSink::new(),
+        };
+        run_plan(
+            inner, plan, view.query, view.tau, scratch, &mut sink, &mut stats,
+        );
+        QueryOutcome {
+            matches: Arc::default(),
+            count: sink.count(),
+            cache: CacheOutcome::Bypass,
+            stats,
+        }
+    } else if let Some(k) = view.limit {
+        let mut sink = TopKSink::new(k);
+        run_plan(
+            inner, plan, view.query, view.tau, scratch, &mut sink, &mut stats,
+        );
+        let matches = sink.into_matches();
+        QueryOutcome {
+            count: matches.len(),
+            matches: Arc::new(matches),
+            cache: CacheOutcome::Bypass,
+            stats,
+        }
+    } else {
+        let mut out = Vec::new();
+        {
+            let mut sink = CollectSink::new(&mut out);
+            run_plan(
+                inner, plan, view.query, view.tau, scratch, &mut sink, &mut stats,
+            );
+        }
+        out.sort_unstable();
+        QueryOutcome {
+            count: out.len(),
+            matches: Arc::new(out),
+            cache: CacheOutcome::Bypass,
+            stats,
+        }
+    }
+}
+
+pub(crate) fn lock(cache: &Mutex<QueryCache>) -> std::sync::MutexGuard<'_, QueryCache> {
+    // A poisoned cache only means a panic elsewhere mid-operation; the
+    // LRU's state is valid after every public call, so keep serving.
+    cache.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Executes one view, consulting the source's cache when the request is
+/// cacheable.
+fn run_view(
+    source: &ExecSource<'_>,
+    view: ReqView<'_>,
+    plans: &mut PlanSlot,
+    scratch: &mut QueryScratch,
+) -> QueryOutcome {
+    if view.cacheable() {
+        if let Some(cache) = source.cache {
+            if let Some(hit) = lock(cache).lookup(view.query, view.tau, source.epoch) {
+                return QueryOutcome {
+                    count: hit.len(),
+                    // The cached vector itself — a hit never copies.
+                    matches: hit,
+                    cache: CacheOutcome::Hit,
+                    stats: ExecStats::default(),
+                };
+            }
+            // Compute outside the lock: parallel batch workers must not
+            // serialize their probing on the cache mutex.
+            let mut outcome = execute_shaped(source.inner, view, plans, scratch);
+            outcome.cache = CacheOutcome::Miss;
+            lock(cache).insert(
+                view.query,
+                view.tau,
+                source.epoch,
+                Arc::clone(&outcome.matches),
+            );
+            return outcome;
+        }
+    }
+    execute_shaped(source.inner, view, plans, scratch)
+}
+
+/// Executes `views` with `threads` workers (callers resolve hints first),
+/// returning position-aligned outcomes. Views are processed in
+/// `(query length, τ)` order so plans are rebuilt only at group
+/// boundaries; parallel workers pull blocks of that order off an atomic
+/// cursor (dynamic balancing without a scheduler dependency).
+fn run_views(source: &ExecSource<'_>, views: &[ReqView<'_>], threads: usize) -> Vec<QueryOutcome> {
+    let mut order: Vec<u32> = (0..views.len() as u32).collect();
+    // Stable within a group for cache friendliness of repeated queries.
+    order.sort_by_key(|&i| {
+        let v = &views[i as usize];
+        (v.query.len(), v.tau)
+    });
+
+    if threads <= 1 || views.len() < 2 * BLOCK {
+        let mut outcomes: Vec<QueryOutcome> = vec![QueryOutcome::default(); views.len()];
+        let mut scratch = QueryScratch::default();
+        let mut plans = PlanSlot::default();
+        for &qi in &order {
+            outcomes[qi as usize] = run_view(source, views[qi as usize], &mut plans, &mut scratch);
+        }
+        return outcomes;
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let order = &order;
+    let mut outcomes: Vec<QueryOutcome> = vec![QueryOutcome::default(); views.len()];
+    let collected = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(u32, QueryOutcome)> = Vec::new();
+                let mut scratch = QueryScratch::default();
+                let mut plans = PlanSlot::default();
+                loop {
+                    let start = cursor.fetch_add(BLOCK, Ordering::Relaxed);
+                    if start >= order.len() {
+                        break;
+                    }
+                    for &qi in &order[start..(start + BLOCK).min(order.len())] {
+                        let outcome =
+                            run_view(source, views[qi as usize], &mut plans, &mut scratch);
+                        local.push((qi, outcome));
+                    }
+                }
+                local
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("batch worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    for (qi, outcome) in collected {
+        outcomes[qi as usize] = outcome;
+    }
+    outcomes
+}
+
+/// [`Queryable::search_batch`]'s engine entry.
+fn run_batch(source: &ExecSource<'_>, reqs: &[SearchRequest]) -> SearchResponse {
+    let views: Vec<ReqView<'_>> = reqs.iter().map(ReqView::of).collect();
+    // Pick the strongest hint structurally, then resolve once — Auto
+    // costs an available_parallelism() syscall, so it must not be paid
+    // per request.
+    let mut threads = 1usize;
+    let mut auto = false;
+    for req in reqs {
+        match req.parallelism() {
+            Parallelism::Serial => {}
+            Parallelism::Auto | Parallelism::Threads(0) => auto = true,
+            Parallelism::Threads(n) => threads = threads.max(n),
+        }
+    }
+    if auto {
+        threads = threads.max(Parallelism::Auto.resolve());
+    }
+    SearchResponse {
+        outcomes: run_views(source, &views, threads),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Legacy-shaped helpers: the deprecated wrappers on `OnlineIndex` and
+// `Snapshot` are one-liners over these, so the old surfaces keep their
+// exact signatures and semantics while running on the engine above.
+// ---------------------------------------------------------------------
+
+/// Plain query, collected and id-sorted — the legacy `query` shape.
+pub(crate) fn legacy_query(inner: &Inner, query: &[u8], tau: usize) -> Vec<Match> {
+    let mut scratch = QueryScratch::default();
+    let mut out = Vec::new();
+    query_into(inner, query, tau, &mut scratch, &mut out);
+    out
+}
+
+/// Plain query appending to a caller-owned vector with caller-owned
+/// scratch — the legacy `query_with` shape.
+pub(crate) fn query_into(
+    inner: &Inner,
+    query: &[u8],
+    tau: usize,
+    scratch: &mut QueryScratch,
+    out: &mut Vec<Match>,
+) {
+    let mut plans = PlanSlot::default();
+    let plan = plans.get(inner, query.len(), tau);
+    let from = out.len();
+    let mut stats = ExecStats::default();
+    {
+        let mut sink = CollectSink::new(out);
+        run_plan(inner, plan, query, tau, scratch, &mut sink, &mut stats);
+    }
+    out[from..].sort_unstable();
+}
+
+/// Uniform-τ batch returning bare match vectors — the legacy
+/// `query_batch`/`par_query_batch` shape (`threads = 0` ⇒ available
+/// parallelism).
+pub(crate) fn legacy_batch<Q: AsRef<[u8]> + Sync>(
+    source: &ExecSource<'_>,
+    queries: &[Q],
+    tau: usize,
+    threads: usize,
+) -> Vec<Vec<Match>> {
+    let views: Vec<ReqView<'_>> = queries
+        .iter()
+        .map(|q| ReqView::plain(q.as_ref(), tau))
+        .collect();
+    // The legacy 0-means-available convention is exactly Threads(0).
+    let threads = Parallelism::Threads(threads).resolve();
+    run_views(source, &views, threads)
+        .into_iter()
+        .map(QueryOutcome::into_matches)
+        .collect()
+}
+
+/// Cached plain query returning the shared result — the legacy
+/// `query_cached` shape (hits hand out the cached `Arc` itself).
+pub(crate) fn legacy_cached(source: &ExecSource<'_>, query: &[u8], tau: usize) -> Arc<Vec<Match>> {
+    let Some(cache) = source.cache else {
+        return Arc::new(legacy_query(source.inner, query, tau));
+    };
+    if let Some(hit) = lock(cache).lookup(query, tau, source.epoch) {
+        return hit;
+    }
+    let result = Arc::new(legacy_query(source.inner, query, tau));
+    lock(cache).insert(query, tau, source.epoch, Arc::clone(&result));
+    result
+}

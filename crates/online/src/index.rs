@@ -34,15 +34,16 @@
 //! (copy-on-write), leaving readers on the old version — readers never
 //! block and never observe partial mutations.
 
-use std::sync::Arc;
+use std::fmt;
+use std::sync::{Arc, Mutex};
 
 use editdist::{length_aware_within_ws, DpWorkspace};
-use passjoin::partition::SegmentSpec;
 use passjoin::{InternedSegmentIndex, OwnedSegmentIndex, PartitionScheme, SegmentProbe};
 use sj_common::stamp::StampSet;
 use sj_common::StringId;
 
 use crate::cache::{CacheStats, QueryCache};
+use crate::exec::{ExecSource, Queryable};
 use crate::Match;
 
 /// Default capacity of the per-index query cache.
@@ -190,6 +191,21 @@ pub struct OnlineStats {
     pub epoch: u64,
 }
 
+impl fmt::Display for OnlineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "live={} tombstones={} segment_entries={} short={} resident={}KB epoch={}",
+            self.live,
+            self.tombstones,
+            self.segment_entries,
+            self.short_strings,
+            self.resident_bytes / 1024,
+            self.epoch,
+        )
+    }
+}
+
 /// One string's storage: its own heap allocation, or a zero-copy span of
 /// the shared snapshot arena ([`Inner::arena`]). Strings inserted at
 /// runtime are always `Owned`; strings loaded from a snapshot stay
@@ -247,7 +263,7 @@ fn resolve<'a>(arena: &'a Option<Arc<[u8]>>, stored: &'a Stored) -> &'a [u8] {
 /// segment-length rank (a query sees only a handful of distinct segment
 /// lengths), columns by position.
 #[derive(Debug, Default)]
-struct SegMemo {
+pub(crate) struct SegMemo {
     query_len: usize,
     /// rank → segment length (tiny; scanned linearly).
     lens: Vec<u32>,
@@ -266,7 +282,7 @@ impl SegMemo {
     /// The dictionary id of `query[p..p + len]`, resolved at most once.
     /// Only called with `p + len <= query.len()` (so `p < query_len`).
     #[inline]
-    fn resolve(
+    pub(crate) fn resolve(
         &mut self,
         index: &InternedSegmentIndex,
         query: &[u8],
@@ -302,9 +318,9 @@ impl SegMemo {
 /// allocation.
 #[derive(Debug)]
 pub struct QueryScratch {
-    resolved: StampSet,
-    ws: DpWorkspace,
-    seg_memo: SegMemo,
+    pub(crate) resolved: StampSet,
+    pub(crate) ws: DpWorkspace,
+    pub(crate) seg_memo: SegMemo,
 }
 
 impl Default for QueryScratch {
@@ -499,113 +515,72 @@ impl Inner {
         self.live -= 1;
         true
     }
+}
 
-    /// Appends every live id within distance `tau` of `query` to `out` as
-    /// `(id, exact distance)`, in ascending id order.
-    pub(crate) fn query_into(
-        &self,
-        query: &[u8],
-        tau: usize,
-        scratch: &mut QueryScratch,
-        out: &mut Vec<Match>,
-    ) {
-        // One query is a one-entry batch: build the length plan (which
-        // validates τ ≤ τ_max) and run it, so the single and batched paths
-        // share one probing skeleton.
-        let plan = crate::batch::LengthPlan::build(self, query.len(), tau);
-        crate::batch::query_with_plan(self, &plan, query, tau, scratch, out);
-    }
+/// Configures and builds an [`OnlineIndex`]: τ_max, segment-key backend,
+/// and query-cache capacity in one place.
+///
+/// ```
+/// use passjoin_online::{KeyBackend, OnlineIndex, Queryable};
+///
+/// let index = OnlineIndex::builder(2)
+///     .key_backend(KeyBackend::Interned)
+///     .cache_capacity(4096)
+///     .build_from(["vldb", "pvldb"]);
+/// assert_eq!(index.key_backend(), KeyBackend::Interned);
+/// assert_eq!(index.matches(b"vldb", 1), vec![(0, 0), (1, 1)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineIndexBuilder {
+    tau_max: usize,
+    key_backend: KeyBackend,
+    cache_capacity: usize,
+}
 
-    /// Probes one `(length, slot)` inverted index with the substrings of
-    /// `query` in `window`, screening candidates with the extension cascade
-    /// and emitting `(id, exact distance)` matches. Shared by the single
-    /// query path and the batch driver's precomputed length plans.
-    ///
-    /// The owned backend looks each substring up by bytes; the interned
-    /// backend resolves it to a dictionary id once per `(position, length)`
-    /// — memoized in the scratch, because windows of adjacent lengths
-    /// overlap — and every (repeated) probe after that is integer-keyed.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn probe_occurrences(
-        &self,
-        query: &[u8],
-        tau: usize,
-        l: usize,
-        slot: usize,
-        seg: SegmentSpec,
-        window: std::ops::Range<usize>,
-        scratch: &mut QueryScratch,
-        out: &mut Vec<Match>,
-    ) {
-        match &self.segments {
-            SegmentStore::Owned(map) => {
-                for p in window {
-                    let w = &query[p..p + seg.len];
-                    let Some(list) = map.probe(l, slot, w) else {
-                        continue;
-                    };
-                    self.screen_list(query, tau, slot, seg, p, list, scratch, out);
-                }
-            }
-            SegmentStore::Interned(index) => {
-                for p in window {
-                    let key = scratch.seg_memo.resolve(index, query, p, seg.len);
-                    let Some(list) = key.and_then(|key| index.probe_id(l, slot, key)) else {
-                        continue;
-                    };
-                    self.screen_list(query, tau, slot, seg, p, list, scratch, out);
-                }
-            }
+impl OnlineIndexBuilder {
+    pub(crate) fn new(tau_max: usize) -> Self {
+        Self {
+            tau_max,
+            key_backend: KeyBackend::Owned,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
         }
     }
 
-    /// Screens one inverted list's candidates with the extension cascade
-    /// (§5.2) and pushes accepted `(id, exact distance)` matches.
-    #[allow(clippy::too_many_arguments)]
-    fn screen_list(
-        &self,
-        query: &[u8],
-        tau: usize,
-        slot: usize,
-        seg: SegmentSpec,
-        p: usize,
-        list: &[StringId],
-        scratch: &mut QueryScratch,
-        out: &mut Vec<Match>,
-    ) {
-        for &rid in list {
-            if scratch.resolved.contains(rid) {
-                continue; // already accepted this query
-            }
-            let r = self.get(rid).expect("segment lane holds live ids");
-            // Extension cascade (§5.2) under mixed budgets: the
-            // partition geometry contributes i−1 / τ_max+1−i, the
-            // query budget contributes τ — the pigeonhole witness
-            // satisfies both, so screening on their minimum never
-            // rejects a true match (see the module docs).
-            let tau_left = (slot - 1).min(tau);
-            let Some(d_left) =
-                length_aware_within_ws(&r[..seg.start], &query[..p], tau_left, &mut scratch.ws)
-            else {
-                continue; // this occurrence fails; others may pass
-            };
-            let tau_right = (self.tau_max + 1 - slot).min(tau - d_left);
-            if length_aware_within_ws(
-                &r[seg.end()..],
-                &query[p + seg.len..],
-                tau_right,
-                &mut scratch.ws,
-            )
-            .is_none()
-            {
-                continue;
-            }
-            // The alignment certifies ed ≤ τ; report it exactly.
-            let d = length_aware_within_ws(r, query, tau, &mut scratch.ws)
-                .expect("extension certificate implies distance <= tau");
-            scratch.resolved.insert(rid);
-            out.push((rid, d));
+    /// Selects the segment-key backend (see [`KeyBackend`] for the
+    /// trade-off). Default: [`KeyBackend::Owned`].
+    pub fn key_backend(mut self, backend: KeyBackend) -> Self {
+        self.key_backend = backend;
+        self
+    }
+
+    /// Sets the LRU query-cache capacity in results (0 disables caching).
+    /// Default: 1024.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Builds an empty index.
+    pub fn build(self) -> OnlineIndex {
+        OnlineIndex {
+            inner: Arc::new(Inner::new(self.tau_max, self.key_backend)),
+            epoch: 0,
+            cache: Mutex::new(QueryCache::new(self.cache_capacity)),
         }
+    }
+
+    /// Builds an index over an initial collection (ids are assigned in
+    /// iteration order, starting at 0).
+    pub fn build_from<I, S>(self, strings: I) -> OnlineIndex
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<[u8]>,
+    {
+        let mut index = self.build();
+        for s in strings {
+            index.insert(s.as_ref());
+        }
+        index
     }
 }
 
@@ -614,18 +589,27 @@ impl Inner {
 /// batched/parallel queries, an LRU result cache, and copy-on-write
 /// snapshots for concurrent readers.
 ///
+/// Queries go through the [`Queryable`] trait — one typed surface
+/// ([`crate::SearchRequest`] → [`crate::QueryOutcome`]) shared with
+/// [`Snapshot`]:
+///
 /// ```
-/// use passjoin_online::OnlineIndex;
+/// use passjoin_online::{OnlineIndex, Queryable, SearchRequest};
 ///
 /// let mut index = OnlineIndex::new(2);
 /// let vldb = index.insert(b"vldb");
 /// index.insert(b"pvldb");
 /// index.insert(b"sigmod");
 ///
-/// assert_eq!(index.query(b"vldbb", 1), vec![(vldb, 1)]);
-/// assert_eq!(index.query(b"vldbb", 2), vec![(vldb, 1), (1, 2)]);
+/// assert_eq!(index.matches(b"vldbb", 1), vec![(vldb, 1)]);
+/// assert_eq!(index.matches(b"vldbb", 2), vec![(vldb, 1), (1, 2)]);
+///
+/// // The typed form adds limits, counts, caching, and per-query stats.
+/// let outcome = index.search(&SearchRequest::new(b"vldbb", 2).with_limit(1));
+/// assert_eq!(*outcome.matches, vec![(vldb, 1)]);
+///
 /// index.remove(vldb);
-/// assert_eq!(index.query(b"vldbb", 2), vec![(1, 2)]);
+/// assert_eq!(index.matches(b"vldbb", 2), vec![(1, 2)]);
 /// ```
 #[derive(Debug)]
 pub struct OnlineIndex {
@@ -633,57 +617,84 @@ pub struct OnlineIndex {
     /// Mutation counter; validates cached results and tells snapshot users
     /// how stale they are.
     pub(crate) epoch: u64,
-    pub(crate) cache: QueryCache,
+    /// Behind a mutex so cached queries work through `&self` (and from
+    /// parallel batch workers); uncontended in the common case.
+    pub(crate) cache: Mutex<QueryCache>,
+}
+
+impl Queryable for OnlineIndex {
+    fn exec_source(&self) -> ExecSource<'_> {
+        ExecSource {
+            inner: &self.inner,
+            epoch: self.epoch,
+            cache: Some(&self.cache),
+        }
+    }
 }
 
 impl OnlineIndex {
     /// An empty index accepting queries with thresholds up to `tau_max`,
-    /// using the default [`KeyBackend::Owned`] segment lane.
+    /// with the default backend and cache (see [`OnlineIndex::builder`]
+    /// for the knobs).
     ///
     /// Larger `tau_max` costs index space (τ_max+1 inverted entries per
     /// string) and candidate selectivity; the paper's workloads use τ ≤ 8.
     pub fn new(tau_max: usize) -> Self {
-        Self::with_key_backend(tau_max, KeyBackend::Owned)
+        Self::builder(tau_max).build()
     }
 
-    /// An empty index with an explicit segment-key backend (see
-    /// [`KeyBackend`] for the trade-off).
-    pub fn with_key_backend(tau_max: usize, backend: KeyBackend) -> Self {
-        Self {
-            inner: Arc::new(Inner::new(tau_max, backend)),
-            epoch: 0,
-            cache: QueryCache::new(DEFAULT_CACHE_CAPACITY),
-        }
+    /// A builder for an index with a non-default key backend or cache
+    /// capacity.
+    pub fn builder(tau_max: usize) -> OnlineIndexBuilder {
+        OnlineIndexBuilder::new(tau_max)
     }
 
     /// Builds an index from an initial collection (ids are assigned in
-    /// iteration order, starting at 0).
+    /// iteration order, starting at 0) with the default backend and cache.
     pub fn from_strings<I, S>(strings: I, tau_max: usize) -> Self
     where
         I: IntoIterator<Item = S>,
         S: AsRef<[u8]>,
     {
-        Self::from_strings_with(strings, tau_max, KeyBackend::Owned)
+        Self::builder(tau_max).build_from(strings)
+    }
+
+    /// An empty index with an explicit segment-key backend.
+    #[deprecated(note = "use OnlineIndex::builder(tau_max).key_backend(..).build()")]
+    pub fn with_key_backend(tau_max: usize, backend: KeyBackend) -> Self {
+        Self::builder(tau_max).key_backend(backend).build()
     }
 
     /// [`OnlineIndex::from_strings`] with an explicit key backend.
+    #[deprecated(note = "use OnlineIndex::builder(tau_max).key_backend(..).build_from(..)")]
     pub fn from_strings_with<I, S>(strings: I, tau_max: usize, backend: KeyBackend) -> Self
     where
         I: IntoIterator<Item = S>,
         S: AsRef<[u8]>,
     {
-        let mut index = Self::with_key_backend(tau_max, backend);
-        for s in strings {
-            index.insert(s.as_ref());
-        }
-        index
+        Self::builder(tau_max)
+            .key_backend(backend)
+            .build_from(strings)
     }
 
     /// Replaces the query cache with one holding `capacity` results
     /// (0 disables caching). Existing entries are dropped.
+    #[deprecated(
+        note = "use OnlineIndex::builder(..).cache_capacity(..) when building, or \
+                         set_cache_capacity on an existing index"
+    )]
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
-        self.cache = QueryCache::new(capacity);
+        self.set_cache_capacity(capacity);
         self
+    }
+
+    /// Replaces the query cache with one holding `capacity` results
+    /// (0 disables caching). Existing entries and counters are dropped.
+    /// For indices whose construction the caller does not control (e.g.
+    /// [`OnlineIndex::load`](crate::OnlineIndex::load)); prefer
+    /// [`OnlineIndex::builder`] when building.
+    pub fn set_cache_capacity(&mut self, capacity: usize) {
+        self.cache = Mutex::new(QueryCache::new(capacity));
     }
 
     /// The largest per-query threshold this index supports.
@@ -724,7 +735,7 @@ impl OnlineIndex {
 
     /// Cache hit/miss counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        crate::exec::lock(&self.cache).stats()
     }
 
     /// Inserts a string and returns its id. Ids are dense and ascending;
@@ -755,33 +766,28 @@ impl OnlineIndex {
     /// # Panics
     ///
     /// Panics if `tau > tau_max`.
+    #[deprecated(note = "use Queryable::matches, or Queryable::search with a SearchRequest")]
     pub fn query(&self, query: &[u8], tau: usize) -> Vec<Match> {
-        let mut scratch = QueryScratch::new();
-        let mut out = Vec::new();
-        self.inner.query_into(query, tau, &mut scratch, &mut out);
-        out
+        crate::exec::legacy_query(&self.inner, query, tau)
     }
 
-    /// [`OnlineIndex::query`] through the LRU cache: repeated queries
-    /// against an unmodified index are answered without probing. Results
-    /// are shared (`Arc`), not copied.
-    pub fn query_cached(&mut self, query: &[u8], tau: usize) -> Arc<Vec<Match>> {
-        if let Some(hit) = self.cache.lookup(query, tau, self.epoch) {
-            return hit;
-        }
-        let result = Arc::new(self.query(query, tau));
-        self.cache
-            .insert(query, tau, self.epoch, Arc::clone(&result));
-        result
+    /// Cached plain query: repeated queries against an unmodified index
+    /// are answered without probing. Results are shared (`Arc`), not
+    /// copied.
+    #[deprecated(note = "use Queryable::search with CachePolicy::Use")]
+    pub fn query_cached(&self, query: &[u8], tau: usize) -> Arc<Vec<Match>> {
+        crate::exec::legacy_cached(&self.exec_source(), query, tau)
     }
 
     /// A reusable scratch buffer for [`OnlineIndex::query_with`].
+    #[deprecated(note = "the SearchRequest engine manages scratch internally")]
     pub fn scratch(&self) -> QueryScratch {
         QueryScratch::new()
     }
 
     /// Allocation-free query variant: appends matches to `out` using a
-    /// caller-owned scratch (the hot-path form; see [`QueryScratch`]).
+    /// caller-owned scratch.
+    #[deprecated(note = "use Queryable::search; batches reuse scratch internally")]
     pub fn query_with(
         &self,
         query: &[u8],
@@ -789,25 +795,26 @@ impl OnlineIndex {
         scratch: &mut QueryScratch,
         out: &mut Vec<Match>,
     ) {
-        self.inner.query_into(query, tau, scratch, out);
+        crate::exec::query_into(&self.inner, query, tau, scratch, out);
     }
 
-    /// Answers a batch of queries, sharing substring-selection work across
-    /// queries of equal length; see [`Snapshot::query_batch`] for the
-    /// parallel form's semantics. Results align with `queries` by position.
+    /// Answers a batch of queries at one threshold, sequentially. Results
+    /// align with `queries` by position.
+    #[deprecated(note = "use Queryable::search_batch with SearchRequest::uniform")]
     pub fn query_batch<Q: AsRef<[u8]> + Sync>(&self, queries: &[Q], tau: usize) -> Vec<Vec<Match>> {
-        crate::batch::run(&self.inner, queries, tau, 1)
+        crate::exec::legacy_batch(&self.exec_source(), queries, tau, 1)
     }
 
-    /// [`OnlineIndex::query_batch`] across `threads` worker threads
-    /// (0 = available parallelism).
+    /// Batch queries across `threads` worker threads (0 = available
+    /// parallelism).
+    #[deprecated(note = "use Queryable::search_batch with a Parallelism hint")]
     pub fn par_query_batch<Q: AsRef<[u8]> + Sync>(
         &self,
         queries: &[Q],
         tau: usize,
         threads: usize,
     ) -> Vec<Vec<Match>> {
-        crate::batch::run(&self.inner, queries, tau, threads)
+        crate::exec::legacy_batch(&self.exec_source(), queries, tau, threads)
     }
 
     /// A cheap point-in-time view for concurrent readers: O(1) now; the
@@ -823,11 +830,23 @@ impl OnlineIndex {
 }
 
 /// An immutable point-in-time view of an [`OnlineIndex`], safe to query
-/// from any thread (`Send + Sync`; queries take `&self`).
+/// from any thread (`Send + Sync`; queries take `&self`). Served through
+/// the same [`Queryable`] engine as the index (it has no cache of its
+/// own, so cache-policy requests record a bypass).
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     pub(crate) inner: Arc<Inner>,
     pub(crate) epoch: u64,
+}
+
+impl Queryable for Snapshot {
+    fn exec_source(&self) -> ExecSource<'_> {
+        ExecSource {
+            inner: &self.inner,
+            epoch: self.epoch,
+            cache: None,
+        }
+    }
 }
 
 impl Snapshot {
@@ -861,15 +880,14 @@ impl Snapshot {
         self.inner.get(id)
     }
 
-    /// See [`OnlineIndex::query`].
+    /// Plain query at snapshot time.
+    #[deprecated(note = "use Queryable::matches, or Queryable::search with a SearchRequest")]
     pub fn query(&self, query: &[u8], tau: usize) -> Vec<Match> {
-        let mut scratch = QueryScratch::new();
-        let mut out = Vec::new();
-        self.inner.query_into(query, tau, &mut scratch, &mut out);
-        out
+        crate::exec::legacy_query(&self.inner, query, tau)
     }
 
-    /// See [`OnlineIndex::query_with`].
+    /// Allocation-free query variant with caller-owned scratch.
+    #[deprecated(note = "use Queryable::search; batches reuse scratch internally")]
     pub fn query_with(
         &self,
         query: &[u8],
@@ -877,35 +895,38 @@ impl Snapshot {
         scratch: &mut QueryScratch,
         out: &mut Vec<Match>,
     ) {
-        self.inner.query_into(query, tau, scratch, out);
+        crate::exec::query_into(&self.inner, query, tau, scratch, out);
     }
 
     /// A reusable scratch buffer for [`Snapshot::query_with`].
+    #[deprecated(note = "the SearchRequest engine manages scratch internally")]
     pub fn scratch(&self) -> QueryScratch {
         QueryScratch::new()
     }
 
-    /// Answers a batch of queries (position-aligned results), grouping by
-    /// query length to share substring-selection work.
+    /// Answers a batch of queries at one threshold, sequentially.
+    #[deprecated(note = "use Queryable::search_batch with SearchRequest::uniform")]
     pub fn query_batch<Q: AsRef<[u8]> + Sync>(&self, queries: &[Q], tau: usize) -> Vec<Vec<Match>> {
-        crate::batch::run(&self.inner, queries, tau, 1)
+        crate::exec::legacy_batch(&self.exec_source(), queries, tau, 1)
     }
 
-    /// [`Snapshot::query_batch`] across `threads` worker threads
-    /// (0 = available parallelism).
+    /// Batch queries across `threads` worker threads (0 = available
+    /// parallelism).
+    #[deprecated(note = "use Queryable::search_batch with a Parallelism hint")]
     pub fn par_query_batch<Q: AsRef<[u8]> + Sync>(
         &self,
         queries: &[Q],
         tau: usize,
         threads: usize,
     ) -> Vec<Vec<Match>> {
-        crate::batch::run(&self.inner, queries, tau, threads)
+        crate::exec::legacy_batch(&self.exec_source(), queries, tau, threads)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::{CacheOutcome, CachePolicy, SearchRequest};
 
     fn brute(index: &OnlineIndex, query: &[u8], tau: usize) -> Vec<Match> {
         (0..index.inner.strings.len() as u32)
@@ -925,13 +946,13 @@ mod tests {
         let c = index.insert(b"postition");
         assert_eq!(index.len(), 3);
 
-        let hits = index.query(b"partition", 2);
+        let hits = index.matches(b"partition", 2);
         assert_eq!(hits, vec![(a, 0), (b, 2), (c, 2)]);
-        assert_eq!(index.query(b"partition", 0), vec![(a, 0)]);
+        assert_eq!(index.matches(b"partition", 0), vec![(a, 0)]);
 
         assert!(index.remove(b));
         assert!(!index.remove(b), "double remove is a no-op");
-        assert_eq!(index.query(b"partition", 2), vec![(a, 0), (c, 2)]);
+        assert_eq!(index.matches(b"partition", 2), vec![(a, 0), (c, 2)]);
         assert_eq!(index.len(), 2);
         assert_eq!(index.get(b), None);
     }
@@ -951,7 +972,7 @@ mod tests {
             let mut expected = brute(&index, b"string similarity", tau);
             expected.sort_unstable();
             assert_eq!(
-                index.query(b"string similarity", tau),
+                index.matches(b"string similarity", tau),
                 expected,
                 "tau={tau}"
             );
@@ -962,7 +983,7 @@ mod tests {
     #[should_panic(expected = "exceeds the index's τ_max")]
     fn tau_above_max_panics() {
         let index = OnlineIndex::new(1);
-        index.query(b"x", 2);
+        index.matches(b"x", 2);
     }
 
     #[test]
@@ -973,7 +994,7 @@ mod tests {
         let mut index = OnlineIndex::new(1);
         index.insert(b"abcdefgh");
         index.insert(b"abXdeXgh");
-        index.query_batch(&[b"abcdefgh".as_slice()], 2);
+        index.search_batch(&SearchRequest::uniform(&[b"abcdefgh".as_slice()], 2));
     }
 
     #[test]
@@ -982,10 +1003,10 @@ mod tests {
         let a = index.insert(b"ab");
         let b = index.insert(b"");
         let c = index.insert(b"abcd");
-        assert_eq!(index.query(b"ab", 2), vec![(a, 0), (b, 2), (c, 2)]);
-        assert_eq!(index.query(b"", 2), vec![(a, 2), (b, 0)]);
+        assert_eq!(index.matches(b"ab", 2), vec![(a, 0), (b, 2), (c, 2)]);
+        assert_eq!(index.matches(b"", 2), vec![(a, 2), (b, 0)]);
         index.remove(a);
-        assert_eq!(index.query(b"ab", 2), vec![(b, 2), (c, 2)]);
+        assert_eq!(index.matches(b"ab", 2), vec![(b, 2), (c, 2)]);
     }
 
     #[test]
@@ -994,9 +1015,9 @@ mod tests {
         let a = index.insert(b"duplicate");
         let b = index.insert(b"duplicate");
         assert_ne!(a, b);
-        assert_eq!(index.query(b"duplicate", 0), vec![(a, 0), (b, 0)]);
+        assert_eq!(index.matches(b"duplicate", 0), vec![(a, 0), (b, 0)]);
         index.remove(a);
-        assert_eq!(index.query(b"duplicate", 0), vec![(b, 0)]);
+        assert_eq!(index.matches(b"duplicate", 0), vec![(b, 0)]);
     }
 
     #[test]
@@ -1009,13 +1030,13 @@ mod tests {
 
         // The snapshot still sees the original state…
         assert_eq!(snap.len(), 1);
-        assert_eq!(snap.query(b"original entry", 1), vec![(0, 0)]);
+        assert_eq!(snap.matches(b"original entry", 1), vec![(0, 0)]);
         assert_eq!(snap.get(removed_late), None);
         // …while the index sees the new one.
         assert_eq!(index.len(), 1);
-        assert!(index.query(b"original entry", 1).is_empty());
+        assert!(index.matches(b"original entry", 1).is_empty());
         assert_eq!(
-            index.query(b"added after snapshot", 1),
+            index.matches(b"added after snapshot", 1),
             vec![(removed_late, 0)]
         );
         assert_ne!(snap.epoch(), index.epoch());
@@ -1032,7 +1053,7 @@ mod tests {
             let handles: Vec<_> = (0..4)
                 .map(|_| {
                     let snap = snap.clone();
-                    scope.spawn(move || snap.query(b"record number 007", 2).len())
+                    scope.spawn(move || snap.matches(b"record number 007", 2).len())
                 })
                 .collect();
             handles
@@ -1051,35 +1072,75 @@ mod tests {
         for i in 0..50u32 {
             index.insert(format!("cached entry {i:02}").as_bytes());
         }
-        let first = index.query_cached(b"cached entry 07", 1);
-        let again = index.query_cached(b"cached entry 07", 1);
+        let req = SearchRequest::new(b"cached entry 07", 1).with_cache(CachePolicy::Use);
+        let first = index.search(&req);
+        assert_eq!(first.cache, CacheOutcome::Miss);
+        let again = index.search(&req);
+        assert_eq!(again.cache, CacheOutcome::Hit, "second lookup must hit");
+        assert_eq!(again.matches, first.matches);
         assert!(
-            Arc::ptr_eq(&first, &again),
-            "second lookup must be a cache hit"
+            Arc::ptr_eq(&again.matches, &first.matches),
+            "a hit shares the cached vector, it does not copy it"
         );
+        assert_eq!(again.stats.verifications, 0, "hits probe nothing");
         assert_eq!(index.cache_stats().hits, 1);
 
         let added = index.insert(b"cached entry 07");
-        let after = index.query_cached(b"cached entry 07", 1);
+        let after = index.search(&req);
+        assert_eq!(after.cache, CacheOutcome::Miss);
         assert!(
-            after.iter().any(|&(id, d)| id == added && d == 0),
+            after.matches.iter().any(|&(id, d)| id == added && d == 0),
             "post-mutation lookup must see the new string"
         );
         assert_eq!(index.cache_stats().invalidations, 1);
     }
 
     #[test]
-    fn query_with_reuses_scratch() {
+    fn shaped_requests_and_snapshots_bypass_the_cache() {
         let mut index = OnlineIndex::new(1);
-        index.insert(b"alpha beta");
-        index.insert(b"alpha bete");
-        let mut scratch = index.scratch();
-        let mut out = Vec::new();
-        index.query_with(b"alpha beta", 1, &mut scratch, &mut out);
-        assert_eq!(out.len(), 2);
-        out.clear();
-        index.query_with(b"gamma delta", 1, &mut scratch, &mut out);
-        assert!(out.is_empty());
+        index.insert(b"shaped entry");
+        let limited = SearchRequest::new(b"shaped entry", 1)
+            .with_cache(CachePolicy::Use)
+            .with_limit(1);
+        assert_eq!(index.search(&limited).cache, CacheOutcome::Bypass);
+        let counted = SearchRequest::new(b"shaped entry", 1)
+            .with_cache(CachePolicy::Use)
+            .count_only();
+        assert_eq!(index.search(&counted).cache, CacheOutcome::Bypass);
+        // Snapshots have no cache at all.
+        let plain = SearchRequest::new(b"shaped entry", 1).with_cache(CachePolicy::Use);
+        assert_eq!(index.snapshot().search(&plain).cache, CacheOutcome::Bypass);
+        // And the default policy never consults it.
+        assert_eq!(
+            index.search(&SearchRequest::new(b"shaped entry", 1)).cache,
+            CacheOutcome::Bypass
+        );
+    }
+
+    #[test]
+    fn builder_configures_all_knobs() {
+        let index = OnlineIndex::builder(2)
+            .key_backend(KeyBackend::Interned)
+            .cache_capacity(0)
+            .build_from(["alpha beta", "alpha bete"]);
+        assert_eq!(index.tau_max(), 2);
+        assert_eq!(index.key_backend(), KeyBackend::Interned);
+        assert_eq!(index.matches(b"alpha beta", 1).len(), 2);
+        // Capacity 0 disables caching: repeated Use requests never hit.
+        let req = SearchRequest::new(b"alpha beta", 1).with_cache(CachePolicy::Use);
+        assert_eq!(index.search(&req).cache, CacheOutcome::Miss);
+        assert_eq!(index.search(&req).cache, CacheOutcome::Miss);
+        assert_eq!(index.cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn stats_display_is_one_line() {
+        let mut index = OnlineIndex::new(2);
+        index.insert(b"ab");
+        index.insert(b"abcdefgh");
+        let line = index.stats().to_string();
+        assert!(line.contains("live=2"), "{line}");
+        assert!(line.contains("segment_entries=3"), "{line}");
     }
 
     #[test]

@@ -12,12 +12,17 @@
 //! §4, extension verification §5.2 — Li, Deng, Wang, Feng, PVLDB 2011):
 //!
 //! * [`OnlineIndex`] — a dynamic, non-evicting index over an owned string
-//!   store: `insert` / `remove` / `query(s, τ)` for any `τ ≤ τ_max`;
-//! * [`OnlineIndex::query_batch`] — batched queries that share
-//!   substring-selection work across queries of equal length, with a
-//!   multi-threaded variant;
-//! * [`OnlineIndex::query_cached`] — an LRU result cache invalidated by
-//!   mutation epoch;
+//!   store: `insert` / `remove`, built via [`OnlineIndex::builder`];
+//! * [`Queryable`] — **the** query surface, implemented by both
+//!   [`OnlineIndex`] and [`Snapshot`] over one execution engine: typed
+//!   [`SearchRequest`]s (per-query τ ≤ τ_max, top-k limits, count-only,
+//!   cache policy, parallelism hints) answered with [`QueryOutcome`]s
+//!   carrying per-request execution statistics;
+//! * [`Queryable::search_batch`] — batches with *mixed* thresholds and
+//!   shapes, sharing substring-selection work across requests of equal
+//!   `(length, τ)`, multi-threaded on request;
+//! * an LRU result cache invalidated by mutation epoch
+//!   ([`CachePolicy::Use`]);
 //! * [`Snapshot`] — a cheap copy-on-write view for concurrent readers;
 //! * [`Snapshot::save`] / [`OnlineIndex::load`] — durable snapshots: a
 //!   versioned, checksummed on-disk format (`passjoin-persist`) that a
@@ -27,7 +32,7 @@
 //! # Quick start
 //!
 //! ```
-//! use passjoin_online::OnlineIndex;
+//! use passjoin_online::{OnlineIndex, Queryable, SearchRequest};
 //!
 //! let mut index = OnlineIndex::new(2); // τ_max = 2
 //! for name in ["jim gray", "jim grey", "michael stonebraker"] {
@@ -35,18 +40,24 @@
 //! }
 //!
 //! // Single query, per-query threshold: (id, exact distance) pairs.
-//! assert_eq!(index.query(b"jim gray", 1), vec![(0, 0), (1, 1)]);
+//! assert_eq!(index.matches(b"jim gray", 1), vec![(0, 0), (1, 1)]);
 //!
 //! // The collection is dynamic.
 //! index.remove(1);
-//! assert_eq!(index.query(b"jim gray", 1), vec![(0, 0)]);
+//! assert_eq!(index.matches(b"jim gray", 1), vec![(0, 0)]);
 //!
-//! // Batched queries (grouped by length; parallel variant available).
-//! let results = index.query_batch(&[b"jim gray".as_slice(), b"jon gray"], 2);
-//! assert_eq!(results[0], vec![(0, 0)]);
-//! assert_eq!(results[1], vec![(0, 2)]); // two substitutions away
+//! // Typed batches mix thresholds and result shapes per request.
+//! let response = index.search_batch(&[
+//!     SearchRequest::new(b"jim gray", 1),
+//!     SearchRequest::new(b"jon gray", 2).with_limit(5),
+//!     SearchRequest::new(b"jim gray", 2).count_only(),
+//! ]);
+//! assert_eq!(*response.outcomes[0].matches, vec![(0, 0)]);
+//! assert_eq!(*response.outcomes[1].matches, vec![(0, 2)]); // two edits away
+//! assert_eq!(response.outcomes[2].count, 1);
 //!
-//! // Snapshots give concurrent readers a stable view.
+//! // Snapshots give concurrent readers a stable view — of the same
+//! // Queryable surface.
 //! let snapshot = index.snapshot();
 //! index.insert(b"jim gray");
 //! assert_eq!(snapshot.len(), 2, "snapshot is point-in-time");
@@ -60,16 +71,22 @@
 //! [`passjoin::online_window`]'s mixed-τ selection windows), and adds the
 //! serving-layer pieces: batching, caching, snapshots.
 
-mod batch;
 pub mod cache;
+mod exec;
 mod index;
 mod persist;
+mod request;
 
 use sj_common::StringId;
 
 pub use cache::CacheStats;
-pub use index::{KeyBackend, OnlineIndex, OnlineStats, QueryScratch, Snapshot};
+pub use exec::Queryable;
+pub use index::{KeyBackend, OnlineIndex, OnlineIndexBuilder, OnlineStats, QueryScratch, Snapshot};
 pub use passjoin_persist::PersistError;
+pub use request::{
+    BatchTotals, CacheOutcome, CachePolicy, ExecStats, Parallelism, QueryOutcome, SearchRequest,
+    SearchResponse,
+};
 
 /// A query match: `(string id, exact edit distance)`.
 pub type Match = (StringId, usize);

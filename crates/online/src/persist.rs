@@ -33,7 +33,7 @@
 //! rejected rather than trusted.
 
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use passjoin_persist::{segmap, Cursor, PersistError, SnapshotFile, SnapshotWriter};
 
@@ -248,7 +248,7 @@ impl OnlineIndex {
         Ok(OnlineIndex {
             inner: Arc::new(inner),
             epoch,
-            cache: QueryCache::new(DEFAULT_CACHE_CAPACITY),
+            cache: Mutex::new(QueryCache::new(DEFAULT_CACHE_CAPACITY)),
         })
     }
 }

@@ -1,0 +1,421 @@
+//! The typed query surface: [`SearchRequest`] in, [`QueryOutcome`] out.
+//!
+//! A request separates *what to retrieve* — the query bytes, a per-query
+//! threshold, an optional top-k limit, count-only mode — from *how to
+//! execute it* — cache policy and a parallelism hint for batches. Every
+//! query path ([`crate::Queryable::search`], [`search_batch`], the
+//! deprecated legacy wrappers, the CLI, the benches) compiles down to
+//! requests executed by one engine (`crate::exec`), so a new serving
+//! feature is a new request field, not a seventh method variant.
+//!
+//! Each answered request carries its own execution statistics
+//! ([`ExecStats`]) and cache outcome, so callers can observe per-query
+//! behaviour (candidates probed, verifications run, which lane produced
+//! the matches) without global counters.
+//!
+//! ```
+//! use passjoin_online::{OnlineIndex, Queryable, SearchRequest};
+//!
+//! let mut index = OnlineIndex::new(2);
+//! index.insert(b"vldb");
+//! index.insert(b"pvldb");
+//! index.insert(b"sigmod");
+//!
+//! // Mixed thresholds, a top-k limit, and a count in one batch.
+//! let batch = [
+//!     SearchRequest::new(b"vldb", 1),
+//!     SearchRequest::new(b"vldb", 2).with_limit(1),
+//!     SearchRequest::new(b"sigmod", 2).count_only(),
+//! ];
+//! let response = index.search_batch(&batch);
+//! assert_eq!(*response.outcomes[0].matches, vec![(0, 0), (1, 1)]);
+//! assert_eq!(*response.outcomes[1].matches, vec![(0, 0)]); // closest only
+//! assert_eq!(response.outcomes[2].count, 1);
+//! assert!(response.outcomes[2].matches.is_empty()); // never materialized
+//! ```
+
+use std::borrow::Cow;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::Match;
+
+/// Whether a request consults the source's query cache.
+///
+/// Only plain collect requests (no [`limit`](SearchRequest::with_limit),
+/// not [`count_only`](SearchRequest::count_only)) are cacheable — the
+/// cache stores full results keyed by `(query bytes, τ)`. Requests that
+/// opt in but cannot be served from a cache (shaped results, or a source
+/// without a cache, like [`crate::Snapshot`]) record
+/// [`CacheOutcome::Bypass`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// Never consult the cache (the default — matches the legacy `query`
+    /// methods, which cached only through the explicit `query_cached`).
+    #[default]
+    Bypass,
+    /// Serve from the cache when possible; store computed full results.
+    Use,
+}
+
+/// How many worker threads a batch may use. The engine resolves one batch
+/// to the strongest hint among its requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Single-threaded execution (the default).
+    #[default]
+    Serial,
+    /// Use the machine's available parallelism.
+    Auto,
+    /// Use exactly this many workers (`0` behaves like
+    /// [`Parallelism::Auto`]).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// The hint as a worker count (`Auto`/`Threads(0)` resolve to the
+    /// available parallelism).
+    pub(crate) fn resolve(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Auto | Parallelism::Threads(0) => {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            }
+            Parallelism::Threads(n) => n,
+        }
+    }
+}
+
+/// One typed similarity query: the query bytes, its threshold, and the
+/// retrieval/execution options. Build with [`SearchRequest::new`] (owned
+/// bytes, `'static`) or [`SearchRequest::borrowed`] (zero-copy over a
+/// caller-held query set) and the `with_*` adapters; execute with
+/// [`crate::Queryable::search`] or [`crate::Queryable::search_batch`].
+///
+/// ```
+/// use passjoin_online::{CachePolicy, Parallelism, SearchRequest};
+///
+/// let req = SearchRequest::new(b"jim gray", 2)
+///     .with_limit(10) // the 10 closest matches only
+///     .with_cache(CachePolicy::Use)
+///     .with_parallelism(Parallelism::Auto);
+/// assert_eq!(req.tau(), 2);
+/// assert_eq!(req.limit(), Some(10));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchRequest<'a> {
+    query: Cow<'a, [u8]>,
+    tau: usize,
+    limit: Option<usize>,
+    count_only: bool,
+    cache: CachePolicy,
+    parallelism: Parallelism,
+}
+
+impl<'a> SearchRequest<'a> {
+    /// A plain request owning its query bytes: all matches within `tau`
+    /// of `query`, ascending by id — exactly what the legacy `query`
+    /// method returned. For batches built over an existing query set,
+    /// [`SearchRequest::borrowed`]/[`SearchRequest::uniform`] avoid
+    /// copying the bytes.
+    pub fn new(query: impl Into<Vec<u8>>, tau: usize) -> Self {
+        Self::of(Cow::Owned(query.into()), tau)
+    }
+
+    /// A plain request borrowing its query bytes (no copy); otherwise
+    /// identical to [`SearchRequest::new`].
+    pub fn borrowed(query: &'a [u8], tau: usize) -> Self {
+        Self::of(Cow::Borrowed(query), tau)
+    }
+
+    fn of(query: Cow<'a, [u8]>, tau: usize) -> Self {
+        Self {
+            query,
+            tau,
+            limit: None,
+            count_only: false,
+            cache: CachePolicy::default(),
+            parallelism: Parallelism::default(),
+        }
+    }
+
+    /// One plain request per query, all at the same `tau` — the uniform
+    /// batch the legacy `query_batch` served. Borrows the query bytes.
+    pub fn uniform<Q: AsRef<[u8]>>(queries: &'a [Q], tau: usize) -> Vec<Self> {
+        queries
+            .iter()
+            .map(|q| Self::borrowed(q.as_ref(), tau))
+            .collect()
+    }
+
+    /// Keep only the `k` matches smallest by `(distance, id)`, returned in
+    /// that order. The engine runs these on a bounded heap whose worst
+    /// retained distance tightens verification as it fills, so low limits
+    /// on match-heavy queries do measurably less work (observable in
+    /// [`ExecStats::verifications`]).
+    pub fn with_limit(mut self, k: usize) -> Self {
+        self.limit = Some(k);
+        self
+    }
+
+    /// Report only the number of matches ([`QueryOutcome::count`]);
+    /// [`QueryOutcome::matches`] stays empty and no result vector is
+    /// materialized. Combined with [`with_limit`](Self::with_limit) this
+    /// becomes an existence test — counting stops (and probing aborts) at
+    /// the cap.
+    pub fn count_only(mut self) -> Self {
+        self.count_only = true;
+        self
+    }
+
+    /// Sets the cache policy (see [`CachePolicy`]).
+    pub fn with_cache(mut self, cache: CachePolicy) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Sets the batch parallelism hint (see [`Parallelism`]).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The query bytes.
+    pub fn query(&self) -> &[u8] {
+        &self.query
+    }
+
+    /// The edit-distance threshold.
+    pub fn tau(&self) -> usize {
+        self.tau
+    }
+
+    /// The top-k limit, if any.
+    pub fn limit(&self) -> Option<usize> {
+        self.limit
+    }
+
+    /// True if only the match count is wanted.
+    pub fn is_count_only(&self) -> bool {
+        self.count_only
+    }
+
+    /// The cache policy.
+    pub fn cache(&self) -> CachePolicy {
+        self.cache
+    }
+
+    /// The parallelism hint.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+}
+
+/// How one request interacted with the query cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheOutcome {
+    /// The cache was not consulted (policy, request shape, or a source
+    /// without a cache).
+    #[default]
+    Bypass,
+    /// Answered from the cache without probing.
+    Hit,
+    /// Consulted, not found; the computed result was stored.
+    Miss,
+}
+
+/// Per-request execution counters, split by lane (see the index module
+/// docs for the short/segment lane distinction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Posting-list entries scanned in the segment lane.
+    pub candidates: u64,
+    /// Segment-lane candidates that entered the verification cascade
+    /// (survived dedup and the sink's length bound).
+    pub verifications: u64,
+    /// Short-lane strings checked by direct edit distance.
+    pub short_checked: u64,
+    /// Matches produced by the segment lane.
+    pub segment_matches: u64,
+    /// Matches produced by the short lane.
+    pub short_matches: u64,
+}
+
+impl ExecStats {
+    /// Accumulates another request's counters into this one.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.candidates += other.candidates;
+        self.verifications += other.verifications;
+        self.short_checked += other.short_checked;
+        self.segment_matches += other.segment_matches;
+        self.short_matches += other.short_matches;
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} candidates, {} verifications, {} short-lane checks",
+            self.candidates, self.verifications, self.short_checked
+        )
+    }
+}
+
+/// The answer to one [`SearchRequest`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QueryOutcome {
+    /// The matches: ascending by id for plain requests, ascending by
+    /// `(distance, id)` for limited (top-k) requests, empty for
+    /// count-only requests.
+    ///
+    /// Shared, not copied: a cache hit hands out the cached vector
+    /// itself (zero-copy, like the legacy `query_cached`), and an
+    /// uncached result is the engine's buffer wrapped once. Use
+    /// [`QueryOutcome::into_matches`] to take ownership — free unless
+    /// the result is also retained by the cache.
+    pub matches: Arc<Vec<Match>>,
+    /// Matches found: `matches.len()` for materializing requests; for
+    /// count-only requests the total count (capped at the limit, if any).
+    pub count: usize,
+    /// How the request interacted with the cache.
+    pub cache: CacheOutcome,
+    /// Execution counters (all zero for a cache hit — nothing was probed).
+    pub stats: ExecStats,
+}
+
+impl QueryOutcome {
+    /// The matches as an owned vector: unwraps the shared result when
+    /// this outcome is its only holder, clones otherwise (cache hits).
+    pub fn into_matches(self) -> Vec<Match> {
+        Arc::try_unwrap(self.matches).unwrap_or_else(|shared| (*shared).clone())
+    }
+}
+
+/// The position-aligned answers to a [`crate::Queryable::search_batch`]
+/// call.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SearchResponse {
+    /// One outcome per request, in request order.
+    pub outcomes: Vec<QueryOutcome>,
+}
+
+impl SearchResponse {
+    /// Strips the outcomes down to their match vectors (request order) —
+    /// the legacy `query_batch` return shape.
+    pub fn into_matches(self) -> Vec<Vec<Match>> {
+        self.outcomes
+            .into_iter()
+            .map(QueryOutcome::into_matches)
+            .collect()
+    }
+
+    /// Batch-wide totals (counts summed, cache outcomes tallied).
+    pub fn totals(&self) -> BatchTotals {
+        let mut totals = BatchTotals::default();
+        for outcome in &self.outcomes {
+            totals.matches += outcome.count;
+            totals.stats.merge(&outcome.stats);
+            match outcome.cache {
+                CacheOutcome::Hit => totals.cache_hits += 1,
+                CacheOutcome::Miss => totals.cache_misses += 1,
+                CacheOutcome::Bypass => totals.cache_bypasses += 1,
+            }
+        }
+        totals
+    }
+}
+
+/// Aggregated view of a [`SearchResponse`] (see
+/// [`SearchResponse::totals`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchTotals {
+    /// Sum of [`QueryOutcome::count`] over the batch.
+    pub matches: usize,
+    /// Merged execution counters.
+    pub stats: ExecStats,
+    /// Requests answered from the cache.
+    pub cache_hits: usize,
+    /// Requests that consulted the cache and computed.
+    pub cache_misses: usize,
+    /// Requests that never consulted the cache.
+    pub cache_bypasses: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trips_every_field() {
+        let req = SearchRequest::new(b"abc".as_slice(), 3)
+            .with_limit(7)
+            .count_only()
+            .with_cache(CachePolicy::Use)
+            .with_parallelism(Parallelism::Threads(4));
+        assert_eq!(req.query(), b"abc");
+        assert_eq!(req.tau(), 3);
+        assert_eq!(req.limit(), Some(7));
+        assert!(req.is_count_only());
+        assert_eq!(req.cache(), CachePolicy::Use);
+        assert_eq!(req.parallelism(), Parallelism::Threads(4));
+    }
+
+    #[test]
+    fn defaults_match_the_legacy_query_shape() {
+        let req = SearchRequest::new(b"q".as_slice(), 1);
+        assert_eq!(req.limit(), None);
+        assert!(!req.is_count_only());
+        assert_eq!(req.cache(), CachePolicy::Bypass);
+        assert_eq!(req.parallelism(), Parallelism::Serial);
+    }
+
+    #[test]
+    fn uniform_builds_one_request_per_query() {
+        let queries = [b"a".as_slice(), b"bc"];
+        let reqs = SearchRequest::uniform(&queries, 2);
+        assert_eq!(reqs.len(), 2);
+        assert!(reqs.iter().all(|r| r.tau() == 2));
+        assert_eq!(reqs[1].query(), b"bc");
+    }
+
+    #[test]
+    fn parallelism_resolves_to_worker_counts() {
+        assert_eq!(Parallelism::Serial.resolve(), 1);
+        assert_eq!(Parallelism::Threads(3).resolve(), 3);
+        assert!(Parallelism::Auto.resolve() >= 1);
+        assert_eq!(
+            Parallelism::Threads(0).resolve(),
+            Parallelism::Auto.resolve()
+        );
+    }
+
+    #[test]
+    fn totals_tally_outcomes() {
+        let response = SearchResponse {
+            outcomes: vec![
+                QueryOutcome {
+                    matches: Arc::new(vec![(1, 0)]),
+                    count: 1,
+                    cache: CacheOutcome::Miss,
+                    stats: ExecStats {
+                        candidates: 5,
+                        verifications: 2,
+                        ..ExecStats::default()
+                    },
+                },
+                QueryOutcome {
+                    matches: Arc::new(vec![(1, 0)]),
+                    count: 1,
+                    cache: CacheOutcome::Hit,
+                    stats: ExecStats::default(),
+                },
+            ],
+        };
+        let totals = response.totals();
+        assert_eq!(totals.matches, 2);
+        assert_eq!(totals.stats.candidates, 5);
+        assert_eq!((totals.cache_hits, totals.cache_misses), (1, 1));
+        assert_eq!(response.into_matches(), vec![vec![(1, 0)], vec![(1, 0)]]);
+    }
+}

@@ -7,18 +7,36 @@
 //! divergence; this suite is the contract that keeps the two backends one
 //! index.
 
-use passjoin_online::{KeyBackend, OnlineIndex};
+use passjoin_online::{
+    CachePolicy, KeyBackend, Match, OnlineIndex, Parallelism, Queryable, SearchRequest,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Builds the same collection under both backends.
 fn both(strings: &[Vec<u8>], tau_max: usize) -> (OnlineIndex, OnlineIndex) {
-    let owned = OnlineIndex::from_strings_with(strings.iter(), tau_max, KeyBackend::Owned);
-    let interned = OnlineIndex::from_strings_with(strings.iter(), tau_max, KeyBackend::Interned);
+    let owned = OnlineIndex::builder(tau_max).build_from(strings.iter());
+    let interned = OnlineIndex::builder(tau_max)
+        .key_backend(KeyBackend::Interned)
+        .build_from(strings.iter());
     assert_eq!(owned.key_backend(), KeyBackend::Owned);
     assert_eq!(interned.key_backend(), KeyBackend::Interned);
     (owned, interned)
+}
+
+/// Uniform-τ batch through the typed API, with a thread-count hint.
+fn batch<S: Queryable>(
+    source: &S,
+    queries: &[Vec<u8>],
+    tau: usize,
+    threads: usize,
+) -> Vec<Vec<Match>> {
+    let reqs: Vec<SearchRequest> = queries
+        .iter()
+        .map(|q| SearchRequest::borrowed(q, tau).with_parallelism(Parallelism::Threads(threads)))
+        .collect();
+    source.search_batch(&reqs).into_matches()
 }
 
 /// Asserts every query surface agrees between the two indices for every
@@ -30,25 +48,25 @@ fn assert_all_paths_agree(owned: &OnlineIndex, interned: &OnlineIndex, queries: 
     for tau in 0..=tau_max {
         for q in queries {
             assert_eq!(
-                owned.query(q, tau),
-                interned.query(q, tau),
+                owned.matches(q, tau),
+                interned.matches(q, tau),
                 "single query {:?} at tau={tau}",
                 String::from_utf8_lossy(q)
             );
         }
         assert_eq!(
-            owned.query_batch(queries, tau),
-            interned.query_batch(queries, tau),
+            batch(owned, queries, tau, 1),
+            batch(interned, queries, tau, 1),
             "batch at tau={tau}"
         );
         assert_eq!(
-            owned.par_query_batch(queries, tau, 3),
-            interned.par_query_batch(queries, tau, 3),
+            batch(owned, queries, tau, 3),
+            batch(interned, queries, tau, 3),
             "parallel batch at tau={tau}"
         );
         assert_eq!(
-            owned.snapshot().query_batch(queries, tau),
-            interned.snapshot().query_batch(queries, tau),
+            batch(&owned.snapshot(), queries, tau, 1),
+            batch(&interned.snapshot(), queries, tau, 1),
             "snapshot batch at tau={tau}"
         );
     }
@@ -131,20 +149,21 @@ proptest! {
     #[test]
     fn cached_paths_agree(strings in dense_corpus(), tau_max in 1usize..4) {
         let (mut owned, mut interned) = both(&strings, tau_max);
+        let cached = |q: &Vec<u8>| SearchRequest::new(q.as_slice(), tau_max)
+            .with_cache(CachePolicy::Use);
         for q in strings.iter().chain(strings.iter()) {
             // Second pass hits the cache on both sides.
-            prop_assert_eq!(
-                owned.query_cached(q, tau_max),
-                interned.query_cached(q, tau_max)
-            );
+            let (o, i) = (owned.search(&cached(q)), interned.search(&cached(q)));
+            prop_assert_eq!(o.cache, i.cache, "cache outcomes must agree");
+            prop_assert_eq!(o.matches, i.matches);
         }
         if !strings.is_empty() {
             // Mutate, then re-query: both caches must invalidate alike.
             prop_assert_eq!(owned.remove(0), interned.remove(0));
             for q in &strings {
                 prop_assert_eq!(
-                    owned.query_cached(q, tau_max),
-                    interned.query_cached(q, tau_max)
+                    owned.search(&cached(q)).matches,
+                    interned.search(&cached(q)).matches
                 );
             }
         }
@@ -223,7 +242,9 @@ fn backends_agree_after_full_churn_cycle() {
     // Insert → remove everything → re-insert: the interned dictionary is
     // fully released and revived; results must match a fresh owned build.
     let strings = planted_corpus(150, 13, 2);
-    let mut interned = OnlineIndex::from_strings_with(strings.iter(), 2, KeyBackend::Interned);
+    let mut interned = OnlineIndex::builder(2)
+        .key_backend(KeyBackend::Interned)
+        .build_from(strings.iter());
     for id in 0..strings.len() as u32 {
         assert!(interned.remove(id));
     }
@@ -232,13 +253,13 @@ fn backends_agree_after_full_churn_cycle() {
     for s in &strings {
         renamed.push(interned.insert(s));
     }
-    let owned = OnlineIndex::from_strings_with(strings.iter(), 2, KeyBackend::Owned);
+    let owned = OnlineIndex::from_strings(strings.iter(), 2);
     for q in strings.iter().step_by(3) {
         let expected: Vec<(u32, usize)> = owned
-            .query(q, 2)
+            .matches(q, 2)
             .into_iter()
             .map(|(id, d)| (renamed[id as usize], d))
             .collect();
-        assert_eq!(interned.query(q, 2), expected);
+        assert_eq!(interned.matches(q, 2), expected);
     }
 }

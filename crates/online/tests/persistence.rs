@@ -9,7 +9,7 @@
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use passjoin_online::{OnlineIndex, PersistError};
+use passjoin_online::{OnlineIndex, PersistError, Queryable};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -71,8 +71,8 @@ fn assert_equivalent(original: &OnlineIndex, loaded: &OnlineIndex, queries: &[Ve
     for q in queries {
         for tau in 0..=original.tau_max() {
             assert_eq!(
-                loaded.query(q, tau),
-                original.query(q, tau),
+                loaded.matches(q, tau),
+                original.matches(q, tau),
                 "query {:?} at tau={tau}",
                 String::from_utf8_lossy(q)
             );
@@ -168,10 +168,10 @@ fn loaded_index_stays_fully_mutable() {
     let added_t = twin.insert(b"freshly inserted after load");
     assert_eq!(added_l, added_t);
     for q in strings.iter().step_by(7) {
-        assert_eq!(loaded.query(q, 2), twin.query(q, 2));
+        assert_eq!(loaded.matches(q, 2), twin.matches(q, 2));
     }
     assert_eq!(
-        loaded.query(b"freshly inserted after load", 1),
+        loaded.matches(b"freshly inserted after load", 1),
         vec![(added_l, 0)]
     );
 
@@ -208,7 +208,10 @@ fn loaded_stats_count_the_pinned_buffer_and_churn_releases_it() {
     assert_eq!(loaded.stats().resident_bytes, 0);
     // And it keeps serving: post-release inserts and queries work.
     let id = loaded.insert(b"fresh after arena release");
-    assert_eq!(loaded.query(b"fresh after arena release", 1), vec![(id, 0)]);
+    assert_eq!(
+        loaded.matches(b"fresh after arena release", 1),
+        vec![(id, 0)]
+    );
 }
 
 #[test]
@@ -225,7 +228,7 @@ fn zero_length_arena_strings_keep_the_arena_alive() {
     assert!(loaded.remove(full));
     // The empty string is still live and must stay queryable/savable.
     assert_eq!(loaded.get(empty), Some(&b""[..]));
-    assert_eq!(loaded.query(b"", 0), vec![(empty, 0)]);
+    assert_eq!(loaded.matches(b"", 0), vec![(empty, 0)]);
     let resave = save_to_temp(&loaded, "zero-len-resave");
     assert_eq!(
         OnlineIndex::load(&resave.0).unwrap().get(empty),
@@ -280,7 +283,7 @@ fn empty_index_round_trips() {
     let loaded = OnlineIndex::load(&file.0).unwrap();
     assert!(loaded.is_empty());
     assert_eq!(loaded.tau_max(), 2);
-    assert!(loaded.query(b"anything", 2).is_empty());
+    assert!(loaded.matches(b"anything", 2).is_empty());
 }
 
 fn sample_snapshot_bytes() -> Vec<u8> {
@@ -390,7 +393,7 @@ mod inconsistent_producer {
         let mut segments = OwnedSegmentIndex::new(0, 1);
         segments.insert_owned(b"abcd", 0);
         let index = craft(&segments, "crafted-ok").expect("consistent parts must load");
-        assert_eq!(index.query(b"abcd", 1), vec![(0, 0)]);
+        assert_eq!(index.matches(b"abcd", 1), vec![(0, 0)]);
     }
 
     #[test]
@@ -549,7 +552,9 @@ mod interned_backend {
     use passjoin_online::KeyBackend;
 
     fn interned_index(strings: &[Vec<u8>], tau_max: usize) -> OnlineIndex {
-        OnlineIndex::from_strings_with(strings.iter(), tau_max, KeyBackend::Interned)
+        OnlineIndex::builder(tau_max)
+            .key_backend(KeyBackend::Interned)
+            .build_from(strings.iter())
     }
 
     proptest! {
@@ -611,7 +616,7 @@ mod interned_backend {
             twin.insert(b"fresh after interned load")
         );
         for q in strings.iter().step_by(7) {
-            assert_eq!(loaded.query(q, 3), twin.query(q, 3));
+            assert_eq!(loaded.matches(q, 3), twin.matches(q, 3));
         }
         // And a re-save of the mutated loaded index round-trips again.
         let file2 = save_to_temp(&loaded, "interned-resave");
@@ -631,7 +636,9 @@ mod interned_backend {
         // A different insertion history with the same final content
         // serializes to the same bytes: the dictionary is renumbered by
         // byte order and dead ids are compacted on save.
-        let mut churned = OnlineIndex::with_key_backend(2, KeyBackend::Interned);
+        let mut churned = OnlineIndex::builder(2)
+            .key_backend(KeyBackend::Interned)
+            .build();
         churned.insert(b"a temporary resident string");
         for s in &strings {
             churned.insert(s);
@@ -639,7 +646,9 @@ mod interned_backend {
         assert!(churned.remove(0), "drop the temporary string");
         // Rebuild id alignment: ids shift by one, so compare via a fresh
         // save of an identically-shaped index instead.
-        let mut same_history = OnlineIndex::with_key_backend(2, KeyBackend::Interned);
+        let mut same_history = OnlineIndex::builder(2)
+            .key_backend(KeyBackend::Interned)
+            .build();
         same_history.insert(b"a temporary resident string");
         for s in &strings {
             same_history.insert(s);
@@ -652,21 +661,21 @@ mod interned_backend {
 
     #[test]
     fn empty_interned_index_round_trips() {
-        let index = OnlineIndex::with_key_backend(2, KeyBackend::Interned);
+        let index = OnlineIndex::builder(2)
+            .key_backend(KeyBackend::Interned)
+            .build();
         let file = save_to_temp(&index, "interned-empty");
         let loaded = OnlineIndex::load(&file.0).unwrap();
         assert!(loaded.is_empty());
         assert_eq!(loaded.key_backend(), KeyBackend::Interned);
-        assert!(loaded.query(b"anything", 2).is_empty());
+        assert!(loaded.matches(b"anything", 2).is_empty());
     }
 
     fn interned_snapshot_bytes() -> Vec<u8> {
         let strings = ["pass-join", "pass-joins", "snapshot", "ab", ""];
-        let mut index = OnlineIndex::from_strings_with(
-            strings.iter().map(|s| s.as_bytes()),
-            2,
-            KeyBackend::Interned,
-        );
+        let mut index = OnlineIndex::builder(2)
+            .key_backend(KeyBackend::Interned)
+            .build_from(strings.iter().map(|s| s.as_bytes()));
         index.remove(2);
         let file = save_to_temp(&index, "interned-corruption-base");
         std::fs::read(&file.0).unwrap()
@@ -738,7 +747,7 @@ mod interned_backend {
             segments.insert(b"abcd", 0);
             let index = craft(&segments, "interned-crafted-ok").expect("consistent parts load");
             assert_eq!(index.key_backend(), KeyBackend::Interned);
-            assert_eq!(index.query(b"abcd", 1), vec![(0, 0)]);
+            assert_eq!(index.matches(b"abcd", 1), vec![(0, 0)]);
         }
 
         #[test]
@@ -832,7 +841,7 @@ mod interned_backend {
         assert_eq!(loaded.get(2), None, "tombstone round-trips");
         for q in strings.iter().map(|s| s.as_bytes()).chain([&b"pass"[..]]) {
             for tau in 0..=2 {
-                assert_eq!(loaded.query(q, tau), fresh.query(q, tau), "query {q:?}");
+                assert_eq!(loaded.matches(q, tau), fresh.matches(q, tau), "query {q:?}");
             }
         }
 

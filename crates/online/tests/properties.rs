@@ -7,11 +7,25 @@
 //! across the single, batched, parallel, cached, and snapshot query paths.
 
 use passjoin::PassJoin;
-use passjoin_online::OnlineIndex;
+use passjoin_online::{CachePolicy, Match, OnlineIndex, Parallelism, Queryable, SearchRequest};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sj_common::{SimilarityJoin, StringCollection};
+
+/// Uniform-τ batch through the typed API, with a thread-count hint.
+fn batch<S: Queryable>(
+    source: &S,
+    queries: &[Vec<u8>],
+    tau: usize,
+    threads: usize,
+) -> Vec<Vec<Match>> {
+    let reqs: Vec<SearchRequest> = queries
+        .iter()
+        .map(|q| SearchRequest::borrowed(q, tau).with_parallelism(Parallelism::Threads(threads)))
+        .collect();
+    source.search_batch(&reqs).into_matches()
+}
 
 /// Derives the self-join pair set by querying every string: ids equal input
 /// positions (insertion order), so pairs are directly comparable with
@@ -19,7 +33,7 @@ use sj_common::{SimilarityJoin, StringCollection};
 fn pairs_via_queries(index: &OnlineIndex, strings: &[Vec<u8>], tau: usize) -> Vec<(u32, u32)> {
     let mut pairs = Vec::new();
     for (i, s) in strings.iter().enumerate() {
-        for (j, _) in index.query(s, tau) {
+        for (j, _) in index.matches(s, tau) {
             let i = i as u32;
             if i != j {
                 pairs.push(if i < j { (i, j) } else { (j, i) });
@@ -51,11 +65,11 @@ fn check_matches_batch_join(strings: &[Vec<u8>], tau_max: usize) {
     }
     // Distances are exact, and every query at least finds the string itself.
     for (i, s) in strings.iter().enumerate() {
-        for (j, d) in index.query(s, tau_max) {
+        for (j, d) in index.matches(s, tau_max) {
             assert_eq!(d, editdist::edit_distance(s, &strings[j as usize]));
         }
         assert!(index
-            .query(s, 0)
+            .matches(s, 0)
             .iter()
             .any(|&(j, d)| j == i as u32 && d == 0));
     }
@@ -89,10 +103,10 @@ proptest! {
     fn batch_paths_agree_with_single_queries(strings in dense_corpus(), tau_max in 1usize..4) {
         let index = OnlineIndex::from_strings(strings.iter(), tau_max);
         let queries: Vec<Vec<u8>> = strings.to_vec();
-        let single: Vec<_> = queries.iter().map(|q| index.query(q, tau_max)).collect();
-        prop_assert_eq!(&index.query_batch(&queries, tau_max), &single);
-        prop_assert_eq!(&index.par_query_batch(&queries, tau_max, 3), &single);
-        prop_assert_eq!(&index.snapshot().par_query_batch(&queries, tau_max, 2), &single);
+        let single: Vec<_> = queries.iter().map(|q| index.matches(q, tau_max)).collect();
+        prop_assert_eq!(&batch(&index, &queries, tau_max, 1), &single);
+        prop_assert_eq!(&batch(&index, &queries, tau_max, 3), &single);
+        prop_assert_eq!(&batch(&index.snapshot(), &queries, tau_max, 2), &single);
     }
 
     #[test]
@@ -121,7 +135,7 @@ proptest! {
                     .collect();
                 expected.sort_unstable();
                 prop_assert_eq!(
-                    index.query(q, tau),
+                    index.matches(q, tau),
                     expected,
                     "tau={} tau_max={} q={:?}",
                     tau,
@@ -149,12 +163,12 @@ proptest! {
         let fresh = OnlineIndex::from_strings(survivors.iter().copied(), tau_max);
         for q in strings.iter() {
             let got: Vec<&[u8]> = full
-                .query(q, tau_max)
+                .matches(q, tau_max)
                 .iter()
                 .map(|&(id, _)| full.get(id).unwrap())
                 .collect();
             let expected: Vec<&[u8]> = fresh
-                .query(q, tau_max)
+                .matches(q, tau_max)
                 .iter()
                 .map(|&(id, _)| fresh.get(id).unwrap())
                 .collect();
@@ -206,9 +220,9 @@ fn insert_order_invariance_on_planted_corpus() {
     }
 
     for q in strings.iter().step_by(3) {
-        let expected = reference.query(q, tau);
+        let expected = reference.matches(q, tau);
         let mut got: Vec<(u32, usize)> = shuffled
-            .query(q, tau)
+            .matches(q, tau)
             .into_iter()
             .map(|(id, d)| (id_to_pos[id as usize], d))
             .collect();
@@ -241,12 +255,12 @@ fn insert_remove_insert_roundtrip_on_planted_corpus() {
 
     for q in strings.iter().step_by(3) {
         let expected: Vec<(&[u8], usize)> = reference
-            .query(q, tau)
+            .matches(q, tau)
             .iter()
             .map(|&(id, d)| (reference.get(id).unwrap(), d))
             .collect();
         let got: Vec<(&[u8], usize)> = {
-            let mut matches = index.query(q, tau);
+            let mut matches = index.matches(q, tau);
             // Translate fresh ids back to original positions to restore
             // the reference's id-order.
             let original = |id: u32| renamed.iter().position(|&r| r == id).map(|p| p as u32);
@@ -267,8 +281,9 @@ fn cached_and_uncached_agree_under_churn() {
     let mut rng = StdRng::seed_from_u64(5);
     for round in 0..200 {
         let q = &strings[rng.gen_range(0..strings.len())];
-        let cached = index.query_cached(q, 2);
-        assert_eq!(*cached, index.query(q, 2), "round {round}");
+        let cached =
+            index.search(&SearchRequest::new(q.as_slice(), 2).with_cache(CachePolicy::Use));
+        assert_eq!(*cached.matches, index.matches(q, 2), "round {round}");
         if round % 7 == 0 {
             // Mutate: the cache must never serve stale results (checked by
             // the equality above on subsequent rounds).

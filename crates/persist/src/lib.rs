@@ -11,7 +11,7 @@
 //!
 //! The crate is deliberately split in two layers:
 //!
-//! * **Framing** ([`format`]) — a generic container: magic + version
+//! * **Framing** ([`mod@format`]) — a generic container: magic + version
 //!   header, a section table, and densely packed per-section payloads,
 //!   each protected by CRC32. [`SnapshotWriter`] builds a file;
 //!   [`SnapshotFile`] validates and exposes one. Nothing here knows what

@@ -72,7 +72,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice among boxed alternatives (backs [`prop_oneof!`]).
+    /// Uniform choice among boxed alternatives (backs the `prop_oneof!` macro).
     pub struct Union<T> {
         arms: Vec<Box<dyn Strategy<Value = T>>>,
     }
