@@ -25,6 +25,13 @@
 //! that aborts probing at the first match) — the early-exit claims of
 //! `SearchRequest::with_limit`/`count_only`, measured.
 //!
+//! The `budget` group measures per-request execution caps on the same
+//! match-heavy corpus: the full batch unbudgeted vs. decreasing
+//! per-query verification caps (`ExecBudget::with_max_verifications`).
+//! The criterion shim's min/median/max output is the p50/worst latency
+//! story: budgets trade completeness (reported per request as
+//! `Completion::Truncated`) for a hard ceiling on per-query work.
+//!
 //! All query groups run through `Queryable::search_batch`, the single
 //! execution path behind every surface since the typed-API redesign.
 
@@ -32,7 +39,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use datagen::{DatasetKind, DatasetSpec};
 use passjoin::PassJoin;
 use passjoin_online::{
-    CachePolicy, KeyBackend, OnlineIndex, Parallelism, Queryable, SearchRequest,
+    CachePolicy, ExecBudget, KeyBackend, OnlineIndex, Parallelism, Queryable, SearchRequest,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -208,18 +215,10 @@ fn bench_keys(c: &mut Criterion) {
     group.finish();
 }
 
-/// Result-shape comparison on a match-heavy corpus (every query has tens
-/// of matches): what `limit`/`count_only` buy over full materialization.
-///
-/// * `full` — the classic collect-everything query;
-/// * `topk` — the 10 closest matches on a bounded heap: once full, the
-///   heap's worst distance tightens verification budgets and skips
-///   whole probe lengths;
-/// * `count` — same probing as `full` but no result vector;
-/// * `exists` — `count_only` capped at 1: probing aborts at the first
-///   verified match, the strongest early exit.
-fn bench_sinks(c: &mut Criterion) {
-    // ~9 length-diverse near-duplicates per base string.
+/// The match-heavy serving corpus shared by the `sinks` and `budget`
+/// groups: ~9 length-diverse near-duplicates per base string, queried
+/// with 200 base strings (every query has tens of matches).
+fn heavy_corpus_and_queries() -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
     let base = DatasetSpec::new(DatasetKind::Author, 2_000)
         .with_seed(17)
         .generate();
@@ -232,6 +231,21 @@ fn bench_sinks(c: &mut Criterion) {
         strings.push(s.clone());
     }
     let queries: Vec<Vec<u8>> = base.iter().step_by(10).take(200).cloned().collect();
+    (strings, queries)
+}
+
+/// Result-shape comparison on a match-heavy corpus (every query has tens
+/// of matches): what `limit`/`count_only` buy over full materialization.
+///
+/// * `full` — the classic collect-everything query;
+/// * `topk` — the 10 closest matches on a bounded heap: once full, the
+///   heap's worst distance tightens verification budgets and skips
+///   whole probe lengths;
+/// * `count` — same probing as `full` but no result vector;
+/// * `exists` — `count_only` capped at 1: probing aborts at the first
+///   verified match, the strongest early exit.
+fn bench_sinks(c: &mut Criterion) {
+    let (strings, queries) = heavy_corpus_and_queries();
     let index = OnlineIndex::from_strings(strings.iter(), TAU);
 
     let shapes: [(&str, Vec<SearchRequest>); 4] = [
@@ -267,6 +281,59 @@ fn bench_sinks(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("sinks");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    for (name, reqs) in &shapes {
+        group.bench_with_input(BenchmarkId::new(*name, queries.len()), reqs, |b, reqs| {
+            b.iter(|| index.search_batch(reqs))
+        });
+    }
+    group.finish();
+}
+
+/// Verification-cap latency control (`ExecBudget`) on the match-heavy
+/// corpus: the same 200-query batch unbudgeted and at decreasing
+/// per-query verification caps. The shim's min/median/max is the
+/// p50/worst story — caps bound the *worst* query without touching the
+/// cheap ones. Truncation counts are printed so the trade is explicit.
+fn bench_budget(c: &mut Criterion) {
+    let (strings, queries) = heavy_corpus_and_queries();
+    let index = OnlineIndex::from_strings(strings.iter(), TAU);
+
+    let caps: [(&str, Option<u64>); 4] = [
+        ("full", None),
+        ("cap-1024", Some(1024)),
+        ("cap-256", Some(256)),
+        ("cap-64", Some(64)),
+    ];
+    let shapes: Vec<(&str, Vec<SearchRequest>)> = caps
+        .iter()
+        .map(|&(name, cap)| {
+            let reqs = SearchRequest::uniform(&queries, TAU)
+                .into_iter()
+                .map(|r| match cap {
+                    Some(n) => r.with_budget(ExecBudget::new().with_max_verifications(n)),
+                    None => r,
+                })
+                .collect();
+            (name, reqs)
+        })
+        .collect();
+
+    // Budgets trade completeness for latency — print what each cap
+    // actually skipped and found so the bench numbers read honestly.
+    for (name, reqs) in &shapes {
+        let totals = index.search_batch(reqs).totals();
+        eprintln!(
+            "budget/{name}: {} matches, {} truncated / {} queries, {}",
+            totals.matches,
+            totals.truncated,
+            reqs.len(),
+            totals.stats,
+        );
+    }
+
+    let mut group = c.benchmark_group("budget");
     group.sample_size(10);
     group.throughput(Throughput::Elements(queries.len() as u64));
     for (name, reqs) in &shapes {
@@ -314,6 +381,7 @@ criterion_group!(
     bench_online,
     bench_keys,
     bench_persist,
-    bench_sinks
+    bench_sinks,
+    bench_budget
 );
 criterion_main!(benches);

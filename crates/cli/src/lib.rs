@@ -74,7 +74,8 @@ pub const USAGE: &str = "usage:
           [--save index.snap] [--stats]
   simjoin query <corpus.txt | --load index.snap> [--tau N] [--tau-max N]
           [--keys owned|interned] [--queries q.txt] [--threads N]
-          [--cache N] [--limit K] [--count] [--stats]
+          [--cache N] [--limit K] [--count] [--stream] [--max-verify N]
+          [--stats]
   simjoin repl  <corpus.txt | --load index.snap> [--tau N] [--tau-max N]
           [--keys owned|interned] [--cache N]";
 
@@ -206,6 +207,12 @@ pub struct ServeConfig {
     pub limit: Option<usize>,
     /// Report match counts instead of matches (`--count`).
     pub count_only: bool,
+    /// Stream matches as they verify instead of buffering per batch
+    /// (`--stream`, query mode).
+    pub stream: bool,
+    /// Per-query verification cap (`--max-verify`, query mode); tripped
+    /// budgets are reported as truncated in `--stats`.
+    pub max_verify: Option<u64>,
     /// Print statistics to stderr.
     pub stats: bool,
 }
@@ -223,6 +230,8 @@ impl ServeConfig {
         let mut cache = 1024;
         let mut limit = None;
         let mut count_only = false;
+        let mut stream = false;
+        let mut max_verify = None;
         let mut stats = false;
 
         let mut it = args.into_iter();
@@ -240,6 +249,18 @@ impl ServeConfig {
                         return Err("--count is only valid for the query subcommand".into());
                     }
                     count_only = true;
+                }
+                "--stream" => {
+                    if mode != ServeMode::Query {
+                        return Err("--stream is only valid for the query subcommand".into());
+                    }
+                    stream = true;
+                }
+                "--max-verify" => {
+                    if mode != ServeMode::Query {
+                        return Err("--max-verify is only valid for the query subcommand".into());
+                    }
+                    max_verify = Some(take_number(&mut it, "--max-verify")? as u64);
                 }
                 "--tau-max" => tau_max = Some(take_number(&mut it, "--tau-max")?),
                 "--keys" => {
@@ -329,6 +350,8 @@ impl ServeConfig {
             cache,
             limit,
             count_only,
+            stream,
+            max_verify,
             stats,
         })
     }
@@ -564,6 +587,40 @@ mod tests {
         assert!(parse_command(&["repl", "a.txt", "--count"]).is_err());
         assert!(parse_command(&["query", "a.txt", "--limit"]).is_err());
         assert!(parse_command(&["query", "a.txt", "--limit", "x"]).is_err());
+    }
+
+    #[test]
+    fn stream_and_budget_flags_parse_for_query_mode() {
+        match parse_command(&["query", "a.txt", "--stream", "--max-verify", "500"]).unwrap() {
+            Command::Serve(c) => {
+                assert!(c.stream);
+                assert_eq!(c.max_verify, Some(500));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults: buffered, unbudgeted.
+        match parse_command(&["query", "a.txt"]).unwrap() {
+            Command::Serve(c) => {
+                assert!(!c.stream);
+                assert_eq!(c.max_verify, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Streaming composes with the other query-mode result shapes.
+        match parse_command(&["query", "a.txt", "--stream", "--limit", "3"]).unwrap() {
+            Command::Serve(c) => {
+                assert!(c.stream);
+                assert_eq!(c.limit, Some(3));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Both are query-mode features with required values.
+        assert!(parse_command(&["index", "a.txt", "--stream"]).is_err());
+        assert!(parse_command(&["repl", "a.txt", "--stream"]).is_err());
+        assert!(parse_command(&["index", "a.txt", "--max-verify", "5"]).is_err());
+        assert!(parse_command(&["repl", "a.txt", "--max-verify", "5"]).is_err());
+        assert!(parse_command(&["query", "a.txt", "--max-verify"]).is_err());
+        assert!(parse_command(&["query", "a.txt", "--max-verify", "x"]).is_err());
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!
 //! # integer-interned segment keys (smaller index, same answers)
 //! simjoin index corpus.txt --tau-max 3 --keys interned --save corpus.snap
+//!
+//! # streaming + budgets: emit matches as they verify, cap work per query
+//! simjoin query corpus.txt --tau 2 --queries q.txt --stream --max-verify 1000 --stats
 //! ```
 //!
 //! Join mode prints one `i<TAB>j` pair of 0-based input line numbers per
@@ -32,7 +35,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use passjoin_online::{
-    CacheOutcome, CachePolicy, OnlineIndex, Parallelism, Queryable, SearchRequest,
+    CacheOutcome, CachePolicy, Completion, ExecBudget, MatchSink, OnlineIndex, Parallelism,
+    Queryable, SearchRequest, SearchResponse,
 };
 use simjoin_cli::{corpus_lines, Command, Config, IndexSource, ServeConfig, ServeMode, USAGE};
 
@@ -231,6 +235,9 @@ fn run_query_batch(config: &ServeConfig, tau: usize, source: &dyn Queryable) -> 
         1 => Parallelism::Serial,
         n => Parallelism::Threads(n),
     };
+    let budget = config
+        .max_verify
+        .map(|n| ExecBudget::new().with_max_verifications(n));
     let requests: Vec<SearchRequest> = queries
         .iter()
         .map(|q| {
@@ -241,47 +248,122 @@ fn run_query_batch(config: &ServeConfig, tau: usize, source: &dyn Queryable) -> 
             if config.count_only {
                 req = req.count_only();
             }
+            if let Some(b) = &budget {
+                req = req.with_budget(b.clone());
+            }
             req
         })
         .collect();
 
     let started = Instant::now();
-    let response = source.search_batch(&requests);
+    let response = if config.stream {
+        // Push-based: each `q<TAB>id<TAB>dist` line goes out the moment
+        // verification accepts the match (stdout is line-buffered), in
+        // emission order — sort to compare with the buffered output. A
+        // failed write saturates the sink, aborting the in-flight scan
+        // and the rest of the batch, so `simjoin … --stream | head`
+        // costs one query's tail, not the whole corpus.
+        let mut w = std::io::stdout().lock();
+        let mut failed = false;
+        let mut outcomes = Vec::with_capacity(requests.len());
+        for (q, req) in requests.iter().enumerate() {
+            let mut sink = StreamWriter {
+                w: &mut w,
+                q,
+                failed: &mut failed,
+            };
+            let outcome = source.search_streaming(req, &mut sink);
+            if failed {
+                return ExitCode::FAILURE;
+            }
+            if config.count_only && writeln!(w, "{q}\t{}", outcome.count).is_err() {
+                return ExitCode::FAILURE;
+            }
+            outcomes.push(outcome);
+        }
+        SearchResponse { outcomes }
+    } else {
+        source.search_batch(&requests)
+    };
     let elapsed = started.elapsed();
 
-    let stdout = std::io::stdout().lock();
-    let mut w = std::io::BufWriter::new(stdout);
-    for (q, outcome) in response.outcomes.iter().enumerate() {
-        if config.count_only {
-            if writeln!(w, "{q}\t{}", outcome.count).is_err() {
-                return ExitCode::FAILURE;
+    if !config.stream {
+        let stdout = std::io::stdout().lock();
+        let mut w = std::io::BufWriter::new(stdout);
+        for (q, outcome) in response.outcomes.iter().enumerate() {
+            if config.count_only {
+                if writeln!(w, "{q}\t{}", outcome.count).is_err() {
+                    return ExitCode::FAILURE;
+                }
+                continue;
             }
-            continue;
-        }
-        for (id, dist) in outcome.matches.iter() {
-            if writeln!(w, "{q}\t{id}\t{dist}").is_err() {
-                return ExitCode::FAILURE;
+            for (id, dist) in outcome.matches.iter() {
+                if writeln!(w, "{q}\t{id}\t{dist}").is_err() {
+                    return ExitCode::FAILURE;
+                }
             }
         }
-    }
-    if w.flush().is_err() {
-        return ExitCode::FAILURE;
+        if w.flush().is_err() {
+            return ExitCode::FAILURE;
+        }
     }
 
     if config.stats {
         let totals = response.totals();
         let per_sec = queries.len() as f64 / elapsed.as_secs_f64().max(f64::EPSILON);
         eprintln!(
-            "simjoin: {} queries, tau={}, {} matches in {:.3?} ({:.0} queries/s; {})",
+            "simjoin: {} queries, tau={}, {} matches in {:.3?} ({:.0} queries/s; {}{})",
             queries.len(),
             tau,
             totals.matches,
             elapsed,
             per_sec,
             totals.stats,
+            truncation_summary(&response),
         );
     }
     ExitCode::SUCCESS
+}
+
+/// Writes streamed matches as `q<TAB>id<TAB>dist` lines; a failed write
+/// reports saturation, which stops the engine's scan mid-query.
+struct StreamWriter<'a, W: Write> {
+    w: &'a mut W,
+    q: usize,
+    failed: &'a mut bool,
+}
+
+impl<W: Write> MatchSink for StreamWriter<'_, W> {
+    fn push(&mut self, id: u32, dist: usize) {
+        if !*self.failed {
+            *self.failed = writeln!(self.w, "{}\t{id}\t{dist}", self.q).is_err();
+        }
+    }
+
+    fn saturated(&self) -> bool {
+        *self.failed
+    }
+}
+
+/// `"; N truncated (…reasons…)"` when any request's budget tripped,
+/// empty otherwise.
+fn truncation_summary(response: &SearchResponse) -> String {
+    use std::collections::BTreeMap;
+    let mut reasons: BTreeMap<String, usize> = BTreeMap::new();
+    for outcome in &response.outcomes {
+        if let Completion::Truncated { reason } = outcome.completion {
+            *reasons.entry(reason.to_string()).or_default() += 1;
+        }
+    }
+    if reasons.is_empty() {
+        return String::new();
+    }
+    let total: usize = reasons.values().sum();
+    let breakdown: Vec<String> = reasons
+        .into_iter()
+        .map(|(reason, n)| format!("{n} {reason}"))
+        .collect();
+    format!("; {total} truncated ({})", breakdown.join(", "))
 }
 
 const REPL_HELP: &str = "commands:
@@ -289,9 +371,11 @@ const REPL_HELP: &str = "commands:
   :tau N      set the query tau (<= tau_max)
   :limit N    keep only the N closest matches (:limit off to reset)
   :count      toggle count-only mode (no match listing)
+  :budget N   cap each query at N verifications (:budget off to reset);
+              truncated answers are flagged and tallied in :stats
   :add TEXT   insert a string, printing its id
   :rm ID      remove a string by id
-  :stats      print index and cache statistics
+  :stats      print index, cache, and truncation statistics
   :help       this message
   :quit       exit";
 
@@ -299,6 +383,8 @@ fn run_repl(tau: usize, index: &mut OnlineIndex) -> ExitCode {
     let mut tau = tau;
     let mut limit: Option<usize> = None;
     let mut count_only = false;
+    let mut max_verify: Option<u64> = None;
+    let mut truncated_total: u64 = 0;
     eprintln!(
         "simjoin repl: {} strings, tau={tau} (tau_max={}), :help for commands",
         index.len(),
@@ -344,6 +430,19 @@ fn run_repl(tau: usize, index: &mut OnlineIndex) -> ExitCode {
                     count_only = !count_only;
                     println!("count-only {}", if count_only { "on" } else { "off" });
                 }
+                "budget" => match rest.trim() {
+                    "off" | "none" => {
+                        max_verify = None;
+                        println!("budget off");
+                    }
+                    n => match n.parse::<u64>() {
+                        Ok(v) => {
+                            max_verify = Some(v);
+                            println!("budget = {v} verifications");
+                        }
+                        Err(_) => println!("error: :budget needs a number or 'off'"),
+                    },
+                },
                 "add" => {
                     let id = index.insert(rest.as_bytes());
                     println!("added id {id}");
@@ -354,7 +453,11 @@ fn run_repl(tau: usize, index: &mut OnlineIndex) -> ExitCode {
                     Err(_) => println!("error: :rm needs an id"),
                 },
                 "stats" => {
-                    println!("{} cache: {}", index.stats(), index.cache_stats());
+                    println!(
+                        "{} cache: {} truncated queries: {truncated_total}",
+                        index.stats(),
+                        index.cache_stats()
+                    );
                 }
                 other => println!("error: unknown command :{other} (:help)"),
             }
@@ -367,6 +470,9 @@ fn run_repl(tau: usize, index: &mut OnlineIndex) -> ExitCode {
         }
         if count_only {
             request = request.count_only();
+        }
+        if let Some(n) = max_verify {
+            request = request.with_budget(ExecBudget::new().with_max_verifications(n));
         }
         let started = Instant::now();
         let outcome = index.search(&request);
@@ -383,8 +489,14 @@ fn run_repl(tau: usize, index: &mut OnlineIndex) -> ExitCode {
             CacheOutcome::Miss => "cache miss",
             CacheOutcome::Bypass => "cache bypassed",
         };
+        let completion = if outcome.completion.is_complete() {
+            String::new()
+        } else {
+            truncated_total += 1;
+            format!(", {}", outcome.completion)
+        };
         println!(
-            "({} matches, {elapsed:.1?}, {cache}, {})",
+            "({} matches, {elapsed:.1?}, {cache}{completion}, {})",
             outcome.count, outcome.stats
         );
     }

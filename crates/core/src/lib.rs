@@ -62,6 +62,9 @@ pub use joiner::PassJoin;
 pub use partition::PartitionScheme;
 pub use search::SearchIndex;
 pub use select::{online_window, Selection};
-pub use sink::{CollectSink, CountSink, FnSink, MatchSink, TopKSink};
+pub use sink::{
+    BudgetSink, CollectSink, CountSink, FnSink, ManualTicks, MatchSink, TickSource, TopKSink,
+    TruncationReason,
+};
 pub use topk::TopK;
 pub use verify::Verification;

@@ -91,8 +91,12 @@ impl ProbeState {
     /// The sink steers the scan: lengths outside its current
     /// [`MatchSink::bound`] are skipped, whole-pair verification runs
     /// under the (possibly tightened) bound, and a saturated sink stops
-    /// probing entirely. Collecting sinks leave both at their defaults, so
-    /// the join drivers are byte-for-byte unchanged.
+    /// probing entirely. Every candidate and verification is announced
+    /// through [`MatchSink::note_candidate`] /
+    /// [`MatchSink::note_verification`] *before* it runs, so a
+    /// [`crate::sink::BudgetSink`] can cap probe work. Collecting sinks
+    /// leave all hooks at their defaults, so the join drivers are
+    /// byte-for-byte unchanged.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn probe_lengths_bounded<'c, I: SegmentProbe>(
         &mut self,
@@ -155,12 +159,20 @@ impl ProbeState {
                             );
                             self.ext.begin_scan(s, &occ, tau, l);
                             for &rid in list {
+                                sink.note_candidate();
+                                if sink.saturated() {
+                                    return; // budget tripped: candidate skipped
+                                }
                                 stats.candidate_occurrences += 1;
                                 if self.cand_seen.insert(rid) {
                                     stats.candidate_pairs += 1;
                                 }
                                 if self.resolved.contains(rid) {
                                     continue; // already emitted for this probe
+                                }
+                                sink.note_verification();
+                                if sink.saturated() {
+                                    return; // budget tripped: check skipped
                                 }
                                 stats.verifications += 1;
                                 if let Some(cert) = self.ext.verify(resolve(rid), s, &occ) {
@@ -172,12 +184,20 @@ impl ProbeState {
                         }
                         whole => {
                             for &rid in list {
+                                sink.note_candidate();
+                                if sink.saturated() {
+                                    return; // budget tripped: candidate skipped
+                                }
                                 stats.candidate_occurrences += 1;
                                 if !self.cand_seen.insert(rid) {
                                     continue; // pair already checked: sound
                                               // for whole-pair verifiers
                                 }
                                 stats.candidate_pairs += 1;
+                                sink.note_verification();
+                                if sink.saturated() {
+                                    return; // budget tripped: check skipped
+                                }
                                 stats.verifications += 1;
                                 let r = resolve(rid);
                                 let verdict = match whole {

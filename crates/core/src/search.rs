@@ -129,8 +129,12 @@ impl<'i, 'a> Searcher<'i, 'a> {
     /// Runs one query against an arbitrary [`MatchSink`]: the sink's
     /// [`bound`](MatchSink::bound) tightens verification as results
     /// accumulate (a filling top-k heap), and a
-    /// [`saturated`](MatchSink::saturated) sink stops the scan. Distances
-    /// are exact; ids pushed into the sink are input positions.
+    /// [`saturated`](MatchSink::saturated) sink stops the scan. Work is
+    /// reported through [`MatchSink::note_candidate`] /
+    /// [`MatchSink::note_verification`] before it runs, so a
+    /// [`crate::sink::BudgetSink`] caps exactly how much screening one
+    /// query may do. Distances are exact; ids pushed into the sink are
+    /// input positions.
     pub fn query_sink<S: MatchSink>(&mut self, query: &[u8], sink: &mut S) {
         let tau = self.index.tau;
         let dict = self.index.dictionary;
@@ -145,6 +149,10 @@ impl<'i, 'a> Searcher<'i, 'a> {
             let r = dict.get(rid);
             if query.len().abs_diff(r.len()) > bound {
                 continue;
+            }
+            sink.note_verification();
+            if sink.saturated() {
+                return; // budget tripped: this check is skipped
             }
             if let Some(d) = length_aware_within_ws(r, query, bound, &mut self.ws) {
                 sink.push(dict.original_index(rid), d);
@@ -184,8 +192,16 @@ impl<'i, 'a> Searcher<'i, 'a> {
                     let bound = sink.bound(tau);
                     self.ext.begin_scan(query, &occ, tau, l);
                     for &rid in list {
+                        sink.note_candidate();
+                        if sink.saturated() {
+                            return; // budget tripped: candidate skipped
+                        }
                         if self.seen.contains(rid) {
                             continue;
+                        }
+                        sink.note_verification();
+                        if sink.saturated() {
+                            return; // budget tripped: verification skipped
                         }
                         if self.ext.verify(dict.get(rid), query, &occ).is_some() {
                             self.seen.insert(rid);
@@ -333,6 +349,37 @@ mod tests {
         searcher.query_sink(b"partition", &mut sink);
         assert_eq!(sink.count(), 1);
         assert!(sink.saturated());
+    }
+
+    #[test]
+    fn budget_sink_truncates_the_scan() {
+        use crate::sink::{BudgetSink, CollectSink};
+        let d = dict();
+        let index = SearchIndex::build(&d, 2);
+        let mut full = index.query(b"partition");
+        full.sort_unstable();
+
+        // An effectively-unlimited budget changes nothing…
+        let mut unlimited = Vec::new();
+        {
+            let mut inner = CollectSink::new(&mut unlimited);
+            let mut sink = BudgetSink::new(&mut inner).with_max_verifications(1_000_000);
+            index.searcher().query_sink(b"partition", &mut sink);
+            assert_eq!(sink.tripped(), None);
+        }
+        unlimited.sort_unstable();
+        assert_eq!(unlimited, full);
+
+        // …while a one-verification budget trips and yields a subset.
+        let mut capped = Vec::new();
+        {
+            let mut inner = CollectSink::new(&mut capped);
+            let mut sink = BudgetSink::new(&mut inner).with_max_verifications(1);
+            index.searcher().query_sink(b"partition", &mut sink);
+            assert!(sink.tripped().is_some(), "more than one check is needed");
+        }
+        assert!(capped.len() < full.len());
+        assert!(capped.iter().all(|m| full.contains(m)));
     }
 
     #[test]

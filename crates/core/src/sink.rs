@@ -24,6 +24,19 @@
 //! Collecting sinks ([`CollectSink`], [`FnSink`]) leave both hooks at their
 //! defaults, so threading a sink through a previously `Vec`-pushing path
 //! changes nothing byte-for-byte.
+//!
+//! Beyond matches, probing paths also report *work* into the sink —
+//! [`MatchSink::note_candidate`] per scanned posting entry and
+//! [`MatchSink::note_verification`] per edit-distance computation, both
+//! default no-ops. [`BudgetSink`] composes over any inner sink and turns
+//! those events into hard per-query execution caps: once a cap (or a
+//! [`TickSource`] deadline) is exhausted, the next unit of work trips the
+//! budget, the sink reports [`saturated`](MatchSink::saturated), and the
+//! probing loop aborts through the exact same early-exit path a capped
+//! count uses. A tripped budget therefore *always* means work was
+//! actually skipped.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use sj_common::StringId;
 
@@ -51,6 +64,20 @@ pub trait MatchSink {
     fn saturated(&self) -> bool {
         false
     }
+
+    /// Reports that a posting-list candidate is about to be screened.
+    /// Called *before* the candidate is processed; a sink that saturates
+    /// in response (a tripped candidate budget) causes that candidate —
+    /// and everything after it — to be skipped. Default: no-op.
+    fn note_candidate(&mut self) {}
+
+    /// Reports that an edit-distance verification (short-lane check or
+    /// segment-lane cascade entry) is about to run. Called *before* the
+    /// work happens; a sink that saturates in response (a tripped
+    /// verification budget or an expired deadline) causes that
+    /// verification — and everything after it — to be skipped.
+    /// Default: no-op.
+    fn note_verification(&mut self) {}
 }
 
 /// Appends every match to a borrowed vector — the classic materializing
@@ -173,6 +200,210 @@ impl MatchSink for TopKSink {
     }
 }
 
+/// A monotonic tick counter for budget deadlines.
+///
+/// Deadlines are expressed against an abstract tick source rather than a
+/// wall clock so tests stay deterministic: production code can back one
+/// with a timer thread or a coarse clock, tests use [`ManualTicks`] and
+/// advance it by hand. Ticks are unitless — only `ticks() >= expires_at`
+/// comparisons matter.
+pub trait TickSource: Send + Sync {
+    /// The current tick. Must be monotonically non-decreasing.
+    fn ticks(&self) -> u64;
+}
+
+/// A [`TickSource`] advanced explicitly — the deterministic clock for
+/// tests and for callers that count work units themselves.
+///
+/// ```
+/// use passjoin::sink::{ManualTicks, TickSource};
+///
+/// let clock = ManualTicks::new();
+/// assert_eq!(clock.ticks(), 0);
+/// clock.advance(5);
+/// assert_eq!(clock.ticks(), 5);
+/// ```
+#[derive(Debug, Default)]
+pub struct ManualTicks(AtomicU64);
+
+impl ManualTicks {
+    /// A clock starting at tick 0.
+    pub fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Advances the clock by `n` ticks.
+    pub fn advance(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sets the clock to an absolute tick (must not move it backwards).
+    pub fn set(&self, ticks: u64) {
+        self.0.fetch_max(ticks, Ordering::Relaxed);
+    }
+}
+
+impl TickSource for ManualTicks {
+    fn ticks(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a [`BudgetSink`] stopped a scan early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TruncationReason {
+    /// The verification cap was exhausted.
+    VerificationCap,
+    /// The candidate cap was exhausted.
+    CandidateCap,
+    /// The tick-source deadline expired.
+    Deadline,
+}
+
+impl std::fmt::Display for TruncationReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TruncationReason::VerificationCap => "verification cap",
+            TruncationReason::CandidateCap => "candidate cap",
+            TruncationReason::Deadline => "deadline",
+        })
+    }
+}
+
+/// Composes execution budgets over any inner sink: caps on candidates
+/// scanned and verifications run, plus an optional [`TickSource`]
+/// deadline. Matches, bounds, and saturation delegate to the inner sink;
+/// the budget only *adds* reasons to stop.
+///
+/// A cap of `N` permits exactly `N` units of work — the `N+1`th unit
+/// trips the budget *before* it runs, so [`BudgetSink::tripped`] implies
+/// that at least one unit of work was skipped (never "the budget happened
+/// to equal the total work").
+///
+/// ```
+/// use passjoin::sink::{BudgetSink, CollectSink, MatchSink};
+///
+/// let mut out = Vec::new();
+/// let mut inner = CollectSink::new(&mut out);
+/// let mut sink = BudgetSink::new(&mut inner).with_max_verifications(2);
+/// sink.note_verification(); // 1st unit: allowed
+/// sink.note_verification(); // 2nd unit: allowed
+/// assert!(!sink.saturated());
+/// sink.note_verification(); // 3rd unit: trips, must be skipped
+/// assert!(sink.saturated());
+/// assert!(sink.tripped().is_some());
+/// ```
+pub struct BudgetSink<'a, S: MatchSink + ?Sized> {
+    inner: &'a mut S,
+    max_verifications: Option<u64>,
+    max_candidates: Option<u64>,
+    deadline: Option<(&'a dyn TickSource, u64)>,
+    verifications: u64,
+    candidates: u64,
+    tripped: Option<TruncationReason>,
+}
+
+impl<'a, S: MatchSink + ?Sized> BudgetSink<'a, S> {
+    /// An unlimited budget over `inner` (never trips until a cap or
+    /// deadline is attached).
+    pub fn new(inner: &'a mut S) -> Self {
+        Self {
+            inner,
+            max_verifications: None,
+            max_candidates: None,
+            deadline: None,
+            verifications: 0,
+            candidates: 0,
+            tripped: None,
+        }
+    }
+
+    /// Permits at most `n` verifications (edit-distance computations,
+    /// short-lane and segment-lane alike).
+    pub fn with_max_verifications(mut self, n: u64) -> Self {
+        self.max_verifications = Some(n);
+        self
+    }
+
+    /// Permits at most `n` scanned posting-list candidates.
+    pub fn with_max_candidates(mut self, n: u64) -> Self {
+        self.max_candidates = Some(n);
+        self
+    }
+
+    /// Trips once `source.ticks() >= expires_at` (checked before each
+    /// verification, the unit deadlines exist to bound).
+    pub fn with_deadline(mut self, source: &'a dyn TickSource, expires_at: u64) -> Self {
+        self.deadline = Some((source, expires_at));
+        self
+    }
+
+    /// Why the budget stopped the scan, if it did.
+    pub fn tripped(&self) -> Option<TruncationReason> {
+        self.tripped
+    }
+
+    /// Verifications actually permitted so far.
+    pub fn verifications(&self) -> u64 {
+        self.verifications
+    }
+
+    /// Candidates actually permitted so far.
+    pub fn candidates(&self) -> u64 {
+        self.candidates
+    }
+}
+
+impl<S: MatchSink + ?Sized> MatchSink for BudgetSink<'_, S> {
+    fn push(&mut self, id: StringId, dist: usize) {
+        self.inner.push(id, dist);
+    }
+
+    fn bound(&self, tau: usize) -> usize {
+        self.inner.bound(tau)
+    }
+
+    fn saturated(&self) -> bool {
+        self.tripped.is_some() || self.inner.saturated()
+    }
+
+    fn note_candidate(&mut self) {
+        if self.tripped.is_some() {
+            return;
+        }
+        if self
+            .max_candidates
+            .is_some_and(|cap| self.candidates >= cap)
+        {
+            self.tripped = Some(TruncationReason::CandidateCap);
+            return;
+        }
+        self.candidates += 1;
+        self.inner.note_candidate();
+    }
+
+    fn note_verification(&mut self) {
+        if self.tripped.is_some() {
+            return;
+        }
+        if let Some((source, expires_at)) = self.deadline {
+            if source.ticks() >= expires_at {
+                self.tripped = Some(TruncationReason::Deadline);
+                return;
+            }
+        }
+        if self
+            .max_verifications
+            .is_some_and(|cap| self.verifications >= cap)
+        {
+            self.tripped = Some(TruncationReason::VerificationCap);
+            return;
+        }
+        self.verifications += 1;
+        self.inner.note_verification();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,5 +472,71 @@ mod tests {
         let sink = TopKSink::new(0);
         assert!(sink.saturated());
         assert!(sink.into_matches().is_empty());
+    }
+
+    #[test]
+    fn budget_sink_permits_exactly_the_cap() {
+        let mut inner = CountSink::new();
+        let mut sink = BudgetSink::new(&mut inner).with_max_candidates(3);
+        for _ in 0..3 {
+            sink.note_candidate();
+            assert!(!sink.saturated());
+        }
+        assert_eq!(sink.candidates(), 3);
+        sink.note_candidate(); // the 4th unit trips and is not counted
+        assert!(sink.saturated());
+        assert_eq!(sink.candidates(), 3);
+        assert_eq!(sink.tripped(), Some(TruncationReason::CandidateCap));
+        // Once tripped, further events are ignored, the reason sticks.
+        sink.note_verification();
+        assert_eq!(sink.tripped(), Some(TruncationReason::CandidateCap));
+    }
+
+    #[test]
+    fn budget_sink_delegates_matches_and_steering() {
+        let mut inner = TopKSink::new(1);
+        let mut sink = BudgetSink::new(&mut inner).with_max_verifications(10);
+        sink.push(4, 2);
+        assert_eq!(sink.bound(5), 2, "inner top-k bound shines through");
+        sink.push(9, 1);
+        assert!(!sink.saturated());
+        assert_eq!(inner.into_matches(), vec![(9, 1)]);
+    }
+
+    #[test]
+    fn budget_sink_saturates_when_inner_does() {
+        let mut inner = CountSink::capped(1);
+        let mut sink = BudgetSink::new(&mut inner);
+        assert!(!sink.saturated());
+        sink.push(1, 0);
+        assert!(sink.saturated(), "inner saturation passes through");
+        assert_eq!(sink.tripped(), None, "…without claiming a budget trip");
+    }
+
+    #[test]
+    fn deadline_trips_deterministically() {
+        let clock = ManualTicks::new();
+        let mut inner = CountSink::new();
+        let mut sink = BudgetSink::new(&mut inner).with_deadline(&clock, 2);
+        sink.note_verification();
+        assert!(!sink.saturated(), "tick 0 < 2");
+        clock.advance(1);
+        sink.note_verification();
+        assert!(!sink.saturated(), "tick 1 < 2");
+        clock.set(2);
+        sink.note_verification();
+        assert!(sink.saturated());
+        assert_eq!(sink.tripped(), Some(TruncationReason::Deadline));
+        assert_eq!(sink.verifications(), 2);
+    }
+
+    #[test]
+    fn truncation_reasons_display() {
+        assert_eq!(
+            TruncationReason::VerificationCap.to_string(),
+            "verification cap"
+        );
+        assert_eq!(TruncationReason::CandidateCap.to_string(), "candidate cap");
+        assert_eq!(TruncationReason::Deadline.to_string(), "deadline");
     }
 }

@@ -15,6 +15,13 @@
 //! (one small key allocation to probe the map — see
 //! [`QueryCache::lookup`]), and values are `Arc`ed so a hit never copies
 //! the result vector.
+//!
+//! Entries are always *complete full results* for their `(query, τ)` key:
+//! the execution engine never stores shaped (top-k/count), streamed, or
+//! budget-truncated outcomes — which is exactly what lets it *answer*
+//! shaped requests from a hit by sort-truncate/len derivation, and replay
+//! hits into streaming sinks, without ever serving a partial answer as an
+//! exact one.
 
 use std::fmt;
 use std::sync::Arc;
@@ -126,7 +133,9 @@ impl QueryCache {
     /// all entries first, and a lookup for an *older* epoch than the cache
     /// holds is a miss (entries from a newer index state must not answer
     /// it). Hits move the entry to the front and are counted; misses are
-    /// counted too (callers always follow up with [`QueryCache::insert`]).
+    /// counted too (callers computing a complete full result follow up
+    /// with [`QueryCache::insert`]; shaped, streamed, or budget-truncated
+    /// computations do not).
     pub fn lookup(&mut self, query: &[u8], tau: usize, epoch: u64) -> Option<Arc<Vec<Match>>> {
         if self.capacity == 0 {
             self.stats.misses += 1;

@@ -14,6 +14,14 @@
 //!   [`passjoin::sink::MatchSink`] chosen by the request shape: collect
 //!   (plain), bounded top-k heap (`limit`, tightening verification as it
 //!   fills), or a counter (`count_only`, saturating at an optional cap).
+//!   [`Queryable::search_streaming`] instead threads a *caller-supplied*
+//!   sink down to the verification loop, so matches are pushed as they
+//!   are verified rather than buffered per query.
+//! * **Budgets** — a request's [`ExecBudget`](crate::ExecBudget) wraps
+//!   the shape sink in a composing [`passjoin::sink::BudgetSink`]; a
+//!   tripped cap aborts probing through the sink saturation path and the
+//!   outcome reports [`Completion::Truncated`](crate::Completion) with
+//!   the reason.
 //! * **Batch dispatch** — mixed-τ batches are first-class; workers pull
 //!   blocks of the `(length, τ)`-sorted order off an atomic cursor, keep
 //!   private scratch (dedup stamps, DP rows, the interned backend's
@@ -31,13 +39,14 @@ use std::sync::{Arc, Mutex};
 
 use passjoin::online_window;
 use passjoin::partition::{PartitionScheme, SegmentSpec};
-use passjoin::sink::{CollectSink, CountSink, MatchSink, TopKSink};
+use passjoin::sink::{BudgetSink, CollectSink, CountSink, FnSink, MatchSink, TopKSink};
 use sj_common::StringId;
 
 use crate::cache::QueryCache;
 use crate::index::{Inner, KeyBackend, QueryScratch, SegmentStore};
 use crate::request::{
-    CacheOutcome, CachePolicy, ExecStats, Parallelism, QueryOutcome, SearchRequest, SearchResponse,
+    CacheOutcome, CachePolicy, Completion, ExecBudget, ExecStats, Parallelism, QueryOutcome,
+    SearchRequest, SearchResponse,
 };
 use crate::Match;
 
@@ -88,6 +97,107 @@ pub trait Queryable {
     /// the batch. Outcomes align with `reqs` by position.
     fn search_batch(&self, reqs: &[SearchRequest]) -> SearchResponse {
         run_batch(&self.exec_source(), reqs)
+    }
+
+    /// Executes one request, *pushing* matches into a caller-supplied
+    /// [`MatchSink`] as they are verified instead of buffering them — the
+    /// serving-layer shape: a server can emit each match onto the wire
+    /// the moment verification accepts it.
+    ///
+    /// Semantics per request shape (the emitted multiset always equals
+    /// [`Queryable::search`]'s matches for the same request):
+    ///
+    /// * **plain** — `(id, exact distance)` pairs are pushed in
+    ///   verification order (*not* id order; sort the collected result to
+    ///   compare with the buffered path);
+    /// * **`with_limit(k)`** — retention is global (a later match can
+    ///   displace an earlier one), so emission is deferred: the heap runs
+    ///   to completion, then flushes into the sink in `(distance, id)`
+    ///   order — exactly the buffered top-k result;
+    /// * **`count_only`** — nothing is emitted; the count is in the
+    ///   returned outcome.
+    ///
+    /// The caller's sink steers the scan like any engine sink (its
+    /// `bound` tightens verification, `saturated` aborts probing), and
+    /// the request's [`ExecBudget`](crate::ExecBudget) applies on top.
+    /// The returned [`QueryOutcome`] carries the emitted-match count,
+    /// stats, completion, and cache outcome, but an empty `matches`
+    /// vector — the matches went to the sink. Cache hits replay the
+    /// cached result (id order); computed streaming results are **never
+    /// stored** in the cache, because the engine cannot prove the
+    /// caller's sink did not steer or truncate the scan.
+    ///
+    /// ```
+    /// use passjoin_online::{CollectSink, OnlineIndex, Queryable, SearchRequest};
+    ///
+    /// let mut index = OnlineIndex::new(1);
+    /// index.insert(b"vldb");
+    /// index.insert(b"pvldb");
+    ///
+    /// let mut emitted = Vec::new();
+    /// let outcome = {
+    ///     let mut sink = CollectSink::new(&mut emitted);
+    ///     index.search_streaming(&SearchRequest::new(b"vldb", 1), &mut sink)
+    /// };
+    /// emitted.sort_unstable(); // plain emissions arrive in verification order
+    /// assert_eq!(emitted, vec![(0, 0), (1, 1)]);
+    /// assert_eq!(outcome.count, 2);
+    /// assert!(outcome.matches.is_empty()); // the matches went to the sink
+    /// ```
+    fn search_streaming(&self, req: &SearchRequest, sink: &mut dyn MatchSink) -> QueryOutcome {
+        let source = self.exec_source();
+        let mut plans = PlanSlot::default();
+        let mut scratch = QueryScratch::default();
+        run_view_streaming(&source, ReqView::of(req), sink, &mut plans, &mut scratch)
+    }
+
+    /// Streaming over a batch: every request is executed in order with
+    /// [`Queryable::search_streaming`] semantics, emitting
+    /// `(request index, id, exact distance)` triples into one callback.
+    ///
+    /// Unlike [`Queryable::search_batch`], the batch runs **serially in
+    /// request order** — a single push-based consumer fixes the emission
+    /// order, so [`Parallelism`](crate::Parallelism) hints are ignored
+    /// and requests are not regrouped by `(length, τ)`. Outcomes align
+    /// with `reqs` by position.
+    ///
+    /// ```
+    /// use passjoin_online::{OnlineIndex, Queryable, SearchRequest};
+    ///
+    /// let mut index = OnlineIndex::new(1);
+    /// index.insert(b"vldb");
+    ///
+    /// let mut lines = Vec::new();
+    /// let response = index.search_batch_streaming(
+    ///     &[SearchRequest::new(b"vldb", 0), SearchRequest::new(b"pvldb", 1)],
+    ///     &mut |req, id, dist| lines.push((req, id, dist)),
+    /// );
+    /// assert_eq!(lines, vec![(0, 0, 0), (1, 0, 1)]);
+    /// assert_eq!(response.outcomes.len(), 2);
+    /// ```
+    fn search_batch_streaming(
+        &self,
+        reqs: &[SearchRequest],
+        on_match: &mut dyn FnMut(usize, StringId, usize),
+    ) -> SearchResponse {
+        let source = self.exec_source();
+        let mut plans = PlanSlot::default();
+        let mut scratch = QueryScratch::default();
+        let outcomes = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, req)| {
+                let mut sink = FnSink(|id: StringId, dist: usize| on_match(i, id, dist));
+                run_view_streaming(
+                    &source,
+                    ReqView::of(req),
+                    &mut sink,
+                    &mut plans,
+                    &mut scratch,
+                )
+            })
+            .collect();
+        SearchResponse { outcomes }
     }
 
     /// Convenience for the plain one-query case: all matches within `tau`
@@ -142,6 +252,7 @@ struct ReqView<'a> {
     limit: Option<usize>,
     count_only: bool,
     use_cache: bool,
+    budget: Option<&'a ExecBudget>,
 }
 
 impl<'a> ReqView<'a> {
@@ -152,6 +263,7 @@ impl<'a> ReqView<'a> {
             limit: req.limit(),
             count_only: req.is_count_only(),
             use_cache: req.cache() == CachePolicy::Use,
+            budget: req.budget().filter(|b| !b.is_unlimited()),
         }
     }
 
@@ -162,13 +274,15 @@ impl<'a> ReqView<'a> {
             limit: None,
             count_only: false,
             use_cache: false,
+            budget: None,
         }
     }
 
-    /// Only full collect results are cacheable (the cache stores them
-    /// keyed by `(query, τ)`).
-    fn cacheable(&self) -> bool {
-        self.use_cache && self.limit.is_none() && !self.count_only
+    /// The unshaped full-result request — the only shape the cache
+    /// *stores* (keyed by `(query, τ)`); shaped requests can still be
+    /// *derived* from a stored full result on a hit.
+    fn is_plain(&self) -> bool {
+        self.limit.is_none() && !self.count_only
     }
 }
 
@@ -241,9 +355,10 @@ impl PlanSlot {
 /// Runs one query's plan into a sink. The sink steers the scan: probes
 /// whose length falls outside its current bound are skipped, verification
 /// budgets tighten to the bound, and a saturated sink stops everything.
-/// For collecting sinks (bound = τ, never saturated) this is byte-for-byte
-/// the legacy probing loop.
-fn run_plan<S: MatchSink>(
+/// Work is announced through the sink's note hooks *before* it runs, so
+/// a [`BudgetSink`] can cap it. For collecting sinks (bound = τ, never
+/// saturated, no-op hooks) this is byte-for-byte the legacy probing loop.
+fn run_plan<S: MatchSink + ?Sized>(
     inner: &Inner,
     plan: &LengthPlan,
     query: &[u8],
@@ -263,6 +378,10 @@ fn run_plan<S: MatchSink>(
         let r = inner.get(rid).expect("short lane holds live ids");
         if query.len().abs_diff(r.len()) > bound {
             continue; // plan filtered at τ; the sink may demand tighter
+        }
+        sink.note_verification();
+        if sink.saturated() {
+            return; // budget tripped: this check is skipped
         }
         stats.short_checked += 1;
         if let Some(d) = scratch.exact_within(r, query, bound) {
@@ -301,7 +420,7 @@ fn run_plan<S: MatchSink>(
 /// memoized in the scratch, because windows of adjacent lengths overlap —
 /// and every (repeated) probe after that is integer-keyed.
 #[allow(clippy::too_many_arguments)]
-fn probe_occurrences<S: MatchSink>(
+fn probe_occurrences<S: MatchSink + ?Sized>(
     inner: &Inner,
     query: &[u8],
     tau: usize,
@@ -344,7 +463,7 @@ fn probe_occurrences<S: MatchSink>(
 /// Screens one inverted list's candidates with the extension cascade
 /// (§5.2) and pushes accepted `(id, exact distance)` matches.
 #[allow(clippy::too_many_arguments)]
-fn screen_list<S: MatchSink>(
+fn screen_list<S: MatchSink + ?Sized>(
     inner: &Inner,
     query: &[u8],
     tau: usize,
@@ -360,6 +479,10 @@ fn screen_list<S: MatchSink>(
         if sink.saturated() {
             return;
         }
+        sink.note_candidate();
+        if sink.saturated() {
+            return; // budget tripped: this candidate is skipped
+        }
         stats.candidates += 1;
         if scratch.resolved.contains(rid) {
             continue; // already accepted this query
@@ -370,6 +493,10 @@ fn screen_list<S: MatchSink>(
         let r = inner.get(rid).expect("segment lane holds live ids");
         if r.len().abs_diff(query.len()) > bound {
             continue; // selection guaranteed ≤ τ; the bound is tighter
+        }
+        sink.note_verification();
+        if sink.saturated() {
+            return; // budget tripped: this verification is skipped
         }
         stats.verifications += 1;
         // Extension cascade (§5.2) under mixed budgets: the partition
@@ -398,6 +525,47 @@ fn screen_list<S: MatchSink>(
     }
 }
 
+/// Runs one query's plan into `sink`, wrapped in a [`BudgetSink`] when
+/// the view carries a budget, and reports whether the scan completed or
+/// the budget tripped. Unbudgeted views take the raw path — no adapter,
+/// no per-event overhead.
+fn run_plan_budgeted<S: MatchSink + ?Sized>(
+    inner: &Inner,
+    plan: &LengthPlan,
+    view: ReqView<'_>,
+    scratch: &mut QueryScratch,
+    sink: &mut S,
+    stats: &mut ExecStats,
+) -> Completion {
+    let Some(budget) = view.budget else {
+        run_plan(inner, plan, view.query, view.tau, scratch, sink, stats);
+        return Completion::Complete;
+    };
+    let mut budgeted = BudgetSink::new(sink);
+    if let Some(n) = budget.max_verifications() {
+        budgeted = budgeted.with_max_verifications(n);
+    }
+    if let Some(n) = budget.max_candidates() {
+        budgeted = budgeted.with_max_candidates(n);
+    }
+    if let Some((source, expires_at)) = budget.deadline() {
+        budgeted = budgeted.with_deadline(source, expires_at);
+    }
+    run_plan(
+        inner,
+        plan,
+        view.query,
+        view.tau,
+        scratch,
+        &mut budgeted,
+        stats,
+    );
+    match budgeted.tripped() {
+        Some(reason) => Completion::Truncated { reason },
+        None => Completion::Complete,
+    }
+}
+
 /// Executes one view (no cache involvement), picking the sink from the
 /// request shape.
 fn execute_shaped(
@@ -413,40 +581,38 @@ fn execute_shaped(
             Some(cap) => CountSink::capped(cap),
             None => CountSink::new(),
         };
-        run_plan(
-            inner, plan, view.query, view.tau, scratch, &mut sink, &mut stats,
-        );
+        let completion = run_plan_budgeted(inner, plan, view, scratch, &mut sink, &mut stats);
         QueryOutcome {
             matches: Arc::default(),
             count: sink.count(),
             cache: CacheOutcome::Bypass,
+            completion,
             stats,
         }
     } else if let Some(k) = view.limit {
         let mut sink = TopKSink::new(k);
-        run_plan(
-            inner, plan, view.query, view.tau, scratch, &mut sink, &mut stats,
-        );
+        let completion = run_plan_budgeted(inner, plan, view, scratch, &mut sink, &mut stats);
         let matches = sink.into_matches();
         QueryOutcome {
             count: matches.len(),
             matches: Arc::new(matches),
             cache: CacheOutcome::Bypass,
+            completion,
             stats,
         }
     } else {
         let mut out = Vec::new();
+        let completion;
         {
             let mut sink = CollectSink::new(&mut out);
-            run_plan(
-                inner, plan, view.query, view.tau, scratch, &mut sink, &mut stats,
-            );
+            completion = run_plan_budgeted(inner, plan, view, scratch, &mut sink, &mut stats);
         }
         out.sort_unstable();
         QueryOutcome {
             count: out.len(),
             matches: Arc::new(out),
             cache: CacheOutcome::Bypass,
+            completion,
             stats,
         }
     }
@@ -458,39 +624,190 @@ pub(crate) fn lock(cache: &Mutex<QueryCache>) -> std::sync::MutexGuard<'_, Query
     cache.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Executes one view, consulting the source's cache when the request is
-/// cacheable.
+/// Derives a shaped answer from a cached *full* result: plain requests
+/// get the cached vector itself (zero-copy), top-k requests sort-truncate
+/// it by `(distance, id)`, counts take its length (capped). Exactness is
+/// free — only `Complete` full results are ever stored.
+fn derive_from_cache(view: ReqView<'_>, hit: Arc<Vec<Match>>) -> QueryOutcome {
+    let hit_outcome = |count, matches| QueryOutcome {
+        count,
+        matches,
+        cache: CacheOutcome::Hit,
+        completion: Completion::Complete,
+        stats: ExecStats::default(),
+    };
+    if view.count_only {
+        let count = match view.limit {
+            Some(cap) => hit.len().min(cap),
+            None => hit.len(),
+        };
+        hit_outcome(count, Arc::default())
+    } else if let Some(k) = view.limit {
+        let mut scored: Vec<(usize, StringId)> = hit.iter().map(|&(id, d)| (d, id)).collect();
+        // Hot path (the cache exists for repeated queries): select the k
+        // smallest in O(n), sort only those — not the whole result.
+        if k == 0 {
+            scored.clear();
+        } else if k < scored.len() {
+            scored.select_nth_unstable(k);
+            scored.truncate(k);
+        }
+        scored.sort_unstable();
+        let matches: Vec<Match> = scored.into_iter().map(|(d, id)| (id, d)).collect();
+        hit_outcome(matches.len(), Arc::new(matches))
+    } else {
+        hit_outcome(hit.len(), hit)
+    }
+}
+
+/// Executes one view, consulting the source's cache when the request
+/// opts in. Any shape can be *answered* from a stored full result
+/// ([`derive_from_cache`]); only plain [`Completion::Complete`] results
+/// are ever *stored* — a truncated or shaped result must not masquerade
+/// as the full answer for `(query, τ)`.
 fn run_view(
     source: &ExecSource<'_>,
     view: ReqView<'_>,
     plans: &mut PlanSlot,
     scratch: &mut QueryScratch,
 ) -> QueryOutcome {
-    if view.cacheable() {
+    if view.use_cache {
         if let Some(cache) = source.cache {
             if let Some(hit) = lock(cache).lookup(view.query, view.tau, source.epoch) {
-                return QueryOutcome {
-                    count: hit.len(),
-                    // The cached vector itself — a hit never copies.
-                    matches: hit,
-                    cache: CacheOutcome::Hit,
-                    stats: ExecStats::default(),
-                };
+                return derive_from_cache(view, hit);
             }
             // Compute outside the lock: parallel batch workers must not
             // serialize their probing on the cache mutex.
             let mut outcome = execute_shaped(source.inner, view, plans, scratch);
             outcome.cache = CacheOutcome::Miss;
-            lock(cache).insert(
-                view.query,
-                view.tau,
-                source.epoch,
-                Arc::clone(&outcome.matches),
-            );
+            if view.is_plain() && outcome.completion.is_complete() {
+                lock(cache).insert(
+                    view.query,
+                    view.tau,
+                    source.epoch,
+                    Arc::clone(&outcome.matches),
+                );
+            }
             return outcome;
         }
     }
     execute_shaped(source.inner, view, plans, scratch)
+}
+
+/// An adapter counting emissions into a caller-supplied streaming sink;
+/// steering and work hooks pass straight through.
+struct EmitCount<'s> {
+    inner: &'s mut dyn MatchSink,
+    emitted: usize,
+}
+
+impl MatchSink for EmitCount<'_> {
+    fn push(&mut self, id: StringId, dist: usize) {
+        self.emitted += 1;
+        self.inner.push(id, dist);
+    }
+
+    fn bound(&self, tau: usize) -> usize {
+        self.inner.bound(tau)
+    }
+
+    fn saturated(&self) -> bool {
+        self.inner.saturated()
+    }
+
+    fn note_candidate(&mut self) {
+        self.inner.note_candidate();
+    }
+
+    fn note_verification(&mut self) {
+        self.inner.note_verification();
+    }
+}
+
+/// Replays an already-materialized result into a streaming sink,
+/// honouring its saturation; returns how many matches were emitted.
+fn replay(matches: &[Match], sink: &mut dyn MatchSink) -> usize {
+    let mut emitted = 0usize;
+    for &(id, dist) in matches {
+        if sink.saturated() {
+            break;
+        }
+        sink.push(id, dist);
+        emitted += 1;
+    }
+    emitted
+}
+
+/// Streams one plain view into the caller's sink (no cache involvement):
+/// matches are pushed as verification accepts them.
+fn stream_plain(
+    inner: &Inner,
+    view: ReqView<'_>,
+    plans: &mut PlanSlot,
+    scratch: &mut QueryScratch,
+    sink: &mut dyn MatchSink,
+) -> QueryOutcome {
+    let plan = plans.get(inner, view.query.len(), view.tau);
+    let mut stats = ExecStats::default();
+    let mut counting = EmitCount {
+        inner: sink,
+        emitted: 0,
+    };
+    let completion = run_plan_budgeted(inner, plan, view, scratch, &mut counting, &mut stats);
+    QueryOutcome {
+        matches: Arc::default(),
+        count: counting.emitted,
+        cache: CacheOutcome::Bypass,
+        completion,
+        stats,
+    }
+}
+
+/// [`Queryable::search_streaming`]'s engine entry; see the trait method
+/// for the per-shape semantics.
+fn run_view_streaming(
+    source: &ExecSource<'_>,
+    view: ReqView<'_>,
+    sink: &mut dyn MatchSink,
+    plans: &mut PlanSlot,
+    scratch: &mut QueryScratch,
+) -> QueryOutcome {
+    // Count-only emits nothing: the buffered path *is* the streaming path.
+    if view.count_only {
+        return run_view(source, view, plans, scratch);
+    }
+    // Top-k retention is global, so emission defers to one flush of the
+    // finished heap — including a flush of a derived/cached result.
+    if view.limit.is_some() {
+        let outcome = run_view(source, view, plans, scratch);
+        let emitted = replay(&outcome.matches, sink);
+        return QueryOutcome {
+            count: emitted,
+            matches: Arc::default(),
+            ..outcome
+        };
+    }
+    // Plain: serve hits by replaying the cached result; computed results
+    // stream live and are never stored (the caller's sink may have
+    // steered or truncated the scan in ways the engine cannot see).
+    if view.use_cache {
+        if let Some(cache) = source.cache {
+            if let Some(hit) = lock(cache).lookup(view.query, view.tau, source.epoch) {
+                let emitted = replay(&hit, sink);
+                return QueryOutcome {
+                    count: emitted,
+                    matches: Arc::default(),
+                    cache: CacheOutcome::Hit,
+                    completion: Completion::Complete,
+                    stats: ExecStats::default(),
+                };
+            }
+            let mut outcome = stream_plain(source.inner, view, plans, scratch, sink);
+            outcome.cache = CacheOutcome::Miss;
+            return outcome;
+        }
+    }
+    stream_plain(source.inner, view, plans, scratch, sink)
 }
 
 /// Executes `views` with `threads` workers (callers resolve hints first),

@@ -926,7 +926,7 @@ impl Snapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::{CacheOutcome, CachePolicy, SearchRequest};
+    use crate::request::{CacheOutcome, CachePolicy, ExecStats, SearchRequest};
 
     fn brute(index: &OnlineIndex, query: &[u8], tau: usize) -> Vec<Match> {
         (0..index.inner.strings.len() as u32)
@@ -1096,19 +1096,32 @@ mod tests {
     }
 
     #[test]
-    fn shaped_requests_and_snapshots_bypass_the_cache() {
+    fn shaped_requests_derive_from_cached_full_results() {
         let mut index = OnlineIndex::new(1);
         index.insert(b"shaped entry");
+        // Shaped requests consult the cache but never populate it: a
+        // shaped result must not masquerade as the full answer.
         let limited = SearchRequest::new(b"shaped entry", 1)
             .with_cache(CachePolicy::Use)
             .with_limit(1);
-        assert_eq!(index.search(&limited).cache, CacheOutcome::Bypass);
+        assert_eq!(index.search(&limited).cache, CacheOutcome::Miss);
+        assert_eq!(index.search(&limited).cache, CacheOutcome::Miss);
+        // A plain request stores the full result…
+        let plain = SearchRequest::new(b"shaped entry", 1).with_cache(CachePolicy::Use);
+        let full = index.search(&plain);
+        assert_eq!(full.cache, CacheOutcome::Miss);
+        // …from which shaped requests are then derived without probing.
+        let derived = index.search(&limited);
+        assert_eq!(derived.cache, CacheOutcome::Hit);
+        assert_eq!(derived.stats, ExecStats::default(), "hits probe nothing");
+        assert_eq!(*derived.matches, vec![(0, 0)]);
         let counted = SearchRequest::new(b"shaped entry", 1)
             .with_cache(CachePolicy::Use)
             .count_only();
-        assert_eq!(index.search(&counted).cache, CacheOutcome::Bypass);
+        let count_hit = index.search(&counted);
+        assert_eq!(count_hit.cache, CacheOutcome::Hit);
+        assert_eq!(count_hit.count, full.count);
         // Snapshots have no cache at all.
-        let plain = SearchRequest::new(b"shaped entry", 1).with_cache(CachePolicy::Use);
         assert_eq!(index.snapshot().search(&plain).cache, CacheOutcome::Bypass);
         // And the default policy never consults it.
         assert_eq!(

@@ -21,6 +21,14 @@
 //! * [`Queryable::search_batch`] — batches with *mixed* thresholds and
 //!   shapes, sharing substring-selection work across requests of equal
 //!   `(length, τ)`, multi-threaded on request;
+//! * [`Queryable::search_streaming`] — push-based results: a
+//!   caller-supplied [`MatchSink`] receives each match as verification
+//!   accepts it, instead of a per-query buffer;
+//! * [`ExecBudget`] — per-request execution caps (max verifications /
+//!   candidates, pluggable-clock deadlines); a tripped budget aborts the
+//!   scan and the outcome reports [`Completion::Truncated`] with the
+//!   reason, so partial answers are always distinguishable from exact
+//!   ones (and never cached);
 //! * an LRU result cache invalidated by mutation epoch
 //!   ([`CachePolicy::Use`]);
 //! * [`Snapshot`] — a cheap copy-on-write view for concurrent readers;
@@ -82,10 +90,14 @@ use sj_common::StringId;
 pub use cache::CacheStats;
 pub use exec::Queryable;
 pub use index::{KeyBackend, OnlineIndex, OnlineIndexBuilder, OnlineStats, QueryScratch, Snapshot};
+pub use passjoin::sink::{
+    BudgetSink, CollectSink, CountSink, FnSink, ManualTicks, MatchSink, TickSource, TopKSink,
+    TruncationReason,
+};
 pub use passjoin_persist::PersistError;
 pub use request::{
-    BatchTotals, CacheOutcome, CachePolicy, ExecStats, Parallelism, QueryOutcome, SearchRequest,
-    SearchResponse,
+    BatchTotals, CacheOutcome, CachePolicy, Completion, ExecBudget, ExecStats, Parallelism,
+    QueryOutcome, SearchRequest, SearchResponse,
 };
 
 /// A query match: `(string id, exact edit distance)`.

@@ -13,6 +13,13 @@
 //! behaviour (candidates probed, verifications run, which lane produced
 //! the matches) without global counters.
 //!
+//! Execution can also be *bounded*: an [`ExecBudget`] caps how many
+//! candidates a request may scan and how many verifications it may run
+//! (or attaches a tick-source deadline), and the outcome's
+//! [`Completion`] says whether the answer is exact or was truncated —
+//! and why. Only [`Completion::Complete`] full results ever enter the
+//! query cache.
+//!
 //! ```
 //! use passjoin_online::{OnlineIndex, Queryable, SearchRequest};
 //!
@@ -37,6 +44,8 @@
 use std::borrow::Cow;
 use std::fmt;
 use std::sync::Arc;
+
+use passjoin::sink::{TickSource, TruncationReason};
 
 use crate::Match;
 
@@ -86,6 +95,150 @@ impl Parallelism {
     }
 }
 
+/// Per-request execution caps: the serving layer's tail-latency control.
+///
+/// A budget bounds *work*, not results: at most `max_candidates` scanned
+/// posting entries, at most `max_verifications` edit-distance
+/// computations (short-lane checks and segment-lane cascade entries
+/// alike), and optionally a deadline against a pluggable [`TickSource`]
+/// (so tests stay deterministic — see
+/// [`ManualTicks`](passjoin::sink::ManualTicks)). When a cap trips,
+/// probing aborts through the sink's saturation path and the outcome
+/// reports [`Completion::Truncated`] with the reason. A tripped budget
+/// always means work was actually skipped: a cap of `N` permits exactly
+/// `N` units, and only the `N+1`th unit trips.
+///
+/// An empty budget (no caps, no deadline) is free — the engine skips the
+/// budget adapter entirely.
+///
+/// ```
+/// use passjoin_online::{ExecBudget, SearchRequest};
+///
+/// let req = SearchRequest::new(b"jim gray", 2)
+///     .with_budget(ExecBudget::new().with_max_verifications(1_000));
+/// assert_eq!(req.budget().unwrap().max_verifications(), Some(1_000));
+/// ```
+#[derive(Clone, Default)]
+pub struct ExecBudget {
+    max_verifications: Option<u64>,
+    max_candidates: Option<u64>,
+    deadline: Option<(Arc<dyn TickSource>, u64)>,
+}
+
+impl ExecBudget {
+    /// An unlimited budget; attach caps with the `with_*` adapters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Permits at most `n` verifications (edit-distance computations).
+    pub fn with_max_verifications(mut self, n: u64) -> Self {
+        self.max_verifications = Some(n);
+        self
+    }
+
+    /// Permits at most `n` scanned posting-list candidates.
+    pub fn with_max_candidates(mut self, n: u64) -> Self {
+        self.max_candidates = Some(n);
+        self
+    }
+
+    /// Trips once `source.ticks() >= expires_at` (checked before each
+    /// verification).
+    pub fn with_deadline(mut self, source: Arc<dyn TickSource>, expires_at: u64) -> Self {
+        self.deadline = Some((source, expires_at));
+        self
+    }
+
+    /// The verification cap, if any.
+    pub fn max_verifications(&self) -> Option<u64> {
+        self.max_verifications
+    }
+
+    /// The candidate cap, if any.
+    pub fn max_candidates(&self) -> Option<u64> {
+        self.max_candidates
+    }
+
+    /// The deadline as `(tick source, expiry tick)`, if any.
+    pub fn deadline(&self) -> Option<(&dyn TickSource, u64)> {
+        self.deadline
+            .as_ref()
+            .map(|(source, at)| (source.as_ref(), *at))
+    }
+
+    /// True when no cap or deadline is attached (the engine then runs the
+    /// request exactly as if it carried no budget).
+    pub fn is_unlimited(&self) -> bool {
+        self.max_verifications.is_none() && self.max_candidates.is_none() && self.deadline.is_none()
+    }
+}
+
+impl fmt::Debug for ExecBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecBudget")
+            .field("max_verifications", &self.max_verifications)
+            .field("max_candidates", &self.max_candidates)
+            .field("deadline", &self.deadline.as_ref().map(|(_, at)| *at))
+            .finish()
+    }
+}
+
+impl PartialEq for ExecBudget {
+    fn eq(&self, other: &Self) -> bool {
+        self.max_verifications == other.max_verifications
+            && self.max_candidates == other.max_candidates
+            && match (&self.deadline, &other.deadline) {
+                (None, None) => true,
+                // Tick sources have no content identity; compare by
+                // pointer, like `Arc::ptr_eq`.
+                (Some((a, at_a)), Some((b, at_b))) => {
+                    at_a == at_b && std::ptr::addr_eq(Arc::as_ptr(a), Arc::as_ptr(b))
+                }
+                _ => false,
+            }
+    }
+}
+
+impl Eq for ExecBudget {}
+
+/// Whether a [`QueryOutcome`] is an exact answer or was cut short.
+///
+/// Shape-driven early exits (a full top-k heap, a capped count reaching
+/// its cap) are *part of the requested answer* and still count as
+/// [`Completion::Complete`]; only a tripped [`ExecBudget`] reports
+/// [`Completion::Truncated`]. Truncated results are never stored in the
+/// query cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Completion {
+    /// The scan ran to the end: the answer is exact for the requested
+    /// shape.
+    #[default]
+    Complete,
+    /// The execution budget tripped mid-scan: the answer is a subset of
+    /// the exact one, and at least one unit of work was skipped.
+    Truncated {
+        /// Which budget cap stopped the scan.
+        reason: TruncationReason,
+    },
+}
+
+impl Completion {
+    /// True for [`Completion::Complete`].
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Completion::Complete)
+    }
+}
+
+impl fmt::Display for Completion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Completion::Complete => f.write_str("complete"),
+            Completion::Truncated { reason } => write!(f, "truncated ({reason})"),
+        }
+    }
+}
+
 /// One typed similarity query: the query bytes, its threshold, and the
 /// retrieval/execution options. Build with [`SearchRequest::new`] (owned
 /// bytes, `'static`) or [`SearchRequest::borrowed`] (zero-copy over a
@@ -110,6 +263,7 @@ pub struct SearchRequest<'a> {
     count_only: bool,
     cache: CachePolicy,
     parallelism: Parallelism,
+    budget: Option<ExecBudget>,
 }
 
 impl<'a> SearchRequest<'a> {
@@ -136,6 +290,7 @@ impl<'a> SearchRequest<'a> {
             count_only: false,
             cache: CachePolicy::default(),
             parallelism: Parallelism::default(),
+            budget: None,
         }
     }
 
@@ -180,6 +335,14 @@ impl<'a> SearchRequest<'a> {
         self
     }
 
+    /// Bounds this request's execution (see [`ExecBudget`]); the outcome's
+    /// [`Completion`] reports whether the budget tripped. An unlimited
+    /// budget is equivalent to none.
+    pub fn with_budget(mut self, budget: ExecBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
     /// The query bytes.
     pub fn query(&self) -> &[u8] {
         &self.query
@@ -209,6 +372,11 @@ impl<'a> SearchRequest<'a> {
     pub fn parallelism(&self) -> Parallelism {
         self.parallelism
     }
+
+    /// The execution budget, if any.
+    pub fn budget(&self) -> Option<&ExecBudget> {
+        self.budget.as_ref()
+    }
 }
 
 /// How one request interacted with the query cache.
@@ -218,9 +386,13 @@ pub enum CacheOutcome {
     /// without a cache).
     #[default]
     Bypass,
-    /// Answered from the cache without probing.
+    /// Answered from the cache without probing — directly for plain
+    /// requests, by sort-truncate/len derivation for shaped
+    /// (`limit`/`count_only`) ones.
     Hit,
-    /// Consulted, not found; the computed result was stored.
+    /// Consulted, not found; the request was computed. Plain
+    /// [`Completion::Complete`] results were then stored — shaped,
+    /// truncated, or streamed ones never are.
     Miss,
 }
 
@@ -280,6 +452,9 @@ pub struct QueryOutcome {
     pub count: usize,
     /// How the request interacted with the cache.
     pub cache: CacheOutcome,
+    /// Whether the answer is exact or was truncated by the request's
+    /// [`ExecBudget`].
+    pub completion: Completion,
     /// Execution counters (all zero for a cache hit — nothing was probed).
     pub stats: ExecStats,
 }
@@ -321,6 +496,9 @@ impl SearchResponse {
                 CacheOutcome::Miss => totals.cache_misses += 1,
                 CacheOutcome::Bypass => totals.cache_bypasses += 1,
             }
+            if !outcome.completion.is_complete() {
+                totals.truncated += 1;
+            }
         }
         totals
     }
@@ -340,6 +518,9 @@ pub struct BatchTotals {
     pub cache_misses: usize,
     /// Requests that never consulted the cache.
     pub cache_bypasses: usize,
+    /// Requests whose execution budget tripped
+    /// ([`Completion::Truncated`]).
+    pub truncated: usize,
 }
 
 #[cfg(test)]
@@ -352,13 +533,59 @@ mod tests {
             .with_limit(7)
             .count_only()
             .with_cache(CachePolicy::Use)
-            .with_parallelism(Parallelism::Threads(4));
+            .with_parallelism(Parallelism::Threads(4))
+            .with_budget(ExecBudget::new().with_max_verifications(9));
         assert_eq!(req.query(), b"abc");
         assert_eq!(req.tau(), 3);
         assert_eq!(req.limit(), Some(7));
         assert!(req.is_count_only());
         assert_eq!(req.cache(), CachePolicy::Use);
         assert_eq!(req.parallelism(), Parallelism::Threads(4));
+        assert_eq!(req.budget().unwrap().max_verifications(), Some(9));
+    }
+
+    #[test]
+    fn budget_defaults_and_equality() {
+        use passjoin::sink::ManualTicks;
+
+        let unlimited = ExecBudget::new();
+        assert!(unlimited.is_unlimited());
+        assert_eq!(unlimited, ExecBudget::default());
+
+        let capped = ExecBudget::new()
+            .with_max_verifications(5)
+            .with_max_candidates(100);
+        assert!(!capped.is_unlimited());
+        assert_eq!(capped.max_candidates(), Some(100));
+        assert_ne!(capped, unlimited);
+
+        // Deadlines compare by tick-source identity plus expiry.
+        let clock: Arc<dyn TickSource> = Arc::new(ManualTicks::new());
+        let a = ExecBudget::new().with_deadline(Arc::clone(&clock), 10);
+        let b = ExecBudget::new().with_deadline(Arc::clone(&clock), 10);
+        let c = ExecBudget::new().with_deadline(Arc::clone(&clock), 11);
+        let other: Arc<dyn TickSource> = Arc::new(ManualTicks::new());
+        let d = ExecBudget::new().with_deadline(other, 10);
+        assert!(!a.is_unlimited());
+        assert_eq!(a.deadline().unwrap().1, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        // Debug elides the source but shows the expiry.
+        assert!(format!("{a:?}").contains("10"));
+    }
+
+    #[test]
+    fn completion_reports_and_displays() {
+        use passjoin::sink::TruncationReason;
+
+        assert!(Completion::Complete.is_complete());
+        assert_eq!(Completion::Complete.to_string(), "complete");
+        let truncated = Completion::Truncated {
+            reason: TruncationReason::VerificationCap,
+        };
+        assert!(!truncated.is_complete());
+        assert_eq!(truncated.to_string(), "truncated (verification cap)");
     }
 
     #[test]
@@ -398,6 +625,9 @@ mod tests {
                     matches: Arc::new(vec![(1, 0)]),
                     count: 1,
                     cache: CacheOutcome::Miss,
+                    completion: Completion::Truncated {
+                        reason: passjoin::sink::TruncationReason::Deadline,
+                    },
                     stats: ExecStats {
                         candidates: 5,
                         verifications: 2,
@@ -408,6 +638,7 @@ mod tests {
                     matches: Arc::new(vec![(1, 0)]),
                     count: 1,
                     cache: CacheOutcome::Hit,
+                    completion: Completion::Complete,
                     stats: ExecStats::default(),
                 },
             ],
@@ -416,6 +647,7 @@ mod tests {
         assert_eq!(totals.matches, 2);
         assert_eq!(totals.stats.candidates, 5);
         assert_eq!((totals.cache_hits, totals.cache_misses), (1, 1));
+        assert_eq!(totals.truncated, 1);
         assert_eq!(response.into_matches(), vec![vec![(1, 0)], vec![(1, 0)]]);
     }
 }
