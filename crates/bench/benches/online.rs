@@ -32,14 +32,22 @@
 //! story: budgets trade completeness (reported per request as
 //! `Completion::Truncated`) for a hard ceiling on per-query work.
 //!
+//! The `obs` group measures the observability layer: the same
+//! match-heavy batch with the metrics registry detached (zero-cost
+//! claim) vs. attached, then prints the enabled run's phase attribution
+//! (plan/probe/verify/cache vs. total request time).
+//!
 //! All query groups run through `Queryable::search_batch`, the single
 //! execution path behind every surface since the typed-API redesign.
+
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use datagen::{DatasetKind, DatasetSpec};
 use passjoin::PassJoin;
 use passjoin_online::{
-    CachePolicy, ExecBudget, KeyBackend, OnlineIndex, Parallelism, Queryable, SearchRequest,
+    CachePolicy, EngineObs, ExecBudget, KeyBackend, OnlineIndex, Parallelism, Queryable,
+    SearchRequest,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -344,6 +352,50 @@ fn bench_budget(c: &mut Criterion) {
     group.finish();
 }
 
+/// Observability overhead: the match-heavy `sinks` batch through an index
+/// with no metrics attached (the zero-cost claim — the engine takes the
+/// uninstrumented path) vs. one carrying a live `EngineObs` (phase
+/// timers, counters, trace hook all active). The two sides should be
+/// within noise of each other; the enabled side's phase attribution is
+/// printed afterwards so the "where did the time go" story comes from
+/// the same run as the overhead number.
+fn bench_obs(c: &mut Criterion) {
+    let (strings, queries) = heavy_corpus_and_queries();
+    let plain = OnlineIndex::from_strings(strings.iter(), TAU);
+    let mut observed = OnlineIndex::from_strings(strings.iter(), TAU);
+    let obs = Arc::new(EngineObs::new());
+    observed.set_observability(Some(Arc::clone(&obs)));
+    let reqs = SearchRequest::uniform(&queries, TAU);
+
+    let mut group = c.benchmark_group("obs");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("disabled", queries.len()),
+        &reqs,
+        |b, reqs| b.iter(|| plain.search_batch(reqs)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("enabled", queries.len()),
+        &reqs,
+        |b, reqs| b.iter(|| observed.search_batch(reqs)),
+    );
+    group.finish();
+
+    let reg = obs.registry();
+    let phase = |name: &str| reg.histogram(name).sum();
+    let attributed = phase("passjoin_phase_plan_ns")
+        + phase("passjoin_phase_probe_ns")
+        + phase("passjoin_phase_verify_ns")
+        + phase("passjoin_phase_cache_ns");
+    let total = phase("passjoin_request_ns");
+    eprintln!(
+        "obs/enabled: {} requests, {attributed} of {total} ns attributed to phases ({:.1}%)",
+        reg.counter("passjoin_requests_total").get(),
+        100.0 * attributed as f64 / total.max(1) as f64,
+    );
+}
+
 fn bench_persist(c: &mut Criterion) {
     let strings = corpus_strings();
     let index = OnlineIndex::from_strings(strings.iter(), TAU);
@@ -382,6 +434,7 @@ criterion_group!(
     bench_keys,
     bench_persist,
     bench_sinks,
-    bench_budget
+    bench_budget,
+    bench_obs
 );
 criterion_main!(benches);

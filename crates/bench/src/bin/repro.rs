@@ -15,6 +15,7 @@
 //!   table3   index sizes
 //!   tune-q   ED-Join gram-length sweep (the paper's "tuned q")
 //!   ablation-partition   even vs left-heavy partition (DESIGN.md ablation)
+//!   serve    online serving workload; dumps the metrics registry as JSON
 //!   all      everything above
 //!
 //! options:
@@ -29,15 +30,19 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use datagen::DatasetKind;
+use datagen::{DatasetKind, DatasetSpec};
 use edjoin::EdJoin;
 use passjoin::{PartitionScheme, PassJoin, Selection, Verification};
 use passjoin_bench::harness::{
     corpus, default_cardinality, figure14_join, figure15_roster, selection_only, tuned_q,
 };
 use passjoin_bench::report::Report;
+use passjoin_online::{CachePolicy, EngineObs, OnlineIndex, Queryable, SearchRequest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use sj_common::{SimilarityJoin, StringCollection};
 
 struct Opts {
@@ -370,6 +375,81 @@ fn ablation_partition(opts: &Opts) {
     }
 }
 
+/// `serve`: the online subsystem under a serving-shaped workload with the
+/// observability registry attached. The human table reports per-shape
+/// throughput; the same run's complete metrics registry is written as
+/// machine-readable JSON next to the CSVs (`metrics.json`), so two runs
+/// can be diffed field by field (see README "Observability").
+fn serve(opts: &Opts) {
+    let tau = 2;
+    let n = ((20_000_f64 * opts.scale) as usize).max(100);
+    eprintln!("[repro] generating author corpus, n={n}");
+    let strings = DatasetSpec::new(DatasetKind::Author, n)
+        .with_seed(opts.seed)
+        .generate();
+    // A serving-shaped mix: half exact corpus strings, half mutated
+    // within tau edits, so most queries land at least one match.
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x5e57e);
+    let queries: Vec<Vec<u8>> = (0..(n / 10).max(100))
+        .map(|_| {
+            let s = &strings[rng.gen_range(0..strings.len())];
+            if rng.gen_bool(0.5) {
+                s.clone()
+            } else {
+                datagen::mutate(s, rng.gen_range(1..=tau), &mut rng)
+            }
+        })
+        .collect();
+
+    let obs = Arc::new(EngineObs::new());
+    let mut index = OnlineIndex::from_strings(strings.iter(), tau);
+    index.set_observability(Some(Arc::clone(&obs)));
+
+    let shapes: [(&str, Vec<SearchRequest>); 3] = [
+        ("full", SearchRequest::uniform(&queries, tau)),
+        (
+            "topk-10",
+            SearchRequest::uniform(&queries, tau)
+                .into_iter()
+                .map(|r| r.with_limit(10))
+                .collect(),
+        ),
+        (
+            "cached",
+            SearchRequest::uniform(&queries, tau)
+                .into_iter()
+                .map(|r| r.with_cache(CachePolicy::Use))
+                .collect(),
+        ),
+    ];
+    let mut r = Report::new(
+        "serve-metrics",
+        &["shape", "queries", "matches", "elapsed-s", "queries-per-s"],
+    );
+    for (name, reqs) in &shapes {
+        let started = Instant::now();
+        let totals = index.search_batch(reqs).totals();
+        let elapsed = started.elapsed();
+        r.push_row(vec![
+            (*name).into(),
+            reqs.len().to_string(),
+            totals.matches.to_string(),
+            fmt_secs(elapsed),
+            format!("{:.0}", reqs.len() as f64 / elapsed.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    obs.record_index_stats(&index.stats());
+    opts.emit(&r);
+
+    let path = opts.out.join("metrics.json");
+    let write =
+        std::fs::create_dir_all(&opts.out).and_then(|()| std::fs::write(&path, obs.render_json()));
+    match write {
+        Ok(()) => eprintln!("[repro] wrote {}", path.display()),
+        Err(e) => eprintln!("[repro] warning: could not write metrics.json: {e}"),
+    }
+}
+
 fn slug(kind: DatasetKind) -> &'static str {
     match kind {
         DatasetKind::Author => "author",
@@ -381,7 +461,7 @@ fn slug(kind: DatasetKind) -> &'static str {
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(experiment) = args.next() else {
-        eprintln!("usage: repro <table2|fig11|fig12|fig13|fig14|fig15|fig16|table3|tune-q|all> [--scale F] [--seed N] [--out DIR]");
+        eprintln!("usage: repro <table2|fig11|fig12|fig13|fig14|fig15|fig16|table3|tune-q|ablation-partition|serve|all> [--scale F] [--seed N] [--out DIR]");
         return ExitCode::FAILURE;
     };
     let mut opts = Opts {
@@ -438,6 +518,7 @@ fn main() -> ExitCode {
         "table3" => table3(&opts),
         "tune-q" => tune_q(&opts),
         "ablation-partition" => ablation_partition(&opts),
+        "serve" => serve(&opts),
         "all" => {
             table2(&opts);
             fig11(&opts);
@@ -449,6 +530,7 @@ fn main() -> ExitCode {
             table3(&opts);
             tune_q(&opts);
             ablation_partition(&opts);
+            serve(&opts);
         }
         other => {
             eprintln!("unknown experiment: {other}");

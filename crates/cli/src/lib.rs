@@ -71,11 +71,11 @@ pub const USAGE: &str = "usage:
   simjoin <corpus.txt> --tau N [--algorithm pass|pass-par|ed|trie] [--q N]
           [--threads N] [--out pairs.txt] [--stats]
   simjoin index <corpus.txt> [--tau-max N] [--keys owned|interned]
-          [--save index.snap] [--stats]
+          [--save index.snap] [--stats] [--metrics]
   simjoin query <corpus.txt | --load index.snap> [--tau N] [--tau-max N]
           [--keys owned|interned] [--queries q.txt] [--threads N]
           [--cache N] [--limit K] [--count] [--stream] [--max-verify N]
-          [--stats]
+          [--deadline-ms N] [--stats] [--metrics]
   simjoin repl  <corpus.txt | --load index.snap> [--tau N] [--tau-max N]
           [--keys owned|interned] [--cache N]";
 
@@ -213,8 +213,15 @@ pub struct ServeConfig {
     /// Per-query verification cap (`--max-verify`, query mode); tripped
     /// budgets are reported as truncated in `--stats`.
     pub max_verify: Option<u64>,
+    /// Per-query wall-clock deadline in milliseconds (`--deadline-ms`,
+    /// query mode), measured from the start of the batch; expired
+    /// requests are reported as truncated in `--stats`.
+    pub deadline_ms: Option<u64>,
     /// Print statistics to stderr.
     pub stats: bool,
+    /// Dump the metrics registry (Prometheus text format) to stderr after
+    /// the run (`--metrics`, index/query modes; the repl has `:metrics`).
+    pub metrics: bool,
 }
 
 impl ServeConfig {
@@ -232,7 +239,9 @@ impl ServeConfig {
         let mut count_only = false;
         let mut stream = false;
         let mut max_verify = None;
+        let mut deadline_ms = None;
         let mut stats = false;
+        let mut metrics = false;
 
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -261,6 +270,22 @@ impl ServeConfig {
                         return Err("--max-verify is only valid for the query subcommand".into());
                     }
                     max_verify = Some(take_number(&mut it, "--max-verify")? as u64);
+                }
+                "--deadline-ms" => {
+                    if mode != ServeMode::Query {
+                        return Err("--deadline-ms is only valid for the query subcommand".into());
+                    }
+                    let ms = take_number(&mut it, "--deadline-ms")? as u64;
+                    if ms == 0 {
+                        return Err("--deadline-ms must be at least 1".into());
+                    }
+                    deadline_ms = Some(ms);
+                }
+                "--metrics" => {
+                    if mode == ServeMode::Repl {
+                        return Err("--metrics is for index/query; the repl has :metrics".into());
+                    }
+                    metrics = true;
                 }
                 "--tau-max" => tau_max = Some(take_number(&mut it, "--tau-max")?),
                 "--keys" => {
@@ -352,7 +377,9 @@ impl ServeConfig {
             count_only,
             stream,
             max_verify,
+            deadline_ms,
             stats,
+            metrics,
         })
     }
 
@@ -621,6 +648,37 @@ mod tests {
         assert!(parse_command(&["repl", "a.txt", "--max-verify", "5"]).is_err());
         assert!(parse_command(&["query", "a.txt", "--max-verify"]).is_err());
         assert!(parse_command(&["query", "a.txt", "--max-verify", "x"]).is_err());
+    }
+
+    #[test]
+    fn metrics_and_deadline_flags_parse() {
+        match parse_command(&["query", "a.txt", "--metrics", "--deadline-ms", "250"]).unwrap() {
+            Command::Serve(c) => {
+                assert!(c.metrics);
+                assert_eq!(c.deadline_ms, Some(250));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_command(&["index", "a.txt", "--metrics"]).unwrap() {
+            Command::Serve(c) => assert!(c.metrics),
+            other => panic!("{other:?}"),
+        }
+        // Defaults: no dump, no deadline.
+        match parse_command(&["query", "a.txt"]).unwrap() {
+            Command::Serve(c) => {
+                assert!(!c.metrics);
+                assert_eq!(c.deadline_ms, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        // The repl dumps via :metrics, and deadlines are a query-mode
+        // feature with a required non-zero value.
+        assert!(parse_command(&["repl", "a.txt", "--metrics"]).is_err());
+        assert!(parse_command(&["index", "a.txt", "--deadline-ms", "5"]).is_err());
+        assert!(parse_command(&["repl", "a.txt", "--deadline-ms", "5"]).is_err());
+        assert!(parse_command(&["query", "a.txt", "--deadline-ms"]).is_err());
+        assert!(parse_command(&["query", "a.txt", "--deadline-ms", "0"]).is_err());
+        assert!(parse_command(&["query", "a.txt", "--deadline-ms", "x"]).is_err());
     }
 
     #[test]

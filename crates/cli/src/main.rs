@@ -21,6 +21,10 @@
 //!
 //! # streaming + budgets: emit matches as they verify, cap work per query
 //! simjoin query corpus.txt --tau 2 --queries q.txt --stream --max-verify 1000 --stats
+//!
+//! # observability: wall-clock deadlines, metrics dump after the run
+//! simjoin query corpus.txt --tau 2 --queries q.txt --deadline-ms 250 --stats
+//! simjoin query corpus.txt --tau 2 --queries q.txt --metrics 2> metrics.prom
 //! ```
 //!
 //! Join mode prints one `i<TAB>j` pair of 0-based input line numbers per
@@ -32,11 +36,12 @@
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 use passjoin_online::{
-    CacheOutcome, CachePolicy, Completion, ExecBudget, MatchSink, OnlineIndex, Parallelism,
-    Queryable, SearchRequest, SearchResponse,
+    CacheOutcome, CachePolicy, Completion, EngineObs, ExecBudget, MatchSink, OnlineIndex,
+    Parallelism, Queryable, SearchRequest, SearchResponse, TickSource, WallClockTicks,
 };
 use simjoin_cli::{corpus_lines, Command, Config, IndexSource, ServeConfig, ServeMode, USAGE};
 
@@ -98,7 +103,12 @@ fn write_pairs<W: Write>(pairs: &[(u32, u32)], sink: std::io::Result<W>) -> std:
 }
 
 fn run_serve(config: &ServeConfig) -> ExitCode {
-    let mut index = match obtain_index(config) {
+    // One registry per process: `--metrics` dumps it after the run, and
+    // the repl serves it interactively via `:metrics`. Absent both, no
+    // observability is attached and the engine runs uninstrumented.
+    let obs =
+        (config.metrics || config.mode == ServeMode::Repl).then(|| Arc::new(EngineObs::new()));
+    let mut index = match obtain_index(config, obs.as_ref()) {
         Ok(index) => index,
         Err(message) => {
             eprintln!("simjoin: {message}");
@@ -134,7 +144,7 @@ fn run_serve(config: &ServeConfig) -> ExitCode {
         }
     }
 
-    match config.mode {
+    let code = match config.mode {
         ServeMode::Index => ExitCode::SUCCESS,
         ServeMode::Query => {
             // Loaded snapshots are served read-only through a `Snapshot`;
@@ -150,21 +160,35 @@ fn run_serve(config: &ServeConfig) -> ExitCode {
             };
             run_query_batch(config, tau, source)
         }
-        ServeMode::Repl => run_repl(tau, &mut index),
+        ServeMode::Repl => {
+            let obs = obs
+                .as_ref()
+                .expect("the repl always attaches observability");
+            run_repl(tau, &mut index, obs)
+        }
+    };
+
+    if config.metrics {
+        if let Some(obs) = &obs {
+            obs.record_index_stats(&index.stats());
+            eprint!("{}", obs.render_prometheus());
+        }
     }
+    code
 }
 
 /// Builds the index from the corpus, or loads it from a snapshot —
 /// reporting failures (missing files, corrupt or incompatible snapshots)
 /// as messages, never panics.
-fn obtain_index(config: &ServeConfig) -> Result<OnlineIndex, String> {
+fn obtain_index(config: &ServeConfig, obs: Option<&Arc<EngineObs>>) -> Result<OnlineIndex, String> {
     match &config.source {
         IndexSource::Corpus(corpus) => {
             let text = std::fs::read_to_string(corpus)
                 .map_err(|e| format!("cannot read {}: {e}", corpus.display()))?;
             let lines = corpus_lines(&text);
             let built = Instant::now();
-            let index = config.build_index(&lines);
+            let mut index = config.build_index(&lines);
+            index.set_observability(obs.map(Arc::clone));
             if config.stats || config.mode == ServeMode::Index {
                 let s = index.stats();
                 eprintln!(
@@ -183,8 +207,13 @@ fn obtain_index(config: &ServeConfig) -> Result<OnlineIndex, String> {
         }
         IndexSource::Snapshot(snapshot) => {
             let started = Instant::now();
-            let mut index = OnlineIndex::load(snapshot)
-                .map_err(|e| format!("cannot load snapshot {}: {e}", snapshot.display()))?;
+            // `load_with` also attributes the load itself (read/decode/
+            // validate timings, section bytes) to the registry.
+            let mut index = match obs {
+                Some(obs) => OnlineIndex::load_with(snapshot, Arc::clone(obs)),
+                None => OnlineIndex::load(snapshot),
+            }
+            .map_err(|e| format!("cannot load snapshot {}: {e}", snapshot.display()))?;
             index.set_cache_capacity(config.cache);
             if config.stats {
                 let s = index.stats();
@@ -235,9 +264,25 @@ fn run_query_batch(config: &ServeConfig, tau: usize, source: &dyn Queryable) -> 
         1 => Parallelism::Serial,
         n => Parallelism::Threads(n),
     };
-    let budget = config
-        .max_verify
-        .map(|n| ExecBudget::new().with_max_verifications(n));
+    // The deadline is absolute — `--deadline-ms N` means "N ms after the
+    // batch starts", shared by every request, so a slow prefix leaves the
+    // tail less time (the serving-latency semantics, not per-query slack).
+    let ticker = config
+        .deadline_ms
+        .map(|_| Arc::new(WallClockTicks::millis()));
+    let budget = if config.max_verify.is_some() || config.deadline_ms.is_some() {
+        let mut budget = ExecBudget::new();
+        if let Some(n) = config.max_verify {
+            budget = budget.with_max_verifications(n);
+        }
+        if let (Some(ms), Some(ticker)) = (config.deadline_ms, &ticker) {
+            let source: Arc<dyn TickSource> = Arc::clone(ticker) as Arc<dyn TickSource>;
+            budget = budget.with_deadline(source, ticker.ticks() + ms);
+        }
+        Some(budget)
+    } else {
+        None
+    };
     let requests: Vec<SearchRequest> = queries
         .iter()
         .map(|q| {
@@ -376,10 +421,11 @@ const REPL_HELP: &str = "commands:
   :add TEXT   insert a string, printing its id
   :rm ID      remove a string by id
   :stats      print index, cache, and truncation statistics
+  :metrics    dump the metrics registry (Prometheus text format)
   :help       this message
   :quit       exit";
 
-fn run_repl(tau: usize, index: &mut OnlineIndex) -> ExitCode {
+fn run_repl(tau: usize, index: &mut OnlineIndex, obs: &Arc<EngineObs>) -> ExitCode {
     let mut tau = tau;
     let mut limit: Option<usize> = None;
     let mut count_only = false;
@@ -458,6 +504,10 @@ fn run_repl(tau: usize, index: &mut OnlineIndex) -> ExitCode {
                         index.stats(),
                         index.cache_stats()
                     );
+                }
+                "metrics" => {
+                    obs.record_index_stats(&index.stats());
+                    print!("{}", obs.render_prometheus());
                 }
                 other => println!("error: unknown command :{other} (:help)"),
             }

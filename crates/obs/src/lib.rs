@@ -1,0 +1,761 @@
+//! **passjoin-obs** — observability primitives for the Pass-Join engine.
+//!
+//! Everything here is `std`-only and dependency-free so the whole
+//! workspace (core, online, persist, CLI, bench) can report through one
+//! substrate without pulling an external metrics stack:
+//!
+//! * [`Counter`] / [`Gauge`] — lock-free atomic scalars shared by handle;
+//! * [`Histogram`] — fixed-bucket log₂-scale distribution (atomic bucket
+//!   counts plus exact `sum`/`count`), sized for nanosecond timings and
+//!   byte counts alike;
+//! * [`Registry`] — names metrics once, hands out cloneable handles, and
+//!   renders the whole set as Prometheus text exposition
+//!   ([`Registry::render_prometheus`]) or deterministic JSON
+//!   ([`Registry::render_json`]);
+//! * [`Clock`] / [`Span`] — a pluggable monotonic time source and a phase
+//!   timer recording elapsed nanoseconds into a histogram;
+//! * [`TraceSink`] / [`TraceEvent`] — a structured event hook the engine
+//!   fires at plan/probe/verify/cache/flush boundaries, default no-op.
+//!
+//! Increment paths never take a lock: registration is the only guarded
+//! operation, and handles are `Arc`-shared atomics after that. Rendering
+//! iterates a sorted map, so two dumps of identical state are
+//! byte-identical — diffable with ordinary text tools.
+//!
+//! ```
+//! use passjoin_obs::Registry;
+//!
+//! let registry = Registry::new();
+//! let requests = registry.counter("requests_total");
+//! let latency = registry.histogram("request_ns");
+//! requests.inc(1);
+//! latency.observe(1_500);
+//! let dump = registry.render_prometheus();
+//! assert!(dump.contains("requests_total 1"));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Number of finite histogram buckets. Bucket `i` covers values whose bit
+/// length is `i + 1`, i.e. `value <= 2^(i+1) - 1`; anything wider lands in
+/// the implicit `+Inf` bucket. 40 buckets span `[0, 2^40)` — about 18
+/// minutes in nanoseconds, or a terabyte in bytes.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A monotonically increasing `u64` metric, shared by cloneable handle.
+///
+/// Increments are single relaxed atomic adds — safe and cheap from any
+/// thread, including parallel batch workers.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A standalone counter not tied to a [`Registry`].
+    pub fn new() -> Self {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn inc(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A settable signed scalar metric (sizes, epochs, occupancy), shared by
+/// cloneable handle.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A standalone gauge not tied to a [`Registry`].
+    pub fn new() -> Self {
+        Gauge(Arc::new(AtomicI64::new(0)))
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative) to the gauge.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    /// Observations wider than the last finite bucket (`+Inf`).
+    overflow: AtomicU64,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket log₂-scale histogram, shared by cloneable handle.
+///
+/// Bucket boundaries are powers of two minus one (`le = 1, 3, 7, 15, …`):
+/// an observation lands in the bucket indexed by its bit length, so
+/// recording is a couple of relaxed atomic adds and one `leading_zeros` —
+/// no floating point, no lock. `sum` and `count` are exact; the buckets
+/// give the shape.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// A standalone histogram not tied to a [`Registry`].
+    pub fn new() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            overflow: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        let inner = &*self.0;
+        let idx = (u64::BITS - value.leading_zeros()).saturating_sub(1) as usize;
+        match inner.buckets.get(idx) {
+            Some(bucket) => bucket.fetch_add(1, Ordering::Relaxed),
+            None => inner.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket `(inclusive upper bound, count)` pairs for the finite
+    /// buckets, plus the overflow count as the final `(u64::MAX, n)` entry.
+    /// Counts are *not* cumulative (rendering cumulates for Prometheus).
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        let inner = &*self.0;
+        let mut out: Vec<(u64, u64)> = (0..HISTOGRAM_BUCKETS)
+            .map(|i| {
+                let le = (2u64 << i) - 1;
+                (le, inner.buckets[i].load(Ordering::Relaxed))
+            })
+            .collect();
+        out.push((u64::MAX, inner.overflow.load(Ordering::Relaxed)));
+        out
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named collection of metrics.
+///
+/// Registration (the first [`Registry::counter`] / [`Registry::gauge`] /
+/// [`Registry::histogram`] call for a name) takes a short-lived lock;
+/// every call after that returns a clone of the existing handle, and all
+/// increments on handles are lock-free. Asking for an existing name with
+/// a *different* metric kind panics — that is a naming bug, not a runtime
+/// condition.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        metrics.entry(name.to_owned()).or_insert_with(make).clone()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.register(name, || Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.register(name, || Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match self.register(name, || Metric::Histogram(Histogram::new())) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    fn snapshot(&self) -> BTreeMap<String, Metric> {
+        self.metrics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Renders every metric in Prometheus text-exposition style, sorted by
+    /// name: `# TYPE` lines, plain `name value` samples, and cumulative
+    /// `_bucket{le="…"}` / `_sum` / `_count` series for histograms.
+    pub fn render_prometheus(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for (name, metric) in self.snapshot() {
+            let _ = writeln!(out, "# TYPE {name} {}", metric.kind());
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (le, n) in h.buckets() {
+                        cumulative += n;
+                        if le == u64::MAX {
+                            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                        } else {
+                            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                        }
+                    }
+                    let _ = writeln!(out, "{name}_sum {}", h.sum());
+                    let _ = writeln!(out, "{name}_count {}", h.count());
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders every metric as one deterministic JSON object:
+    /// `{"counters": {..}, "gauges": {..}, "histograms": {..}}`, keys
+    /// sorted by name. Histogram buckets are `[le, count]` pairs with
+    /// non-cumulative counts and `"+Inf"` for the overflow bound. Two
+    /// renders of identical state are byte-identical, so dumps diff
+    /// cleanly.
+    pub fn render_json(&self) -> String {
+        use fmt::Write as _;
+        let mut counters = String::new();
+        let mut gauges = String::new();
+        let mut histograms = String::new();
+        let comma = |s: &mut String| {
+            if !s.is_empty() {
+                s.push(',');
+            }
+        };
+        for (name, metric) in self.snapshot() {
+            let name = json_escape(&name);
+            match metric {
+                Metric::Counter(c) => {
+                    comma(&mut counters);
+                    let _ = write!(counters, "\"{name}\":{}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    comma(&mut gauges);
+                    let _ = write!(gauges, "\"{name}\":{}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    comma(&mut histograms);
+                    let _ = write!(
+                        histograms,
+                        "\"{name}\":{{\"count\":{},\"sum\":{},\"buckets\":[",
+                        h.count(),
+                        h.sum()
+                    );
+                    let mut first = true;
+                    for (le, n) in h.buckets() {
+                        if n == 0 {
+                            continue; // keep dumps small: empty buckets carry no information
+                        }
+                        if !first {
+                            histograms.push(',');
+                        }
+                        first = false;
+                        if le == u64::MAX {
+                            let _ = write!(histograms, "[\"+Inf\",{n}]");
+                        } else {
+                            let _ = write!(histograms, "[{le},{n}]");
+                        }
+                    }
+                    histograms.push_str("]}");
+                }
+            }
+        }
+        format!("{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\"histograms\":{{{histograms}}}}}")
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A monotonic nanosecond time source.
+///
+/// The engine times phases through this trait so tests can substitute a
+/// deterministic clock ([`ManualNanos`]) while production uses the
+/// [`Instant`]-backed [`MonotonicClock`].
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since an arbitrary fixed origin; never decreases.
+    fn now_nanos(&self) -> u64;
+}
+
+/// The production [`Clock`]: nanoseconds since the clock's creation,
+/// measured with [`Instant`].
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock anchored at the current instant.
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_nanos(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A manually advanced [`Clock`] for deterministic tests.
+#[derive(Debug, Default)]
+pub struct ManualNanos(AtomicU64);
+
+impl ManualNanos {
+    /// A clock starting at 0 ns.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `ns` nanoseconds.
+    pub fn advance(&self, ns: u64) {
+        self.0.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Sets the clock to an absolute value.
+    pub fn set(&self, ns: u64) {
+        self.0.store(ns, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualNanos {
+    fn now_nanos(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A phase timer: started on a [`Clock`], records elapsed nanoseconds
+/// into a [`Histogram`] when finished (or when dropped, so early returns
+/// and panics still account their time).
+///
+/// ```
+/// use passjoin_obs::{Histogram, ManualNanos, Span};
+///
+/// let clock = ManualNanos::new();
+/// let hist = Histogram::new();
+/// let span = Span::start(&clock, &hist);
+/// clock.advance(250);
+/// assert_eq!(span.finish(), 250);
+/// assert_eq!(hist.sum(), 250);
+/// ```
+#[must_use = "a span measures until finished or dropped"]
+pub struct Span<'a> {
+    clock: &'a dyn Clock,
+    histogram: &'a Histogram,
+    start: u64,
+    finished: bool,
+}
+
+impl<'a> Span<'a> {
+    /// Starts timing now.
+    pub fn start(clock: &'a dyn Clock, histogram: &'a Histogram) -> Self {
+        Self {
+            clock,
+            histogram,
+            start: clock.now_nanos(),
+            finished: false,
+        }
+    }
+
+    /// Stops the timer, records the elapsed nanoseconds, and returns them.
+    pub fn finish(mut self) -> u64 {
+        self.finished = true;
+        let elapsed = self.clock.now_nanos().saturating_sub(self.start);
+        self.histogram.observe(elapsed);
+        elapsed
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            let elapsed = self.clock.now_nanos().saturating_sub(self.start);
+            self.histogram.observe(elapsed);
+        }
+    }
+}
+
+impl fmt::Debug for Span<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Span").field("start", &self.start).finish()
+    }
+}
+
+/// One structured engine event, fired at a pipeline boundary.
+///
+/// Events are per *request* (or per snapshot operation), never per
+/// candidate — a sink sees a handful of events per query, not one per
+/// inverted-list entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceEvent {
+    /// A length plan is ready: the probing skeleton for `(query_len, tau)`.
+    PlanBuilt {
+        /// Query length in bytes.
+        query_len: u64,
+        /// The request's edit-distance threshold.
+        tau: u64,
+        /// Number of `(length, slot, position)` probe windows in the plan.
+        probes: u64,
+        /// Short-lane ids the plan will brute-force check.
+        short_ids: u64,
+    },
+    /// Probing and verification finished for one request.
+    VerifyFinished {
+        /// Candidates screened (inverted-list occurrences seen).
+        candidates: u64,
+        /// Extension-cascade verifications run.
+        verifications: u64,
+        /// Matches accepted.
+        matches: u64,
+    },
+    /// The result cache was consulted for a request.
+    CacheLookup {
+        /// Whether the lookup hit.
+        hit: bool,
+    },
+    /// A complete full result was stored in the cache.
+    CacheStore,
+    /// A streamed request finished flushing into the caller's sink.
+    Flush {
+        /// Matches emitted to the sink.
+        emitted: u64,
+    },
+    /// A snapshot file was written.
+    SnapshotSaved {
+        /// File length in bytes.
+        bytes: u64,
+    },
+    /// A snapshot file was loaded.
+    SnapshotLoaded {
+        /// File length in bytes.
+        bytes: u64,
+    },
+}
+
+/// A structured trace-event consumer.
+///
+/// The engine calls [`TraceSink::event`] at plan/verify/cache/flush/
+/// snapshot boundaries. Implementations must be cheap and non-blocking —
+/// they run on the query path (parallel batch workers included, hence
+/// `Send + Sync`). The default wiring uses [`NoopTraceSink`]; a no-op
+/// sink must not change any query result (pinned by the online crate's
+/// metrics test suite).
+pub trait TraceSink: Send + Sync {
+    /// Receives one event.
+    fn event(&self, event: TraceEvent);
+}
+
+/// The default [`TraceSink`]: discards every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopTraceSink;
+
+impl TraceSink for NoopTraceSink {
+    fn event(&self, _event: TraceEvent) {}
+}
+
+/// A [`TraceSink`] buffering every event behind a mutex — for tests and
+/// ad-hoc debugging, not for hot production paths.
+#[derive(Debug, Default)]
+pub struct CollectingTraceSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl CollectingTraceSink {
+    /// An empty collecting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drains and returns the events collected so far.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl TraceSink for CollectingTraceSink {
+    fn event(&self, event: TraceEvent) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let registry = Registry::new();
+        let c = registry.counter("c_total");
+        c.inc(2);
+        registry.counter("c_total").inc(3); // same handle by name
+        assert_eq!(c.get(), 5);
+        let g = registry.gauge("g");
+        g.set(-7);
+        g.add(3);
+        assert_eq!(g.get(), -4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let registry = Registry::new();
+        registry.counter("metric");
+        registry.gauge("metric");
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1_000, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        let buckets = h.buckets();
+        assert_eq!(buckets[0], (1, 2), "0 and 1 share the le=1 bucket");
+        assert_eq!(buckets[1], (3, 2), "2 and 3 share the le=3 bucket");
+        assert_eq!(buckets[2], (7, 1));
+        assert_eq!(buckets[9], (1023, 1), "1000 has 10 bits");
+        assert_eq!(
+            buckets.last().copied(),
+            Some((u64::MAX, 1)),
+            "u64::MAX overflows the finite buckets"
+        );
+        assert_eq!(
+            h.sum(),
+            0u64.wrapping_add(1 + 2 + 3 + 4 + 1_000)
+                .wrapping_add(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn prometheus_render_is_cumulative_and_sorted() {
+        let registry = Registry::new();
+        registry.counter("b_total").inc(2);
+        registry.gauge("a").set(1);
+        let h = registry.histogram("lat_ns");
+        h.observe(1);
+        h.observe(5);
+        let dump = registry.render_prometheus();
+        let a = dump.find("# TYPE a gauge").expect("gauge rendered");
+        let b = dump
+            .find("# TYPE b_total counter")
+            .expect("counter rendered");
+        let l = dump
+            .find("# TYPE lat_ns histogram")
+            .expect("histogram rendered");
+        assert!(a < b && b < l, "sorted by name:\n{dump}");
+        assert!(dump.contains("lat_ns_bucket{le=\"1\"} 1"));
+        assert!(
+            dump.contains("lat_ns_bucket{le=\"7\"} 2"),
+            "cumulative:\n{dump}"
+        );
+        assert!(dump.contains("lat_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(dump.contains("lat_ns_sum 6"));
+        assert!(dump.contains("lat_ns_count 2"));
+    }
+
+    #[test]
+    fn json_render_is_deterministic() {
+        let registry = Registry::new();
+        registry.counter("hits_total").inc(3);
+        registry.gauge("live").set(12);
+        registry.histogram("ns").observe(100);
+        let one = registry.render_json();
+        let two = registry.render_json();
+        assert_eq!(one, two);
+        assert_eq!(
+            one,
+            "{\"counters\":{\"hits_total\":3},\"gauges\":{\"live\":12},\
+             \"histograms\":{\"ns\":{\"count\":1,\"sum\":100,\"buckets\":[[127,1]]}}}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_names() {
+        let registry = Registry::new();
+        registry.counter("weird\"name\\").inc(1);
+        assert!(registry.render_json().contains("\"weird\\\"name\\\\\":1"));
+    }
+
+    #[test]
+    fn span_records_on_finish_and_drop() {
+        let clock = ManualNanos::new();
+        let hist = Histogram::new();
+        let span = Span::start(&clock, &hist);
+        clock.advance(40);
+        assert_eq!(span.finish(), 40);
+        {
+            let _span = Span::start(&clock, &hist);
+            clock.advance(2);
+        } // dropped unfinished: still recorded
+        assert_eq!(hist.count(), 2);
+        assert_eq!(hist.sum(), 42);
+    }
+
+    #[test]
+    fn monotonic_clock_advances() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_nanos();
+        let b = clock.now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn collecting_sink_buffers_events() {
+        let sink = CollectingTraceSink::new();
+        sink.event(TraceEvent::CacheLookup { hit: true });
+        sink.event(TraceEvent::Flush { emitted: 3 });
+        assert_eq!(
+            sink.take(),
+            vec![
+                TraceEvent::CacheLookup { hit: true },
+                TraceEvent::Flush { emitted: 3 },
+            ]
+        );
+        assert!(sink.take().is_empty(), "take drains");
+        NoopTraceSink.event(TraceEvent::CacheStore); // compiles, discards
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let registry = Arc::new(Registry::new());
+        let counter = registry.counter("par_total");
+        let hist = registry.histogram("par_ns");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let counter = counter.clone();
+                let hist = hist.clone();
+                scope.spawn(move || {
+                    for i in 0..1_000 {
+                        counter.inc(1);
+                        hist.observe(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), 4_000);
+        assert_eq!(hist.count(), 4_000);
+    }
+}

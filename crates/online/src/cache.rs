@@ -26,6 +26,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use passjoin_obs::Counter;
 use sj_common::hash::FxHashMap;
 
 use crate::Match;
@@ -52,6 +53,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Wholesale drops triggered by a newer mutation epoch.
     pub invalidations: u64,
+    /// Entries displaced by the LRU policy to make room for new ones.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -71,13 +74,25 @@ impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} hits / {} misses / {} invalidations ({:.1}% hit rate)",
+            "{} hits / {} misses / {} invalidations / {} evictions ({:.1}% hit rate)",
             self.hits,
             self.misses,
             self.invalidations,
+            self.evictions,
             self.hit_rate() * 100.0,
         )
     }
+}
+
+/// Registry mirrors of [`CacheStats`]: the cache bumps each counter at
+/// the same site as its stats field, so registry values and `CacheStats`
+/// agree by construction (pinned by the online metrics test suite).
+#[derive(Debug, Clone)]
+pub(crate) struct CacheCounters {
+    pub(crate) hits: Counter,
+    pub(crate) misses: Counter,
+    pub(crate) invalidations: Counter,
+    pub(crate) evictions: Counter,
 }
 
 /// The LRU result cache; see the module docs.
@@ -92,6 +107,8 @@ pub struct QueryCache {
     head: usize,
     tail: usize,
     stats: CacheStats,
+    /// Optional registry mirrors of `stats` (observability attached).
+    counters: Option<CacheCounters>,
 }
 
 impl QueryCache {
@@ -106,6 +123,28 @@ impl QueryCache {
             head: NIL,
             tail: NIL,
             stats: CacheStats::default(),
+            counters: None,
+        }
+    }
+
+    /// Attaches (or clears) registry mirrors of the stats counters.
+    /// Mirrors only see events from this point on; `CacheStats` keeps the
+    /// full lifetime history.
+    pub(crate) fn set_counters(&mut self, counters: Option<CacheCounters>) {
+        self.counters = counters;
+    }
+
+    fn count_hit(&mut self) {
+        self.stats.hits += 1;
+        if let Some(c) = &self.counters {
+            c.hits.inc(1);
+        }
+    }
+
+    fn count_miss(&mut self) {
+        self.stats.misses += 1;
+        if let Some(c) = &self.counters {
+            c.misses.inc(1);
         }
     }
 
@@ -138,12 +177,12 @@ impl QueryCache {
     /// computations do not).
     pub fn lookup(&mut self, query: &[u8], tau: usize, epoch: u64) -> Option<Arc<Vec<Match>>> {
         if self.capacity == 0 {
-            self.stats.misses += 1;
+            self.count_miss();
             return None;
         }
         self.validate(epoch);
         if epoch < self.epoch {
-            self.stats.misses += 1;
+            self.count_miss();
             return None;
         }
         // The map is keyed by (Box<[u8]>, u32), which has no cheap borrowed
@@ -152,13 +191,13 @@ impl QueryCache {
         let key: Key = (query.into(), tau as u32);
         match self.map.get(&key) {
             Some(&slot) => {
-                self.stats.hits += 1;
+                self.count_hit();
                 self.unlink(slot);
                 self.push_front(slot);
                 Some(Arc::clone(&self.nodes[slot].value))
             }
             None => {
-                self.stats.misses += 1;
+                self.count_miss();
                 None
             }
         }
@@ -188,6 +227,10 @@ impl QueryCache {
             let node = &mut self.nodes[lru];
             self.map.remove(&node.key);
             self.free.push(lru);
+            self.stats.evictions += 1;
+            if let Some(c) = &self.counters {
+                c.evictions.inc(1);
+            }
         }
         let node = Node {
             key: key.clone(),
@@ -226,6 +269,9 @@ impl QueryCache {
         if epoch > self.epoch {
             if !self.map.is_empty() {
                 self.stats.invalidations += 1;
+                if let Some(c) = &self.counters {
+                    c.invalidations.inc(1);
+                }
             }
             self.clear(epoch);
         }
@@ -275,10 +321,11 @@ mod tests {
         stats.hits = 3;
         stats.misses = 1;
         stats.invalidations = 2;
+        stats.evictions = 4;
         assert_eq!(stats.hit_rate(), 0.75);
         assert_eq!(
             stats.to_string(),
-            "3 hits / 1 misses / 2 invalidations (75.0% hit rate)"
+            "3 hits / 1 misses / 2 invalidations / 4 evictions (75.0% hit rate)"
         );
     }
 
@@ -296,7 +343,8 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 2,
-                invalidations: 0
+                invalidations: 0,
+                evictions: 0,
             }
         );
     }
@@ -343,6 +391,7 @@ mod tests {
         assert!(cache.lookup(b"b", 0, 0).is_none());
         assert!(cache.lookup(b"c", 0, 0).is_some());
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1, "\"b\" was displaced by LRU");
     }
 
     #[test]

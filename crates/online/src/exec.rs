@@ -40,10 +40,12 @@ use std::sync::{Arc, Mutex};
 use passjoin::online_window;
 use passjoin::partition::{PartitionScheme, SegmentSpec};
 use passjoin::sink::{BudgetSink, CollectSink, CountSink, FnSink, MatchSink, TopKSink};
+use passjoin_obs::TraceEvent;
 use sj_common::StringId;
 
 use crate::cache::QueryCache;
 use crate::index::{Inner, KeyBackend, QueryScratch, SegmentStore};
+use crate::obs::{trace, EngineObs};
 use crate::request::{
     CacheOutcome, CachePolicy, Completion, ExecBudget, ExecStats, Parallelism, QueryOutcome,
     SearchRequest, SearchResponse,
@@ -240,6 +242,35 @@ pub struct ExecSource<'a> {
     pub(crate) inner: &'a Inner,
     pub(crate) epoch: u64,
     pub(crate) cache: Option<&'a Mutex<QueryCache>>,
+    /// Observability bundle; `None` keeps the whole engine uninstrumented
+    /// (one branch per request, nothing on the probe/verify loops).
+    pub(crate) obs: Option<&'a EngineObs>,
+}
+
+/// Per-request phase accumulator for the instrumented path: collects the
+/// explicitly measured plan and cache-lock time (verification time rides
+/// in the scratch's timer, probing is the remainder — see
+/// [`EngineObs::record_request`]).
+struct ReqObs<'a> {
+    obs: &'a EngineObs,
+    plan_ns: u64,
+    cache_ns: u64,
+}
+
+impl ReqObs<'_> {
+    fn time_plan<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let start = self.obs.clock.now_nanos();
+        let out = f();
+        self.plan_ns += self.obs.clock.now_nanos().saturating_sub(start);
+        out
+    }
+
+    fn time_cache<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let start = self.obs.clock.now_nanos();
+        let out = f();
+        self.cache_ns += self.obs.clock.now_nanos().saturating_sub(start);
+        out
+    }
 }
 
 /// The engine-internal view of one request: borrowed bytes plus the shape
@@ -566,6 +597,33 @@ fn run_plan_budgeted<S: MatchSink + ?Sized>(
     }
 }
 
+/// Fetches (building if stale) the view's [`LengthPlan`], attributing the
+/// build time to the plan phase and firing [`TraceEvent::PlanBuilt`] when
+/// the request is instrumented.
+fn timed_plan<'p>(
+    inner: &Inner,
+    view: ReqView<'_>,
+    plans: &'p mut PlanSlot,
+    robs: Option<&mut ReqObs<'_>>,
+) -> &'p LengthPlan {
+    match robs {
+        Some(r) => {
+            let plan = r.time_plan(|| plans.get(inner, view.query.len(), view.tau));
+            trace(
+                r.obs,
+                TraceEvent::PlanBuilt {
+                    query_len: view.query.len() as u64,
+                    tau: view.tau as u64,
+                    probes: plan.probes.len() as u64,
+                    short_ids: plan.short_ids.len() as u64,
+                },
+            );
+            plan
+        }
+        None => plans.get(inner, view.query.len(), view.tau),
+    }
+}
+
 /// Executes one view (no cache involvement), picking the sink from the
 /// request shape.
 fn execute_shaped(
@@ -573,8 +631,9 @@ fn execute_shaped(
     view: ReqView<'_>,
     plans: &mut PlanSlot,
     scratch: &mut QueryScratch,
+    robs: Option<&mut ReqObs<'_>>,
 ) -> QueryOutcome {
-    let plan = plans.get(inner, view.query.len(), view.tau);
+    let plan = timed_plan(inner, view, plans, robs);
     let mut stats = ExecStats::default();
     if view.count_only {
         let mut sink = match view.limit {
@@ -671,27 +730,108 @@ fn run_view(
     plans: &mut PlanSlot,
     scratch: &mut QueryScratch,
 ) -> QueryOutcome {
+    let Some(obs) = source.obs else {
+        return run_view_inner(source, view, plans, scratch, None);
+    };
+    let (outcome, _) = instrumented(obs, scratch, |scratch, robs| {
+        run_view_inner(source, view, plans, scratch, Some(robs))
+    });
+    outcome
+}
+
+/// Brackets one request on the instrumented path: installs the scratch
+/// verify timer, runs `f` with a fresh phase accumulator, and records the
+/// finished request (counters, truncation, phase histograms, the
+/// `VerifyFinished` trace event). Returns the outcome and total wall ns.
+fn instrumented(
+    obs: &EngineObs,
+    scratch: &mut QueryScratch,
+    f: impl FnOnce(&mut QueryScratch, &mut ReqObs<'_>) -> QueryOutcome,
+) -> (QueryOutcome, u64) {
+    let start = obs.clock.now_nanos();
+    scratch.start_verify_timer(Arc::clone(&obs.clock));
+    let mut robs = ReqObs {
+        obs,
+        plan_ns: 0,
+        cache_ns: 0,
+    };
+    let outcome = f(scratch, &mut robs);
+    let verify_ns = scratch.take_verify_ns();
+    let total_ns = obs.clock.now_nanos().saturating_sub(start);
+    obs.record_request(
+        &outcome.stats,
+        &outcome.completion,
+        total_ns,
+        robs.plan_ns,
+        robs.cache_ns,
+        verify_ns,
+    );
+    trace(
+        obs,
+        TraceEvent::VerifyFinished {
+            candidates: outcome.stats.candidates,
+            verifications: outcome.stats.verifications,
+            matches: outcome.stats.segment_matches + outcome.stats.short_matches,
+        },
+    );
+    (outcome, total_ns)
+}
+
+/// [`run_view`] minus the per-request bracketing — the shared body for
+/// both the plain and instrumented paths (and for the shapes
+/// [`run_view_streaming_inner`] answers buffered).
+fn run_view_inner(
+    source: &ExecSource<'_>,
+    view: ReqView<'_>,
+    plans: &mut PlanSlot,
+    scratch: &mut QueryScratch,
+    mut robs: Option<&mut ReqObs<'_>>,
+) -> QueryOutcome {
     if view.use_cache {
         if let Some(cache) = source.cache {
-            if let Some(hit) = lock(cache).lookup(view.query, view.tau, source.epoch) {
+            let hit = match robs.as_deref_mut() {
+                Some(r) => {
+                    let hit =
+                        r.time_cache(|| lock(cache).lookup(view.query, view.tau, source.epoch));
+                    trace(r.obs, TraceEvent::CacheLookup { hit: hit.is_some() });
+                    hit
+                }
+                None => lock(cache).lookup(view.query, view.tau, source.epoch),
+            };
+            if let Some(hit) = hit {
+                if let Some(r) = robs.as_deref_mut() {
+                    if !view.is_plain() {
+                        r.obs.cache_derived_hits.inc(1);
+                    }
+                }
                 return derive_from_cache(view, hit);
             }
             // Compute outside the lock: parallel batch workers must not
             // serialize their probing on the cache mutex.
-            let mut outcome = execute_shaped(source.inner, view, plans, scratch);
+            let mut outcome =
+                execute_shaped(source.inner, view, plans, scratch, robs.as_deref_mut());
             outcome.cache = CacheOutcome::Miss;
             if view.is_plain() && outcome.completion.is_complete() {
-                lock(cache).insert(
-                    view.query,
-                    view.tau,
-                    source.epoch,
-                    Arc::clone(&outcome.matches),
-                );
+                let store = || {
+                    lock(cache).insert(
+                        view.query,
+                        view.tau,
+                        source.epoch,
+                        Arc::clone(&outcome.matches),
+                    )
+                };
+                match robs.as_deref_mut() {
+                    Some(r) => {
+                        r.time_cache(store);
+                        trace(r.obs, TraceEvent::CacheStore);
+                    }
+                    None => store(),
+                }
             }
             return outcome;
         }
     }
-    execute_shaped(source.inner, view, plans, scratch)
+    execute_shaped(source.inner, view, plans, scratch, robs)
 }
 
 /// An adapter counting emissions into a caller-supplied streaming sink;
@@ -746,8 +886,9 @@ fn stream_plain(
     plans: &mut PlanSlot,
     scratch: &mut QueryScratch,
     sink: &mut dyn MatchSink,
+    robs: Option<&mut ReqObs<'_>>,
 ) -> QueryOutcome {
-    let plan = plans.get(inner, view.query.len(), view.tau);
+    let plan = timed_plan(inner, view, plans, robs);
     let mut stats = ExecStats::default();
     let mut counting = EmitCount {
         inner: sink,
@@ -772,14 +913,42 @@ fn run_view_streaming(
     plans: &mut PlanSlot,
     scratch: &mut QueryScratch,
 ) -> QueryOutcome {
+    let Some(obs) = source.obs else {
+        return run_view_streaming_inner(source, view, sink, plans, scratch, None);
+    };
+    let (outcome, _) = instrumented(obs, scratch, |scratch, robs| {
+        run_view_streaming_inner(source, view, sink, plans, scratch, Some(robs))
+    });
+    if !view.count_only {
+        trace(
+            obs,
+            TraceEvent::Flush {
+                emitted: outcome.count as u64,
+            },
+        );
+    }
+    outcome
+}
+
+/// [`run_view_streaming`] minus the per-request bracketing. The buffered
+/// shapes (count-only, top-k) route through [`run_view_inner`] — never
+/// the instrumented [`run_view`] wrapper, which would double-record.
+fn run_view_streaming_inner(
+    source: &ExecSource<'_>,
+    view: ReqView<'_>,
+    sink: &mut dyn MatchSink,
+    plans: &mut PlanSlot,
+    scratch: &mut QueryScratch,
+    mut robs: Option<&mut ReqObs<'_>>,
+) -> QueryOutcome {
     // Count-only emits nothing: the buffered path *is* the streaming path.
     if view.count_only {
-        return run_view(source, view, plans, scratch);
+        return run_view_inner(source, view, plans, scratch, robs);
     }
     // Top-k retention is global, so emission defers to one flush of the
     // finished heap — including a flush of a derived/cached result.
     if view.limit.is_some() {
-        let outcome = run_view(source, view, plans, scratch);
+        let outcome = run_view_inner(source, view, plans, scratch, robs);
         let emitted = replay(&outcome.matches, sink);
         return QueryOutcome {
             count: emitted,
@@ -792,7 +961,16 @@ fn run_view_streaming(
     // steered or truncated the scan in ways the engine cannot see).
     if view.use_cache {
         if let Some(cache) = source.cache {
-            if let Some(hit) = lock(cache).lookup(view.query, view.tau, source.epoch) {
+            let hit = match robs.as_deref_mut() {
+                Some(r) => {
+                    let hit =
+                        r.time_cache(|| lock(cache).lookup(view.query, view.tau, source.epoch));
+                    trace(r.obs, TraceEvent::CacheLookup { hit: hit.is_some() });
+                    hit
+                }
+                None => lock(cache).lookup(view.query, view.tau, source.epoch),
+            };
+            if let Some(hit) = hit {
                 let emitted = replay(&hit, sink);
                 return QueryOutcome {
                     count: emitted,
@@ -802,12 +980,12 @@ fn run_view_streaming(
                     stats: ExecStats::default(),
                 };
             }
-            let mut outcome = stream_plain(source.inner, view, plans, scratch, sink);
+            let mut outcome = stream_plain(source.inner, view, plans, scratch, sink, robs);
             outcome.cache = CacheOutcome::Miss;
             return outcome;
         }
     }
-    stream_plain(source.inner, view, plans, scratch, sink)
+    stream_plain(source.inner, view, plans, scratch, sink, robs)
 }
 
 /// Executes `views` with `threads` workers (callers resolve hints first),

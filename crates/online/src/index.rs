@@ -44,6 +44,7 @@ use sj_common::StringId;
 
 use crate::cache::{CacheStats, QueryCache};
 use crate::exec::{ExecSource, Queryable};
+use crate::obs::EngineObs;
 use crate::Match;
 
 /// Default capacity of the per-index query cache.
@@ -321,6 +322,22 @@ pub struct QueryScratch {
     pub(crate) resolved: StampSet,
     pub(crate) ws: DpWorkspace,
     pub(crate) seg_memo: SegMemo,
+    /// Installed per request by the instrumented engine path; accumulates
+    /// nanoseconds spent inside exact edit-distance verification. `None`
+    /// (observability detached) costs one predictable branch per DP call.
+    pub(crate) vtimer: Option<VerifyTimer>,
+}
+
+/// Accumulates verification time for one instrumented request.
+pub(crate) struct VerifyTimer {
+    clock: Arc<dyn passjoin_obs::Clock>,
+    ns: u64,
+}
+
+impl fmt::Debug for VerifyTimer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VerifyTimer").field("ns", &self.ns).finish()
+    }
 }
 
 impl Default for QueryScratch {
@@ -329,6 +346,7 @@ impl Default for QueryScratch {
             resolved: StampSet::new(0),
             ws: DpWorkspace::new(),
             seg_memo: SegMemo::default(),
+            vtimer: None,
         }
     }
 }
@@ -346,9 +364,29 @@ impl QueryScratch {
         self.seg_memo.begin(query_len);
     }
 
-    /// Exact thresholded edit distance using the scratch DP rows.
+    /// Exact thresholded edit distance using the scratch DP rows. When a
+    /// verify timer is installed (instrumented path), the DP time is
+    /// accumulated into it.
     pub(crate) fn exact_within(&mut self, r: &[u8], s: &[u8], tau: usize) -> Option<usize> {
-        length_aware_within_ws(r, s, tau, &mut self.ws)
+        match &mut self.vtimer {
+            Some(timer) => {
+                let start = timer.clock.now_nanos();
+                let out = length_aware_within_ws(r, s, tau, &mut self.ws);
+                timer.ns += timer.clock.now_nanos().saturating_sub(start);
+                out
+            }
+            None => length_aware_within_ws(r, s, tau, &mut self.ws),
+        }
+    }
+
+    /// Starts accumulating verification time for one request.
+    pub(crate) fn start_verify_timer(&mut self, clock: Arc<dyn passjoin_obs::Clock>) {
+        self.vtimer = Some(VerifyTimer { clock, ns: 0 });
+    }
+
+    /// Stops the verify timer and returns the accumulated nanoseconds.
+    pub(crate) fn take_verify_ns(&mut self) -> u64 {
+        self.vtimer.take().map_or(0, |timer| timer.ns)
     }
 }
 
@@ -535,6 +573,7 @@ pub struct OnlineIndexBuilder {
     tau_max: usize,
     key_backend: KeyBackend,
     cache_capacity: usize,
+    obs: Option<Arc<EngineObs>>,
 }
 
 impl OnlineIndexBuilder {
@@ -543,6 +582,7 @@ impl OnlineIndexBuilder {
             tau_max,
             key_backend: KeyBackend::Owned,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            obs: None,
         }
     }
 
@@ -560,12 +600,26 @@ impl OnlineIndexBuilder {
         self
     }
 
+    /// Attaches an observability bundle: the built index (and every
+    /// snapshot taken from it) records metrics, phase timings, and trace
+    /// events into it. Default: detached — queries pay no instrumentation
+    /// cost beyond one `Option` check per request.
+    pub fn observability(mut self, obs: Arc<EngineObs>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
     /// Builds an empty index.
     pub fn build(self) -> OnlineIndex {
+        let mut cache = QueryCache::new(self.cache_capacity);
+        if let Some(obs) = &self.obs {
+            cache.set_counters(Some(obs.cache_counters()));
+        }
         OnlineIndex {
             inner: Arc::new(Inner::new(self.tau_max, self.key_backend)),
             epoch: 0,
-            cache: Mutex::new(QueryCache::new(self.cache_capacity)),
+            cache: Mutex::new(cache),
+            obs: self.obs,
         }
     }
 
@@ -620,6 +674,8 @@ pub struct OnlineIndex {
     /// Behind a mutex so cached queries work through `&self` (and from
     /// parallel batch workers); uncontended in the common case.
     pub(crate) cache: Mutex<QueryCache>,
+    /// Observability bundle; `None` (the default) disables instrumentation.
+    pub(crate) obs: Option<Arc<EngineObs>>,
 }
 
 impl Queryable for OnlineIndex {
@@ -628,6 +684,7 @@ impl Queryable for OnlineIndex {
             inner: &self.inner,
             epoch: self.epoch,
             cache: Some(&self.cache),
+            obs: self.obs.as_deref(),
         }
     }
 }
@@ -694,7 +751,26 @@ impl OnlineIndex {
     /// [`OnlineIndex::load`](crate::OnlineIndex::load)); prefer
     /// [`OnlineIndex::builder`] when building.
     pub fn set_cache_capacity(&mut self, capacity: usize) {
-        self.cache = Mutex::new(QueryCache::new(capacity));
+        let mut cache = QueryCache::new(capacity);
+        if let Some(obs) = &self.obs {
+            cache.set_counters(Some(obs.cache_counters()));
+        }
+        self.cache = Mutex::new(cache);
+    }
+
+    /// Attaches (or, with `None`, detaches) an observability bundle; see
+    /// [`OnlineIndexBuilder::observability`]. For indices whose
+    /// construction the caller does not control (e.g.
+    /// [`OnlineIndex::load`](crate::OnlineIndex::load)). Snapshots taken
+    /// *after* this call inherit the bundle.
+    pub fn set_observability(&mut self, obs: Option<Arc<EngineObs>>) {
+        crate::exec::lock(&self.cache).set_counters(obs.as_ref().map(|obs| obs.cache_counters()));
+        self.obs = obs;
+    }
+
+    /// The attached observability bundle, if any.
+    pub fn observability(&self) -> Option<&Arc<EngineObs>> {
+        self.obs.as_ref()
     }
 
     /// The largest per-query threshold this index supports.
@@ -825,6 +901,7 @@ impl OnlineIndex {
         Snapshot {
             inner: Arc::clone(&self.inner),
             epoch: self.epoch,
+            obs: self.obs.clone(),
         }
     }
 }
@@ -837,6 +914,8 @@ impl OnlineIndex {
 pub struct Snapshot {
     pub(crate) inner: Arc<Inner>,
     pub(crate) epoch: u64,
+    /// Inherited from the index at snapshot time.
+    pub(crate) obs: Option<Arc<EngineObs>>,
 }
 
 impl Queryable for Snapshot {
@@ -845,6 +924,7 @@ impl Queryable for Snapshot {
             inner: &self.inner,
             epoch: self.epoch,
             cache: None,
+            obs: self.obs.as_deref(),
         }
     }
 }

@@ -35,7 +35,15 @@
 //! * [`Snapshot::save`] / [`OnlineIndex::load`] — durable snapshots: a
 //!   versioned, checksummed on-disk format (`passjoin-persist`) that a
 //!   restarting process loads with zero-copy string-arena views instead
-//!   of re-partitioning the whole corpus.
+//!   of re-partitioning the whole corpus;
+//! * [`EngineObs`] — opt-in observability (`passjoin-obs`, re-exported
+//!   here): a lock-free metrics registry (counters, gauges, log-scale
+//!   phase-duration histograms, Prometheus/JSON dumps) plus a
+//!   [`TraceSink`] hook fired at plan/probe/verify/cache/flush/snapshot
+//!   boundaries. Attach it per index via
+//!   [`OnlineIndex::set_observability`]; with none attached the engine
+//!   takes the uninstrumented path. [`WallClockTicks`] supplies a real
+//!   [`TickSource`] for [`ExecBudget::with_deadline`].
 //!
 //! # Quick start
 //!
@@ -82,6 +90,7 @@
 pub mod cache;
 mod exec;
 mod index;
+pub mod obs;
 mod persist;
 mod request;
 
@@ -90,9 +99,14 @@ use sj_common::StringId;
 pub use cache::CacheStats;
 pub use exec::Queryable;
 pub use index::{KeyBackend, OnlineIndex, OnlineIndexBuilder, OnlineStats, QueryScratch, Snapshot};
+pub use obs::{EngineObs, WallClockTicks};
 pub use passjoin::sink::{
     BudgetSink, CollectSink, CountSink, FnSink, ManualTicks, MatchSink, TickSource, TopKSink,
     TruncationReason,
+};
+pub use passjoin_obs::{
+    Clock, CollectingTraceSink, Counter, Gauge, Histogram, ManualNanos, MonotonicClock,
+    NoopTraceSink, Registry, Span, TraceEvent, TraceSink,
 };
 pub use passjoin_persist::PersistError;
 pub use request::{

@@ -35,10 +35,12 @@
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
+use passjoin_obs::{Histogram, TraceEvent};
 use passjoin_persist::{segmap, Cursor, PersistError, SnapshotFile, SnapshotWriter};
 
 use crate::cache::QueryCache;
 use crate::index::{Inner, KeyBackend, SegmentStore, DEFAULT_CACHE_CAPACITY};
+use crate::obs::{trace, EngineObs};
 use crate::{OnlineIndex, Snapshot};
 
 /// Section ids of the online-snapshot format.
@@ -72,7 +74,27 @@ impl Snapshot {
     /// produces byte-identical files. The segment section matches the
     /// index's key backend, and loading restores that backend.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<u64, PersistError> {
-        save_inner(&self.inner, self.epoch, path.as_ref())
+        save_inner(&self.inner, self.epoch, path.as_ref(), self.obs.as_deref())
+    }
+}
+
+/// Laps a pluggable clock across the save/load phases, attributing each
+/// stretch to the picked histogram.
+struct PhaseTimer<'a> {
+    obs: &'a EngineObs,
+    last: u64,
+}
+
+impl<'a> PhaseTimer<'a> {
+    fn new(obs: &'a EngineObs) -> Self {
+        let last = obs.clock.now_nanos();
+        Self { obs, last }
+    }
+
+    fn lap(&mut self, pick: impl FnOnce(&EngineObs) -> &Histogram) {
+        let now = self.obs.clock.now_nanos();
+        pick(self.obs).observe(now.saturating_sub(self.last));
+        self.last = now;
     }
 }
 
@@ -98,9 +120,32 @@ impl OnlineIndex {
     /// consumed SPANS/SEGMENTS pages are simply evicted by the OS. Callers
     /// that must minimize heap today can rebuild from the corpus instead.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
-        let file = SnapshotFile::open(path.as_ref())?;
+        load_impl(path.as_ref(), None)
+    }
 
-        let mut meta = Cursor::new(file.section(SEC_META)?, "meta section");
+    /// [`OnlineIndex::load`] with observability attached for the load
+    /// itself *and* the returned index: the load's read/decode/validate
+    /// phase timings and section byte counts land in `obs`'s registry,
+    /// and the index comes back instrumented (as if
+    /// [`OnlineIndexBuilder::observability`](crate::OnlineIndexBuilder::observability)
+    /// had been set before building).
+    pub fn load_with(path: impl AsRef<Path>, obs: Arc<EngineObs>) -> Result<Self, PersistError> {
+        let mut index = load_impl(path.as_ref(), Some(&obs))?;
+        index.set_observability(Some(obs));
+        Ok(index)
+    }
+}
+
+fn load_impl(path: &Path, obs: Option<&EngineObs>) -> Result<OnlineIndex, PersistError> {
+    {
+        let mut timer = obs.map(PhaseTimer::new);
+        let file = SnapshotFile::open(path)?;
+        if let Some(t) = timer.as_mut() {
+            t.lap(|o| &o.snapshot_load_read_ns);
+        }
+
+        let meta_payload = file.section(SEC_META)?;
+        let mut meta = Cursor::new(meta_payload, "meta section");
         let tau_max = meta.len64()?;
         let epoch = meta.u64()?;
         let universe = meta.len64()?;
@@ -181,19 +226,23 @@ impl OnlineIndex {
 
         // The longest live string bounds every legal posting length — and,
         // with it, the allocation any hostile segment section can force.
+        let seg_payload_len;
         let segments = match backend {
-            BACKEND_OWNED => SegmentStore::Owned(segmap::decode(
-                file.section(SEC_SEGMENTS)?,
-                tau_max,
-                universe,
-                max_live_len,
-            )?),
-            BACKEND_INTERNED => SegmentStore::Interned(segmap::decode_interned(
-                file.section(SEC_SEGMENTS_INTERNED)?,
-                tau_max,
-                universe,
-                max_live_len,
-            )?),
+            BACKEND_OWNED => {
+                let payload = file.section(SEC_SEGMENTS)?;
+                seg_payload_len = payload.len();
+                SegmentStore::Owned(segmap::decode(payload, tau_max, universe, max_live_len)?)
+            }
+            BACKEND_INTERNED => {
+                let payload = file.section(SEC_SEGMENTS_INTERNED)?;
+                seg_payload_len = payload.len();
+                SegmentStore::Interned(segmap::decode_interned(
+                    payload,
+                    tau_max,
+                    universe,
+                    max_live_len,
+                )?)
+            }
             _ => {
                 return Err(PersistError::Corrupt {
                     context: "unknown key-backend code in the meta section",
@@ -204,6 +253,15 @@ impl OnlineIndex {
             return Err(PersistError::Corrupt {
                 context: "posting count disagrees with the meta section",
             });
+        }
+        if let Some(o) = obs {
+            o.section_meta_bytes.inc(meta_payload.len() as u64);
+            o.section_spans_bytes.inc(spans_payload.len() as u64);
+            o.section_strings_bytes.inc(strings_range.len() as u64);
+            o.section_segments_bytes.inc(seg_payload_len as u64);
+        }
+        if let Some(t) = timer.as_mut() {
+            t.lap(|o| &o.snapshot_load_decode_ns);
         }
         // The online query planner derives probe windows from the even
         // partition; a snapshot with any other scheme would load fine and
@@ -239,21 +297,36 @@ impl OnlineIndex {
             });
         }
 
+        let total_bytes = file.buffer().len() as u64;
         let arena = Arc::clone(file.buffer());
         let inner = Inner::from_loaded_parts(tau_max, arena, spans, segments).map_err(|_| {
             PersistError::Corrupt {
                 context: "snapshot sections are mutually inconsistent",
             }
         })?;
+        if let Some(t) = timer.as_mut() {
+            t.lap(|o| &o.snapshot_load_validate_ns);
+        }
+        if let Some(o) = obs {
+            o.snapshot_load_bytes.inc(total_bytes);
+            trace(o, TraceEvent::SnapshotLoaded { bytes: total_bytes });
+        }
         Ok(OnlineIndex {
             inner: Arc::new(inner),
             epoch,
             cache: Mutex::new(QueryCache::new(DEFAULT_CACHE_CAPACITY)),
+            obs: None,
         })
     }
 }
 
-fn save_inner(inner: &Inner, epoch: u64, path: &Path) -> Result<u64, PersistError> {
+fn save_inner(
+    inner: &Inner,
+    epoch: u64,
+    path: &Path,
+    obs: Option<&EngineObs>,
+) -> Result<u64, PersistError> {
+    let mut timer = obs.map(PhaseTimer::new);
     let universe = inner.universe();
 
     let mut spans = Vec::with_capacity(universe * SPAN_LEN);
@@ -286,19 +359,37 @@ fn save_inner(inner: &Inner, epoch: u64, path: &Path) -> Result<u64, PersistErro
     meta.extend_from_slice(&(arena.len() as u64).to_le_bytes());
     meta.extend_from_slice(&inner.segments().entries().to_le_bytes());
     meta.extend_from_slice(&backend_code.to_le_bytes());
+    if let Some(t) = timer.as_mut() {
+        t.lap(|o| &o.snapshot_save_sections_ns);
+    }
+
+    let (seg_id, seg_payload) = match inner.segments() {
+        SegmentStore::Owned(map) => (SEC_SEGMENTS, segmap::encode(map)),
+        SegmentStore::Interned(index) => (SEC_SEGMENTS_INTERNED, segmap::encode_interned(index)),
+    };
+    if let Some(t) = timer.as_mut() {
+        t.lap(|o| &o.snapshot_save_encode_ns);
+    }
+    if let Some(o) = obs {
+        o.section_meta_bytes.inc(meta.len() as u64);
+        o.section_spans_bytes.inc(spans.len() as u64);
+        o.section_strings_bytes.inc(arena.len() as u64);
+        o.section_segments_bytes.inc(seg_payload.len() as u64);
+    }
 
     let mut writer = SnapshotWriter::new();
     writer
         .section(SEC_META, meta)
         .section(SEC_SPANS, spans)
-        .section(SEC_STRINGS, arena);
-    match inner.segments() {
-        SegmentStore::Owned(map) => {
-            writer.section(SEC_SEGMENTS, segmap::encode(map));
-        }
-        SegmentStore::Interned(index) => {
-            writer.section(SEC_SEGMENTS_INTERNED, segmap::encode_interned(index));
-        }
+        .section(SEC_STRINGS, arena)
+        .section(seg_id, seg_payload);
+    let bytes = writer.save(path)?;
+    if let Some(t) = timer.as_mut() {
+        t.lap(|o| &o.snapshot_save_write_ns);
     }
-    writer.save(path)
+    if let Some(o) = obs {
+        o.snapshot_save_bytes.inc(bytes);
+        trace(o, TraceEvent::SnapshotSaved { bytes });
+    }
+    Ok(bytes)
 }

@@ -5,6 +5,7 @@ pub use datagen;
 pub use editdist;
 pub use edjoin;
 pub use passjoin;
+pub use passjoin_obs;
 pub use passjoin_online;
 pub use passjoin_persist;
 pub use sj_common;
