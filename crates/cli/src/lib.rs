@@ -6,9 +6,14 @@
 //!
 //! * **join mode** (no subcommand): the original batch self-join —
 //!   `simjoin corpus.txt --tau 2`;
-//! * **serve mode** (`index` / `query` / `repl` subcommands): the online
-//!   subsystem from `passjoin-online` — build a dynamic index over a
-//!   corpus and answer queries against it, batch or interactively.
+//! * **serve mode** (`index` / `query` / `repl` / `serve` subcommands):
+//!   the online subsystem from `passjoin-online` — build a dynamic index
+//!   over a corpus and answer queries against it, batch, interactively,
+//!   or over the network (`serve` speaks the `passjoin-serve` JSONL
+//!   protocol);
+//! * **client mode** (`client` subcommand): query a running `serve`
+//!   endpoint, printing the same `q<TAB>id<TAB>dist` lines as the
+//!   offline `query` subcommand so the two are diffable.
 
 use std::path::PathBuf;
 
@@ -77,7 +82,18 @@ pub const USAGE: &str = "usage:
           [--cache N] [--limit K] [--count] [--stream] [--max-verify N]
           [--deadline-ms N] [--stats] [--metrics]
   simjoin repl  <corpus.txt | --load index.snap> [--tau N] [--tau-max N]
-          [--keys owned|interned] [--cache N]";
+          [--keys owned|interned] [--cache N]
+  simjoin serve <corpus.txt | --load index.snap> [--addr HOST:PORT] [--tau N]
+          [--tau-max N] [--keys owned|interned] [--threads N] [--cache N]
+          [--max-verify-ceiling N] [--deadline-ms N] [--allow-shutdown]
+          [--stats]
+  simjoin client [--addr HOST:PORT] [--queries q.txt] [--tau N] [--limit K]
+          [--count] [--stream] [--max-verify N] [--max-candidates N]
+          [--deadline-ms N] [--batch-max-verify N] [--chunk N] [--stats]
+          [--metrics] [--shutdown]";
+
+/// The address `serve` binds and `client` dials when `--addr` is absent.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7878";
 
 impl Config {
     /// Parses CLI arguments (without the program name).
@@ -165,6 +181,9 @@ pub enum ServeMode {
     Query,
     /// Build the index and serve an interactive query/update session.
     Repl,
+    /// Build the index and serve it over TCP (the `passjoin-serve`
+    /// JSONL protocol).
+    Serve,
 }
 
 /// Where a serve-mode index comes from.
@@ -220,8 +239,18 @@ pub struct ServeConfig {
     /// Print statistics to stderr.
     pub stats: bool,
     /// Dump the metrics registry (Prometheus text format) to stderr after
-    /// the run (`--metrics`, index/query modes; the repl has `:metrics`).
+    /// the run (`--metrics`, index/query modes; the repl has `:metrics`,
+    /// the server has the `metrics` protocol op).
     pub metrics: bool,
+    /// Bind address for `serve` (`--addr`, default [`DEFAULT_ADDR`]).
+    pub addr: String,
+    /// Server-side verification-cap ceiling clamping every network
+    /// query's budget (`--max-verify-ceiling`, serve mode). For serve
+    /// mode `--deadline-ms` is likewise the per-query deadline ceiling.
+    pub max_verify_ceiling: Option<u64>,
+    /// Honour the protocol's `shutdown` op (`--allow-shutdown`, serve
+    /// mode); off by default so remote peers cannot stop the server.
+    pub allow_shutdown: bool,
 }
 
 impl ServeConfig {
@@ -242,6 +271,9 @@ impl ServeConfig {
         let mut deadline_ms = None;
         let mut stats = false;
         let mut metrics = false;
+        let mut addr: Option<String> = None;
+        let mut max_verify_ceiling = None;
+        let mut allow_shutdown = false;
 
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -272,8 +304,11 @@ impl ServeConfig {
                     max_verify = Some(take_number(&mut it, "--max-verify")? as u64);
                 }
                 "--deadline-ms" => {
-                    if mode != ServeMode::Query {
-                        return Err("--deadline-ms is only valid for the query subcommand".into());
+                    if !matches!(mode, ServeMode::Query | ServeMode::Serve) {
+                        return Err(
+                            "--deadline-ms is only valid for the query and serve subcommands"
+                                .into(),
+                        );
                     }
                     let ms = take_number(&mut it, "--deadline-ms")? as u64;
                     if ms == 0 {
@@ -285,7 +320,34 @@ impl ServeConfig {
                     if mode == ServeMode::Repl {
                         return Err("--metrics is for index/query; the repl has :metrics".into());
                     }
+                    if mode == ServeMode::Serve {
+                        return Err(
+                            "--metrics is for index/query; the server has the metrics op".into(),
+                        );
+                    }
                     metrics = true;
+                }
+                "--addr" => {
+                    if mode != ServeMode::Serve {
+                        return Err("--addr is only valid for the serve subcommand".into());
+                    }
+                    addr = Some(it.next().ok_or("--addr requires host:port")?);
+                }
+                "--max-verify-ceiling" => {
+                    if mode != ServeMode::Serve {
+                        return Err(
+                            "--max-verify-ceiling is only valid for the serve subcommand".into(),
+                        );
+                    }
+                    max_verify_ceiling = Some(take_number(&mut it, "--max-verify-ceiling")? as u64);
+                }
+                "--allow-shutdown" => {
+                    if mode != ServeMode::Serve {
+                        return Err(
+                            "--allow-shutdown is only valid for the serve subcommand".into()
+                        );
+                    }
+                    allow_shutdown = true;
                 }
                 "--tau-max" => tau_max = Some(take_number(&mut it, "--tau-max")?),
                 "--keys" => {
@@ -380,6 +442,9 @@ impl ServeConfig {
             deadline_ms,
             stats,
             metrics,
+            addr: addr.unwrap_or_else(|| DEFAULT_ADDR.to_owned()),
+            max_verify_ceiling,
+            allow_shutdown,
         })
     }
 
@@ -410,25 +475,144 @@ impl ServeConfig {
     }
 }
 
-/// A parsed `simjoin` invocation: the legacy join mode or a serve-mode
-/// subcommand.
+/// Parsed `client` command line (`simjoin client …`): query a running
+/// `serve` endpoint over the JSONL protocol. Output matches the offline
+/// `query` subcommand line for line, so the two are directly diffable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Server address (`--addr`, default [`DEFAULT_ADDR`]).
+    pub addr: String,
+    /// Query file (stdin when `None`).
+    pub queries: Option<PathBuf>,
+    /// Per-query threshold (`--tau`; the server's default when absent).
+    pub tau: Option<usize>,
+    /// Top-k limit per query (`--limit`).
+    pub limit: Option<usize>,
+    /// Count-only mode (`--count`): print `q<TAB>n` lines.
+    pub count_only: bool,
+    /// Stream matches in verification order (`--stream`).
+    pub stream: bool,
+    /// Per-query verification cap (`--max-verify`).
+    pub max_verify: Option<u64>,
+    /// Per-query candidate cap (`--max-candidates`).
+    pub max_candidates: Option<u64>,
+    /// Per-query deadline in milliseconds (`--deadline-ms`), measured
+    /// from each request line's receipt at the server.
+    pub deadline_ms: Option<u64>,
+    /// Shared verification budget drained across each request line
+    /// (`--batch-max-verify`): the wire `batch` budget.
+    pub batch_max_verify: Option<u64>,
+    /// Queries per request line (`--chunk`, default 512; the server's
+    /// `max_batch` bounds it from its side).
+    pub chunk: usize,
+    /// Print aggregate totals to stderr (`--stats`).
+    pub stats: bool,
+    /// Scrape and print the server's metrics to stderr after the run
+    /// (`--metrics`).
+    pub metrics: bool,
+    /// Send the `shutdown` op after the queries (`--shutdown`; the
+    /// server must run with `--allow-shutdown`).
+    pub shutdown: bool,
+}
+
+impl ClientConfig {
+    fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut config = ClientConfig {
+            addr: DEFAULT_ADDR.to_owned(),
+            queries: None,
+            tau: None,
+            limit: None,
+            count_only: false,
+            stream: false,
+            max_verify: None,
+            max_candidates: None,
+            deadline_ms: None,
+            batch_max_verify: None,
+            chunk: 512,
+            stats: false,
+            metrics: false,
+            shutdown: false,
+        };
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--addr" => config.addr = it.next().ok_or("--addr requires host:port")?,
+                "--queries" => {
+                    config.queries =
+                        Some(PathBuf::from(it.next().ok_or("--queries requires a path")?));
+                }
+                "--tau" => config.tau = Some(take_number(&mut it, "--tau")?),
+                "--limit" => config.limit = Some(take_number(&mut it, "--limit")?),
+                "--count" => config.count_only = true,
+                "--stream" => config.stream = true,
+                "--max-verify" => {
+                    config.max_verify = Some(take_number(&mut it, "--max-verify")? as u64);
+                }
+                "--max-candidates" => {
+                    config.max_candidates = Some(take_number(&mut it, "--max-candidates")? as u64);
+                }
+                "--deadline-ms" => {
+                    let ms = take_number(&mut it, "--deadline-ms")? as u64;
+                    if ms == 0 {
+                        return Err("--deadline-ms must be at least 1".into());
+                    }
+                    config.deadline_ms = Some(ms);
+                }
+                "--batch-max-verify" => {
+                    config.batch_max_verify =
+                        Some(take_number(&mut it, "--batch-max-verify")? as u64);
+                }
+                "--chunk" => {
+                    config.chunk = take_number(&mut it, "--chunk")?;
+                    if config.chunk == 0 {
+                        return Err("--chunk must be at least 1".into());
+                    }
+                }
+                "--stats" => config.stats = true,
+                "--metrics" => config.metrics = true,
+                "--shutdown" => config.shutdown = true,
+                other if other.starts_with('-') => {
+                    return Err(format!("unknown option '{other}'"));
+                }
+                other => {
+                    return Err(format!(
+                        "unexpected argument '{other}': the client reads queries from --queries \
+                         or stdin"
+                    ));
+                }
+            }
+        }
+        Ok(config)
+    }
+}
+
+/// A parsed `simjoin` invocation: the legacy join mode, a serve-mode
+/// subcommand, or the network client.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
     /// Batch self-join over a corpus (the original mode).
     Join(Config),
-    /// Online subsystem: `index`, `query`, or `repl`.
+    /// Online subsystem: `index`, `query`, `repl`, or `serve`.
     Serve(ServeConfig),
+    /// Network client against a running `serve` endpoint.
+    Client(ClientConfig),
 }
 
 impl Command {
     /// Parses CLI arguments (without the program name). The first argument
-    /// selects a serve-mode subcommand; anything else is join mode.
+    /// selects a serve-mode subcommand or the client; anything else is
+    /// join mode.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut it = args.into_iter().peekable();
         let mode = match it.peek().map(String::as_str) {
             Some("index") => Some(ServeMode::Index),
             Some("query") => Some(ServeMode::Query),
             Some("repl") => Some(ServeMode::Repl),
+            Some("serve") => Some(ServeMode::Serve),
+            Some("client") => {
+                it.next();
+                return Ok(Command::Client(ClientConfig::parse(it)?));
+            }
             _ => None,
         };
         match mode {
@@ -769,6 +953,120 @@ mod tests {
         };
         assert_eq!(c.resolve_tau(3), Ok(3));
         assert!(c.resolve_tau(2).is_err());
+    }
+
+    #[test]
+    fn serve_subcommand_parses_and_gates_its_flags() {
+        match parse_command(&[
+            "serve",
+            "corpus.txt",
+            "--addr",
+            "127.0.0.1:0",
+            "--tau",
+            "1",
+            "--tau-max",
+            "2",
+            "--threads",
+            "4",
+            "--max-verify-ceiling",
+            "5000",
+            "--deadline-ms",
+            "250",
+            "--allow-shutdown",
+        ])
+        .unwrap()
+        {
+            Command::Serve(c) => {
+                assert_eq!(c.mode, ServeMode::Serve);
+                assert_eq!(c.addr, "127.0.0.1:0");
+                assert_eq!((c.tau, c.tau_max), (1, 2));
+                assert_eq!(c.threads, 4);
+                assert_eq!(c.max_verify_ceiling, Some(5000));
+                assert_eq!(c.deadline_ms, Some(250));
+                assert!(c.allow_shutdown);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults: well-known address, no ceilings, shutdown disabled.
+        match parse_command(&["serve", "corpus.txt"]).unwrap() {
+            Command::Serve(c) => {
+                assert_eq!(c.addr, DEFAULT_ADDR);
+                assert_eq!(c.max_verify_ceiling, None);
+                assert!(!c.allow_shutdown);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Serving from a snapshot parses like query's --load.
+        match parse_command(&["serve", "--load", "x.snap"]).unwrap() {
+            Command::Serve(c) => {
+                assert_eq!(c.source, IndexSource::Snapshot(PathBuf::from("x.snap")));
+            }
+            other => panic!("{other:?}"),
+        }
+        // The serve-only flags stay serve-only, and the query-only result
+        // shapes stay out of serve mode.
+        assert!(parse_command(&["query", "a.txt", "--addr", "x:1"]).is_err());
+        assert!(parse_command(&["index", "a.txt", "--max-verify-ceiling", "5"]).is_err());
+        assert!(parse_command(&["query", "a.txt", "--allow-shutdown"]).is_err());
+        assert!(parse_command(&["serve", "a.txt", "--limit", "5"]).is_err());
+        assert!(parse_command(&["serve", "a.txt", "--stream"]).is_err());
+        assert!(parse_command(&["serve", "a.txt", "--metrics"]).is_err());
+        assert!(parse_command(&["serve", "a.txt", "--addr"]).is_err());
+    }
+
+    #[test]
+    fn client_subcommand_parses() {
+        match parse_command(&[
+            "client",
+            "--addr",
+            "10.0.0.1:7878",
+            "--queries",
+            "q.txt",
+            "--tau",
+            "2",
+            "--limit",
+            "5",
+            "--stream",
+            "--max-verify",
+            "100",
+            "--batch-max-verify",
+            "1000",
+            "--chunk",
+            "64",
+            "--stats",
+            "--metrics",
+            "--shutdown",
+        ])
+        .unwrap()
+        {
+            Command::Client(c) => {
+                assert_eq!(c.addr, "10.0.0.1:7878");
+                assert_eq!(c.queries, Some(PathBuf::from("q.txt")));
+                assert_eq!(c.tau, Some(2));
+                assert_eq!(c.limit, Some(5));
+                assert!(c.stream && !c.count_only);
+                assert_eq!(c.max_verify, Some(100));
+                assert_eq!(c.batch_max_verify, Some(1000));
+                assert_eq!(c.chunk, 64);
+                assert!(c.stats && c.metrics && c.shutdown);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults: well-known address, stdin queries, server-side tau.
+        match parse_command(&["client"]).unwrap() {
+            Command::Client(c) => {
+                assert_eq!(c.addr, DEFAULT_ADDR);
+                assert_eq!(c.queries, None);
+                assert_eq!(c.tau, None);
+                assert_eq!(c.chunk, 512);
+            }
+            other => panic!("{other:?}"),
+        }
+        // The client takes no positional corpus, and values are checked.
+        assert!(parse_command(&["client", "corpus.txt"]).is_err());
+        assert!(parse_command(&["client", "--chunk", "0"]).is_err());
+        assert!(parse_command(&["client", "--deadline-ms", "0"]).is_err());
+        assert!(parse_command(&["client", "--bogus"]).is_err());
     }
 
     #[test]

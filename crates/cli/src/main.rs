@@ -40,10 +40,14 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use passjoin_online::{
-    CacheOutcome, CachePolicy, Completion, EngineObs, ExecBudget, MatchSink, OnlineIndex,
-    Parallelism, Queryable, SearchRequest, SearchResponse, TickSource, WallClockTicks,
+    wall_deadline, CacheOutcome, CachePolicy, Completion, EngineObs, ExecBudget, MatchSink,
+    OnlineIndex, Parallelism, Queryable, Registry, SearchRequest, SearchResponse, WallClockTicks,
 };
-use simjoin_cli::{corpus_lines, Command, Config, IndexSource, ServeConfig, ServeMode, USAGE};
+use passjoin_serve::proto::{BudgetSpec, MetricsFormat};
+use passjoin_serve::{Client, Event, QueryOptions, Server, ServerConfig};
+use simjoin_cli::{
+    corpus_lines, ClientConfig, Command, Config, IndexSource, ServeConfig, ServeMode, USAGE,
+};
 
 fn main() -> ExitCode {
     let command = match Command::parse(std::env::args().skip(1)) {
@@ -56,6 +60,7 @@ fn main() -> ExitCode {
     match command {
         Command::Join(config) => run_join(&config),
         Command::Serve(config) => run_serve(&config),
+        Command::Client(config) => run_client(&config),
     }
 }
 
@@ -103,11 +108,17 @@ fn write_pairs<W: Write>(pairs: &[(u32, u32)], sink: std::io::Result<W>) -> std:
 }
 
 fn run_serve(config: &ServeConfig) -> ExitCode {
-    // One registry per process: `--metrics` dumps it after the run, and
-    // the repl serves it interactively via `:metrics`. Absent both, no
-    // observability is attached and the engine runs uninstrumented.
-    let obs =
-        (config.metrics || config.mode == ServeMode::Repl).then(|| Arc::new(EngineObs::new()));
+    // One registry per process: `--metrics` dumps it after the run, the
+    // repl serves it interactively via `:metrics`, and the network
+    // server exposes it through the `metrics` protocol op (engine and
+    // server metrics in one scrape). Absent all three, no observability
+    // is attached and the engine runs uninstrumented.
+    let registry = (config.mode == ServeMode::Serve).then(|| Arc::new(Registry::new()));
+    let obs = match (&registry, config.metrics || config.mode == ServeMode::Repl) {
+        (Some(registry), _) => Some(Arc::new(EngineObs::with_registry(Arc::clone(registry)))),
+        (None, true) => Some(Arc::new(EngineObs::new())),
+        (None, false) => None,
+    };
     let mut index = match obtain_index(config, obs.as_ref()) {
         Ok(index) => index,
         Err(message) => {
@@ -159,6 +170,20 @@ fn run_serve(config: &ServeConfig) -> ExitCode {
                 IndexSource::Corpus(_) => &index,
             };
             run_query_batch(config, tau, source)
+        }
+        ServeMode::Serve => {
+            let snapshot;
+            let source: &(dyn Queryable + Sync) = match &config.source {
+                IndexSource::Snapshot(_) => {
+                    snapshot = index.snapshot();
+                    &snapshot
+                }
+                IndexSource::Corpus(_) => &index,
+            };
+            let registry = registry
+                .as_ref()
+                .expect("serve mode always builds a registry");
+            run_server(config, tau, source, registry)
         }
         ServeMode::Repl => {
             let obs = obs
@@ -276,8 +301,8 @@ fn run_query_batch(config: &ServeConfig, tau: usize, source: &dyn Queryable) -> 
             budget = budget.with_max_verifications(n);
         }
         if let (Some(ms), Some(ticker)) = (config.deadline_ms, &ticker) {
-            let source: Arc<dyn TickSource> = Arc::clone(ticker) as Arc<dyn TickSource>;
-            budget = budget.with_deadline(source, ticker.ticks() + ms);
+            let (source, expires_at) = wall_deadline(ticker, ms);
+            budget = budget.with_deadline(source, expires_at);
         }
         Some(budget)
     } else {
@@ -366,6 +391,198 @@ fn run_query_batch(config: &ServeConfig, tau: usize, source: &dyn Queryable) -> 
             totals.stats,
             truncation_summary(&response),
         );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Serves the index over TCP until shutdown (the protocol op, when
+/// `--allow-shutdown`). The bind line goes to stderr so scripts can wait
+/// for readiness without parsing the query stream.
+fn run_server(
+    config: &ServeConfig,
+    tau: usize,
+    source: &(dyn Queryable + Sync),
+    registry: &Arc<Registry>,
+) -> ExitCode {
+    let server_config = ServerConfig {
+        max_connections: if config.threads == 0 {
+            ServerConfig::default().max_connections
+        } else {
+            config.threads
+        },
+        default_tau: tau,
+        max_verify_ceiling: config.max_verify_ceiling,
+        deadline_ms_ceiling: config.deadline_ms,
+        allow_shutdown: config.allow_shutdown,
+        ..ServerConfig::default()
+    };
+    let server = match Server::bind(config.addr.as_str(), server_config, Arc::clone(registry)) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("simjoin: cannot bind {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => eprintln!(
+            "simjoin: serving on {addr} (tau={tau}, tau_max={}, shutdown op {})",
+            source.tau_max(),
+            if config.allow_shutdown {
+                "enabled"
+            } else {
+                "disabled"
+            },
+        ),
+        Err(e) => {
+            eprintln!("simjoin: cannot resolve bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.run(source) {
+        Ok(()) => {
+            eprintln!("simjoin: server stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("simjoin: server failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Queries a running `serve` endpoint, printing the offline `query`
+/// subcommand's output format: `q<TAB>id<TAB>dist` per match (or
+/// `q<TAB>n` with `--count`), `q` being the 0-based query line number.
+fn run_client(config: &ClientConfig) -> ExitCode {
+    let queries: Vec<Vec<u8>> = match &config.queries {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => corpus_lines(&text),
+            Err(e) => {
+                eprintln!("simjoin: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut lines = Vec::new();
+            for line in std::io::stdin().lock().lines() {
+                match line {
+                    Ok(l) => lines.push(l.into_bytes()),
+                    Err(e) => {
+                        eprintln!("simjoin: stdin read failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            lines
+        }
+    };
+
+    let mut client = match Client::connect(config.addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("simjoin: cannot connect to {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let options = QueryOptions {
+        tau: config.tau,
+        limit: config.limit,
+        count: config.count_only,
+        stream: config.stream,
+        budget: BudgetSpec {
+            max_verify: config.max_verify,
+            max_candidates: config.max_candidates,
+            deadline_ms: config.deadline_ms,
+        },
+        batch: config.batch_max_verify.map(|n| BudgetSpec {
+            max_verify: Some(n),
+            ..BudgetSpec::default()
+        }),
+    };
+
+    let started = Instant::now();
+    let mut totals = (0u64, 0u64, 0u64); // matches, truncated, verifications
+    let stdout = std::io::stdout().lock();
+    let mut w = std::io::BufWriter::new(stdout);
+    for (chunk_index, chunk) in queries.chunks(config.chunk).enumerate() {
+        // Each chunk is one request line; `q` on the wire is the index
+        // within the line, offset back to the global line number here.
+        let base = chunk_index * config.chunk;
+        let events = match client.query(chunk, &options) {
+            Ok(events) => events,
+            Err(e) => {
+                eprintln!("simjoin: request failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for event in events {
+            let written = match event {
+                Event::Match { q, id, d } if !config.count_only => {
+                    writeln!(w, "{}\t{id}\t{d}", base + q as usize)
+                }
+                Event::Eoq { q, n, .. } if config.count_only => {
+                    writeln!(w, "{}\t{n}", base + q as usize)
+                }
+                Event::Match { .. } | Event::Eoq { .. } | Event::Metrics(_) => Ok(()),
+                Event::Done {
+                    matches,
+                    truncated,
+                    verifications,
+                    ..
+                } => {
+                    totals.0 += matches;
+                    totals.1 += truncated;
+                    totals.2 += verifications;
+                    Ok(())
+                }
+                Event::Error { code, msg } => {
+                    eprintln!("simjoin: server error {code}: {msg}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if written.is_err() {
+                eprintln!("simjoin: write failed");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if w.flush().is_err() {
+        return ExitCode::FAILURE;
+    }
+    let elapsed = started.elapsed();
+
+    if config.stats {
+        let per_sec = queries.len() as f64 / elapsed.as_secs_f64().max(f64::EPSILON);
+        eprintln!(
+            "simjoin: {} queries against {}, {} matches in {:.3?} ({:.0} queries/s, \
+             {} verifications{})",
+            queries.len(),
+            config.addr,
+            totals.0,
+            elapsed,
+            per_sec,
+            totals.2,
+            if totals.1 > 0 {
+                format!("; {} truncated", totals.1)
+            } else {
+                String::new()
+            },
+        );
+    }
+    if config.metrics {
+        match client.metrics(MetricsFormat::Prometheus) {
+            Ok(dump) => eprint!("{dump}"),
+            Err(e) => {
+                eprintln!("simjoin: metrics scrape failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if config.shutdown {
+        if let Err(e) = client.shutdown() {
+            eprintln!("simjoin: shutdown failed: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -35,8 +35,23 @@
 //! probing loop aborts through the exact same early-exit path a capped
 //! count uses. A tripped budget therefore *always* means work was
 //! actually skipped.
+//!
+//! Two serving-layer pieces build on those hooks:
+//!
+//! * [`BudgetPool`] — an atomically drained *shared* budget: several
+//!   queries (a whole request batch, possibly on several threads) draw
+//!   their work units from one pool through a per-query
+//!   [`PoolBudgetSink`], so the batch's total work is capped even though
+//!   each query trips — and reports its truncation — individually.
+//! * [`pull_channel`] / [`PullMatchSink`] — a bounded backpressure
+//!   adapter inverting push to pull: verification pushes into a
+//!   fixed-capacity queue and *blocks* when the consumer lags, so a slow
+//!   consumer (a network socket) never forces unbounded buffering; a
+//!   dropped consumer saturates the sink and aborts the scan.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use sj_common::StringId;
 
@@ -404,6 +419,372 @@ impl<S: MatchSink + ?Sized> MatchSink for BudgetSink<'_, S> {
     }
 }
 
+/// A *shared* execution budget drained atomically by several queries at
+/// once — the batch-level counterpart of [`BudgetSink`].
+///
+/// A pool holds the remaining verification/candidate allowance (and an
+/// optional deadline) behind atomics; each query in the batch wraps its
+/// own sink in a [`PoolBudgetSink`] borrowing the pool, so the *sum* of
+/// work across the batch is capped at exactly the pool's caps no matter
+/// how the engine interleaves or parallelizes the queries. Draining is
+/// first-come-first-served: queries that run early (or fast) consume more
+/// of the pool than stragglers — the guarantee is the total, not a fair
+/// split.
+///
+/// Like [`BudgetSink`], a cap of `N` permits exactly `N` units: the
+/// `N+1`th request fails without consuming anything, so a tripped query
+/// always skipped real work.
+pub struct BudgetPool {
+    verifications_left: Option<AtomicU64>,
+    candidates_left: Option<AtomicU64>,
+    deadline: Option<(Arc<dyn TickSource>, u64)>,
+}
+
+impl std::fmt::Debug for BudgetPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BudgetPool")
+            .field("verifications_left", &self.verifications_left())
+            .field("candidates_left", &self.candidates_left())
+            .field("deadline_at", &self.deadline.as_ref().map(|(_, at)| *at))
+            .finish()
+    }
+}
+
+impl BudgetPool {
+    /// An unlimited pool (never denies work until a cap or deadline is
+    /// attached).
+    pub fn new() -> Self {
+        Self {
+            verifications_left: None,
+            candidates_left: None,
+            deadline: None,
+        }
+    }
+
+    /// Permits at most `n` verifications *in total* across every query
+    /// drawing from this pool.
+    pub fn with_max_verifications(mut self, n: u64) -> Self {
+        self.verifications_left = Some(AtomicU64::new(n));
+        self
+    }
+
+    /// Permits at most `n` scanned candidates in total.
+    pub fn with_max_candidates(mut self, n: u64) -> Self {
+        self.candidates_left = Some(AtomicU64::new(n));
+        self
+    }
+
+    /// Denies all further work once `source.ticks() >= expires_at` — a
+    /// whole-batch deadline (checked before each verification, like
+    /// [`BudgetSink`]'s).
+    pub fn with_deadline(mut self, source: Arc<dyn TickSource>, expires_at: u64) -> Self {
+        self.deadline = Some((source, expires_at));
+        self
+    }
+
+    /// True if no cap or deadline is attached (the pool can never trip).
+    pub fn is_unlimited(&self) -> bool {
+        self.verifications_left.is_none()
+            && self.candidates_left.is_none()
+            && self.deadline.is_none()
+    }
+
+    /// Remaining verification allowance (`None` = uncapped).
+    pub fn verifications_left(&self) -> Option<u64> {
+        self.verifications_left
+            .as_ref()
+            .map(|left| left.load(Ordering::Relaxed))
+    }
+
+    /// Remaining candidate allowance (`None` = uncapped).
+    pub fn candidates_left(&self) -> Option<u64> {
+        self.candidates_left
+            .as_ref()
+            .map(|left| left.load(Ordering::Relaxed))
+    }
+
+    /// Claims one unit from `left`, failing (without consuming) at zero.
+    fn take(left: &AtomicU64) -> bool {
+        left.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Claims permission for one verification; on denial reports why.
+    pub fn take_verification(&self) -> Result<(), TruncationReason> {
+        if let Some((source, expires_at)) = &self.deadline {
+            if source.ticks() >= *expires_at {
+                return Err(TruncationReason::Deadline);
+            }
+        }
+        match &self.verifications_left {
+            Some(left) if !Self::take(left) => Err(TruncationReason::VerificationCap),
+            _ => Ok(()),
+        }
+    }
+
+    /// Claims permission for one candidate scan; on denial reports why.
+    pub fn take_candidate(&self) -> Result<(), TruncationReason> {
+        match &self.candidates_left {
+            Some(left) if !Self::take(left) => Err(TruncationReason::CandidateCap),
+            _ => Ok(()),
+        }
+    }
+}
+
+impl Default for BudgetPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One query's view of a shared [`BudgetPool`]: mirrors [`BudgetSink`]
+/// (work hooks ask permission *before* the unit runs; denial saturates
+/// this sink and records the reason locally) but the allowance lives in
+/// the pool, shared with every sibling sink.
+pub struct PoolBudgetSink<'a, S: MatchSink + ?Sized> {
+    inner: &'a mut S,
+    pool: &'a BudgetPool,
+    tripped: Option<TruncationReason>,
+}
+
+impl<'a, S: MatchSink + ?Sized> PoolBudgetSink<'a, S> {
+    /// A sink drawing `inner`'s work allowance from `pool`.
+    pub fn new(inner: &'a mut S, pool: &'a BudgetPool) -> Self {
+        Self {
+            inner,
+            pool,
+            tripped: None,
+        }
+    }
+
+    /// Why the pool stopped *this query's* scan, if it did.
+    pub fn tripped(&self) -> Option<TruncationReason> {
+        self.tripped
+    }
+}
+
+impl<S: MatchSink + ?Sized> MatchSink for PoolBudgetSink<'_, S> {
+    fn push(&mut self, id: StringId, dist: usize) {
+        self.inner.push(id, dist);
+    }
+
+    fn bound(&self, tau: usize) -> usize {
+        self.inner.bound(tau)
+    }
+
+    fn saturated(&self) -> bool {
+        self.tripped.is_some() || self.inner.saturated()
+    }
+
+    fn note_candidate(&mut self) {
+        if self.tripped.is_some() {
+            return;
+        }
+        match self.pool.take_candidate() {
+            Ok(()) => self.inner.note_candidate(),
+            Err(reason) => self.tripped = Some(reason),
+        }
+    }
+
+    fn note_verification(&mut self) {
+        if self.tripped.is_some() {
+            return;
+        }
+        match self.pool.take_verification() {
+            Ok(()) => self.inner.note_verification(),
+            Err(reason) => self.tripped = Some(reason),
+        }
+    }
+}
+
+/// State shared between a [`PullSender`] and its [`PullReceiver`].
+#[derive(Debug)]
+struct PullShared<T> {
+    queue: Mutex<VecDeque<T>>,
+    /// Signalled when the queue shrinks (or the receiver hangs up).
+    not_full: Condvar,
+    /// Signalled when the queue grows (or the sender closes).
+    not_empty: Condvar,
+    /// The receiver was dropped: sends fail, the producer should stop.
+    hung_up: AtomicBool,
+    /// The sender was dropped: the receiver drains and then ends.
+    closed: AtomicBool,
+    capacity: usize,
+    /// Largest queue length ever observed — lets tests pin boundedness.
+    high_water: AtomicU64,
+}
+
+/// A bounded blocking channel built for pull-style result streaming: the
+/// producing side (the engine pushing verified matches) **blocks** when
+/// the queue is full, so the consumer's pace — not the match rate — bounds
+/// memory. Created by [`pull_channel`].
+#[derive(Debug)]
+pub struct PullSender<T> {
+    shared: Arc<PullShared<T>>,
+}
+
+/// The consuming half of [`pull_channel`]; iterate to drain. Dropping it
+/// hangs up: blocked and future sends fail immediately, which a
+/// [`PullMatchSink`] surfaces as saturation so the producing scan aborts.
+#[derive(Debug)]
+pub struct PullReceiver<T> {
+    shared: Arc<PullShared<T>>,
+}
+
+/// A bounded blocking channel; see [`PullSender`]. `capacity` is clamped
+/// to at least 1 (a zero-capacity queue could never transfer anything).
+pub fn pull_channel<T>(capacity: usize) -> (PullSender<T>, PullReceiver<T>) {
+    let shared = Arc::new(PullShared {
+        queue: Mutex::new(VecDeque::new()),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+        hung_up: AtomicBool::new(false),
+        closed: AtomicBool::new(false),
+        capacity: capacity.max(1),
+        high_water: AtomicU64::new(0),
+    });
+    (
+        PullSender {
+            shared: Arc::clone(&shared),
+        },
+        PullReceiver { shared },
+    )
+}
+
+impl<T> PullSender<T> {
+    /// Enqueues `value`, blocking while the queue is at capacity. Fails
+    /// (returning the value) once the receiver has hung up.
+    pub fn send(&self, value: T) -> Result<(), T> {
+        let shared = &*self.shared;
+        if shared.hung_up.load(Ordering::Acquire) {
+            return Err(value);
+        }
+        let mut queue = shared.queue.lock().unwrap();
+        loop {
+            if shared.hung_up.load(Ordering::Acquire) {
+                return Err(value);
+            }
+            if queue.len() < shared.capacity {
+                queue.push_back(value);
+                shared
+                    .high_water
+                    .fetch_max(queue.len() as u64, Ordering::Relaxed);
+                drop(queue);
+                shared.not_empty.notify_one();
+                return Ok(());
+            }
+            queue = shared.not_full.wait(queue).unwrap();
+        }
+    }
+
+    /// True once the receiver was dropped — a non-blocking probe for
+    /// producers that want to stop *between* sends.
+    pub fn is_hung_up(&self) -> bool {
+        self.shared.hung_up.load(Ordering::Acquire)
+    }
+
+    /// Largest queue length ever reached. With a consumer slower than the
+    /// producer this converges to the channel capacity — and never beyond
+    /// it, which is the boundedness guarantee tests pin.
+    pub fn high_water(&self) -> u64 {
+        self.shared.high_water.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> Drop for PullSender<T> {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+        // Wake a receiver blocked on an empty queue so it can end.
+        self.shared.not_empty.notify_all();
+    }
+}
+
+impl<T> PullReceiver<T> {
+    /// Dequeues the next value, blocking while the queue is empty and the
+    /// sender is still alive. `None` once the sender is gone and the
+    /// queue is drained.
+    pub fn recv(&self) -> Option<T> {
+        let shared = &*self.shared;
+        let mut queue = shared.queue.lock().unwrap();
+        loop {
+            if let Some(value) = queue.pop_front() {
+                drop(queue);
+                shared.not_full.notify_one();
+                return Some(value);
+            }
+            if shared.closed.load(Ordering::Acquire) {
+                return None;
+            }
+            queue = shared.not_empty.wait(queue).unwrap();
+        }
+    }
+}
+
+impl<T> Iterator for PullReceiver<T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.recv()
+    }
+}
+
+impl<T> Drop for PullReceiver<T> {
+    fn drop(&mut self) {
+        self.shared.hung_up.store(true, Ordering::Release);
+        // Wake senders blocked on a full queue so they can fail fast.
+        self.shared.not_full.notify_all();
+    }
+}
+
+/// A [`MatchSink`] pushing each verified match into a [`PullSender`] —
+/// the backpressure adapter between the engine's push-based streaming and
+/// a pull-paced consumer (a socket writer). When the consumer hangs up,
+/// the sink saturates, aborting the scan through the standard early-exit
+/// path instead of verifying matches nobody will read.
+pub struct PullMatchSink {
+    tx: PullSender<(StringId, usize)>,
+    disconnected: bool,
+    pushed: u64,
+}
+
+impl PullMatchSink {
+    /// A sink feeding `tx`.
+    pub fn new(tx: PullSender<(StringId, usize)>) -> Self {
+        Self {
+            tx,
+            disconnected: false,
+            pushed: 0,
+        }
+    }
+
+    /// Matches successfully handed to the channel.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// True if the consumer hung up mid-stream (the result is partial
+    /// through no fault of the query's own).
+    pub fn disconnected(&self) -> bool {
+        self.disconnected
+    }
+}
+
+impl MatchSink for PullMatchSink {
+    fn push(&mut self, id: StringId, dist: usize) {
+        if self.disconnected {
+            return;
+        }
+        match self.tx.send((id, dist)) {
+            Ok(()) => self.pushed += 1,
+            Err(_) => self.disconnected = true,
+        }
+    }
+
+    fn saturated(&self) -> bool {
+        self.disconnected || self.tx.is_hung_up()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -538,5 +919,135 @@ mod tests {
         );
         assert_eq!(TruncationReason::CandidateCap.to_string(), "candidate cap");
         assert_eq!(TruncationReason::Deadline.to_string(), "deadline");
+    }
+
+    #[test]
+    fn budget_pool_permits_exactly_the_cap_across_sinks() {
+        let pool = BudgetPool::new().with_max_verifications(5);
+        let mut a_inner = CountSink::new();
+        let mut b_inner = CountSink::new();
+        let mut a = PoolBudgetSink::new(&mut a_inner, &pool);
+        let mut b = PoolBudgetSink::new(&mut b_inner, &pool);
+        // Interleave: 3 units through a, 2 through b — the pool is dry.
+        a.note_verification();
+        b.note_verification();
+        a.note_verification();
+        b.note_verification();
+        a.note_verification();
+        assert!(!a.saturated() && !b.saturated());
+        assert_eq!(pool.verifications_left(), Some(0));
+        // The 6th unit trips whichever sink asks, without consuming.
+        b.note_verification();
+        assert!(b.saturated());
+        assert_eq!(b.tripped(), Some(TruncationReason::VerificationCap));
+        a.note_verification();
+        assert_eq!(a.tripped(), Some(TruncationReason::VerificationCap));
+        assert_eq!(pool.verifications_left(), Some(0));
+    }
+
+    #[test]
+    fn budget_pool_candidate_cap_and_unlimited() {
+        assert!(BudgetPool::new().is_unlimited());
+        let pool = BudgetPool::new().with_max_candidates(1);
+        assert!(!pool.is_unlimited());
+        assert_eq!(pool.take_candidate(), Ok(()));
+        assert_eq!(pool.take_candidate(), Err(TruncationReason::CandidateCap));
+        assert_eq!(pool.take_verification(), Ok(()), "verifications uncapped");
+        assert_eq!(pool.candidates_left(), Some(0));
+        assert_eq!(pool.verifications_left(), None);
+    }
+
+    #[test]
+    fn budget_pool_deadline_denies_verifications() {
+        let clock = Arc::new(ManualTicks::new());
+        let pool = BudgetPool::new().with_deadline(clock.clone(), 2);
+        assert_eq!(pool.take_verification(), Ok(()));
+        clock.set(2);
+        assert_eq!(pool.take_verification(), Err(TruncationReason::Deadline));
+        let mut inner = CountSink::new();
+        let mut sink = PoolBudgetSink::new(&mut inner, &pool);
+        sink.note_verification();
+        assert!(sink.saturated());
+        assert_eq!(sink.tripped(), Some(TruncationReason::Deadline));
+    }
+
+    #[test]
+    fn pool_budget_sink_delegates_matches_and_steering() {
+        let pool = BudgetPool::new().with_max_verifications(10);
+        let mut inner = TopKSink::new(1);
+        let mut sink = PoolBudgetSink::new(&mut inner, &pool);
+        sink.push(4, 2);
+        assert_eq!(sink.bound(5), 2, "inner top-k bound shines through");
+        sink.push(9, 1);
+        assert!(!sink.saturated());
+        assert_eq!(inner.into_matches(), vec![(9, 1)]);
+    }
+
+    #[test]
+    fn pull_channel_transfers_in_order_and_ends() {
+        let (tx, rx) = pull_channel(4);
+        for v in 0..3 {
+            tx.send(v).unwrap();
+        }
+        drop(tx);
+        assert_eq!(rx.collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pull_channel_bounds_the_queue() {
+        let (tx, rx) = pull_channel(2);
+        let producer = std::thread::spawn(move || {
+            for v in 0..100u32 {
+                tx.send(v).unwrap();
+            }
+            tx.high_water()
+        });
+        // Drain slowly enough that the producer must block on capacity.
+        let mut seen = Vec::new();
+        for v in rx {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            seen.push(v);
+        }
+        let high_water = producer.join().unwrap();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        assert!(
+            high_water <= 2,
+            "queue never exceeded capacity: {high_water}"
+        );
+    }
+
+    #[test]
+    fn pull_channel_receiver_drop_fails_senders() {
+        let (tx, rx) = pull_channel(1);
+        tx.send(1).unwrap();
+        assert!(!tx.is_hung_up());
+        drop(rx);
+        assert!(tx.is_hung_up());
+        assert_eq!(tx.send(2), Err(2));
+    }
+
+    #[test]
+    fn pull_channel_receiver_drop_unblocks_a_full_sender() {
+        let (tx, rx) = pull_channel(1);
+        tx.send(0).unwrap();
+        let producer = std::thread::spawn(move || tx.send(1));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(rx); // producer is blocked on a full queue: wake + fail it
+        assert_eq!(producer.join().unwrap(), Err(1));
+    }
+
+    #[test]
+    fn pull_match_sink_streams_and_saturates_on_hangup() {
+        let (tx, rx) = pull_channel(8);
+        let mut sink = PullMatchSink::new(tx);
+        sink.push(1, 0);
+        sink.push(2, 1);
+        assert!(!sink.saturated());
+        assert_eq!(sink.pushed(), 2);
+        drop(rx);
+        assert!(sink.saturated(), "hang-up is visible before the next push");
+        sink.push(3, 0);
+        assert!(sink.disconnected());
+        assert_eq!(sink.pushed(), 2, "post-hangup pushes are dropped");
     }
 }

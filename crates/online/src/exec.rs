@@ -39,7 +39,10 @@ use std::sync::{Arc, Mutex};
 
 use passjoin::online_window;
 use passjoin::partition::{PartitionScheme, SegmentSpec};
-use passjoin::sink::{BudgetSink, CollectSink, CountSink, FnSink, MatchSink, TopKSink};
+use passjoin::sink::{
+    BudgetPool, BudgetSink, CollectSink, CountSink, FnSink, MatchSink, PoolBudgetSink, TopKSink,
+    TruncationReason,
+};
 use passjoin_obs::TraceEvent;
 use sj_common::StringId;
 
@@ -284,6 +287,9 @@ struct ReqView<'a> {
     count_only: bool,
     use_cache: bool,
     budget: Option<&'a ExecBudget>,
+    /// Shared batch pool ([`crate::BatchBudget`]); unlimited pools are
+    /// filtered out like unlimited budgets.
+    pool: Option<&'a BudgetPool>,
 }
 
 impl<'a> ReqView<'a> {
@@ -295,6 +301,10 @@ impl<'a> ReqView<'a> {
             count_only: req.is_count_only(),
             use_cache: req.cache() == CachePolicy::Use,
             budget: req.budget().filter(|b| !b.is_unlimited()),
+            pool: req
+                .batch_budget()
+                .map(|b| b.pool().as_ref())
+                .filter(|p| !p.is_unlimited()),
         }
     }
 
@@ -306,6 +316,7 @@ impl<'a> ReqView<'a> {
             count_only: false,
             use_cache: false,
             budget: None,
+            pool: None,
         }
     }
 
@@ -556,22 +567,18 @@ fn screen_list<S: MatchSink + ?Sized>(
     }
 }
 
-/// Runs one query's plan into `sink`, wrapped in a [`BudgetSink`] when
-/// the view carries a budget, and reports whether the scan completed or
-/// the budget tripped. Unbudgeted views take the raw path — no adapter,
-/// no per-event overhead.
-fn run_plan_budgeted<S: MatchSink + ?Sized>(
+/// Runs one query's plan under the view's per-request [`BudgetSink`];
+/// returns why the *request* budget tripped, if it did (the inner sink —
+/// possibly a [`PoolBudgetSink`] — keeps its own trip state).
+fn run_request_budgeted<S: MatchSink + ?Sized>(
     inner: &Inner,
     plan: &LengthPlan,
     view: ReqView<'_>,
+    budget: &ExecBudget,
     scratch: &mut QueryScratch,
     sink: &mut S,
     stats: &mut ExecStats,
-) -> Completion {
-    let Some(budget) = view.budget else {
-        run_plan(inner, plan, view.query, view.tau, scratch, sink, stats);
-        return Completion::Complete;
-    };
+) -> Option<TruncationReason> {
     let mut budgeted = BudgetSink::new(sink);
     if let Some(n) = budget.max_verifications() {
         budgeted = budgeted.with_max_verifications(n);
@@ -591,7 +598,54 @@ fn run_plan_budgeted<S: MatchSink + ?Sized>(
         &mut budgeted,
         stats,
     );
-    match budgeted.tripped() {
+    budgeted.tripped()
+}
+
+/// Runs one query's plan into `sink`, wrapped in a [`BudgetSink`] when
+/// the view carries a budget and a [`PoolBudgetSink`] when it carries a
+/// shared batch pool (a unit of work must then clear both), and reports
+/// whether the scan completed or a budget tripped. Unbudgeted views take
+/// the raw path — no adapter, no per-event overhead.
+fn run_plan_budgeted<S: MatchSink + ?Sized>(
+    inner: &Inner,
+    plan: &LengthPlan,
+    view: ReqView<'_>,
+    scratch: &mut QueryScratch,
+    sink: &mut S,
+    stats: &mut ExecStats,
+) -> Completion {
+    let tripped = match (view.budget, view.pool) {
+        (None, None) => {
+            run_plan(inner, plan, view.query, view.tau, scratch, sink, stats);
+            None
+        }
+        (Some(budget), None) => {
+            run_request_budgeted(inner, plan, view, budget, scratch, sink, stats)
+        }
+        (budget, Some(pool)) => {
+            let mut pooled = PoolBudgetSink::new(sink, pool);
+            let own = match budget {
+                Some(budget) => {
+                    run_request_budgeted(inner, plan, view, budget, scratch, &mut pooled, stats)
+                }
+                None => {
+                    run_plan(
+                        inner,
+                        plan,
+                        view.query,
+                        view.tau,
+                        scratch,
+                        &mut pooled,
+                        stats,
+                    );
+                    None
+                }
+            };
+            // The request's own trip takes precedence over the pool's.
+            own.or(pooled.tripped())
+        }
+    };
+    match tripped {
         Some(reason) => Completion::Truncated { reason },
         None => Completion::Complete,
     }

@@ -99,9 +99,10 @@ use sj_common::StringId;
 pub use cache::CacheStats;
 pub use exec::Queryable;
 pub use index::{KeyBackend, OnlineIndex, OnlineIndexBuilder, OnlineStats, QueryScratch, Snapshot};
-pub use obs::{EngineObs, WallClockTicks};
+pub use obs::{wall_deadline, EngineObs, WallClockTicks};
 pub use passjoin::sink::{
-    BudgetSink, CollectSink, CountSink, FnSink, ManualTicks, MatchSink, TickSource, TopKSink,
+    pull_channel, BudgetPool, BudgetSink, CollectSink, CountSink, FnSink, ManualTicks, MatchSink,
+    PoolBudgetSink, PullMatchSink, PullReceiver, PullSender, TickSource, TopKSink,
     TruncationReason,
 };
 pub use passjoin_obs::{
@@ -110,8 +111,8 @@ pub use passjoin_obs::{
 };
 pub use passjoin_persist::PersistError;
 pub use request::{
-    BatchTotals, CacheOutcome, CachePolicy, Completion, ExecBudget, ExecStats, Parallelism,
-    QueryOutcome, SearchRequest, SearchResponse,
+    BatchBudget, BatchTotals, CacheOutcome, CachePolicy, Completion, ExecBudget, ExecStats,
+    Parallelism, QueryOutcome, SearchRequest, SearchResponse,
 };
 
 /// A query match: `(string id, exact edit distance)`.

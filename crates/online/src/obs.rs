@@ -355,6 +355,32 @@ impl Drop for WallClockTicks {
     }
 }
 
+/// The deadline `ms` milliseconds from now on `ticks`, as the
+/// `(source, expires_at)` pair [`ExecBudget::with_deadline`] takes —
+/// the one way every surface (CLI `--deadline-ms`, the network server's
+/// per-request deadlines) converts a millisecond budget into tick terms,
+/// so deadline semantics cannot drift between them.
+///
+/// `ticks` should be a long-lived [`WallClockTicks::millis`] source: each
+/// source owns a timer thread, so per-request construction would leak a
+/// thread per request.
+///
+/// [`ExecBudget::with_deadline`]: crate::ExecBudget::with_deadline
+///
+/// ```
+/// use std::sync::Arc;
+/// use passjoin_online::{wall_deadline, ExecBudget, WallClockTicks};
+///
+/// let ticker = Arc::new(WallClockTicks::millis());
+/// let (source, at) = wall_deadline(&ticker, 250);
+/// let budget = ExecBudget::new().with_deadline(source, at);
+/// assert!(!budget.is_unlimited());
+/// ```
+pub fn wall_deadline(ticks: &Arc<WallClockTicks>, ms: u64) -> (Arc<dyn TickSource>, u64) {
+    let expires_at = ticks.ticks().saturating_add(ms);
+    (Arc::clone(ticks) as Arc<dyn TickSource>, expires_at)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

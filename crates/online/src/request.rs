@@ -172,6 +172,51 @@ impl ExecBudget {
     pub fn is_unlimited(&self) -> bool {
         self.max_verifications.is_none() && self.max_candidates.is_none() && self.deadline.is_none()
     }
+
+    /// The intersection of this budget with a `ceiling`: per-cap minimum,
+    /// earliest deadline. The result permits a unit of work only if both
+    /// budgets would — how a server applies its own limits over whatever a
+    /// client asked for (a client can tighten the server's ceiling, never
+    /// widen it).
+    ///
+    /// ```
+    /// use passjoin_online::ExecBudget;
+    ///
+    /// let client = ExecBudget::new().with_max_verifications(1_000_000);
+    /// let ceiling = ExecBudget::new()
+    ///     .with_max_verifications(10_000)
+    ///     .with_max_candidates(50_000);
+    /// let effective = client.clamped_by(&ceiling);
+    /// assert_eq!(effective.max_verifications(), Some(10_000));
+    /// assert_eq!(effective.max_candidates(), Some(50_000));
+    /// ```
+    pub fn clamped_by(&self, ceiling: &ExecBudget) -> ExecBudget {
+        fn min_cap(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+            match (a, b) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (cap, None) | (None, cap) => cap,
+            }
+        }
+        let deadline = match (&self.deadline, &ceiling.deadline) {
+            // Both bounded: keep whichever expires first. Expiry ticks
+            // are only comparable against their own source, so the
+            // source travels with the winning expiry.
+            (Some((a_src, a_at)), Some((b_src, b_at))) => {
+                if a_at <= b_at {
+                    Some((Arc::clone(a_src), *a_at))
+                } else {
+                    Some((Arc::clone(b_src), *b_at))
+                }
+            }
+            (Some(d), None) | (None, Some(d)) => Some(d.clone()),
+            (None, None) => None,
+        };
+        ExecBudget {
+            max_verifications: min_cap(self.max_verifications, ceiling.max_verifications),
+            max_candidates: min_cap(self.max_candidates, ceiling.max_candidates),
+            deadline,
+        }
+    }
 }
 
 impl fmt::Debug for ExecBudget {
@@ -201,6 +246,83 @@ impl PartialEq for ExecBudget {
 }
 
 impl Eq for ExecBudget {}
+
+/// A *shared* execution budget drained by a whole request batch — the
+/// batch-level counterpart of [`ExecBudget`].
+///
+/// Built from an `ExecBudget` spec ([`BatchBudget::new`]), it holds one
+/// atomically drained [`BudgetPool`](passjoin::sink::BudgetPool); every
+/// request carrying a clone of the handle
+/// ([`SearchRequest::with_batch_budget`]) draws its work units from that
+/// single pool, so the batch's *total* candidates/verifications stay
+/// under the caps (and the deadline covers the batch) no matter how the
+/// engine orders or parallelizes the requests. Draining is
+/// first-come-first-served — early and fast requests consume more of the
+/// pool than stragglers; the guarantee is the total, not a fair split.
+///
+/// Each request still reports its own [`Completion`]: a request denied a
+/// unit by the exhausted pool reports [`Completion::Truncated`] with the
+/// pool's reason, while batch-mates that finished before the pool ran
+/// dry stay [`Completion::Complete`]. Composes with a per-request
+/// [`ExecBudget`] — each unit of work must clear both. Cache hits don't
+/// drain the pool (nothing is probed). Like per-request budgets, results
+/// truncated by the pool are never cached.
+///
+/// ```
+/// use passjoin_online::{BatchBudget, ExecBudget, OnlineIndex, Queryable, SearchRequest};
+///
+/// let mut index = OnlineIndex::new(2);
+/// for s in [&b"vldb"[..], b"pvldb", b"sigmod"] {
+///     index.insert(s);
+/// }
+/// let shared = BatchBudget::new(ExecBudget::new().with_max_verifications(1_000));
+/// let batch = [
+///     SearchRequest::new(b"vldb", 2).with_batch_budget(&shared),
+///     SearchRequest::new(b"sigmod", 2).with_batch_budget(&shared),
+/// ];
+/// let response = index.search_batch(&batch);
+/// assert!(response.outcomes.iter().all(|o| o.completion.is_complete()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchBudget {
+    pool: Arc<passjoin::sink::BudgetPool>,
+}
+
+impl BatchBudget {
+    /// A shared pool holding `budget`'s caps and deadline. An unlimited
+    /// `budget` yields a pool that never denies work.
+    pub fn new(budget: ExecBudget) -> Self {
+        let mut pool = passjoin::sink::BudgetPool::new();
+        if let Some(n) = budget.max_verifications {
+            pool = pool.with_max_verifications(n);
+        }
+        if let Some(n) = budget.max_candidates {
+            pool = pool.with_max_candidates(n);
+        }
+        if let Some((source, at)) = budget.deadline {
+            pool = pool.with_deadline(source, at);
+        }
+        Self {
+            pool: Arc::new(pool),
+        }
+    }
+
+    /// The shared pool (one per [`BatchBudget::new`] call; clones of the
+    /// handle all point here).
+    pub fn pool(&self) -> &Arc<passjoin::sink::BudgetPool> {
+        &self.pool
+    }
+}
+
+impl PartialEq for BatchBudget {
+    fn eq(&self, other: &Self) -> bool {
+        // A pool has no content identity — two handles are equal iff they
+        // drain the same pool.
+        Arc::ptr_eq(&self.pool, &other.pool)
+    }
+}
+
+impl Eq for BatchBudget {}
 
 /// Whether a [`QueryOutcome`] is an exact answer or was cut short.
 ///
@@ -264,6 +386,7 @@ pub struct SearchRequest<'a> {
     cache: CachePolicy,
     parallelism: Parallelism,
     budget: Option<ExecBudget>,
+    batch_budget: Option<BatchBudget>,
 }
 
 impl<'a> SearchRequest<'a> {
@@ -291,6 +414,7 @@ impl<'a> SearchRequest<'a> {
             cache: CachePolicy::default(),
             parallelism: Parallelism::default(),
             budget: None,
+            batch_budget: None,
         }
     }
 
@@ -343,6 +467,16 @@ impl<'a> SearchRequest<'a> {
         self
     }
 
+    /// Draws this request's work allowance from a pool shared with every
+    /// other request carrying the same [`BatchBudget`] handle (see
+    /// [`BatchBudget`]). Composes with
+    /// [`with_budget`](Self::with_budget): each unit of work must clear
+    /// both the per-request budget and the shared pool.
+    pub fn with_batch_budget(mut self, budget: &BatchBudget) -> Self {
+        self.batch_budget = Some(budget.clone());
+        self
+    }
+
     /// The query bytes.
     pub fn query(&self) -> &[u8] {
         &self.query
@@ -376,6 +510,11 @@ impl<'a> SearchRequest<'a> {
     /// The execution budget, if any.
     pub fn budget(&self) -> Option<&ExecBudget> {
         self.budget.as_ref()
+    }
+
+    /// The shared batch budget, if any.
+    pub fn batch_budget(&self) -> Option<&BatchBudget> {
+        self.batch_budget.as_ref()
     }
 }
 
@@ -573,6 +712,67 @@ mod tests {
         assert_ne!(a, d);
         // Debug elides the source but shows the expiry.
         assert!(format!("{a:?}").contains("10"));
+    }
+
+    #[test]
+    fn clamped_by_takes_the_minimum_of_caps() {
+        let client = ExecBudget::new()
+            .with_max_verifications(1_000)
+            .with_max_candidates(10);
+        let ceiling = ExecBudget::new()
+            .with_max_verifications(100)
+            .with_max_candidates(50_000);
+        let effective = client.clamped_by(&ceiling);
+        assert_eq!(effective.max_verifications(), Some(100));
+        assert_eq!(effective.max_candidates(), Some(10));
+
+        // A missing cap on either side defers to the other side's.
+        let open = ExecBudget::new();
+        assert_eq!(open.clamped_by(&ceiling).max_verifications(), Some(100));
+        assert_eq!(ceiling.clamped_by(&open).max_verifications(), Some(100));
+        assert!(open.clamped_by(&open).is_unlimited());
+    }
+
+    #[test]
+    fn clamped_by_keeps_the_earliest_deadline() {
+        use passjoin::sink::ManualTicks;
+
+        let clock: Arc<dyn TickSource> = Arc::new(ManualTicks::new());
+        let early = ExecBudget::new().with_deadline(Arc::clone(&clock), 10);
+        let late = ExecBudget::new().with_deadline(Arc::clone(&clock), 99);
+        assert_eq!(early.clamped_by(&late).deadline().unwrap().1, 10);
+        assert_eq!(late.clamped_by(&early).deadline().unwrap().1, 10);
+        let none = ExecBudget::new();
+        assert_eq!(none.clamped_by(&late).deadline().unwrap().1, 99);
+        assert_eq!(late.clamped_by(&none).deadline().unwrap().1, 99);
+    }
+
+    #[test]
+    fn batch_budget_handles_share_one_pool() {
+        let shared = BatchBudget::new(ExecBudget::new().with_max_verifications(3));
+        let clone = shared.clone();
+        assert_eq!(shared, clone, "clones drain the same pool");
+        assert_ne!(
+            shared,
+            BatchBudget::new(ExecBudget::new().with_max_verifications(3)),
+            "equal specs, distinct pools"
+        );
+        // Draining through one handle is visible through the other.
+        assert!(clone.pool().take_verification().is_ok());
+        assert_eq!(shared.pool().verifications_left(), Some(2));
+        // Requests carry the handle.
+        let req = SearchRequest::new(b"q".as_slice(), 1).with_batch_budget(&shared);
+        assert_eq!(req.batch_budget(), Some(&shared));
+        let req2 = req.clone();
+        assert_eq!(req, req2);
+    }
+
+    #[test]
+    fn batch_budget_from_unlimited_spec_never_denies() {
+        let open = BatchBudget::new(ExecBudget::new());
+        assert!(open.pool().is_unlimited());
+        assert!(open.pool().take_verification().is_ok());
+        assert!(open.pool().take_candidate().is_ok());
     }
 
     #[test]

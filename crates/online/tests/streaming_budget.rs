@@ -483,3 +483,257 @@ fn caller_sinks_steer_streaming_scans() {
     let got = sink.got.expect("one match was emitted");
     assert!(full.matches.contains(&got));
 }
+
+/// The work one whole response performed (both verification lanes).
+fn batch_work(outcomes: &[QueryOutcome]) -> u64 {
+    outcomes.iter().map(work).sum()
+}
+
+#[test]
+fn batch_budget_caps_total_work_across_the_batch() {
+    use passjoin_online::{BatchBudget, Parallelism};
+
+    let strings = heavy_corpus(150, 2, 17);
+    let queries: Vec<Vec<u8>> = strings.iter().step_by(7).cloned().collect();
+    for backend in [KeyBackend::Owned, KeyBackend::Interned] {
+        let index = build(&strings, 2, backend);
+        let unlimited: Vec<SearchRequest> = queries
+            .iter()
+            .map(|q| SearchRequest::borrowed(q, 2))
+            .collect();
+        let full = index.search_batch(&unlimited);
+        let total = batch_work(&full.outcomes);
+        assert!(total > 4, "corpus must be match-heavy: {total} work units");
+
+        for (cap, parallelism) in [
+            (0, Parallelism::Serial),
+            (total / 2, Parallelism::Serial),
+            (total / 2, Parallelism::Auto), // atomics keep the cap under races
+            (total, Parallelism::Serial),
+            (total + 10, Parallelism::Auto),
+        ] {
+            let shared = BatchBudget::new(ExecBudget::new().with_max_verifications(cap));
+            let reqs: Vec<SearchRequest> = queries
+                .iter()
+                .map(|q| {
+                    SearchRequest::borrowed(q, 2)
+                        .with_batch_budget(&shared)
+                        .with_parallelism(parallelism)
+                })
+                .collect();
+            let capped = index.search_batch(&reqs);
+            assert!(
+                batch_work(&capped.outcomes) <= cap,
+                "batch total is a hard ceiling (cap={cap})"
+            );
+            // Truncation is reported per request, with the pool's reason.
+            for (i, outcome) in capped.outcomes.iter().enumerate() {
+                assert!(
+                    outcome
+                        .matches
+                        .iter()
+                        .all(|m| full.outcomes[i].matches.contains(m)),
+                    "pooled result is a subset (request {i})"
+                );
+                if let Completion::Truncated { reason } = outcome.completion {
+                    assert_eq!(reason, TruncationReason::VerificationCap);
+                }
+            }
+            let tripped = capped
+                .outcomes
+                .iter()
+                .filter(|o| !o.completion.is_complete())
+                .count();
+            if cap >= total {
+                assert_eq!(tripped, 0, "a cap covering the batch never trips");
+                assert_eq!(
+                    batch_work(&capped.outcomes),
+                    total,
+                    "uncut batch does the full work"
+                );
+            } else {
+                assert!(tripped > 0, "an undersized cap trips some request");
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_budget_candidate_pool_caps_scans() {
+    use passjoin_online::BatchBudget;
+
+    let strings = heavy_corpus(120, 2, 29);
+    let queries: Vec<Vec<u8>> = strings.iter().step_by(9).cloned().collect();
+    let index = OnlineIndex::from_strings(strings.iter(), 2);
+    let unlimited: Vec<SearchRequest> = queries
+        .iter()
+        .map(|q| SearchRequest::borrowed(q, 2))
+        .collect();
+    let total: u64 = index
+        .search_batch(&unlimited)
+        .outcomes
+        .iter()
+        .map(|o| o.stats.candidates)
+        .sum();
+    assert!(total > 4, "needs real candidate traffic");
+
+    let cap = total / 2;
+    let shared = BatchBudget::new(ExecBudget::new().with_max_candidates(cap));
+    let reqs: Vec<SearchRequest> = queries
+        .iter()
+        .map(|q| SearchRequest::borrowed(q, 2).with_batch_budget(&shared))
+        .collect();
+    let capped = index.search_batch(&reqs);
+    let scanned: u64 = capped.outcomes.iter().map(|o| o.stats.candidates).sum();
+    assert!(scanned <= cap, "pooled candidate cap holds batch-wide");
+    assert!(capped.outcomes.iter().any(|o| matches!(
+        o.completion,
+        Completion::Truncated {
+            reason: TruncationReason::CandidateCap
+        }
+    )));
+}
+
+#[test]
+fn batch_budget_deadline_is_batch_wide() {
+    use passjoin_online::BatchBudget;
+
+    let strings = heavy_corpus(80, 1, 31);
+    let queries: Vec<Vec<u8>> = strings.iter().step_by(11).cloned().collect();
+    let index = OnlineIndex::from_strings(strings.iter(), 2);
+    let clock: Arc<dyn TickSource> = Arc::new(ManualTicks::new());
+    // Already-expired deadline: every request that would do work trips.
+    let shared = BatchBudget::new(ExecBudget::new().with_deadline(Arc::clone(&clock), 0));
+    let reqs: Vec<SearchRequest> = queries
+        .iter()
+        .map(|q| SearchRequest::borrowed(q, 2).with_batch_budget(&shared))
+        .collect();
+    let response = index.search_batch(&reqs);
+    assert_eq!(
+        batch_work(&response.outcomes),
+        0,
+        "no work past the deadline"
+    );
+    for outcome in &response.outcomes {
+        assert_eq!(
+            outcome.completion,
+            Completion::Truncated {
+                reason: TruncationReason::Deadline
+            }
+        );
+        assert!(outcome.matches.is_empty());
+    }
+}
+
+#[test]
+fn batch_budget_composes_with_per_request_budgets() {
+    use passjoin_online::BatchBudget;
+
+    let strings = heavy_corpus(150, 2, 37);
+    let index = OnlineIndex::from_strings(strings.iter(), 2);
+    let (q, full) = strings
+        .iter()
+        .take(40)
+        .map(|s| (s.as_slice(), index.search(&SearchRequest::borrowed(s, 2))))
+        .max_by_key(|(_, o)| work(o))
+        .expect("non-empty corpus");
+    assert!(work(&full) > 2, "needs real work to cut");
+
+    // A roomy pool with a tight per-request budget: the request budget
+    // trips (and takes precedence in the reported reason).
+    let roomy = BatchBudget::new(ExecBudget::new().with_max_verifications(work(&full) * 10));
+    let tight = index.search(
+        &SearchRequest::borrowed(q, 2)
+            .with_batch_budget(&roomy)
+            .with_budget(ExecBudget::new().with_max_verifications(1)),
+    );
+    assert_eq!(
+        tight.completion,
+        Completion::Truncated {
+            reason: TruncationReason::VerificationCap
+        }
+    );
+    assert!(work(&tight) <= 1);
+
+    // A tight pool with a roomy per-request budget: the pool trips.
+    let dry = BatchBudget::new(ExecBudget::new().with_max_verifications(1));
+    let pooled = index.search(
+        &SearchRequest::borrowed(q, 2)
+            .with_batch_budget(&dry)
+            .with_budget(ExecBudget::new().with_max_verifications(work(&full) * 10)),
+    );
+    assert_eq!(
+        pooled.completion,
+        Completion::Truncated {
+            reason: TruncationReason::VerificationCap
+        }
+    );
+    assert!(work(&pooled) <= 1);
+}
+
+#[test]
+fn pool_truncated_results_never_enter_the_cache() {
+    use passjoin_online::BatchBudget;
+
+    let strings = heavy_corpus(100, 2, 41);
+    let index = OnlineIndex::from_strings(strings.iter(), 2);
+    let (q, full) = strings
+        .iter()
+        .take(30)
+        .map(|s| (s.as_slice(), index.search(&SearchRequest::borrowed(s, 2))))
+        .max_by_key(|(_, o)| work(o))
+        .expect("non-empty corpus");
+    assert!(work(&full) > 1);
+
+    let dry = BatchBudget::new(ExecBudget::new().with_max_verifications(0));
+    let truncated = index.search(
+        &SearchRequest::borrowed(q, 2)
+            .with_batch_budget(&dry)
+            .with_cache(CachePolicy::Use),
+    );
+    assert!(!truncated.completion.is_complete());
+    assert_eq!(truncated.cache, CacheOutcome::Miss);
+
+    // The next cached request recomputes: the truncated result was not
+    // stored as the full answer.
+    let again = index.search(&SearchRequest::borrowed(q, 2).with_cache(CachePolicy::Use));
+    assert_eq!(again.cache, CacheOutcome::Miss, "nothing was cached");
+    assert_eq!(again.matches, full.matches);
+}
+
+#[test]
+fn streamed_batches_honour_the_shared_pool() {
+    use passjoin_online::BatchBudget;
+
+    let strings = heavy_corpus(120, 2, 43);
+    let queries: Vec<Vec<u8>> = strings.iter().step_by(8).cloned().collect();
+    let index = OnlineIndex::from_strings(strings.iter(), 2);
+    let unlimited: Vec<SearchRequest> = queries
+        .iter()
+        .map(|q| SearchRequest::borrowed(q, 2))
+        .collect();
+    let total = batch_work(&index.search_batch(&unlimited).outcomes);
+    assert!(total > 4);
+
+    let cap = total / 2;
+    let shared = BatchBudget::new(ExecBudget::new().with_max_verifications(cap));
+    let reqs: Vec<SearchRequest> = queries
+        .iter()
+        .map(|q| SearchRequest::borrowed(q, 2).with_batch_budget(&shared))
+        .collect();
+    let mut emitted = Vec::new();
+    let response =
+        index.search_batch_streaming(&reqs, &mut |req, id, dist| emitted.push((req, id, dist)));
+    assert!(
+        batch_work(&response.outcomes) <= cap,
+        "streamed batch total is capped too"
+    );
+    assert!(response
+        .outcomes
+        .iter()
+        .any(|o| !o.completion.is_complete()));
+    assert_eq!(
+        emitted.len(),
+        response.outcomes.iter().map(|o| o.count).sum::<usize>()
+    );
+}

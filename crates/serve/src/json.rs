@@ -1,0 +1,409 @@
+//! A minimal hand-rolled JSON layer for the wire protocol.
+//!
+//! The build environment is std-only (no serde), and the protocol needs
+//! very little: flat objects with string, integer, boolean, array, and
+//! null values. This module provides exactly that — a recursive-descent
+//! parser into a [`Json`] value plus an escaping writer — with one
+//! deliberate deviation from RFC 8259: **strings are byte strings**.
+//!
+//! Queries and corpus strings are arbitrary bytes (the engine matches
+//! `&[u8]`, not `str`), so JSON strings here map bytes 1:1: on output,
+//! bytes ≥ 0x80 and controls are escaped as `\u00XX`; on input, any
+//! `\uXXXX` escape with `XXXX ≤ 00FF` decodes to that single *byte* (and
+//! larger code points decode to their UTF-8 bytes). ASCII round-trips as
+//! itself, and any byte string round-trips exactly — which is what keeps
+//! the server's output byte-identical to the offline CLI's for any
+//! corpus. Both ends of the protocol are in this crate, so the deviation
+//! never meets a strict decoder.
+
+use std::fmt;
+
+/// A parsed JSON value (strings are byte strings — see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number that lexed as an integer (no `.`, `e`, or sign overflow).
+    Int(i64),
+    /// Any other number. The protocol's numeric fields are integral, so
+    /// a float where an integer is required is a type error — kept as a
+    /// distinct variant so that check is exact, not a lossy cast.
+    Float(f64),
+    /// A (byte) string.
+    Str(Vec<u8>),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, in source order (the protocol's objects are tiny, so
+    /// lookup is a linear scan — no map dependency).
+    Object(Vec<(Vec<u8>, Json)>),
+}
+
+impl Json {
+    /// Looks up `key` in an object (`None` for other variants).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k.as_slice() == key.as_bytes())
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::Int(n) if n >= 0 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a byte string, if it is one.
+    pub fn as_str(&self) -> Option<&[u8]> {
+        match self {
+            Json::Str(bytes) => Some(bytes),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Why a line failed to parse, with the byte offset of the failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What was wrong.
+    pub message: &'static str,
+    /// Byte offset into the input where parsing failed.
+    pub at: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+/// Parses one complete JSON value from `input` (surrounding whitespace is
+/// allowed, trailing garbage is an error).
+pub fn parse(input: &[u8]) -> Result<Json, JsonError> {
+    let mut p = Parser { input, pos: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.err("trailing characters after value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &'static str) -> JsonError {
+        JsonError {
+            message,
+            at: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, message: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn literal(&mut self, word: &[u8], message: &'static str) -> Result<(), JsonError> {
+        if self.input[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self
+                .literal(b"true", "invalid literal")
+                .map(|()| Json::Bool(true)),
+            Some(b'f') => self
+                .literal(b"false", "invalid literal")
+                .map(|()| Json::Bool(false)),
+            Some(b'n') => self
+                .literal(b"null", "invalid literal")
+                .map(|()| Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Object(fields)),
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Array(items)),
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<Vec<u8>, JsonError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = Vec::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    Some(b'b') => out.push(0x08),
+                    Some(b'f') => out.push(0x0C),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'u') => {
+                        let code = self.hex4()?;
+                        if code <= 0xFF {
+                            // Byte transparency: \u00XX is the byte XX.
+                            out.push(code as u8);
+                        } else if let Some(c) = char::from_u32(code) {
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        } else {
+                            return Err(self.err("invalid \\u escape"));
+                        }
+                    }
+                    _ => return Err(self.err("invalid escape sequence")),
+                },
+                Some(b) => out.push(b),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let digit = match self.bump() {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a' + 10) as u32,
+                Some(b @ b'A'..=b'F') => (b - b'A' + 10) as u32,
+                _ => return Err(self.err("invalid \\u escape")),
+            };
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Json::Int(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+/// Appends `bytes` to `out` as a quoted JSON string, escaping quotes,
+/// backslashes, controls, and every non-ASCII byte (as `\u00XX`, which
+/// [`parse`] decodes back to the byte — see the module docs).
+pub fn write_string(out: &mut String, bytes: &[u8]) {
+    use fmt::Write as _;
+    out.push('"');
+    for &b in bytes {
+        match b {
+            b'"' => out.push_str("\\\""),
+            b'\\' => out.push_str("\\\\"),
+            0x08 => out.push_str("\\b"),
+            0x0C => out.push_str("\\f"),
+            b'\n' => out.push_str("\\n"),
+            b'\r' => out.push_str("\\r"),
+            b'\t' => out.push_str("\\t"),
+            0x00..=0x1F | 0x7F..=0xFF => {
+                write!(out, "\\u{:04x}", b).expect("writing to a String cannot fail")
+            }
+            _ => out.push(b as char),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse(b"null").unwrap(), Json::Null);
+        assert_eq!(parse(b"true").unwrap(), Json::Bool(true));
+        assert_eq!(parse(b"false").unwrap(), Json::Bool(false));
+        assert_eq!(parse(b"42").unwrap(), Json::Int(42));
+        assert_eq!(parse(b"-7").unwrap(), Json::Int(-7));
+        assert_eq!(parse(b"1.5").unwrap(), Json::Float(1.5));
+        assert_eq!(parse(b"1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(parse(b"\"hi\"").unwrap(), Json::Str(b"hi".to_vec()));
+    }
+
+    #[test]
+    fn parses_structures_and_lookup() {
+        let v = parse(br#" {"op":"query","q":"ab","tau":2,"ids":[1,2]} "#).unwrap();
+        assert_eq!(v.get("op").unwrap().as_str(), Some(&b"query"[..]));
+        assert_eq!(v.get("tau").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("ids").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(parse(b"{}").unwrap(), Json::Object(vec![]));
+        assert_eq!(parse(b"[]").unwrap(), Json::Array(vec![]));
+    }
+
+    #[test]
+    fn escapes_round_trip_bytes_exactly() {
+        // Every byte value survives write → parse unchanged.
+        let all: Vec<u8> = (0u8..=255).collect();
+        let mut encoded = String::new();
+        write_string(&mut encoded, &all);
+        assert_eq!(parse(encoded.as_bytes()).unwrap(), Json::Str(all));
+    }
+
+    #[test]
+    fn standard_escapes_decode() {
+        assert_eq!(
+            parse(br#""a\"b\\c\/d\n\t\r\b\f""#).unwrap(),
+            Json::Str(b"a\"b\\c/d\n\t\r\x08\x0C".to_vec())
+        );
+        // \u00XX is a byte; larger code points are UTF-8.
+        assert_eq!(parse(br#""\u00e9""#).unwrap(), Json::Str(vec![0xE9]));
+        assert_eq!(
+            parse(br#""\u20ac""#).unwrap(),
+            Json::Str("€".as_bytes().to_vec())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            &b"{"[..],
+            b"{\"a\"",
+            b"{\"a\":}",
+            b"[1,]",
+            b"\"unterminated",
+            b"tru",
+            b"1 2",
+            b"{\"a\":1,}",
+            b"\"\\u12\"",
+            b"\"\\x\"",
+            b"",
+        ] {
+            assert!(parse(bad).is_err(), "{:?} should fail", bad);
+        }
+        let err = parse(b"{\"a\":!}").unwrap_err();
+        assert!(err.at > 0 && err.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn floats_do_not_masquerade_as_integers() {
+        assert_eq!(parse(b"2.0").unwrap().as_u64(), None);
+        assert_eq!(parse(b"-1").unwrap().as_u64(), None);
+        assert_eq!(
+            parse(b"9007199254740993").unwrap().as_u64(),
+            Some(9007199254740993)
+        );
+    }
+}

@@ -8,5 +8,6 @@ pub use passjoin;
 pub use passjoin_obs;
 pub use passjoin_online;
 pub use passjoin_persist;
+pub use passjoin_serve;
 pub use sj_common;
 pub use triejoin;
