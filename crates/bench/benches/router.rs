@@ -1,0 +1,112 @@
+//! Sharded-router benchmark: batch query throughput of one
+//! `ShardedIndex` with N shards vs the same router with a single shard,
+//! on a serving-scale corpus (default 10⁶ strings — `ROUTER_BENCH_N`
+//! overrides, e.g. `ROUTER_BENCH_N=10000000 cargo bench --bench router`).
+//!
+//! Every request carries a `Parallelism::Serial` hint, so shard fan-out
+//! is the *only* parallelism axis being measured: the one-shard router
+//! (and the plain `OnlineIndex` reference) walk the batch serially, the
+//! N-shard router answers each sub-batch on its own scoped thread. The
+//! headline acceptance number is `query-batch/N-shards` ≥ 1.5× the
+//! one-shard elements/second at 10⁶ strings. The `build` pair prices
+//! partitioned construction, and `query-batch/hash` shows the
+//! all-shards-probed policy for contrast with banded routing (which
+//! skips shards whose length band a query cannot reach).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagen::{DatasetKind, DatasetSpec};
+use passjoin_online::{OnlineIndex, Parallelism, Queryable, SearchRequest, ShardBy, ShardedIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const QUERY_N: usize = 1_000;
+const TAU: usize = 2;
+const SHARDS: usize = 8;
+
+fn corpus_n() -> usize {
+    std::env::var("ROUTER_BENCH_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+/// A serving-shaped query mix: half exact corpus strings, half mutated
+/// within TAU edits.
+fn query_mix(strings: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..QUERY_N)
+        .map(|_| {
+            let s = &strings[rng.gen_range(0..strings.len())];
+            if rng.gen_bool(0.5) {
+                s.clone()
+            } else {
+                datagen::mutate(s, rng.gen_range(1..=TAU), &mut rng)
+            }
+        })
+        .collect()
+}
+
+fn serial_reqs(queries: &[Vec<u8>]) -> Vec<SearchRequest<'_>> {
+    queries
+        .iter()
+        .map(|q| SearchRequest::borrowed(q, TAU).with_parallelism(Parallelism::Serial))
+        .collect()
+}
+
+fn bench_router(c: &mut Criterion) {
+    let n = corpus_n();
+    let strings = DatasetSpec::new(DatasetKind::Author, n)
+        .with_seed(42)
+        .generate();
+    let queries = query_mix(&strings);
+
+    eprintln!("router bench: building {n}-string indexes ({SHARDS}-shard router, 1-shard router, single index) …");
+    let sharded = ShardedIndex::from_strings(strings.iter(), TAU, SHARDS);
+    let one_shard = ShardedIndex::from_strings(strings.iter(), TAU, 1);
+    let single = OnlineIndex::from_strings(strings.iter(), TAU);
+    let hashed = ShardedIndex::builder(TAU)
+        .shards(SHARDS)
+        .shard_by(ShardBy::Hash)
+        .build_from(strings.iter());
+
+    let mut group = c.benchmark_group("router");
+    group.sample_size(10);
+
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_with_input(BenchmarkId::new("build", "single"), &strings, |b, s| {
+        b.iter(|| OnlineIndex::from_strings(s.iter(), TAU))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("build", format!("{SHARDS}-shards")),
+        &strings,
+        |b, s| b.iter(|| ShardedIndex::from_strings(s.iter(), TAU, SHARDS)),
+    );
+
+    let reqs = serial_reqs(&queries);
+    group.throughput(Throughput::Elements(QUERY_N as u64));
+    group.bench_with_input(
+        BenchmarkId::new("query-batch", "single-index"),
+        &reqs,
+        |b, reqs| b.iter(|| single.search_batch(reqs)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("query-batch", "1-shard"),
+        &reqs,
+        |b, reqs| b.iter(|| one_shard.search_batch(reqs)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("query-batch", format!("{SHARDS}-shards")),
+        &reqs,
+        |b, reqs| b.iter(|| sharded.search_batch(reqs)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("query-batch", format!("{SHARDS}-shards-hash")),
+        &reqs,
+        |b, reqs| b.iter(|| hashed.search_batch(reqs)),
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_router);
+criterion_main!(benches);

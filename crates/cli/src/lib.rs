@@ -19,7 +19,7 @@ use std::path::PathBuf;
 
 use edjoin::EdJoin;
 use passjoin::PassJoin;
-use passjoin_online::{KeyBackend, OnlineIndex};
+use passjoin_online::{KeyBackend, OnlineIndex, ShardBy, ShardedIndex};
 use sj_common::{JoinOutput, SimilarityJoin, StringCollection};
 use triejoin::TrieJoin;
 
@@ -76,15 +76,18 @@ pub const USAGE: &str = "usage:
   simjoin <corpus.txt> --tau N [--algorithm pass|pass-par|ed|trie] [--q N]
           [--threads N] [--out pairs.txt] [--stats]
   simjoin index <corpus.txt> [--tau-max N] [--keys owned|interned]
-          [--save index.snap] [--stats] [--metrics]
+          [--shards N] [--shard-by len|hash] [--save index.snap] [--stats]
+          [--metrics]
   simjoin query <corpus.txt | --load index.snap> [--tau N] [--tau-max N]
-          [--keys owned|interned] [--queries q.txt] [--threads N]
+          [--keys owned|interned] [--shards N] [--shard-by len|hash]
+          [--queries q.txt] [--threads N]
           [--cache N] [--limit K] [--count] [--stream] [--max-verify N]
           [--deadline-ms N] [--stats] [--metrics]
   simjoin repl  <corpus.txt | --load index.snap> [--tau N] [--tau-max N]
           [--keys owned|interned] [--cache N]
   simjoin serve <corpus.txt | --load index.snap> [--addr HOST:PORT] [--tau N]
-          [--tau-max N] [--keys owned|interned] [--threads N] [--cache N]
+          [--tau-max N] [--keys owned|interned] [--shards N]
+          [--shard-by len|hash] [--threads N] [--cache N]
           [--max-verify-ceiling N] [--deadline-ms N] [--allow-shutdown]
           [--stats]
   simjoin client [--addr HOST:PORT] [--queries q.txt] [--tau N] [--limit K]
@@ -214,6 +217,13 @@ pub struct ServeConfig {
     /// Segment-key backend for a corpus-built index (`--keys`); the
     /// snapshot dictates it with `--load`.
     pub keys: KeyBackend,
+    /// Shard count for a corpus-built index (`--shards`, index/query/
+    /// serve); 1 (the default) builds a plain single index, ≥ 2 builds a
+    /// `ShardedIndex` router. A loaded snapshot dictates its own layout.
+    pub shards: usize,
+    /// Partitioning policy for `--shards` ≥ 2 (`--shard-by len|hash`,
+    /// default length bands).
+    pub shard_by: ShardBy,
     /// Where to write a snapshot of the index after building (`--save`).
     pub save: Option<PathBuf>,
     /// Query file for `query` mode (stdin when `None`).
@@ -261,6 +271,8 @@ impl ServeConfig {
         let mut tau: Option<usize> = None;
         let mut tau_max: Option<usize> = None;
         let mut keys: Option<KeyBackend> = None;
+        let mut shards: Option<usize> = None;
+        let mut shard_by: Option<ShardBy> = None;
         let mut queries = None;
         let mut threads = 0;
         let mut cache = 1024;
@@ -349,6 +361,25 @@ impl ServeConfig {
                     }
                     allow_shutdown = true;
                 }
+                "--shards" => {
+                    if mode == ServeMode::Repl {
+                        return Err("--shards is not valid for the repl subcommand".into());
+                    }
+                    let n = take_number(&mut it, "--shards")?;
+                    if n == 0 {
+                        return Err("--shards must be at least 1".into());
+                    }
+                    shards = Some(n);
+                }
+                "--shard-by" => {
+                    if mode == ServeMode::Repl {
+                        return Err("--shard-by is not valid for the repl subcommand".into());
+                    }
+                    let v = it.next().ok_or("--shard-by requires a value")?;
+                    shard_by = Some(ShardBy::parse(&v).ok_or_else(|| {
+                        format!("unknown shard policy '{v}' (expected len or hash)")
+                    })?);
+                }
                 "--tau-max" => tau_max = Some(take_number(&mut it, "--tau-max")?),
                 "--keys" => {
                     let v = it.next().ok_or("--keys requires a value")?;
@@ -405,6 +436,12 @@ impl ServeConfig {
                 if keys.is_some() {
                     return Err("--keys is fixed by the snapshot and not valid with --load".into());
                 }
+                if shards.is_some() || shard_by.is_some() {
+                    return Err(
+                        "--shards/--shard-by are fixed by the snapshot and not valid with --load"
+                            .into(),
+                    );
+                }
                 IndexSource::Snapshot(snapshot)
             }
             (None, None) => {
@@ -431,6 +468,8 @@ impl ServeConfig {
             tau_explicit,
             tau_max,
             keys: keys.unwrap_or_default(),
+            shards: shards.unwrap_or(1),
+            shard_by: shard_by.unwrap_or_default(),
             save,
             queries,
             threads,
@@ -452,6 +491,17 @@ impl ServeConfig {
     /// empty lines included so numbering matches the file).
     pub fn build_index(&self, lines: &[Vec<u8>]) -> OnlineIndex {
         OnlineIndex::builder(self.tau_max)
+            .key_backend(self.keys)
+            .cache_capacity(self.cache)
+            .build_from(lines.iter())
+    }
+
+    /// Builds the sharded router over raw corpus lines (`--shards` ≥ 2);
+    /// ids are line numbers, exactly as in [`ServeConfig::build_index`].
+    pub fn build_router(&self, lines: &[Vec<u8>]) -> ShardedIndex {
+        ShardedIndex::builder(self.tau_max)
+            .shards(self.shards)
+            .shard_by(self.shard_by)
             .key_backend(self.keys)
             .cache_capacity(self.cache)
             .build_from(lines.iter())
@@ -832,6 +882,34 @@ mod tests {
         assert!(parse_command(&["repl", "a.txt", "--max-verify", "5"]).is_err());
         assert!(parse_command(&["query", "a.txt", "--max-verify"]).is_err());
         assert!(parse_command(&["query", "a.txt", "--max-verify", "x"]).is_err());
+    }
+
+    #[test]
+    fn shard_flags_parse_for_index_query_serve() {
+        for mode in ["index", "query", "serve"] {
+            match parse_command(&[mode, "a.txt", "--shards", "4", "--shard-by", "hash"]).unwrap() {
+                Command::Serve(c) => {
+                    assert_eq!(c.shards, 4, "{mode}");
+                    assert_eq!(c.shard_by, ShardBy::Hash, "{mode}");
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        // Defaults: one shard (a plain index), length banding.
+        match parse_command(&["query", "a.txt"]).unwrap() {
+            Command::Serve(c) => {
+                assert_eq!(c.shards, 1);
+                assert_eq!(c.shard_by, ShardBy::Len);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Zero shards, unknown policies, the repl, and --load are out.
+        assert!(parse_command(&["query", "a.txt", "--shards", "0"]).is_err());
+        assert!(parse_command(&["query", "a.txt", "--shard-by", "modulo"]).is_err());
+        assert!(parse_command(&["repl", "a.txt", "--shards", "2"]).is_err());
+        assert!(parse_command(&["repl", "a.txt", "--shard-by", "len"]).is_err());
+        assert!(parse_command(&["query", "--load", "x.snap", "--shards", "2"]).is_err());
+        assert!(parse_command(&["serve", "--load", "x.snap", "--shard-by", "hash"]).is_err());
     }
 
     #[test]

@@ -40,8 +40,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use passjoin_online::{
-    wall_deadline, CacheOutcome, CachePolicy, Completion, EngineObs, ExecBudget, MatchSink,
-    OnlineIndex, Parallelism, Queryable, Registry, SearchRequest, SearchResponse, WallClockTicks,
+    is_sharded_snapshot, wall_deadline, CacheOutcome, CachePolicy, Completion, EngineObs,
+    ExecBudget, MatchSink, OnlineIndex, Parallelism, PersistError, Queryable, Registry,
+    SearchRequest, SearchResponse, ShardedIndex, WallClockTicks,
 };
 use passjoin_serve::proto::{BudgetSpec, MetricsFormat};
 use passjoin_serve::{Client, Event, QueryOptions, Server, ServerConfig};
@@ -107,6 +108,30 @@ fn write_pairs<W: Write>(pairs: &[(u32, u32)], sink: std::io::Result<W>) -> std:
     w.flush()
 }
 
+/// The index behind a serve-mode run: a plain [`OnlineIndex`] or the
+/// `--shards` router. Both are [`Queryable`], so everything downstream of
+/// construction/persistence is shared.
+enum AnyIndex {
+    Single(OnlineIndex),
+    Sharded(ShardedIndex),
+}
+
+impl AnyIndex {
+    fn tau_max(&self) -> usize {
+        match self {
+            AnyIndex::Single(index) => index.tau_max(),
+            AnyIndex::Sharded(router) => router.tau_max(),
+        }
+    }
+
+    fn save(&self, path: &std::path::Path) -> Result<u64, PersistError> {
+        match self {
+            AnyIndex::Single(index) => index.save(path),
+            AnyIndex::Sharded(router) => router.save_sharded(path),
+        }
+    }
+}
+
 fn run_serve(config: &ServeConfig) -> ExitCode {
     // One registry per process: `--metrics` dumps it after the run, the
     // repl serves it interactively via `:metrics`, and the network
@@ -155,9 +180,9 @@ fn run_serve(config: &ServeConfig) -> ExitCode {
         }
     }
 
-    let code = match config.mode {
-        ServeMode::Index => ExitCode::SUCCESS,
-        ServeMode::Query => {
+    let code = match (config.mode, &mut index) {
+        (ServeMode::Index, _) => ExitCode::SUCCESS,
+        (ServeMode::Query, AnyIndex::Single(index)) => {
             // Loaded snapshots are served read-only through a `Snapshot`;
             // corpus builds are queried directly. `Queryable` is
             // object-safe, so one binding covers both source kinds.
@@ -167,51 +192,81 @@ fn run_serve(config: &ServeConfig) -> ExitCode {
                     snapshot = index.snapshot();
                     &snapshot
                 }
-                IndexSource::Corpus(_) => &index,
+                IndexSource::Corpus(_) => &*index,
             };
             run_query_batch(config, tau, source)
         }
-        ServeMode::Serve => {
+        (ServeMode::Query, AnyIndex::Sharded(router)) => {
+            // The router is already a read-composed view over its
+            // shards; query it directly.
+            run_query_batch(config, tau, &*router)
+        }
+        (ServeMode::Serve, index) => {
             let snapshot;
-            let source: &(dyn Queryable + Sync) = match &config.source {
-                IndexSource::Snapshot(_) => {
+            let source: &(dyn Queryable + Sync) = match (&config.source, &*index) {
+                (IndexSource::Snapshot(_), AnyIndex::Single(index)) => {
                     snapshot = index.snapshot();
                     &snapshot
                 }
-                IndexSource::Corpus(_) => &index,
+                (_, AnyIndex::Single(index)) => index,
+                (_, AnyIndex::Sharded(router)) => router,
             };
             let registry = registry
                 .as_ref()
                 .expect("serve mode always builds a registry");
             run_server(config, tau, source, registry)
         }
-        ServeMode::Repl => {
+        (ServeMode::Repl, AnyIndex::Single(index)) => {
             let obs = obs
                 .as_ref()
                 .expect("the repl always attaches observability");
-            run_repl(tau, &mut index, obs)
+            run_repl(tau, index, obs)
+        }
+        (ServeMode::Repl, AnyIndex::Sharded(_)) => {
+            eprintln!("simjoin: the repl cannot serve a sharded snapshot (it mutates one index)");
+            ExitCode::FAILURE
         }
     };
 
     if config.metrics {
         if let Some(obs) = &obs {
-            obs.record_index_stats(&index.stats());
+            if let AnyIndex::Single(index) = &index {
+                obs.record_index_stats(&index.stats());
+            }
             eprint!("{}", obs.render_prometheus());
         }
     }
     code
 }
 
-/// Builds the index from the corpus, or loads it from a snapshot —
+/// Builds the index from the corpus (single or `--shards` router), or
+/// loads it from a snapshot (probing for a router manifest first) —
 /// reporting failures (missing files, corrupt or incompatible snapshots)
 /// as messages, never panics.
-fn obtain_index(config: &ServeConfig, obs: Option<&Arc<EngineObs>>) -> Result<OnlineIndex, String> {
+fn obtain_index(config: &ServeConfig, obs: Option<&Arc<EngineObs>>) -> Result<AnyIndex, String> {
     match &config.source {
         IndexSource::Corpus(corpus) => {
             let text = std::fs::read_to_string(corpus)
                 .map_err(|e| format!("cannot read {}: {e}", corpus.display()))?;
             let lines = corpus_lines(&text);
             let built = Instant::now();
+            if config.shards > 1 {
+                let mut router = config.build_router(&lines);
+                router.set_observability(obs.map(|o| Arc::clone(o.registry())));
+                if config.stats || config.mode == ServeMode::Index {
+                    eprintln!(
+                        "simjoin: indexed {} strings across {} shards (tau_max={}, {} keys, \
+                         {} partitioning) in {:.3?}",
+                        router.len(),
+                        router.shard_count(),
+                        config.tau_max,
+                        config.keys.name(),
+                        config.shard_by.name(),
+                        built.elapsed(),
+                    );
+                }
+                return Ok(AnyIndex::Sharded(router));
+            }
             let mut index = config.build_index(&lines);
             index.set_observability(obs.map(Arc::clone));
             if config.stats || config.mode == ServeMode::Index {
@@ -228,10 +283,31 @@ fn obtain_index(config: &ServeConfig, obs: Option<&Arc<EngineObs>>) -> Result<On
                     s.resident_bytes / 1024,
                 );
             }
-            Ok(index)
+            Ok(AnyIndex::Single(index))
         }
         IndexSource::Snapshot(snapshot) => {
             let started = Instant::now();
+            if is_sharded_snapshot(snapshot)
+                .map_err(|e| format!("cannot open snapshot {}: {e}", snapshot.display()))?
+            {
+                let mut router = ShardedIndex::load_sharded(snapshot)
+                    .map_err(|e| format!("cannot load snapshot {}: {e}", snapshot.display()))?;
+                router.set_observability(obs.map(|o| Arc::clone(o.registry())));
+                if config.stats {
+                    eprintln!(
+                        "simjoin: loaded {} strings across {} shards (tau_max={}, {} keys, \
+                         {} partitioning) in {:.3?} from {}",
+                        router.len(),
+                        router.shard_count(),
+                        router.tau_max(),
+                        router.key_backend().name(),
+                        router.shard_by().name(),
+                        started.elapsed(),
+                        snapshot.display(),
+                    );
+                }
+                return Ok(AnyIndex::Sharded(router));
+            }
             // `load_with` also attributes the load itself (read/decode/
             // validate timings, section bytes) to the registry.
             let mut index = match obs {
@@ -255,7 +331,7 @@ fn obtain_index(config: &ServeConfig, obs: Option<&Arc<EngineObs>>) -> Result<On
                     s.resident_bytes / 1024,
                 );
             }
-            Ok(index)
+            Ok(AnyIndex::Single(index))
         }
     }
 }

@@ -40,7 +40,7 @@ use std::sync::{Arc, Mutex};
 use passjoin::online_window;
 use passjoin::partition::{PartitionScheme, SegmentSpec};
 use passjoin::sink::{
-    BudgetPool, BudgetSink, CollectSink, CountSink, FnSink, MatchSink, PoolBudgetSink, TopKSink,
+    BudgetPool, BudgetSink, CollectSink, CountSink, MatchSink, PoolBudgetSink, TopKSink,
     TruncationReason,
 };
 use passjoin_obs::TraceEvent;
@@ -83,13 +83,20 @@ const BLOCK: usize = 32;
 pub trait Queryable {
     /// The engine-facing view of this source (internal plumbing; exposed
     /// only so the provided methods can be defined once on the trait).
+    ///
+    /// Single-state sources ([`OnlineIndex`](crate::OnlineIndex),
+    /// [`Snapshot`](crate::Snapshot)) return `Some`; a *composite* source
+    /// with no single inner state — like the shard router
+    /// ([`ShardedIndex`](crate::ShardedIndex)) — returns `None` and must
+    /// override **every** provided method (the defaults panic loudly on a
+    /// `None` source rather than answering from the wrong state).
     #[doc(hidden)]
-    fn exec_source(&self) -> ExecSource<'_>;
+    fn exec_source(&self) -> Option<ExecSource<'_>>;
 
     /// Executes one request; see [`SearchRequest`] for the knobs and
     /// [`QueryOutcome`] for what comes back.
     fn search(&self, req: &SearchRequest) -> QueryOutcome {
-        let source = self.exec_source();
+        let source = require_source(self.exec_source());
         let mut plans = PlanSlot::default();
         let mut scratch = QueryScratch::default();
         run_view(&source, ReqView::of(req), &mut plans, &mut scratch)
@@ -101,7 +108,7 @@ pub trait Queryable {
     /// across the strongest [`Parallelism`](crate::Parallelism) hint in
     /// the batch. Outcomes align with `reqs` by position.
     fn search_batch(&self, reqs: &[SearchRequest]) -> SearchResponse {
-        run_batch(&self.exec_source(), reqs)
+        run_batch(&require_source(self.exec_source()), reqs)
     }
 
     /// Executes one request, *pushing* matches into a caller-supplied
@@ -150,92 +157,112 @@ pub trait Queryable {
     /// assert!(outcome.matches.is_empty()); // the matches went to the sink
     /// ```
     fn search_streaming(&self, req: &SearchRequest, sink: &mut dyn MatchSink) -> QueryOutcome {
-        let source = self.exec_source();
+        let source = require_source(self.exec_source());
         let mut plans = PlanSlot::default();
         let mut scratch = QueryScratch::default();
         run_view_streaming(&source, ReqView::of(req), sink, &mut plans, &mut scratch)
     }
 
-    /// Streaming over a batch: every request is executed in order with
-    /// [`Queryable::search_streaming`] semantics, emitting
-    /// `(request index, id, exact distance)` triples into one callback.
+    /// Streaming over a batch: every request is executed with
+    /// [`Queryable::search_streaming`] semantics, pushing its matches into
+    /// its **own** sink — `sinks[i]` receives request `i`'s matches. With
+    /// one sink per request nothing forces a global emission order, so the
+    /// batch parallelizes exactly like [`Queryable::search_batch`]: the
+    /// strongest [`Parallelism`](crate::Parallelism) hint in the batch
+    /// wins and workers pull `(length, τ)`-sorted blocks off one cursor.
+    /// Each request's own emissions keep the per-request streaming
+    /// contract (plain in verification order, top-k flushed in
+    /// `(distance, id)` order); different requests may interleave
+    /// arbitrarily in time. Outcomes align with `reqs` by position.
     ///
-    /// Unlike [`Queryable::search_batch`], the batch runs **serially in
-    /// request order** — a single push-based consumer fixes the emission
-    /// order, so [`Parallelism`](crate::Parallelism) hints are ignored
-    /// and requests are not regrouped by `(length, τ)`. Outcomes align
-    /// with `reqs` by position.
+    /// # Panics
+    ///
+    /// Panics if `sinks.len() != reqs.len()`.
     ///
     /// ```
-    /// use passjoin_online::{OnlineIndex, Queryable, SearchRequest};
+    /// use passjoin::sink::MatchSink;
+    /// use passjoin_online::{CollectSink, OnlineIndex, Queryable, SearchRequest};
     ///
     /// let mut index = OnlineIndex::new(1);
     /// index.insert(b"vldb");
     ///
-    /// let mut lines = Vec::new();
-    /// let response = index.search_batch_streaming(
-    ///     &[SearchRequest::new(b"vldb", 0), SearchRequest::new(b"pvldb", 1)],
-    ///     &mut |req, id, dist| lines.push((req, id, dist)),
-    /// );
-    /// assert_eq!(lines, vec![(0, 0, 0), (1, 0, 1)]);
+    /// let (mut a, mut b) = (Vec::new(), Vec::new());
+    /// let response = {
+    ///     let mut sink_a = CollectSink::new(&mut a);
+    ///     let mut sink_b = CollectSink::new(&mut b);
+    ///     let mut sinks: [&mut (dyn MatchSink + Send); 2] = [&mut sink_a, &mut sink_b];
+    ///     index.search_batch_streaming(
+    ///         &[SearchRequest::new(b"vldb", 0), SearchRequest::new(b"pvldb", 1)],
+    ///         &mut sinks,
+    ///     )
+    /// };
+    /// assert_eq!(a, vec![(0, 0)]);
+    /// assert_eq!(b, vec![(0, 1)]);
     /// assert_eq!(response.outcomes.len(), 2);
     /// ```
     fn search_batch_streaming(
         &self,
         reqs: &[SearchRequest],
-        on_match: &mut dyn FnMut(usize, StringId, usize),
+        sinks: &mut [&mut (dyn MatchSink + Send)],
     ) -> SearchResponse {
-        let source = self.exec_source();
-        let mut plans = PlanSlot::default();
-        let mut scratch = QueryScratch::default();
-        let outcomes = reqs
-            .iter()
-            .enumerate()
-            .map(|(i, req)| {
-                let mut sink = FnSink(|id: StringId, dist: usize| on_match(i, id, dist));
-                run_view_streaming(
-                    &source,
-                    ReqView::of(req),
-                    &mut sink,
-                    &mut plans,
-                    &mut scratch,
-                )
-            })
-            .collect();
-        SearchResponse { outcomes }
+        assert_eq!(
+            reqs.len(),
+            sinks.len(),
+            "search_batch_streaming needs exactly one sink per request"
+        );
+        let source = require_source(self.exec_source());
+        let views: Vec<ReqView<'_>> = reqs.iter().map(ReqView::of).collect();
+        let threads = batch_threads(reqs);
+        SearchResponse {
+            outcomes: run_views_streaming(&source, &views, sinks, threads),
+        }
     }
 
     /// Convenience for the plain one-query case: all matches within `tau`
     /// as `(id, exact distance)`, ascending by id. Equivalent to
     /// `search(&SearchRequest::new(query, tau)).matches`.
     fn matches(&self, query: &[u8], tau: usize) -> Vec<Match> {
-        legacy_query(self.exec_source().inner, query, tau)
+        legacy_query(require_source(self.exec_source()).inner, query, tau)
     }
 
     /// The largest per-query threshold this source supports.
     fn tau_max(&self) -> usize {
-        self.exec_source().inner.tau_max()
+        require_source(self.exec_source()).inner.tau_max()
     }
 
     /// Which segment-key backend the source was built with.
     fn key_backend(&self) -> KeyBackend {
-        self.exec_source().inner.segments().backend()
+        require_source(self.exec_source())
+            .inner
+            .segments()
+            .backend()
     }
 
     /// Live strings visible to queries.
     fn len(&self) -> usize {
-        self.exec_source().inner.len()
+        require_source(self.exec_source()).inner.len()
     }
 
     /// True if no live strings are visible.
     fn is_empty(&self) -> bool {
-        self.exec_source().inner.len() == 0
+        self.len() == 0
     }
 
     /// The mutation epoch of the visible state.
     fn epoch(&self) -> u64 {
-        self.exec_source().epoch
+        require_source(self.exec_source()).epoch
     }
+}
+
+/// Unwraps [`Queryable::exec_source`] for the provided methods. A source
+/// returning `None` (a composite, like [`ShardedIndex`](crate::ShardedIndex))
+/// must override every provided method; reaching this panic means one was
+/// missed.
+fn require_source(source: Option<ExecSource<'_>>) -> ExecSource<'_> {
+    source.expect(
+        "Queryable::exec_source returned None: a composite source must override \
+         every provided Queryable method",
+    )
 }
 
 /// The engine's view of a query source: shared index state, the epoch it
@@ -920,7 +947,7 @@ impl MatchSink for EmitCount<'_> {
 
 /// Replays an already-materialized result into a streaming sink,
 /// honouring its saturation; returns how many matches were emitted.
-fn replay(matches: &[Match], sink: &mut dyn MatchSink) -> usize {
+pub(crate) fn replay(matches: &[Match], sink: &mut dyn MatchSink) -> usize {
     let mut emitted = 0usize;
     for &(id, dist) in matches {
         if sink.saturated() {
@@ -1101,12 +1128,87 @@ fn run_views(source: &ExecSource<'_>, views: &[ReqView<'_>], threads: usize) -> 
     outcomes
 }
 
-/// [`Queryable::search_batch`]'s engine entry.
-fn run_batch(source: &ExecSource<'_>, reqs: &[SearchRequest]) -> SearchResponse {
-    let views: Vec<ReqView<'_>> = reqs.iter().map(ReqView::of).collect();
-    // Pick the strongest hint structurally, then resolve once — Auto
-    // costs an available_parallelism() syscall, so it must not be paid
-    // per request.
+/// Streaming counterpart of [`run_views`]: the same `(length, τ)` sort
+/// and block-cursor parallelism, but every view pushes into its own sink.
+/// Sinks live behind per-request mutexes so the worker that pulls a view
+/// can reach its sink across the scope; each mutex is locked exactly once
+/// (requests never share a sink slot), so there is no contention.
+fn run_views_streaming(
+    source: &ExecSource<'_>,
+    views: &[ReqView<'_>],
+    sinks: &mut [&mut (dyn MatchSink + Send)],
+    threads: usize,
+) -> Vec<QueryOutcome> {
+    debug_assert_eq!(views.len(), sinks.len());
+    let mut order: Vec<u32> = (0..views.len() as u32).collect();
+    order.sort_by_key(|&i| {
+        let v = &views[i as usize];
+        (v.query.len(), v.tau)
+    });
+
+    if threads <= 1 || views.len() < 2 * BLOCK {
+        let mut outcomes: Vec<QueryOutcome> = vec![QueryOutcome::default(); views.len()];
+        let mut scratch = QueryScratch::default();
+        let mut plans = PlanSlot::default();
+        for &qi in &order {
+            let qi = qi as usize;
+            outcomes[qi] =
+                run_view_streaming(source, views[qi], &mut *sinks[qi], &mut plans, &mut scratch);
+        }
+        return outcomes;
+    }
+
+    let slots: Vec<Mutex<&mut (dyn MatchSink + Send)>> =
+        sinks.iter_mut().map(|s| Mutex::new(&mut **s)).collect();
+    let cursor = AtomicUsize::new(0);
+    let order = &order;
+    let slots = &slots;
+    let mut outcomes: Vec<QueryOutcome> = vec![QueryOutcome::default(); views.len()];
+    let collected = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(u32, QueryOutcome)> = Vec::new();
+                let mut scratch = QueryScratch::default();
+                let mut plans = PlanSlot::default();
+                loop {
+                    let start = cursor.fetch_add(BLOCK, Ordering::Relaxed);
+                    if start >= order.len() {
+                        break;
+                    }
+                    for &qi in &order[start..(start + BLOCK).min(order.len())] {
+                        let mut sink = slots[qi as usize].lock().unwrap_or_else(|e| e.into_inner());
+                        let outcome = run_view_streaming(
+                            source,
+                            views[qi as usize],
+                            &mut **sink,
+                            &mut plans,
+                            &mut scratch,
+                        );
+                        drop(sink);
+                        local.push((qi, outcome));
+                    }
+                }
+                local
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("batch worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    for (qi, outcome) in collected {
+        outcomes[qi as usize] = outcome;
+    }
+    outcomes
+}
+
+/// Resolves a batch's worker count from the strongest
+/// [`Parallelism`] hint in it. `Auto` costs an
+/// `available_parallelism()` syscall, so it is resolved once per batch,
+/// never per request.
+pub(crate) fn batch_threads(reqs: &[SearchRequest]) -> usize {
     let mut threads = 1usize;
     let mut auto = false;
     for req in reqs {
@@ -1119,6 +1221,13 @@ fn run_batch(source: &ExecSource<'_>, reqs: &[SearchRequest]) -> SearchResponse 
     if auto {
         threads = threads.max(Parallelism::Auto.resolve());
     }
+    threads
+}
+
+/// [`Queryable::search_batch`]'s engine entry.
+fn run_batch(source: &ExecSource<'_>, reqs: &[SearchRequest]) -> SearchResponse {
+    let views: Vec<ReqView<'_>> = reqs.iter().map(ReqView::of).collect();
+    let threads = batch_threads(reqs);
     SearchResponse {
         outcomes: run_views(source, &views, threads),
     }

@@ -679,7 +679,15 @@ pub struct OnlineIndex {
 }
 
 impl Queryable for OnlineIndex {
-    fn exec_source(&self) -> ExecSource<'_> {
+    fn exec_source(&self) -> Option<ExecSource<'_>> {
+        Some(self.source())
+    }
+}
+
+impl OnlineIndex {
+    /// The engine view of this index: its inner state, epoch, cache, and
+    /// observability bundle.
+    pub(crate) fn source(&self) -> ExecSource<'_> {
         ExecSource {
             inner: &self.inner,
             epoch: self.epoch,
@@ -687,9 +695,7 @@ impl Queryable for OnlineIndex {
             obs: self.obs.as_deref(),
         }
     }
-}
 
-impl OnlineIndex {
     /// An empty index accepting queries with thresholds up to `tau_max`,
     /// with the default backend and cache (see [`OnlineIndex::builder`]
     /// for the knobs).
@@ -852,7 +858,7 @@ impl OnlineIndex {
     /// copied.
     #[deprecated(note = "use Queryable::search with CachePolicy::Use")]
     pub fn query_cached(&self, query: &[u8], tau: usize) -> Arc<Vec<Match>> {
-        crate::exec::legacy_cached(&self.exec_source(), query, tau)
+        crate::exec::legacy_cached(&self.source(), query, tau)
     }
 
     /// A reusable scratch buffer for [`OnlineIndex::query_with`].
@@ -878,7 +884,7 @@ impl OnlineIndex {
     /// align with `queries` by position.
     #[deprecated(note = "use Queryable::search_batch with SearchRequest::uniform")]
     pub fn query_batch<Q: AsRef<[u8]> + Sync>(&self, queries: &[Q], tau: usize) -> Vec<Vec<Match>> {
-        crate::exec::legacy_batch(&self.exec_source(), queries, tau, 1)
+        crate::exec::legacy_batch(&self.source(), queries, tau, 1)
     }
 
     /// Batch queries across `threads` worker threads (0 = available
@@ -890,7 +896,7 @@ impl OnlineIndex {
         tau: usize,
         threads: usize,
     ) -> Vec<Vec<Match>> {
-        crate::exec::legacy_batch(&self.exec_source(), queries, tau, threads)
+        crate::exec::legacy_batch(&self.source(), queries, tau, threads)
     }
 
     /// A cheap point-in-time view for concurrent readers: O(1) now; the
@@ -919,7 +925,15 @@ pub struct Snapshot {
 }
 
 impl Queryable for Snapshot {
-    fn exec_source(&self) -> ExecSource<'_> {
+    fn exec_source(&self) -> Option<ExecSource<'_>> {
+        Some(self.source())
+    }
+}
+
+impl Snapshot {
+    /// The engine view of this snapshot (no cache — snapshots answer
+    /// without one, so cache-policy requests record a bypass).
+    pub(crate) fn source(&self) -> ExecSource<'_> {
         ExecSource {
             inner: &self.inner,
             epoch: self.epoch,
@@ -927,9 +941,7 @@ impl Queryable for Snapshot {
             obs: self.obs.as_deref(),
         }
     }
-}
 
-impl Snapshot {
     /// The mutation epoch the snapshot was taken at.
     pub fn epoch(&self) -> u64 {
         self.epoch
@@ -987,7 +999,7 @@ impl Snapshot {
     /// Answers a batch of queries at one threshold, sequentially.
     #[deprecated(note = "use Queryable::search_batch with SearchRequest::uniform")]
     pub fn query_batch<Q: AsRef<[u8]> + Sync>(&self, queries: &[Q], tau: usize) -> Vec<Vec<Match>> {
-        crate::exec::legacy_batch(&self.exec_source(), queries, tau, 1)
+        crate::exec::legacy_batch(&self.source(), queries, tau, 1)
     }
 
     /// Batch queries across `threads` worker threads (0 = available
@@ -999,7 +1011,7 @@ impl Snapshot {
         tau: usize,
         threads: usize,
     ) -> Vec<Vec<Match>> {
-        crate::exec::legacy_batch(&self.exec_source(), queries, tau, threads)
+        crate::exec::legacy_batch(&self.source(), queries, tau, threads)
     }
 }
 

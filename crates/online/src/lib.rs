@@ -93,6 +93,7 @@ mod index;
 pub mod obs;
 mod persist;
 mod request;
+mod router;
 
 use sj_common::StringId;
 
@@ -114,6 +115,7 @@ pub use request::{
     BatchBudget, BatchTotals, CacheOutcome, CachePolicy, Completion, ExecBudget, ExecStats,
     Parallelism, QueryOutcome, SearchRequest, SearchResponse,
 };
+pub use router::{is_sharded_snapshot, ShardBy, ShardedIndex, ShardedIndexBuilder};
 
 /// A query match: `(string id, exact edit distance)`.
 pub type Match = (StringId, usize);

@@ -34,11 +34,23 @@ use std::sync::Arc;
 
 use passjoin_online::{
     CachePolicy, CollectSink, CollectingTraceSink, Completion, EngineObs, ExecBudget, ExecStats,
-    KeyBackend, ManualTicks, OnlineIndex, Parallelism, Queryable, SearchRequest, TickSource,
-    TraceEvent, TruncationReason, WallClockTicks,
+    KeyBackend, ManualTicks, MatchSink, OnlineIndex, Parallelism, Queryable, SearchRequest,
+    SearchResponse, TickSource, TraceEvent, TruncationReason, WallClockTicks,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Batch streaming with a throwaway `CollectSink` per request; only the
+/// response (stats, completions) matters to these contracts.
+fn batch_stream_discard(index: &OnlineIndex, reqs: &[SearchRequest]) -> SearchResponse {
+    let mut bufs: Vec<Vec<passjoin_online::Match>> = vec![Vec::new(); reqs.len()];
+    let mut sinks: Vec<CollectSink> = bufs.iter_mut().map(CollectSink::new).collect();
+    let mut slots: Vec<&mut (dyn MatchSink + Send)> = sinks
+        .iter_mut()
+        .map(|s| s as &mut (dyn MatchSink + Send))
+        .collect();
+    index.search_batch_streaming(reqs, &mut slots)
+}
 
 fn corpus(n: usize, seed: u64) -> Vec<Vec<u8>> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -161,7 +173,7 @@ fn registry_equals_summed_stats_across_all_paths() {
             .iter()
             .map(|q| SearchRequest::borrowed(q, 2))
             .collect();
-        let response = index.search_batch_streaming(&reqs, &mut |_, _, _| {});
+        let response = batch_stream_discard(&index, &reqs);
         for outcome in &response.outcomes {
             add_stats(&mut total, &outcome.stats);
             requests += 1;
@@ -262,7 +274,7 @@ fn truncation_tallies(streamed: bool, backend: KeyBackend) -> ([u64; 3], [u64; 3
         .collect();
 
     let response = if streamed {
-        index.search_batch_streaming(&reqs, &mut |_, _, _| {})
+        batch_stream_discard(&index, &reqs)
     } else {
         index.search_batch(&reqs)
     };

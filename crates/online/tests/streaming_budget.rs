@@ -7,8 +7,10 @@
 //!    emissions yields exactly `search`'s matches for every request
 //!    shape (plain emissions are in verification order and compare after
 //!    an id sort; top-k emissions arrive already in `(distance, id)`
-//!    order; count-only emits nothing), and the batch variant emits the
-//!    same triples grouped by request in request order.
+//!    order; count-only emits nothing), and the batch variant pushes the
+//!    same matches into each request's own sink (requests may interleave
+//!    across worker threads; each sink still sees exactly its request's
+//!    matches).
 //! 2. **Budgets are sound** — a budgeted result is always a subset of
 //!    the unbudgeted one, the work counters never exceed the cap, and
 //!    `Truncated` is reported **iff** work was actually skipped (a cap
@@ -23,7 +25,8 @@ use std::sync::Arc;
 
 use passjoin_online::{
     CacheOutcome, CachePolicy, CollectSink, Completion, ExecBudget, KeyBackend, ManualTicks, Match,
-    OnlineIndex, QueryOutcome, Queryable, SearchRequest, TickSource, TruncationReason,
+    MatchSink, OnlineIndex, QueryOutcome, Queryable, SearchRequest, SearchResponse, TickSource,
+    TruncationReason,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -90,8 +93,27 @@ fn assert_streaming_equals_buffered(index: &OnlineIndex, queries: &[Vec<u8>]) {
     }
 }
 
-/// Contract 1, batch form: the callback receives each request's matches
-/// grouped in request order, equal to the buffered batch.
+/// Runs one batch-streaming call with a fresh `CollectSink` per request,
+/// returning each request's emissions and the response.
+fn collect_batch_streaming(
+    source: &dyn Queryable,
+    reqs: &[SearchRequest],
+) -> (Vec<Vec<Match>>, SearchResponse) {
+    let mut per_req: Vec<Vec<Match>> = vec![Vec::new(); reqs.len()];
+    let response = {
+        let mut sinks: Vec<CollectSink> = per_req.iter_mut().map(CollectSink::new).collect();
+        let mut slots: Vec<&mut (dyn MatchSink + Send)> = sinks
+            .iter_mut()
+            .map(|s| s as &mut (dyn MatchSink + Send))
+            .collect();
+        source.search_batch_streaming(reqs, &mut slots)
+    };
+    (per_req, response)
+}
+
+/// Contract 1, batch form: each request's own sink receives exactly that
+/// request's matches, equal to the buffered batch (requests may run on
+/// worker threads, so no cross-request emission order is assumed).
 fn assert_batch_streaming_equals_buffered(index: &OnlineIndex, queries: &[Vec<u8>], seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let reqs: Vec<SearchRequest> = queries
@@ -100,13 +122,7 @@ fn assert_batch_streaming_equals_buffered(index: &OnlineIndex, queries: &[Vec<u8
         .collect();
     let buffered = index.search_batch(&reqs);
 
-    let mut per_req: Vec<Vec<Match>> = vec![Vec::new(); reqs.len()];
-    let mut last_req = 0usize;
-    let response = index.search_batch_streaming(&reqs, &mut |i, id, dist| {
-        assert!(i >= last_req, "emissions must arrive in request order");
-        last_req = i;
-        per_req[i].push((id, dist));
-    });
+    let (mut per_req, response) = collect_batch_streaming(index, &reqs);
 
     assert_eq!(response.outcomes.len(), buffered.outcomes.len());
     for (i, expected) in buffered.outcomes.iter().enumerate() {
@@ -721,9 +737,7 @@ fn streamed_batches_honour_the_shared_pool() {
         .iter()
         .map(|q| SearchRequest::borrowed(q, 2).with_batch_budget(&shared))
         .collect();
-    let mut emitted = Vec::new();
-    let response =
-        index.search_batch_streaming(&reqs, &mut |req, id, dist| emitted.push((req, id, dist)));
+    let (per_req, response) = collect_batch_streaming(&index, &reqs);
     assert!(
         batch_work(&response.outcomes) <= cap,
         "streamed batch total is capped too"
@@ -733,7 +747,7 @@ fn streamed_batches_honour_the_shared_pool() {
         .iter()
         .any(|o| !o.completion.is_complete()));
     assert_eq!(
-        emitted.len(),
+        per_req.iter().map(Vec::len).sum::<usize>(),
         response.outcomes.iter().map(|o| o.count).sum::<usize>()
     );
 }

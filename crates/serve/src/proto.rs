@@ -161,6 +161,25 @@ fn field_u64(obj: &Json, key: &'static str) -> Result<Option<u64>, RequestError>
     }
 }
 
+/// Ceiling for `tau`/`limit` on the wire. String ids are `u32`, so a
+/// threshold or top-k limit beyond `u32::MAX` can never be meaningful —
+/// and the same check keeps the value inside `usize` on 32-bit targets.
+const WIRE_SIZE_MAX: u64 = u32::MAX as u64;
+
+/// Like [`field_u64`], but bounded by [`WIRE_SIZE_MAX`] — a `u64::MAX`
+/// tau on the wire must be a typed `bad_request`, never a silent `as`
+/// wrap (which truncates on 32-bit targets and otherwise smuggles an
+/// absurd-but-legal value into the engine).
+fn field_usize(obj: &Json, key: &'static str) -> Result<Option<usize>, RequestError> {
+    match field_u64(obj, key)? {
+        None => Ok(None),
+        Some(v) if v > WIRE_SIZE_MAX => Err(RequestError::bad(format!(
+            "{key} = {v} is out of range (maximum {WIRE_SIZE_MAX})"
+        ))),
+        Some(v) => Ok(Some(v as usize)),
+    }
+}
+
 fn field_bool(obj: &Json, key: &'static str) -> Result<bool, RequestError> {
     match obj.get(key) {
         None | Some(Json::Null) => Ok(false),
@@ -255,8 +274,8 @@ pub fn parse_request(line: &[u8], max_batch: usize) -> Result<Request, RequestEr
             };
             Ok(Request::Query(QuerySpec {
                 queries,
-                tau: field_u64(&value, "tau")?.map(|t| t as usize),
-                limit: field_u64(&value, "limit")?.map(|k| k as usize),
+                tau: field_usize(&value, "tau")?,
+                limit: field_usize(&value, "limit")?,
                 count: field_bool(&value, "count")?,
                 stream: field_bool(&value, "stream")?,
                 budget: budget_fields(&value)?,
@@ -412,7 +431,7 @@ mod tests {
 
     #[test]
     fn typed_errors_for_bad_requests() {
-        let cases: [(&[u8], ErrorCode); 8] = [
+        let cases: [(&[u8], ErrorCode); 11] = [
             (b"not json", ErrorCode::Parse),
             (b"[1]", ErrorCode::Parse),
             (br#"{"op":"nope"}"#, ErrorCode::BadRequest),
@@ -426,6 +445,20 @@ mod tests {
                 br#"{"op":"query","q":"a","tau":1.5}"#,
                 ErrorCode::BadRequest,
             ),
+            // Out-of-range integers are rejected at parse time, never
+            // silently wrapped by an `as usize` cast.
+            (
+                br#"{"op":"query","q":"a","tau":18446744073709551615}"#,
+                ErrorCode::BadRequest,
+            ),
+            (
+                br#"{"op":"query","q":"a","tau":4294967296}"#,
+                ErrorCode::BadRequest,
+            ),
+            (
+                br#"{"op":"query","q":"a","limit":18446744073709551615}"#,
+                ErrorCode::BadRequest,
+            ),
             (
                 br#"{"op":"query","queries":["a","b","c"]}"#,
                 ErrorCode::BatchTooLarge,
@@ -436,6 +469,14 @@ mod tests {
             assert_eq!(err.code, code, "line {:?}", String::from_utf8_lossy(line));
             assert!(!err.msg.is_empty());
         }
+
+        // The ceiling itself is legal: u32::MAX parses (the *semantic*
+        // tau-vs-τ_max check lives in the server, not the parser).
+        let spec = match parse_request(br#"{"op":"query","q":"a","tau":4294967295}"#, 2) {
+            Ok(Request::Query(spec)) => spec,
+            other => panic!("expected a query, got {other:?}"),
+        };
+        assert_eq!(spec.tau, Some(u32::MAX as usize));
     }
 
     #[test]
