@@ -1,0 +1,144 @@
+//! Set-similarity lane benchmark: the `passjoin_setsim` prefix-filter
+//! index and the streaming dedup pipeline.
+//!
+//! Groups:
+//!
+//! * `setsim/build` — inverted-index construction (tokenize, rarest-first
+//!   dictionary, postings) over an AuthorTitle corpus.
+//! * `setsim/query` — a mutated query batch swept across Jaccard
+//!   thresholds. Before each timed run the filter's work profile is
+//!   printed (candidates screened, merge verifications, matches), so the
+//!   threshold sweep doubles as a prefix-filter selectivity table.
+//! * `setsim-dedup/pipeline` — end-to-end streaming dedup throughput at
+//!   10⁵ records (query-before-insert + union-find per record), the
+//!   `cli dedup` hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagen::{DatasetKind, DatasetSpec};
+use passjoin_online::ExecStats;
+use passjoin_setsim::{DedupPipeline, SetMetric, SetQuery, SetSimilarityIndex, TokenMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CORPUS_N: usize = 20_000;
+const QUERY_N: usize = 1_000;
+const DEDUP_N: usize = 100_000;
+const Q: usize = 3;
+
+fn corpus(n: usize) -> Vec<Vec<u8>> {
+    DatasetSpec::new(DatasetKind::AuthorTitle, n)
+        .with_seed(42)
+        .generate()
+}
+
+/// A serving-shaped query mix: half exact corpus strings, half mutated
+/// within 2 edits (so most queries keep high set similarity to a record).
+fn query_mix(strings: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..QUERY_N)
+        .map(|_| {
+            let s = &strings[rng.gen_range(0..strings.len())];
+            if rng.gen_bool(0.5) {
+                s.clone()
+            } else {
+                datagen::mutate(s, rng.gen_range(1..=2), &mut rng)
+            }
+        })
+        .collect()
+}
+
+fn bench_setsim(c: &mut Criterion) {
+    let strings = corpus(CORPUS_N);
+    let queries = query_mix(&strings);
+    let mode = TokenMode::Grams { q: Q };
+    let index = SetSimilarityIndex::build_from(mode, &strings);
+
+    let mut group = c.benchmark_group("setsim");
+    group.sample_size(10);
+
+    group.throughput(Throughput::Elements(CORPUS_N as u64));
+    group.bench_with_input(
+        BenchmarkId::new("build", format!("q{Q}-{CORPUS_N}")),
+        &strings,
+        |b, strings| b.iter(|| SetSimilarityIndex::build_from(mode, strings)),
+    );
+
+    group.throughput(Throughput::Elements(QUERY_N as u64));
+    for threshold in [0.7, 0.8, 0.9] {
+        // One untimed pass first: the filter's work profile at this
+        // threshold, so the sweep reads as a selectivity table.
+        let mut totals = ExecStats::default();
+        let mut matches = 0usize;
+        for q in &queries {
+            let outcome = index.search(&SetQuery::new(q, SetMetric::Jaccard, threshold));
+            totals.merge(&outcome.stats);
+            matches += outcome.count;
+        }
+        println!(
+            "setsim/query/jaccard-{threshold}: {} candidates -> {} verifications -> {matches} matches ({QUERY_N} queries)",
+            totals.candidates, totals.verifications
+        );
+        group.bench_with_input(
+            BenchmarkId::new("query", format!("jaccard-{threshold}")),
+            &queries,
+            |b, queries| {
+                b.iter(|| {
+                    queries
+                        .iter()
+                        .map(|q| {
+                            index
+                                .search(&SetQuery::new(q, SetMetric::Jaccard, threshold))
+                                .count
+                        })
+                        .sum::<usize>()
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    let strings = DatasetSpec::new(DatasetKind::AuthorTitle, DEDUP_N)
+        .with_seed(42)
+        .with_duplicate_rate(0.08)
+        .with_max_planted_edits(1)
+        .generate();
+    let mode = TokenMode::Grams { q: Q };
+
+    // Work profile once, untimed: what a full streaming pass does.
+    {
+        let mut pipeline = DedupPipeline::new(mode, SetMetric::Jaccard, 0.8);
+        for record in &strings {
+            pipeline.push(record);
+        }
+        let clusters = pipeline.clusters().len();
+        let stats = pipeline.stats();
+        println!(
+            "setsim-dedup/pipeline: {} records -> {clusters} clusters; {} candidates -> {} verifications -> {} matches",
+            DEDUP_N, stats.candidates, stats.verifications, stats.segment_matches
+        );
+    }
+
+    let mut group = c.benchmark_group("setsim-dedup");
+    group.sample_size(2);
+    group.throughput(Throughput::Elements(DEDUP_N as u64));
+    group.bench_with_input(
+        BenchmarkId::new("pipeline", format!("jaccard-0.8-q{Q}-{DEDUP_N}")),
+        &strings,
+        |b, strings| {
+            b.iter(|| {
+                let mut pipeline = DedupPipeline::new(mode, SetMetric::Jaccard, 0.8);
+                for record in strings {
+                    pipeline.push(record);
+                }
+                pipeline.matched_records()
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_setsim, bench_dedup);
+criterion_main!(benches);

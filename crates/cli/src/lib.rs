@@ -93,7 +93,10 @@ pub const USAGE: &str = "usage:
   simjoin client [--addr HOST:PORT] [--queries q.txt] [--tau N] [--limit K]
           [--count] [--stream] [--max-verify N] [--max-candidates N]
           [--deadline-ms N] [--batch-max-verify N] [--chunk N] [--stats]
-          [--metrics] [--shutdown]";
+          [--metrics] [--shutdown]
+  simjoin dedup <corpus.txt> --threshold T [--metric jaccard|cosine|overlap|edit]
+          [--tokens words|grams] [--q N] [--truth pairs.tsv]
+          [--out clusters.txt] [--stats] [--metrics]";
 
 /// The address `serve` binds and `client` dials when `--addr` is absent.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7878";
@@ -636,9 +639,159 @@ impl ClientConfig {
     }
 }
 
+/// The similarity family `dedup` clusters under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DedupMetric {
+    /// Jaccard set similarity on token sets.
+    Jaccard,
+    /// Cosine set similarity on token sets.
+    Cosine,
+    /// Overlap coefficient on token sets.
+    Overlap,
+    /// Edit distance on raw bytes (threshold is an integer τ).
+    Edit,
+}
+
+impl DedupMetric {
+    fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "jaccard" => Ok(Self::Jaccard),
+            "cosine" => Ok(Self::Cosine),
+            "overlap" => Ok(Self::Overlap),
+            "edit" => Ok(Self::Edit),
+            other => Err(format!(
+                "unknown metric '{other}' (expected jaccard, cosine, overlap, edit)"
+            )),
+        }
+    }
+}
+
+/// Parsed `simjoin dedup` invocation: stream a corpus through
+/// query-before-insert and emit near-duplicate clusters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DedupConfig {
+    /// The corpus file (one record per line; arbitrary bytes).
+    pub input: PathBuf,
+    /// Similarity family.
+    pub metric: DedupMetric,
+    /// Similarity threshold: in `(0, 1]` for set metrics, a non-negative
+    /// integer τ for `edit`.
+    pub threshold: f64,
+    /// Tokenize as whitespace words instead of q-grams (set metrics only).
+    pub words: bool,
+    /// Gram length for q-gram tokenization.
+    pub q: usize,
+    /// Planted-duplicate ground truth (`dup<TAB>base` pairs) to verify
+    /// the clusters against.
+    pub truth: Option<PathBuf>,
+    /// Where to write clusters (stdout when `None`).
+    pub output: Option<PathBuf>,
+    /// Print pipeline statistics to stderr.
+    pub stats: bool,
+    /// Dump the metrics registry to stderr after the run.
+    pub metrics: bool,
+}
+
+impl DedupConfig {
+    fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut input: Option<PathBuf> = None;
+        let mut metric = DedupMetric::Jaccard;
+        let mut threshold: Option<f64> = None;
+        let mut tokens: Option<String> = None;
+        let mut q: Option<usize> = None;
+        let mut truth = None;
+        let mut output = None;
+        let mut stats = false;
+        let mut metrics = false;
+
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--metric" => {
+                    let v = it.next().ok_or("--metric requires a value")?;
+                    metric = DedupMetric::parse(&v)?;
+                }
+                "--threshold" => {
+                    let v = it.next().ok_or("--threshold requires a value")?;
+                    threshold = Some(
+                        v.parse()
+                            .map_err(|_| format!("--threshold requires a number, got '{v}'"))?,
+                    );
+                }
+                "--tokens" => {
+                    let v = it.next().ok_or("--tokens requires a value")?;
+                    if v != "words" && v != "grams" {
+                        return Err(format!("unknown tokens mode '{v}' (expected words, grams)"));
+                    }
+                    tokens = Some(v);
+                }
+                "--q" => {
+                    let n = take_number(&mut it, "--q")?;
+                    if n == 0 {
+                        return Err("--q must be at least 1".into());
+                    }
+                    q = Some(n);
+                }
+                "--truth" => {
+                    truth = Some(PathBuf::from(it.next().ok_or("--truth requires a path")?));
+                }
+                "--out" => {
+                    output = Some(PathBuf::from(it.next().ok_or("--out requires a path")?));
+                }
+                "--stats" => stats = true,
+                "--metrics" => metrics = true,
+                other if other.starts_with('-') => {
+                    return Err(format!("unknown option '{other}' for dedup"));
+                }
+                path => {
+                    if input.is_some() {
+                        return Err("multiple corpus files given".into());
+                    }
+                    input = Some(PathBuf::from(path));
+                }
+            }
+        }
+        let threshold = threshold.ok_or("dedup requires --threshold")?;
+        let words = tokens.as_deref() == Some("words");
+        match metric {
+            DedupMetric::Edit => {
+                if threshold < 0.0 || threshold.fract() != 0.0 {
+                    return Err(format!(
+                        "--metric edit needs an integer edit-distance threshold, got {threshold}"
+                    ));
+                }
+                if tokens.is_some() || q.is_some() {
+                    return Err("--tokens/--q do not apply to --metric edit".into());
+                }
+            }
+            _ => {
+                if !(threshold > 0.0 && threshold <= 1.0) {
+                    return Err(format!(
+                        "--threshold must be in (0, 1] for set metrics, got {threshold}"
+                    ));
+                }
+                if words && q.is_some() {
+                    return Err("--q does not apply to --tokens words".into());
+                }
+            }
+        }
+        Ok(DedupConfig {
+            input: input.ok_or("dedup requires a corpus file")?,
+            metric,
+            threshold,
+            words,
+            q: q.unwrap_or(2),
+            truth,
+            output,
+            stats,
+            metrics,
+        })
+    }
+}
+
 /// A parsed `simjoin` invocation: the legacy join mode, a serve-mode
-/// subcommand, or the network client.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// subcommand, the network client, or the dedup pipeline.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Batch self-join over a corpus (the original mode).
     Join(Config),
@@ -646,6 +799,8 @@ pub enum Command {
     Serve(ServeConfig),
     /// Network client against a running `serve` endpoint.
     Client(ClientConfig),
+    /// Streaming near-duplicate clustering over a corpus.
+    Dedup(DedupConfig),
 }
 
 impl Command {
@@ -662,6 +817,10 @@ impl Command {
             Some("client") => {
                 it.next();
                 return Ok(Command::Client(ClientConfig::parse(it)?));
+            }
+            Some("dedup") => {
+                it.next();
+                return Ok(Command::Dedup(DedupConfig::parse(it)?));
             }
             _ => None,
         };
@@ -801,6 +960,116 @@ mod tests {
             Command::Join(c) => assert_eq!(c.tau, 2),
             other => panic!("expected join command, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn dedup_parses_set_metrics() {
+        match parse_command(&["dedup", "corpus.txt", "--threshold", "0.8"]).unwrap() {
+            Command::Dedup(c) => {
+                assert_eq!(c.input, PathBuf::from("corpus.txt"));
+                assert_eq!(c.metric, DedupMetric::Jaccard);
+                assert_eq!(c.threshold, 0.8);
+                assert!(!c.words);
+                assert_eq!(c.q, 2);
+                assert!(!c.stats && !c.metrics);
+            }
+            other => panic!("expected dedup command, got {other:?}"),
+        }
+        match parse_command(&[
+            "dedup",
+            "c.txt",
+            "--metric",
+            "cosine",
+            "--threshold",
+            "0.9",
+            "--tokens",
+            "grams",
+            "--q",
+            "3",
+            "--truth",
+            "t.tsv",
+            "--out",
+            "clusters.txt",
+            "--stats",
+            "--metrics",
+        ])
+        .unwrap()
+        {
+            Command::Dedup(c) => {
+                assert_eq!(c.metric, DedupMetric::Cosine);
+                assert_eq!(c.q, 3);
+                assert_eq!(c.truth, Some(PathBuf::from("t.tsv")));
+                assert_eq!(c.output, Some(PathBuf::from("clusters.txt")));
+                assert!(c.stats && c.metrics);
+            }
+            other => panic!("expected dedup command, got {other:?}"),
+        }
+        match parse_command(&[
+            "dedup",
+            "c.txt",
+            "--metric",
+            "overlap",
+            "--threshold",
+            "0.5",
+            "--tokens",
+            "words",
+        ])
+        .unwrap()
+        {
+            Command::Dedup(c) => {
+                assert_eq!(c.metric, DedupMetric::Overlap);
+                assert!(c.words);
+            }
+            other => panic!("expected dedup command, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dedup_parses_edit_metric_and_rejects_bad_input() {
+        match parse_command(&["dedup", "c.txt", "--metric", "edit", "--threshold", "2"]).unwrap() {
+            Command::Dedup(c) => {
+                assert_eq!(c.metric, DedupMetric::Edit);
+                assert_eq!(c.threshold, 2.0);
+            }
+            other => panic!("expected dedup command, got {other:?}"),
+        }
+        // Missing threshold / corpus.
+        assert!(parse_command(&["dedup", "c.txt"]).is_err());
+        assert!(parse_command(&["dedup", "--threshold", "0.8"]).is_err());
+        // Set thresholds must sit in (0, 1]; edit thresholds must be integers.
+        assert!(parse_command(&["dedup", "c.txt", "--threshold", "0"]).is_err());
+        assert!(parse_command(&["dedup", "c.txt", "--threshold", "1.5"]).is_err());
+        assert!(
+            parse_command(&["dedup", "c.txt", "--metric", "edit", "--threshold", "1.5"]).is_err()
+        );
+        // Tokenization flags don't apply to edit; --q clashes with words.
+        assert!(parse_command(&[
+            "dedup",
+            "c.txt",
+            "--metric",
+            "edit",
+            "--threshold",
+            "2",
+            "--q",
+            "3"
+        ])
+        .is_err());
+        assert!(parse_command(&[
+            "dedup",
+            "c.txt",
+            "--threshold",
+            "0.5",
+            "--tokens",
+            "words",
+            "--q",
+            "3"
+        ])
+        .is_err());
+        assert!(
+            parse_command(&["dedup", "c.txt", "--threshold", "0.5", "--metric", "dice"]).is_err()
+        );
+        assert!(parse_command(&["dedup", "c.txt", "--threshold", "0.5", "--q", "0"]).is_err());
+        assert!(parse_command(&["dedup", "a.txt", "b.txt", "--threshold", "0.5"]).is_err());
     }
 
     #[test]

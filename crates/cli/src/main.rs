@@ -41,13 +41,15 @@ use std::time::Instant;
 
 use passjoin_online::{
     is_sharded_snapshot, wall_deadline, CacheOutcome, CachePolicy, Completion, EngineObs,
-    ExecBudget, MatchSink, OnlineIndex, Parallelism, PersistError, Queryable, Registry,
+    ExecBudget, ExecStats, MatchSink, OnlineIndex, Parallelism, PersistError, Queryable, Registry,
     SearchRequest, SearchResponse, ShardedIndex, WallClockTicks,
 };
 use passjoin_serve::proto::{BudgetSpec, MetricsFormat};
 use passjoin_serve::{Client, Event, QueryOptions, Server, ServerConfig};
+use passjoin_setsim::{sorted_overlap, DedupPipeline, SetMetric, SetSimObs, TokenMode, UnionFind};
 use simjoin_cli::{
-    corpus_lines, ClientConfig, Command, Config, IndexSource, ServeConfig, ServeMode, USAGE,
+    corpus_lines, ClientConfig, Command, Config, DedupConfig, DedupMetric, IndexSource,
+    ServeConfig, ServeMode, USAGE,
 };
 
 fn main() -> ExitCode {
@@ -62,6 +64,229 @@ fn main() -> ExitCode {
         Command::Join(config) => run_join(&config),
         Command::Serve(config) => run_serve(&config),
         Command::Client(config) => run_client(&config),
+        Command::Dedup(config) => run_dedup(&config),
+    }
+}
+
+/// Streams a corpus through query-before-insert and reports the
+/// near-duplicate clusters, one per line (tab-separated member ids, ids
+/// = 0-based line numbers). Set metrics run the `passjoin-setsim`
+/// prefix-filter pipeline; `--metric edit` runs the same
+/// query-before-insert loop over the edit-distance engine.
+fn run_dedup(config: &DedupConfig) -> ExitCode {
+    // Bytes, not text: the set-similarity tokenizers are byte-transparent
+    // and dedup must survive non-UTF-8 corpora.
+    let bytes = match std::fs::read(&config.input) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("simjoin: cannot read {}: {e}", config.input.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut records: Vec<&[u8]> = if bytes.is_empty() {
+        Vec::new()
+    } else {
+        bytes.split(|&b| b == b'\n').collect()
+    };
+    if bytes.ends_with(b"\n") {
+        records.pop(); // trailing newline, not a final empty record
+    }
+
+    let registry = config.metrics.then(|| Arc::new(Registry::new()));
+    let started = Instant::now();
+    let (clusters, totals, matched) = match config.metric {
+        DedupMetric::Edit => {
+            let tau = config.threshold as usize;
+            let mut index = OnlineIndex::new(tau);
+            if let Some(registry) = &registry {
+                index.set_observability(Some(Arc::new(EngineObs::with_registry(Arc::clone(
+                    registry,
+                )))));
+            }
+            let mut uf = UnionFind::new(records.len());
+            let mut totals = ExecStats::default();
+            let mut matched = 0u64;
+            for rec in &records {
+                let outcome = index.search(&SearchRequest::borrowed(rec, tau));
+                totals.merge(&outcome.stats);
+                let id = index.insert(rec);
+                for &(m, _) in outcome.matches.iter() {
+                    uf.union(id, m);
+                }
+                if outcome.count > 0 {
+                    matched += 1;
+                }
+            }
+            (uf.clusters(), totals, matched)
+        }
+        set_metric => {
+            let metric = match set_metric {
+                DedupMetric::Jaccard => SetMetric::Jaccard,
+                DedupMetric::Cosine => SetMetric::Cosine,
+                DedupMetric::Overlap => SetMetric::Overlap,
+                DedupMetric::Edit => unreachable!("handled above"),
+            };
+            let mode = if config.words {
+                TokenMode::Words
+            } else {
+                TokenMode::Grams { q: config.q }
+            };
+            let mut pipeline = DedupPipeline::new(mode, metric, config.threshold);
+            if let Some(registry) = &registry {
+                pipeline = pipeline
+                    .with_observability(Arc::new(SetSimObs::with_registry(Arc::clone(registry))));
+            }
+            for rec in &records {
+                pipeline.push(rec);
+            }
+            let (stats, matched) = (*pipeline.stats(), pipeline.matched_records());
+            (pipeline.clusters(), stats, matched)
+        }
+    };
+    let elapsed = started.elapsed();
+
+    let mut out: Box<dyn Write> = match &config.output {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Box::new(std::io::BufWriter::new(f)),
+            Err(e) => {
+                eprintln!("simjoin: cannot create {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Box::new(std::io::BufWriter::new(std::io::stdout().lock())),
+    };
+    for cluster in &clusters {
+        let line = cluster
+            .iter()
+            .map(u32::to_string)
+            .collect::<Vec<_>>()
+            .join("\t");
+        if writeln!(out, "{line}").is_err() {
+            return ExitCode::FAILURE;
+        }
+    }
+    if out.flush().is_err() {
+        return ExitCode::FAILURE;
+    }
+    drop(out);
+
+    if config.stats {
+        let clustered: usize = clusters.iter().map(Vec::len).sum();
+        eprintln!(
+            "simjoin: dedup {} records -> {} clusters ({} members, {} matched on arrival) \
+             in {:.3?} (candidates={} verifications={} matches={})",
+            records.len(),
+            clusters.len(),
+            clustered,
+            matched,
+            elapsed,
+            totals.candidates,
+            totals.verifications,
+            totals.segment_matches,
+        );
+    }
+    if let Some(registry) = &registry {
+        eprint!("{}", registry.render_prometheus());
+    }
+
+    if let Some(path) = &config.truth {
+        // The expected partition is the transitive closure of the planted
+        // pairs *that satisfy the requested predicate*: a planted edit on
+        // a short record can push its similarity below the threshold, and
+        // a correct engine must not match it.
+        let similar: Box<SimilarPredicate> = match config.metric {
+            DedupMetric::Edit => {
+                let tau = config.threshold as usize;
+                Box::new(move |a, b| editdist::banded_within(a, b, tau).is_some())
+            }
+            set_metric => {
+                let metric = match set_metric {
+                    DedupMetric::Jaccard => SetMetric::Jaccard,
+                    DedupMetric::Cosine => SetMetric::Cosine,
+                    DedupMetric::Overlap => SetMetric::Overlap,
+                    DedupMetric::Edit => unreachable!("handled above"),
+                };
+                let mode = if config.words {
+                    TokenMode::Words
+                } else {
+                    TokenMode::Grams { q: config.q }
+                };
+                let threshold = config.threshold;
+                Box::new(move |a, b| {
+                    let (x, y) = (mode.token_set(a), mode.token_set(b));
+                    let o = sorted_overlap(&x, &y);
+                    o > 0 && metric.accepts(threshold, o, x.len(), y.len())
+                })
+            }
+        };
+        match verify_truth(path, &records, &clusters, &similar) {
+            Ok((n, dropped)) => eprintln!(
+                "simjoin: clusters match truth ({n} clusters; {dropped} planted pairs below threshold)"
+            ),
+            Err(e) => {
+                eprintln!("simjoin: cluster/truth mismatch: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The similarity predicate a dedup run was configured with, rebuilt
+/// for truth verification.
+type SimilarPredicate = dyn Fn(&[u8], &[u8]) -> bool;
+
+/// Checks the found clusters against a planted-duplicate truth file
+/// (`dup<TAB>base` id pairs): the clusters must equal the transitive
+/// closure of the truth pairs whose records actually satisfy the
+/// requested similarity predicate (planted edits on short records can
+/// land below the threshold, and a correct engine must not match
+/// those). Returns the cluster count and how many planted pairs the
+/// predicate dropped.
+fn verify_truth(
+    path: &std::path::Path,
+    records: &[&[u8]],
+    clusters: &[Vec<u32>],
+    similar: &dyn Fn(&[u8], &[u8]) -> bool,
+) -> Result<(usize, usize), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read truth file: {e}"))?;
+    let mut uf = UnionFind::new(records.len());
+    let mut dropped = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let pair = (
+            parts.next().and_then(|v| v.parse::<u32>().ok()),
+            parts.next().and_then(|v| v.parse::<u32>().ok()),
+        );
+        let (Some(dup), Some(base)) = pair else {
+            return Err(format!("truth line {} is not 'dup\\tbase'", lineno + 1));
+        };
+        if (dup as usize) >= records.len() || (base as usize) >= records.len() {
+            return Err(format!("truth line {} out of range", lineno + 1));
+        }
+        if similar(records[dup as usize], records[base as usize]) {
+            uf.union(dup, base);
+        } else {
+            dropped += 1;
+        }
+    }
+    let expected = uf.clusters();
+    if expected == clusters {
+        Ok((expected.len(), dropped))
+    } else {
+        let divergent = expected
+            .iter()
+            .zip(clusters.iter())
+            .position(|(a, b)| a != b)
+            .unwrap_or(expected.len().min(clusters.len()));
+        Err(format!(
+            "expected {} clusters, found {}; first divergence at cluster #{divergent}",
+            expected.len(),
+            clusters.len(),
+        ))
     }
 }
 

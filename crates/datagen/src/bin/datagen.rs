@@ -3,11 +3,15 @@
 //!
 //! ```text
 //! datagen --kind author --n 20000 --seed 42 --out corpus.txt
+//! datagen --kind querylog --n 100000 --dup-rate 0.1 --max-edits 1 \
+//!     --out corpus.txt --truth truth.tsv
 //! ```
 //!
 //! Kinds mirror the paper's evaluation corpora: `author` (short strings),
 //! `querylog` (medium), `authortitle` (long). Output is deterministic in
-//! the seed.
+//! the seed. `--truth` additionally writes the planted-duplicate ground
+//! truth as `dup<TAB>base` line-index pairs — the oracle the dedup smoke
+//! tests recover.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -15,13 +19,17 @@ use std::process::ExitCode;
 use datagen::{DatasetKind, DatasetSpec};
 
 const USAGE: &str = "usage:
-  datagen --kind author|querylog|authortitle --n N [--seed S] [--out corpus.txt]";
+  datagen --kind author|querylog|authortitle --n N [--seed S] [--out corpus.txt]
+          [--dup-rate R] [--max-edits K] [--truth truth.tsv]";
 
 struct Args {
     kind: DatasetKind,
     n: usize,
     seed: u64,
     out: Option<PathBuf>,
+    dup_rate: Option<f64>,
+    max_edits: Option<usize>,
+    truth: Option<PathBuf>,
 }
 
 fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
@@ -29,6 +37,9 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
     let mut n = None;
     let mut seed = 42u64;
     let mut out = None;
+    let mut dup_rate = None;
+    let mut max_edits = None;
+    let mut truth = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -64,6 +75,31 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
             "--out" => {
                 out = Some(PathBuf::from(it.next().ok_or("--out requires a path")?));
             }
+            "--dup-rate" => {
+                let v: f64 = it
+                    .next()
+                    .ok_or("--dup-rate requires a value")?
+                    .parse()
+                    .map_err(|_| "--dup-rate requires a number in [0, 1]")?;
+                if !(0.0..=1.0).contains(&v) {
+                    return Err("--dup-rate requires a number in [0, 1]".into());
+                }
+                dup_rate = Some(v);
+            }
+            "--max-edits" => {
+                let v: usize = it
+                    .next()
+                    .ok_or("--max-edits requires a value")?
+                    .parse()
+                    .map_err(|_| "--max-edits requires a positive integer")?;
+                if v == 0 {
+                    return Err("--max-edits requires a positive integer".into());
+                }
+                max_edits = Some(v);
+            }
+            "--truth" => {
+                truth = Some(PathBuf::from(it.next().ok_or("--truth requires a path")?));
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
     }
@@ -72,6 +108,9 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
         n: n.ok_or("missing required --n")?,
         seed,
         out,
+        dup_rate,
+        max_edits,
+        truth,
     })
 }
 
@@ -83,9 +122,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let strings = DatasetSpec::new(args.kind, args.n)
-        .with_seed(args.seed)
-        .generate();
+    let mut spec = DatasetSpec::new(args.kind, args.n).with_seed(args.seed);
+    if let Some(rate) = args.dup_rate {
+        spec = spec.with_duplicate_rate(rate);
+    }
+    if let Some(edits) = args.max_edits {
+        spec = spec.with_max_planted_edits(edits);
+    }
+    let (strings, truth) = spec.generate_with_truth();
+    if let Some(path) = &args.truth {
+        let lines: Vec<Vec<u8>> = truth
+            .iter()
+            .map(|(dup, base)| format!("{dup}\t{base}").into_bytes())
+            .collect();
+        if let Err(e) = datagen::io::save_lines(path, &lines) {
+            eprintln!("datagen: truth write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let result = match &args.out {
         Some(path) => datagen::io::save_lines(path, &strings),
         None => {

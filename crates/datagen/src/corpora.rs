@@ -127,27 +127,46 @@ impl DatasetSpec {
         self
     }
 
+    /// Overrides the edit cap on planted duplicates (`≥ 1`). A cap of 1
+    /// plants duplicates exactly one edit from their base — the regime
+    /// set-similarity dedup at high thresholds is expected to recover.
+    pub fn with_max_planted_edits(mut self, edits: usize) -> Self {
+        assert!(edits >= 1, "planted duplicates need at least one edit");
+        self.max_planted_edits = edits;
+        self
+    }
+
     /// Generates the corpus as raw strings, in generation order.
     pub fn generate(&self) -> Vec<Vec<u8>> {
+        self.generate_with_truth().0
+    }
+
+    /// Generates the corpus plus the planted-duplicate ground truth:
+    /// `(duplicate index, base index)` pairs, one per mutated copy that
+    /// made it into the corpus. The corpus is byte-identical to
+    /// [`DatasetSpec::generate`] for the same spec — the truth is a free
+    /// side channel, not a different generator.
+    pub fn generate_with_truth(&self) -> (Vec<Vec<u8>>, Vec<(u32, u32)>) {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let gen = Generator::new(self.kind, self.seed);
         let (min_len, max_len) = self.kind.length_bounds();
         let mut out: Vec<Vec<u8>> = Vec::with_capacity(self.cardinality);
+        let mut truth: Vec<(u32, u32)> = Vec::new();
         while out.len() < self.cardinality {
-            let s = if !out.is_empty() && rng.gen_bool(self.duplicate_rate) {
-                let base = &out[rng.gen_range(0..out.len())];
+            if !out.is_empty() && rng.gen_bool(self.duplicate_rate) {
+                let base = rng.gen_range(0..out.len());
                 let edits = rng.gen_range(1..=self.max_planted_edits);
-                let m = mutate(base, edits, &mut rng);
+                let m = mutate(&out[base], edits, &mut rng);
                 if m.len() < min_len || m.len() > max_len {
                     continue; // mutation pushed it out of bounds; retry
                 }
-                m
+                truth.push((out.len() as u32, base as u32));
+                out.push(m);
             } else {
-                gen.fresh(&mut rng)
-            };
-            out.push(s);
+                out.push(gen.fresh(&mut rng));
+            }
         }
-        out
+        (out, truth)
     }
 
     /// Generates the corpus already wrapped in a sorted
@@ -382,6 +401,23 @@ mod tests {
             for s in &strings {
                 assert!(s.iter().all(u8::is_ascii), "{kind:?} produced non-ASCII");
             }
+        }
+    }
+
+    #[test]
+    fn truth_is_a_free_side_channel() {
+        let spec = DatasetSpec::new(DatasetKind::QueryLog, 2_000)
+            .with_seed(9)
+            .with_duplicate_rate(0.15)
+            .with_max_planted_edits(1);
+        let (corpus, truth) = spec.generate_with_truth();
+        // Same spec, plain generate: byte-identical corpus.
+        assert_eq!(corpus, spec.generate());
+        assert!(!truth.is_empty(), "15% of 2000 should plant duplicates");
+        for &(dup, base) in &truth {
+            assert!(base < dup, "a duplicate must come after its base");
+            let d = editdist::edit_distance(&corpus[dup as usize], &corpus[base as usize]);
+            assert!(d <= 1, "max_planted_edits=1 but pair is {d} edits apart");
         }
     }
 }

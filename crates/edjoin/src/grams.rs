@@ -12,6 +12,49 @@
 use sj_common::hash::FxHashMap;
 use sj_common::StringCollection;
 
+/// The overlapping q-grams of `s`, in position order: `|s| − q + 1`
+/// windows of `q` bytes, or nothing when `|s| < q`.
+///
+/// This is the one gram-extraction primitive shared by every gram
+/// consumer — the ED-Join order below and the `passjoin-setsim` q-gram
+/// tokenizer — so "what counts as a gram" cannot drift between them. It
+/// is byte-transparent: no UTF-8 assumption, any of the 256 byte values
+/// may appear.
+///
+/// ```
+/// let grams: Vec<&[u8]> = edjoin::grams::qgrams(b"vldb", 2).collect();
+/// assert_eq!(grams, vec![&b"vl"[..], b"ld", b"db"]);
+/// assert_eq!(edjoin::grams::qgrams(b"v", 2).count(), 0);
+/// ```
+pub fn qgrams(s: &[u8], q: usize) -> impl Iterator<Item = &[u8]> {
+    assert!(q >= 1, "q must be positive");
+    s.windows(q)
+}
+
+/// Assigns rarest-first ranks to `(key, frequency)` pairs: ascending
+/// frequency, ties broken by the key's `Ord` so the order is
+/// deterministic. Returns the pairs as `(key, rank)`, rank 0 = rarest.
+///
+/// This is the global-order construction of prefix filtering (ED-Join
+/// [Xiao et al., PVLDB 2008]; All-Pairs [Bayardo et al., WWW 2007]):
+/// signatures built from the rarest elements have the shortest posting
+/// lists. [`GramOrder::build`] applies it to q-grams; the
+/// `passjoin-setsim` token index applies it to whole tokens.
+///
+/// ```
+/// let ranks = edjoin::grams::rarest_first_ranks(vec![("the", 90u32), ("zyzzyva", 1)]);
+/// assert_eq!(ranks, vec![("zyzzyva", 0), ("the", 1)]);
+/// ```
+pub fn rarest_first_ranks<K: Ord>(freq: Vec<(K, u32)>) -> Vec<(K, u32)> {
+    let mut pairs = freq;
+    pairs.sort_unstable_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    pairs
+        .into_iter()
+        .enumerate()
+        .map(|(rank, (key, _))| (key, rank as u32))
+        .collect()
+}
+
 /// A q-gram occurrence inside one string: its global frequency rank and
 /// its start position.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,16 +80,12 @@ impl<'a> GramOrder<'a> {
         assert!(q >= 1, "q must be positive");
         let mut freq: FxHashMap<&[u8], u32> = FxHashMap::default();
         for (_, s) in collection.iter() {
-            for w in s.windows(q) {
+            for w in qgrams(s, q) {
                 *freq.entry(w).or_insert(0) += 1;
             }
         }
-        let mut keys: Vec<(&[u8], u32)> = freq.into_iter().collect();
-        keys.sort_unstable_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(b.0)));
-        let ranks = keys
+        let ranks = rarest_first_ranks(freq.into_iter().collect())
             .into_iter()
-            .enumerate()
-            .map(|(rank, (gram, _))| (gram, rank as u32))
             .collect();
         Self { q, ranks }
     }

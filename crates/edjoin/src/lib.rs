@@ -21,6 +21,8 @@
 //! assert_eq!(out.normalized_pairs(), vec![(0, 1)]);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod content;
 pub mod grams;
 pub mod join;

@@ -1,0 +1,249 @@
+//! Streaming near-duplicate detection: query-before-insert + union-find.
+//!
+//! [`DedupPipeline::push`] takes one record at a time, searches the
+//! index built from everything pushed so far, unions the record with its
+//! matches, and then inserts it — one pass over a corpus yields the
+//! duplicate clusters (connected components of the "similarity ≥ t"
+//! graph restricted to stream-order edges; because every earlier member
+//! is queried against, any pair that matches produces an edge, so the
+//! components equal the transitive closure of the full match relation).
+
+use std::sync::Arc;
+
+use passjoin_online::ExecStats;
+use sj_common::StringId;
+
+use crate::index::{SetQuery, SetSimilarityIndex};
+use crate::metric::SetMetric;
+use crate::obs::SetSimObs;
+use crate::tokenize::TokenMode;
+
+/// Disjoint-set forest with path halving and union by size.
+#[derive(Debug, Default)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// A forest of `n` singletons.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Grows the forest to at least `n` elements (new ones are
+    /// singletons).
+    pub fn ensure(&mut self, n: usize) {
+        while self.parent.len() < n {
+            self.parent.push(self.parent.len() as u32);
+            self.size.push(1);
+        }
+    }
+
+    /// Elements in the forest.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the forest is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The representative of `x`'s set.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            // Path halving: point every other node at its grandparent.
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns false if they already
+    /// shared one.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        true
+    }
+
+    /// The multi-member sets: each sorted ascending, the list sorted by
+    /// smallest member. Singletons are omitted — a "cluster" is a group
+    /// of near-duplicates, and everything starts as a singleton.
+    pub fn clusters(&mut self) -> Vec<Vec<u32>> {
+        let n = self.parent.len();
+        let mut by_root: std::collections::BTreeMap<u32, Vec<u32>> =
+            std::collections::BTreeMap::new();
+        for x in 0..n as u32 {
+            by_root.entry(self.find(x)).or_default().push(x);
+        }
+        let mut out: Vec<Vec<u32>> = by_root.into_values().filter(|c| c.len() > 1).collect();
+        // Members are pushed in ascending order already; order clusters
+        // by first member for a deterministic report.
+        out.sort_unstable_by_key(|c| c[0]);
+        out
+    }
+}
+
+/// The streaming near-duplicate pipeline; see the [module docs](self).
+pub struct DedupPipeline {
+    index: SetSimilarityIndex,
+    metric: SetMetric,
+    threshold: f64,
+    uf: UnionFind,
+    totals: ExecStats,
+    requests: u64,
+    matched_records: u64,
+}
+
+impl DedupPipeline {
+    /// A pipeline detecting records with `metric`-similarity ≥
+    /// `threshold` under tokenization `mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < threshold ≤ 1`.
+    pub fn new(mode: TokenMode, metric: SetMetric, threshold: f64) -> Self {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "dedup threshold must be in (0, 1], got {threshold}"
+        );
+        Self {
+            index: SetSimilarityIndex::new(mode),
+            metric,
+            threshold,
+            uf: UnionFind::default(),
+            totals: ExecStats::default(),
+            requests: 0,
+            matched_records: 0,
+        }
+    }
+
+    /// Attaches a `passjoin_setsim_*` metrics family to the inner index.
+    pub fn with_observability(mut self, obs: Arc<SetSimObs>) -> Self {
+        self.index.set_observability(Some(obs));
+        self
+    }
+
+    /// Feeds one record: queries the index built so far, unions the
+    /// record with every match, inserts it. Returns the number of
+    /// near-duplicates found (0 for a fresh record). The record's id is
+    /// its 0-based stream position.
+    pub fn push(&mut self, record: &[u8]) -> usize {
+        let query = SetQuery::new(record, self.metric, self.threshold);
+        let outcome = self.index.search(&query);
+        self.totals.merge(&outcome.stats);
+        self.requests += 1;
+        let id = self.index.insert(record);
+        self.uf.ensure(id as usize + 1);
+        for &(m, _) in outcome.matches.iter() {
+            self.uf.union(id, m);
+        }
+        if outcome.count > 0 {
+            self.matched_records += 1;
+        }
+        outcome.count
+    }
+
+    /// Records pushed so far.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True before the first push.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The duplicate clusters found so far (see
+    /// [`UnionFind::clusters`]).
+    pub fn clusters(&mut self) -> Vec<Vec<StringId>> {
+        self.uf.clusters()
+    }
+
+    /// Summed [`ExecStats`] across every query the pipeline has run.
+    pub fn stats(&self) -> &ExecStats {
+        &self.totals
+    }
+
+    /// Queries run (= records pushed).
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Records that matched at least one earlier record when pushed.
+    pub fn matched_records(&self) -> u64 {
+        self.matched_records
+    }
+
+    /// The inner index (e.g. for shape stats).
+    pub fn index(&self) -> &SetSimilarityIndex {
+        &self.index
+    }
+}
+
+impl std::fmt::Debug for DedupPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DedupPipeline")
+            .field("metric", &self.metric)
+            .field("threshold", &self.threshold)
+            .field("records", &self.index.len())
+            .field("requests", &self.requests)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_components() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 3));
+        assert!(uf.union(3, 5));
+        assert!(!uf.union(0, 5));
+        assert!(uf.union(1, 2));
+        assert_eq!(uf.clusters(), vec![vec![0, 3, 5], vec![1, 2]]);
+        uf.ensure(8);
+        assert_eq!(uf.len(), 8);
+        assert_eq!(uf.clusters(), vec![vec![0, 3, 5], vec![1, 2]]);
+    }
+
+    #[test]
+    fn pipeline_clusters_transitively() {
+        let mut p = DedupPipeline::new(TokenMode::Words, SetMetric::Jaccard, 0.5);
+        // a–b similar, b–c similar, d unrelated: {a, b, c} one cluster.
+        assert_eq!(p.push(b"alpha beta gamma delta"), 0);
+        assert_eq!(p.push(b"alpha beta gamma epsilon"), 1);
+        assert!(p.push(b"alpha beta epsilon zeta") >= 1);
+        assert_eq!(p.push(b"omega psi chi phi"), 0);
+        assert_eq!(p.clusters(), vec![vec![0, 1, 2]]);
+        assert_eq!(p.requests(), 4);
+        assert!(p.stats().verifications >= 2);
+    }
+
+    #[test]
+    fn empty_records_never_cluster() {
+        let mut p = DedupPipeline::new(TokenMode::Grams { q: 2 }, SetMetric::Jaccard, 0.8);
+        p.push(b"");
+        p.push(b"");
+        p.push(b"x"); // shorter than q: empty set too
+        assert!(p.clusters().is_empty());
+    }
+}

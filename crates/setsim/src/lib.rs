@@ -1,0 +1,52 @@
+//! **Set-similarity lane**: tokenized records, a prefix-filter inverted
+//! index for Jaccard / cosine / overlap thresholds, and a streaming
+//! near-duplicate pipeline — on the same engine surface as the
+//! edit-distance lane.
+//!
+//! The edit-distance engine (Pass-Join, Li et al., PVLDB 2011) and the
+//! set-similarity family (All-Pairs, Bayardo et al., WWW 2007; PPJoin,
+//! Xiao et al., WWW 2008) share one skeleton: order the record, index a
+//! signature prefix, probe with size bounds, verify candidates exactly.
+//! This crate instantiates that skeleton for token *sets*:
+//!
+//! * [`TokenMode`] turns record bytes into token sets — ASCII-whitespace
+//!   words or byte q-grams (via [`edjoin::grams::qgrams`]), both total
+//!   over non-UTF-8 input;
+//! * [`SetSimilarityIndex`] interns tokens in a
+//!   [`passjoin::intern::SegmentInterner`] dictionary, orders them
+//!   rarest-first, and answers [`SetQuery`] requests in the engine's
+//!   shapes — plain / top-k / count-only, [`MatchSink`] streaming with
+//!   bound steering, [`ExecBudget`] caps — returning the same
+//!   [`QueryOutcome`]/[`ExecStats`] the edit-distance lane returns;
+//! * [`DedupPipeline`] chains query-before-insert with a [`UnionFind`]
+//!   to emit near-duplicate clusters from one streaming pass;
+//! * [`SetSimObs`] exports a `passjoin_setsim_*` metrics family over the
+//!   shared [`passjoin_obs::Registry`].
+//!
+//! ```
+//! use passjoin_setsim::{SetMetric, SetQuery, SetSimilarityIndex, TokenMode};
+//!
+//! let corpus: &[&[u8]] = &[b"approximate string joins", b"approximate string join", b"databases"];
+//! let index = SetSimilarityIndex::build_from(TokenMode::Grams { q: 2 }, corpus);
+//! let hits = index.search(&SetQuery::new(b"approximate string joins", SetMetric::Jaccard, 0.8));
+//! assert_eq!(hits.count, 2); // itself and the near-duplicate
+//! ```
+//!
+//! [`MatchSink`]: passjoin::sink::MatchSink
+//! [`ExecBudget`]: passjoin_online::ExecBudget
+//! [`QueryOutcome`]: passjoin_online::QueryOutcome
+//! [`ExecStats`]: passjoin_online::ExecStats
+
+#![warn(missing_docs)]
+
+pub mod dedup;
+pub mod index;
+pub mod metric;
+pub mod obs;
+pub mod tokenize;
+
+pub use dedup::{DedupPipeline, UnionFind};
+pub use index::{SetQuery, SetSimilarityIndex};
+pub use metric::{sorted_overlap, SetMetric, DIST_SCALE};
+pub use obs::SetSimObs;
+pub use tokenize::TokenMode;

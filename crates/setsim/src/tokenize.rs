@@ -1,0 +1,104 @@
+//! Byte-transparent tokenization of records into token *sets*.
+//!
+//! Two modes, both total over arbitrary byte strings (no UTF-8
+//! assumption, no panics on hostile input):
+//!
+//! * [`TokenMode::Words`] — maximal runs of non-ASCII-whitespace bytes.
+//!   Splitting only on the six ASCII whitespace bytes keeps multi-byte
+//!   UTF-8 sequences (and arbitrary binary runs) intact without ever
+//!   decoding them.
+//! * [`TokenMode::Grams`] — overlapping q-grams via
+//!   [`edjoin::grams::qgrams`], the same byte windows the ED-Join lane
+//!   uses. Records shorter than `q` bytes produce the empty set.
+//!
+//! The output is always a *set*: duplicates removed, order normalized
+//! (lexicographic by bytes). Set-similarity metrics are defined on sets,
+//! so multiplicity is dropped at the door.
+
+use edjoin::grams::qgrams;
+
+/// How a record's bytes become tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenMode {
+    /// Runs of bytes separated by ASCII whitespace.
+    Words,
+    /// Overlapping byte windows of length `q` (`q ≥ 1`).
+    Grams {
+        /// The gram length.
+        q: usize,
+    },
+}
+
+impl TokenMode {
+    /// Parses a CLI-style mode name: `words`, or `grams` (pair with a
+    /// separate `q`).
+    pub fn parse(name: &str, q: usize) -> Option<Self> {
+        match name {
+            "words" => Some(Self::Words),
+            "grams" => {
+                if q >= 1 {
+                    Some(Self::Grams { q })
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// The distinct tokens of `record` under this mode, sorted by bytes.
+    /// Total over arbitrary byte content; empty records (and, in gram
+    /// mode, records shorter than `q`) yield the empty set.
+    pub fn token_set<'a>(&self, record: &'a [u8]) -> Vec<&'a [u8]> {
+        let mut tokens: Vec<&[u8]> = match self {
+            Self::Words => record
+                .split(|b| b.is_ascii_whitespace())
+                .filter(|t| !t.is_empty())
+                .collect(),
+            Self::Grams { q } => qgrams(record, *q).collect(),
+        };
+        tokens.sort_unstable();
+        tokens.dedup();
+        tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_split_on_ascii_whitespace_only() {
+        let toks = TokenMode::Words.token_set(b"the  quick\tthe\nfox");
+        assert_eq!(toks, vec![&b"fox"[..], b"quick", b"the"]);
+        // 0xA0 (non-breaking space in latin-1) is NOT ASCII whitespace:
+        // it must stay inside a token, not split it.
+        let toks = TokenMode::Words.token_set(b"a\xa0b c");
+        assert_eq!(toks, vec![&b"a\xa0b"[..], b"c"]);
+    }
+
+    #[test]
+    fn grams_are_byte_windows() {
+        let toks = TokenMode::Grams { q: 2 }.token_set(b"abab");
+        assert_eq!(toks, vec![&b"ab"[..], b"ba"]);
+        assert!(TokenMode::Grams { q: 3 }.token_set(b"ab").is_empty());
+    }
+
+    #[test]
+    fn empty_records_yield_empty_sets() {
+        assert!(TokenMode::Words.token_set(b"").is_empty());
+        assert!(TokenMode::Words.token_set(b" \t\n ").is_empty());
+        assert!(TokenMode::Grams { q: 2 }.token_set(b"").is_empty());
+    }
+
+    #[test]
+    fn parse_modes() {
+        assert_eq!(TokenMode::parse("words", 0), Some(TokenMode::Words));
+        assert_eq!(
+            TokenMode::parse("grams", 3),
+            Some(TokenMode::Grams { q: 3 })
+        );
+        assert_eq!(TokenMode::parse("grams", 0), None);
+        assert_eq!(TokenMode::parse("chars", 1), None);
+    }
+}

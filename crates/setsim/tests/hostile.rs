@@ -1,0 +1,142 @@
+//! Tokenizer hardening: arbitrary byte corpora — all 256 byte values,
+//! empty records, single-token records — must never panic, in either
+//! tokenizer mode, through tokenization, indexing, search, and dedup.
+
+use passjoin_setsim::{DedupPipeline, SetMetric, SetQuery, SetSimilarityIndex, TokenMode};
+
+/// Every byte value 0..=255 once, in order.
+fn all_bytes() -> Vec<u8> {
+    (0u8..=255).collect()
+}
+
+/// A hostile corpus: full byte range, empties, singles, whitespace-only,
+/// UTF-8 fragments cut mid-sequence.
+fn hostile_corpus() -> Vec<Vec<u8>> {
+    vec![
+        all_bytes(),
+        Vec::new(),
+        vec![b'x'],
+        vec![0x00],
+        vec![0xff],
+        b" \t\r\n\x0b\x0c".to_vec(),
+        b"\xe4\xb8".to_vec(),         // truncated 3-byte UTF-8 sequence
+        b"caf\xe9 au lait".to_vec(),  // latin-1, invalid UTF-8
+        b"\x80\x80\x80\x80".to_vec(), // bare continuation bytes
+        vec![0x00, b' ', 0x00],       // NUL "words"
+        all_bytes().repeat(2),
+        b"single".to_vec(),
+        b"  padded  ".to_vec(),
+    ]
+}
+
+fn modes() -> [TokenMode; 4] {
+    [
+        TokenMode::Words,
+        TokenMode::Grams { q: 1 },
+        TokenMode::Grams { q: 2 },
+        TokenMode::Grams { q: 4 },
+    ]
+}
+
+#[test]
+fn tokenizing_hostile_bytes_never_panics() {
+    for mode in modes() {
+        for rec in hostile_corpus() {
+            let toks = mode.token_set(&rec);
+            // Set invariant: strictly sorted, no duplicates.
+            for w in toks.windows(2) {
+                assert!(w[0] < w[1], "{mode:?} produced unsorted/dup tokens");
+            }
+            if rec.is_empty() {
+                assert!(toks.is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn word_mode_splits_on_ascii_whitespace_only() {
+    // Every non-ASCII-whitespace byte — including 0x00, 0x80, 0xA0, 0xFF
+    // — must survive inside a token.
+    for b in 0u8..=255 {
+        let rec = [b'a', b, b'z'];
+        let toks = TokenMode::Words.token_set(&rec);
+        if b.is_ascii_whitespace() {
+            assert_eq!(toks, vec![&b"a"[..], b"z"], "byte {b:#x} must split");
+        } else {
+            assert_eq!(toks, vec![&rec[..]], "byte {b:#x} must not split");
+        }
+    }
+}
+
+#[test]
+fn gram_mode_is_byte_transparent() {
+    let rec = all_bytes();
+    let toks = TokenMode::Grams { q: 2 }.token_set(&rec);
+    assert_eq!(toks.len(), 255, "255 distinct consecutive-byte bigrams");
+    // Single-byte record under q=1: one token, itself.
+    assert_eq!(
+        TokenMode::Grams { q: 1 }.token_set(&[0x9c]),
+        vec![&[0x9c][..]]
+    );
+    // Shorter than q: empty set.
+    assert!(TokenMode::Grams { q: 4 }.token_set(b"abc").is_empty());
+}
+
+#[test]
+fn index_and_search_survive_hostile_corpus() {
+    let records = hostile_corpus();
+    for mode in modes() {
+        let index = SetSimilarityIndex::build_from(mode, &records);
+        for metric in [SetMetric::Jaccard, SetMetric::Cosine, SetMetric::Overlap] {
+            for (id, rec) in records.iter().enumerate() {
+                let outcome = index.search(&SetQuery::new(rec, metric, 0.8));
+                let toks = mode.token_set(rec);
+                if toks.is_empty() {
+                    assert_eq!(
+                        outcome.count, 0,
+                        "{mode:?} {metric:?}: empty token set must match nothing"
+                    );
+                } else {
+                    assert!(
+                        outcome
+                            .matches
+                            .iter()
+                            .any(|&(m, d)| m == id as u32 && d == 0),
+                        "{mode:?} {metric:?}: record {id} must match itself exactly"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dedup_survives_hostile_corpus() {
+    for mode in modes() {
+        let mut pipeline = DedupPipeline::new(mode, SetMetric::Jaccard, 0.8);
+        for rec in hostile_corpus() {
+            pipeline.push(&rec);
+        }
+        // The two identical all-bytes-derived records (all_bytes vs its
+        // repeat share the token set under gram modes ≥ 2 only when the
+        // wraparound grams coincide — don't assert that; just require
+        // determinism and no panic).
+        let a = pipeline.clusters();
+        let b = pipeline.clusters();
+        assert_eq!(a, b, "{mode:?}: clusters must be deterministic");
+    }
+}
+
+#[test]
+fn single_token_records_match_only_exactly() {
+    let mut index = SetSimilarityIndex::new(TokenMode::Words);
+    let a = index.insert(b"solo");
+    index.insert(b"duet");
+    // Jaccard on 1-token sets is 0 or 1: at t=0.5 only the identical set
+    // matches.
+    let hits = index
+        .search(&SetQuery::new(b"solo", SetMetric::Jaccard, 0.5))
+        .into_matches();
+    assert_eq!(hits, vec![(a, 0)]);
+}

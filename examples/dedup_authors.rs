@@ -2,83 +2,59 @@
 //! data-cleaning scenario that motivates the paper's introduction.
 //!
 //! Generates a synthetic DBLP-Author-like corpus with planted misspelled
-//! duplicates, joins it at τ=2, and clusters the results with a union-find
-//! so each entity's spelling variants land in one group.
+//! duplicates and feeds it, one record at a time, through the streaming
+//! [`DedupPipeline`]: each record is queried against everything seen so
+//! far (Jaccard over positional bigrams), unioned with its matches, and
+//! inserted — a single pass yields the duplicate clusters, no batch join
+//! or separate union-find pass needed.
 //!
 //! ```sh
 //! cargo run --release --example dedup_authors [n]
 //! ```
 
+use std::time::Instant;
+
 use datagen::{DatasetKind, DatasetSpec};
-use passjoin::PassJoin;
-use sj_common::SimilarityJoin;
-
-/// Minimal union-find over `0..n`.
-struct UnionFind {
-    parent: Vec<u32>,
-}
-
-impl UnionFind {
-    fn new(n: usize) -> Self {
-        Self {
-            parent: (0..n as u32).collect(),
-        }
-    }
-
-    fn find(&mut self, x: u32) -> u32 {
-        if self.parent[x as usize] != x {
-            let root = self.find(self.parent[x as usize]);
-            self.parent[x as usize] = root;
-        }
-        self.parent[x as usize]
-    }
-
-    fn union(&mut self, a: u32, b: u32) {
-        let (ra, rb) = (self.find(a), self.find(b));
-        if ra != rb {
-            self.parent[ra as usize] = rb;
-        }
-    }
-}
+use passjoin_setsim::{DedupPipeline, SetMetric, TokenMode};
 
 fn main() {
     let n: usize = std::env::args()
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(30_000);
-    let tau = 2;
+    let threshold = 0.75;
 
     let spec = DatasetSpec::new(DatasetKind::Author, n).with_duplicate_rate(0.25);
     let strings = spec.generate();
-    let collection = sj_common::StringCollection::new(strings.clone());
 
-    let out = PassJoin::new().self_join(&collection, tau);
+    let mut pipeline = DedupPipeline::new(TokenMode::Grams { q: 2 }, SetMetric::Jaccard, threshold);
+    let start = Instant::now();
+    for record in &strings {
+        pipeline.push(record);
+    }
+    let elapsed = start.elapsed();
+
+    let stats = pipeline.stats();
     println!(
-        "{} author strings, tau={tau}: {} similar pairs in {:?}",
+        "{} author strings, jaccard >= {threshold}: {} matched a prior record in {:?}",
         n,
-        out.pairs.len(),
-        out.elapsed
+        pipeline.matched_records(),
+        elapsed
+    );
+    println!(
+        "  {} candidates -> {} verifications -> {} matches",
+        stats.candidates, stats.verifications, stats.segment_matches
     );
 
-    // Cluster pairs into entities.
-    let mut uf = UnionFind::new(n);
-    for &(a, b) in &out.pairs {
-        uf.union(a, b);
-    }
-    let mut clusters: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
-    for i in 0..n as u32 {
-        clusters.entry(uf.find(i)).or_default().push(i);
-    }
-    let mut multi: Vec<&Vec<u32>> = clusters.values().filter(|c| c.len() > 1).collect();
-    multi.sort_by_key(|c| std::cmp::Reverse(c.len()));
-
+    let mut clusters = pipeline.clusters();
+    clusters.sort_by_key(|c| std::cmp::Reverse(c.len()));
     println!(
         "{} clusters with more than one spelling; largest {}",
-        multi.len(),
-        multi.first().map_or(0, |c| c.len())
+        clusters.len(),
+        clusters.first().map_or(0, |c| c.len())
     );
     println!("\nsample clusters:");
-    for cluster in multi.iter().take(5) {
+    for cluster in clusters.iter().take(5) {
         println!("  ---");
         for &idx in cluster.iter().take(6) {
             println!("  {}", String::from_utf8_lossy(&strings[idx as usize]));

@@ -9,5 +9,6 @@ pub use passjoin_obs;
 pub use passjoin_online;
 pub use passjoin_persist;
 pub use passjoin_serve;
+pub use passjoin_setsim;
 pub use sj_common;
 pub use triejoin;
