@@ -12,11 +12,18 @@
 //! integer-interned) on build and probe throughput, printing each side's
 //! resident index size.
 //!
-//! The `persist` group measures the restart path: `save` (snapshot write),
-//! `load` (snapshot read, zero-copy arena + posting replay), and
-//! `rebuild-baseline` (what a restart costs without persistence —
-//! `OnlineIndex::from_strings` from the raw corpus). The load-vs-rebuild
-//! ratio is the headline number persistence exists for.
+//! The `persist` group measures the restart paths: `save` (snapshot
+//! write), `load` (snapshot read, zero-copy arena + posting replay),
+//! `load-direct` (buffered read, postings served from the file's sorted-run
+//! appendix — no replay), `load-mmap` / `load-instant` (the storage
+//! subsystem's `mmap(2)` paths, with eager vs. deferred deep validation),
+//! `delta-replay` (base + a churn-generated delta checkpoint chain via
+//! `load_chain`), and `rebuild-baseline` (what a restart costs without
+//! persistence — `OnlineIndex::from_strings` from the raw corpus). After
+//! the timed rows it prints restart-to-first-answer latency for each path
+//! (the end-to-end number the storage subsystem exists to shrink) and an
+//! instant-load timing at 10× corpus size (the O(1)-in-postings claim,
+//! spot-checked).
 //!
 //! The `sinks` group measures the typed API's result shapes on a
 //! match-heavy corpus: `full` (materialize everything), `topk`
@@ -416,6 +423,48 @@ fn bench_persist(c: &mut Criterion) {
         b.iter(|| OnlineIndex::load(path).expect("snapshot load"))
     });
 
+    // The zero-rebuild lane: postings are served straight from the file's
+    // sorted-run appendix, so load skips the per-posting replay entirely.
+    group.bench_with_input(
+        BenchmarkId::new("load-direct", CORPUS_N),
+        &path,
+        |b, path| b.iter(|| OnlineIndex::load_direct(path).expect("direct load")),
+    );
+
+    // The mmap lanes: `load-mmap` still deep-validates every section up
+    // front; `load-instant` defers that to first access, so its cost is
+    // O(sections), not O(bytes) — the instant-restart row.
+    group.bench_with_input(BenchmarkId::new("load-mmap", CORPUS_N), &path, |b, path| {
+        b.iter(|| passjoin_store::open_mapped(path).expect("mapped load"))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("load-instant", CORPUS_N),
+        &path,
+        |b, path| b.iter(|| passjoin_store::open_instant(path).expect("instant load")),
+    );
+
+    // Restart with pending mutations: replay a churn-generated delta
+    // checkpoint on top of the base (the crash-recovery path).
+    let store = passjoin_store::CheckpointedIndex::open(&path, passjoin_store::OpenOptions::new())
+        .expect("open base for churn");
+    for op in datagen::churn_ops(&strings, 1_000, 99) {
+        match op {
+            datagen::ChurnOp::Insert(s) => {
+                store.insert(&s);
+            }
+            datagen::ChurnOp::Remove(id) => {
+                store.remove(id);
+            }
+        }
+    }
+    store.checkpoint().expect("churn delta checkpoint");
+    drop(store);
+    group.bench_with_input(
+        BenchmarkId::new("delta-replay", "1000-ops"),
+        &path,
+        |b, path| b.iter(|| passjoin_store::load_chain(path).expect("chain load")),
+    );
+
     // The no-persistence restart baseline: rebuild the index from the raw
     // corpus (re-partition + re-insert every string).
     group.bench_with_input(
@@ -425,6 +474,74 @@ fn bench_persist(c: &mut Criterion) {
     );
 
     group.finish();
+
+    // Restart-to-first-answer: open the index, answer one query, wall
+    // clock for the pair — the end-to-end latency a restarting server
+    // adds to its first request. Best of 5 to shed cold-cache noise.
+    let probe = SearchRequest::new(strings[0].as_slice(), TAU);
+    let first_answer = |name: &str, open: &mut dyn FnMut() -> OnlineIndex| {
+        let mut best = u128::MAX;
+        for _ in 0..5 {
+            let start = std::time::Instant::now();
+            let index = open();
+            std::hint::black_box(index.search(&probe));
+            best = best.min(start.elapsed().as_nanos());
+        }
+        eprintln!(
+            "persist/first-query {name}: {:.3} ms",
+            best as f64 / 1_000_000.0
+        );
+    };
+    first_answer("rebuild", &mut || {
+        OnlineIndex::from_strings(strings.iter(), TAU)
+    });
+    first_answer("load", &mut || OnlineIndex::load(&path).expect("load"));
+    first_answer("load-direct", &mut || {
+        OnlineIndex::load_direct(&path).expect("direct load")
+    });
+    first_answer("load-mmap", &mut || {
+        passjoin_store::open_mapped(&path).expect("mapped load")
+    });
+    first_answer("load-instant", &mut || {
+        passjoin_store::open_instant(&path).expect("instant load")
+    });
+    first_answer("delta-replay", &mut || {
+        passjoin_store::load_chain(&path).expect("chain load").0
+    });
+
+    // Scaling spot-check: instant load against a 10× corpus. The direct
+    // appendix keeps open cost in section headers, not postings, so the
+    // two timings should stay within the same small constant.
+    let big: Vec<Vec<u8>> = DatasetSpec::new(DatasetKind::Author, CORPUS_N * 10)
+        .with_seed(43)
+        .generate();
+    let big_path = std::env::temp_dir().join(format!(
+        "passjoin-bench-online-{}-10x.snap",
+        std::process::id()
+    ));
+    OnlineIndex::from_strings(big.iter(), TAU)
+        .save(&big_path)
+        .expect("10x snapshot save");
+    let instant_min = |path: &std::path::PathBuf| {
+        let mut best = u128::MAX;
+        for _ in 0..10 {
+            let start = std::time::Instant::now();
+            std::hint::black_box(passjoin_store::open_instant(path).expect("instant load"));
+            best = best.min(start.elapsed().as_nanos());
+        }
+        best as f64 / 1_000_000.0
+    };
+    eprintln!(
+        "persist/instant-load scaling: {CORPUS_N} strings {:.3} ms, {} strings {:.3} ms",
+        instant_min(&path),
+        CORPUS_N * 10,
+        instant_min(&big_path),
+    );
+
+    let _ = std::fs::remove_file(&big_path);
+    for delta in passjoin_store::find_chain(&path) {
+        let _ = std::fs::remove_file(delta);
+    }
     let _ = std::fs::remove_file(&path);
 }
 

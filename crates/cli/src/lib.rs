@@ -80,14 +80,15 @@ pub const USAGE: &str = "usage:
           [--metrics]
   simjoin query <corpus.txt | --load index.snap> [--tau N] [--tau-max N]
           [--keys owned|interned] [--shards N] [--shard-by len|hash]
-          [--queries q.txt] [--threads N]
+          [--mmap] [--queries q.txt] [--threads N]
           [--cache N] [--limit K] [--count] [--stream] [--max-verify N]
           [--deadline-ms N] [--stats] [--metrics]
   simjoin repl  <corpus.txt | --load index.snap> [--tau N] [--tau-max N]
-          [--keys owned|interned] [--cache N]
+          [--keys owned|interned] [--cache N] [--mmap] [--save-delta]
   simjoin serve <corpus.txt | --load index.snap> [--addr HOST:PORT] [--tau N]
           [--tau-max N] [--keys owned|interned] [--shards N]
-          [--shard-by len|hash] [--threads N] [--cache N]
+          [--shard-by len|hash] [--threads N] [--cache N] [--mmap]
+          [--checkpoint-every SECS] [--checkpoint-path FILE]
           [--max-verify-ceiling N] [--deadline-ms N] [--allow-shutdown]
           [--stats]
   simjoin client [--addr HOST:PORT] [--queries q.txt] [--tau N] [--limit K]
@@ -264,6 +265,24 @@ pub struct ServeConfig {
     /// Honour the protocol's `shutdown` op (`--allow-shutdown`, serve
     /// mode); off by default so remote peers cannot stop the server.
     pub allow_shutdown: bool,
+    /// Memory-map a loaded snapshot instead of reading it (`--mmap`,
+    /// with `--load`): the instant-restart path through the
+    /// `passjoin-store` shim — page-granular lazy loading with
+    /// per-section CRCs and the deep structural scan deferred to a
+    /// background verifier (`fs::read` where mapping is unavailable).
+    pub mmap: bool,
+    /// Persist the repl session's `:add`/`:rm` mutations as a delta
+    /// checkpoint on the loaded snapshot's chain at exit (`--save-delta`,
+    /// repl mode with `--load`).
+    pub save_delta: bool,
+    /// Background checkpoint interval in seconds (`--checkpoint-every`,
+    /// serve mode with `--load`): drains the mutation log to the delta
+    /// chain periodically and once more at shutdown.
+    pub checkpoint_every: Option<u64>,
+    /// Re-anchor the delta chain at this path instead of the loaded
+    /// snapshot (`--checkpoint-path`, serve mode, requires
+    /// `--checkpoint-every`) — for read-only snapshot locations.
+    pub checkpoint_path: Option<PathBuf>,
 }
 
 impl ServeConfig {
@@ -289,6 +308,10 @@ impl ServeConfig {
         let mut addr: Option<String> = None;
         let mut max_verify_ceiling = None;
         let mut allow_shutdown = false;
+        let mut mmap = false;
+        let mut save_delta = false;
+        let mut checkpoint_every = None;
+        let mut checkpoint_path = None;
 
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -364,6 +387,40 @@ impl ServeConfig {
                     }
                     allow_shutdown = true;
                 }
+                "--mmap" => {
+                    if mode == ServeMode::Index {
+                        return Err("--mmap needs a snapshot; `index` builds from a corpus".into());
+                    }
+                    mmap = true;
+                }
+                "--save-delta" => {
+                    if mode != ServeMode::Repl {
+                        return Err("--save-delta is only valid for the repl subcommand".into());
+                    }
+                    save_delta = true;
+                }
+                "--checkpoint-every" => {
+                    if mode != ServeMode::Serve {
+                        return Err(
+                            "--checkpoint-every is only valid for the serve subcommand".into()
+                        );
+                    }
+                    let secs = take_number(&mut it, "--checkpoint-every")? as u64;
+                    if secs == 0 {
+                        return Err("--checkpoint-every must be at least 1 second".into());
+                    }
+                    checkpoint_every = Some(secs);
+                }
+                "--checkpoint-path" => {
+                    if mode != ServeMode::Serve {
+                        return Err(
+                            "--checkpoint-path is only valid for the serve subcommand".into()
+                        );
+                    }
+                    checkpoint_path = Some(PathBuf::from(
+                        it.next().ok_or("--checkpoint-path requires a path")?,
+                    ));
+                }
                 "--shards" => {
                     if mode == ServeMode::Repl {
                         return Err("--shards is not valid for the repl subcommand".into());
@@ -418,11 +475,27 @@ impl ServeConfig {
                 }
             }
         }
+        if checkpoint_path.is_some() && checkpoint_every.is_none() {
+            return Err("--checkpoint-path requires --checkpoint-every".into());
+        }
         let source = match (corpus, load) {
             (Some(_), Some(_)) => {
                 return Err("give a corpus file or --load <snapshot>, not both".into());
             }
-            (Some(corpus), None) => IndexSource::Corpus(corpus),
+            (Some(corpus), None) => {
+                // The storage subsystem operates on snapshots: a corpus
+                // build has no file to map and no chain to anchor.
+                if mmap {
+                    return Err("--mmap requires --load <snapshot>".into());
+                }
+                if save_delta {
+                    return Err("--save-delta requires --load <snapshot>".into());
+                }
+                if checkpoint_every.is_some() {
+                    return Err("--checkpoint-every requires --load <snapshot>".into());
+                }
+                IndexSource::Corpus(corpus)
+            }
             (None, Some(snapshot)) => {
                 if mode == ServeMode::Index {
                     return Err(
@@ -487,6 +560,10 @@ impl ServeConfig {
             addr: addr.unwrap_or_else(|| DEFAULT_ADDR.to_owned()),
             max_verify_ceiling,
             allow_shutdown,
+            mmap,
+            save_delta,
+            checkpoint_every,
+            checkpoint_path,
         })
     }
 
@@ -1359,6 +1436,71 @@ mod tests {
         assert!(parse_command(&["serve", "a.txt", "--stream"]).is_err());
         assert!(parse_command(&["serve", "a.txt", "--metrics"]).is_err());
         assert!(parse_command(&["serve", "a.txt", "--addr"]).is_err());
+    }
+
+    #[test]
+    fn storage_flags_parse_with_load() {
+        // --mmap works for every snapshot-serving mode.
+        for mode in ["query", "repl", "serve"] {
+            match parse_command(&[mode, "--load", "x.snap", "--mmap"]).unwrap() {
+                Command::Serve(c) => assert!(c.mmap, "{mode}"),
+                other => panic!("{other:?}"),
+            }
+        }
+        // --save-delta is the repl's exit checkpoint.
+        match parse_command(&["repl", "--load", "x.snap", "--save-delta"]).unwrap() {
+            Command::Serve(c) => assert!(c.save_delta),
+            other => panic!("{other:?}"),
+        }
+        // The background checkpointer is a serve-mode feature.
+        match parse_command(&[
+            "serve",
+            "--load",
+            "x.snap",
+            "--checkpoint-every",
+            "30",
+            "--checkpoint-path",
+            "ckpt/base.snap",
+        ])
+        .unwrap()
+        {
+            Command::Serve(c) => {
+                assert_eq!(c.checkpoint_every, Some(30));
+                assert_eq!(c.checkpoint_path, Some(PathBuf::from("ckpt/base.snap")));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults: plain read, no checkpointing.
+        match parse_command(&["serve", "--load", "x.snap"]).unwrap() {
+            Command::Serve(c) => {
+                assert!(!c.mmap && !c.save_delta);
+                assert_eq!(c.checkpoint_every, None);
+                assert_eq!(c.checkpoint_path, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn storage_flags_reject_bad_combinations() {
+        // All of them operate on a loaded snapshot, not a corpus build.
+        assert!(parse_command(&["query", "a.txt", "--mmap"]).is_err());
+        assert!(parse_command(&["repl", "a.txt", "--save-delta"]).is_err());
+        assert!(parse_command(&["serve", "a.txt", "--checkpoint-every", "5"]).is_err());
+        // Mode gating: index never loads, deltas come from repl
+        // mutations, the checkpointer is the server's.
+        assert!(parse_command(&["index", "a.txt", "--mmap"]).is_err());
+        assert!(parse_command(&["query", "--load", "x.snap", "--save-delta"]).is_err());
+        assert!(parse_command(&["serve", "--load", "x.snap", "--save-delta"]).is_err());
+        assert!(parse_command(&["repl", "--load", "x.snap", "--checkpoint-every", "5"]).is_err());
+        assert!(parse_command(&["query", "--load", "x.snap", "--checkpoint-path", "p"]).is_err());
+        // Values are required and checked.
+        assert!(parse_command(&["serve", "--load", "x.snap", "--checkpoint-every"]).is_err());
+        assert!(parse_command(&["serve", "--load", "x.snap", "--checkpoint-every", "0"]).is_err());
+        assert!(
+            parse_command(&["serve", "--load", "x.snap", "--checkpoint-path", "p"]).is_err(),
+            "--checkpoint-path without --checkpoint-every has nothing to write"
+        );
     }
 
     #[test]

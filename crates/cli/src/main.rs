@@ -16,6 +16,11 @@
 //! simjoin query --load corpus.snap --tau 2 --queries queries.txt
 //! simjoin repl  --load corpus.snap
 //!
+//! # instant restart: map the snapshot and checkpoint mutations as deltas
+//! # (an existing <snap>.delta-* chain is detected and replayed on load)
+//! simjoin serve --load corpus.snap --mmap --checkpoint-every 30
+//! simjoin repl  --load corpus.snap --save-delta
+//!
 //! # integer-interned segment keys (smaller index, same answers)
 //! simjoin index corpus.txt --tau-max 3 --keys interned --save corpus.snap
 //!
@@ -37,16 +42,18 @@
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use passjoin_online::{
-    is_sharded_snapshot, wall_deadline, CacheOutcome, CachePolicy, Completion, EngineObs,
-    ExecBudget, ExecStats, MatchSink, OnlineIndex, Parallelism, PersistError, Queryable, Registry,
-    SearchRequest, SearchResponse, ShardedIndex, WallClockTicks,
+    is_sharded_snapshot, wall_deadline, CacheOutcome, CachePolicy, CacheStats, Completion,
+    EngineObs, ExecBudget, ExecStats, MatchSink, OnlineIndex, OnlineStats, Parallelism,
+    PersistError, QueryOutcome, Queryable, Registry, SearchRequest, SearchResponse, ShardedIndex,
+    WallClockTicks,
 };
 use passjoin_serve::proto::{BudgetSpec, MetricsFormat};
 use passjoin_serve::{Client, Event, QueryOptions, Server, ServerConfig};
 use passjoin_setsim::{sorted_overlap, DedupPipeline, SetMetric, SetSimObs, TokenMode, UnionFind};
+use passjoin_store::{find_chain, CheckpointedIndex, Checkpointer, OpenOptions as StoreOptions};
 use simjoin_cli::{
     corpus_lines, ClientConfig, Command, Config, DedupConfig, DedupMetric, IndexSource,
     ServeConfig, ServeMode, USAGE,
@@ -333,12 +340,15 @@ fn write_pairs<W: Write>(pairs: &[(u32, u32)], sink: std::io::Result<W>) -> std:
     w.flush()
 }
 
-/// The index behind a serve-mode run: a plain [`OnlineIndex`] or the
-/// `--shards` router. Both are [`Queryable`], so everything downstream of
-/// construction/persistence is shared.
+/// The index behind a serve-mode run: a plain [`OnlineIndex`], the
+/// `--shards` router, or the storage subsystem's checkpointed wrapper
+/// (any of `--mmap`, `--save-delta`, `--checkpoint-every`, or a loaded
+/// snapshot with an existing delta chain). All are [`Queryable`], so
+/// everything downstream of construction/persistence is shared.
 enum AnyIndex {
     Single(OnlineIndex),
     Sharded(ShardedIndex),
+    Checkpointed(Arc<CheckpointedIndex>),
 }
 
 impl AnyIndex {
@@ -346,6 +356,7 @@ impl AnyIndex {
         match self {
             AnyIndex::Single(index) => index.tau_max(),
             AnyIndex::Sharded(router) => router.tau_max(),
+            AnyIndex::Checkpointed(store) => Queryable::tau_max(&**store),
         }
     }
 
@@ -353,6 +364,9 @@ impl AnyIndex {
         match self {
             AnyIndex::Single(index) => index.save(path),
             AnyIndex::Sharded(router) => router.save_sharded(path),
+            // Compaction: a full snapshot of base + replayed chain +
+            // session mutations; the new file starts an empty chain.
+            AnyIndex::Checkpointed(store) => store.save_full(path),
         }
     }
 }
@@ -426,7 +440,21 @@ fn run_serve(config: &ServeConfig) -> ExitCode {
             // shards; query it directly.
             run_query_batch(config, tau, &*router)
         }
+        (ServeMode::Query, AnyIndex::Checkpointed(store)) => {
+            // Base + replayed chain, served read-only through the
+            // wrapper's read lock.
+            run_query_batch(config, tau, &**store)
+        }
         (ServeMode::Serve, index) => {
+            // The background checkpointer drains the wrapper's mutation
+            // log on the interval and once more after the server stops.
+            let checkpointer = match (&*index, config.checkpoint_every) {
+                (AnyIndex::Checkpointed(store), Some(secs)) => Some(Checkpointer::start(
+                    Arc::clone(store),
+                    Duration::from_secs(secs),
+                )),
+                _ => None,
+            };
             let snapshot;
             let source: &(dyn Queryable + Sync) = match (&config.source, &*index) {
                 (IndexSource::Snapshot(_), AnyIndex::Single(index)) => {
@@ -435,17 +463,51 @@ fn run_serve(config: &ServeConfig) -> ExitCode {
                 }
                 (_, AnyIndex::Single(index)) => index,
                 (_, AnyIndex::Sharded(router)) => router,
+                (_, AnyIndex::Checkpointed(store)) => &**store,
             };
             let registry = registry
                 .as_ref()
                 .expect("serve mode always builds a registry");
-            run_server(config, tau, source, registry)
+            let code = run_server(config, tau, source, registry);
+            match checkpointer.map(Checkpointer::stop) {
+                Some(Some(e)) => {
+                    eprintln!(
+                        "simjoin: final checkpoint failed: {e} (mutations since the last \
+                         completed delta are not persisted)"
+                    );
+                    ExitCode::FAILURE
+                }
+                _ => code,
+            }
         }
         (ServeMode::Repl, AnyIndex::Single(index)) => {
             let obs = obs
                 .as_ref()
                 .expect("the repl always attaches observability");
-            run_repl(tau, index, obs)
+            run_repl(tau, ReplIndex::Plain(index), obs)
+        }
+        (ServeMode::Repl, AnyIndex::Checkpointed(store)) => {
+            let obs = obs
+                .as_ref()
+                .expect("the repl always attaches observability");
+            let code = run_repl(tau, ReplIndex::Checkpointed(store), obs);
+            if config.save_delta {
+                let pending = store.pending_ops();
+                match store.checkpoint() {
+                    Ok(Some(path)) => {
+                        eprintln!(
+                            "simjoin: wrote delta checkpoint {} ({pending} ops)",
+                            path.display()
+                        );
+                    }
+                    Ok(None) => eprintln!("simjoin: no mutations to checkpoint"),
+                    Err(e) => {
+                        eprintln!("simjoin: delta checkpoint failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            code
         }
         (ServeMode::Repl, AnyIndex::Sharded(_)) => {
             eprintln!("simjoin: the repl cannot serve a sharded snapshot (it mutates one index)");
@@ -455,8 +517,10 @@ fn run_serve(config: &ServeConfig) -> ExitCode {
 
     if config.metrics {
         if let Some(obs) = &obs {
-            if let AnyIndex::Single(index) = &index {
-                obs.record_index_stats(&index.stats());
+            match &index {
+                AnyIndex::Single(index) => obs.record_index_stats(&index.stats()),
+                AnyIndex::Checkpointed(store) => obs.record_index_stats(&store.stats()),
+                AnyIndex::Sharded(_) => {}
             }
             eprint!("{}", obs.render_prometheus());
         }
@@ -515,6 +579,13 @@ fn obtain_index(config: &ServeConfig, obs: Option<&Arc<EngineObs>>) -> Result<An
             if is_sharded_snapshot(snapshot)
                 .map_err(|e| format!("cannot open snapshot {}: {e}", snapshot.display()))?
             {
+                if config.mmap || config.save_delta || config.checkpoint_every.is_some() {
+                    return Err(
+                        "--mmap/--save-delta/--checkpoint-every need a single-index snapshot; \
+                         sharded snapshots are one file per shard"
+                            .into(),
+                    );
+                }
                 let mut router = ShardedIndex::load_sharded(snapshot)
                     .map_err(|e| format!("cannot load snapshot {}: {e}", snapshot.display()))?;
                 router.set_observability(obs.map(|o| Arc::clone(o.registry())));
@@ -532,6 +603,47 @@ fn obtain_index(config: &ServeConfig, obs: Option<&Arc<EngineObs>>) -> Result<An
                     );
                 }
                 return Ok(AnyIndex::Sharded(router));
+            }
+            // The storage subsystem takes over whenever its features are
+            // asked for — or whenever the snapshot already owns a delta
+            // chain, so `--load` alone recovers checkpointed state
+            // instead of silently serving a stale base.
+            let anchor = config.checkpoint_path.as_deref().unwrap_or(snapshot);
+            let chain = find_chain(anchor);
+            if config.mmap
+                || config.save_delta
+                || config.checkpoint_every.is_some()
+                || !chain.is_empty()
+            {
+                // `--mmap` means the full instant-restart path: mapped
+                // pages *and* deferred validation — the store's
+                // background verifier runs the per-section CRCs and the
+                // deep postings scan while queries are already served.
+                let mut options = StoreOptions::new().mmap(config.mmap).instant(config.mmap);
+                if let Some(path) = &config.checkpoint_path {
+                    options = options.checkpoint_base(path.clone());
+                }
+                if let Some(obs) = obs {
+                    options = options.registry(Arc::clone(obs.registry()));
+                }
+                let store = CheckpointedIndex::open(snapshot, options)
+                    .map_err(|e| format!("cannot load snapshot {}: {e}", snapshot.display()))?;
+                store.set_cache_capacity(config.cache);
+                if config.stats {
+                    let s = store.stats();
+                    eprintln!(
+                        "simjoin: loaded {} strings (tau_max={}, {} keys) in {:.3?} from {}{} \
+                         (+{} delta checkpoint(s) replayed)",
+                        s.live,
+                        Queryable::tau_max(&store),
+                        store.key_backend().name(),
+                        started.elapsed(),
+                        snapshot.display(),
+                        if config.mmap { " [mmap]" } else { "" },
+                        chain.len(),
+                    );
+                }
+                return Ok(AnyIndex::Checkpointed(Arc::new(store)));
             }
             // `load_with` also attributes the load itself (read/decode/
             // validate timings, section bytes) to the registry.
@@ -943,7 +1055,81 @@ const REPL_HELP: &str = "commands:
   :help       this message
   :quit       exit";
 
-fn run_repl(tau: usize, index: &mut OnlineIndex, obs: &Arc<EngineObs>) -> ExitCode {
+/// The index a repl session drives: a plain in-memory index, or the
+/// storage subsystem's wrapper when mutations are logged for delta
+/// checkpoints (`--load … --save-delta`, or a loaded chain). One repl
+/// loop serves both; only the mutation/inspection plumbing differs.
+enum ReplIndex<'a> {
+    Plain(&'a mut OnlineIndex),
+    Checkpointed(&'a CheckpointedIndex),
+}
+
+impl ReplIndex<'_> {
+    fn len(&self) -> usize {
+        match self {
+            ReplIndex::Plain(index) => index.len(),
+            ReplIndex::Checkpointed(store) => Queryable::len(*store),
+        }
+    }
+
+    fn tau_max(&self) -> usize {
+        match self {
+            ReplIndex::Plain(index) => index.tau_max(),
+            ReplIndex::Checkpointed(store) => Queryable::tau_max(*store),
+        }
+    }
+
+    fn search(&self, request: &SearchRequest) -> QueryOutcome {
+        match self {
+            ReplIndex::Plain(index) => index.search(request),
+            ReplIndex::Checkpointed(store) => store.search(request),
+        }
+    }
+
+    fn insert(&mut self, s: &[u8]) -> u32 {
+        match self {
+            ReplIndex::Plain(index) => index.insert(s),
+            ReplIndex::Checkpointed(store) => store.insert(s),
+        }
+    }
+
+    fn remove(&mut self, id: u32) -> bool {
+        match self {
+            ReplIndex::Plain(index) => index.remove(id),
+            ReplIndex::Checkpointed(store) => store.remove(id),
+        }
+    }
+
+    /// The live string for `id`, lossily decoded for display.
+    fn text(&self, id: u32) -> Option<String> {
+        match self {
+            ReplIndex::Plain(index) => index
+                .get(id)
+                .map(|s| String::from_utf8_lossy(s).into_owned()),
+            ReplIndex::Checkpointed(store) => store.with_index(|index| {
+                index
+                    .get(id)
+                    .map(|s| String::from_utf8_lossy(s).into_owned())
+            }),
+        }
+    }
+
+    fn stats(&self) -> OnlineStats {
+        match self {
+            ReplIndex::Plain(index) => index.stats(),
+            ReplIndex::Checkpointed(store) => store.stats(),
+        }
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        match self {
+            ReplIndex::Plain(index) => index.cache_stats(),
+            ReplIndex::Checkpointed(store) => store.with_index(OnlineIndex::cache_stats),
+        }
+    }
+}
+
+fn run_repl(tau: usize, mut index: ReplIndex<'_>, obs: &Arc<EngineObs>) -> ExitCode {
     let mut tau = tau;
     let mut limit: Option<usize> = None;
     let mut count_only = false;
@@ -1046,10 +1232,7 @@ fn run_repl(tau: usize, index: &mut OnlineIndex, obs: &Arc<EngineObs>) -> ExitCo
         let outcome = index.search(&request);
         let elapsed = started.elapsed();
         for &(id, dist) in outcome.matches.iter() {
-            let text = index
-                .get(id)
-                .map(|s| String::from_utf8_lossy(s).into_owned())
-                .unwrap_or_default();
+            let text = index.text(id).unwrap_or_default();
             println!("{id}\t{dist}\t{text}");
         }
         let cache = match outcome.cache {

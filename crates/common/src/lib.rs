@@ -13,13 +13,18 @@
 //!   default SipHash is needlessly slow for short byte keys);
 //! * [`stamp::StampSet`] — an O(1)-reset visited-set used to deduplicate
 //!   candidates during a single probe;
-//! * [`bytes`] — small byte-string helpers (common prefix/suffix lengths).
+//! * [`bytes`] — small byte-string helpers (common prefix/suffix lengths);
+//! * [`shared::SharedBytes`] — a cloneable immutable byte buffer over a
+//!   pluggable [`shared::ByteStore`] (heap or memory-mapped), the handle
+//!   zero-copy snapshot loads and the string arena share.
 
 pub mod bytes;
 pub mod collection;
 pub mod hash;
 pub mod join;
+pub mod shared;
 pub mod stamp;
 
 pub use collection::{StringCollection, StringId};
 pub use join::{JoinOutput, JoinStats, SimilarityJoin};
+pub use shared::{ByteStore, SharedBytes};

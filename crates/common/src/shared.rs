@@ -1,0 +1,139 @@
+//! Shared immutable byte buffers behind a pluggable backing store.
+//!
+//! [`SharedBytes`] is the `Arc<[u8]>`-shaped handle the zero-copy paths
+//! (snapshot load, string arena) hold: cheaply cloneable, derefs to
+//! `[u8]`, and never mutated after construction. The backing storage is
+//! abstracted behind [`ByteStore`] so a heap buffer (`fs::read`) and a
+//! memory-mapped file can flow through the same load path — callers
+//! only ever see the byte slice.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable byte buffer that can back a [`SharedBytes`] handle.
+///
+/// Implementations must return the same slice (same address, same
+/// length) for the lifetime of the value: downstream code caches spans
+/// into the buffer and resolves them lazily.
+pub trait ByteStore: Send + Sync {
+    /// The stored bytes.
+    fn as_bytes(&self) -> &[u8];
+}
+
+impl ByteStore for Vec<u8> {
+    fn as_bytes(&self) -> &[u8] {
+        self
+    }
+}
+
+impl ByteStore for Box<[u8]> {
+    fn as_bytes(&self) -> &[u8] {
+        self
+    }
+}
+
+impl ByteStore for Arc<[u8]> {
+    fn as_bytes(&self) -> &[u8] {
+        self
+    }
+}
+
+/// A cheaply-cloneable, immutable, shareable byte buffer.
+///
+/// Equivalent in spirit to `Arc<[u8]>` — and convertible from one —
+/// but the storage behind the slice is pluggable: a heap allocation, a
+/// memory-mapped file, or anything else implementing [`ByteStore`].
+/// Cloning clones the `Arc`, never the bytes.
+#[derive(Clone)]
+pub struct SharedBytes(Arc<dyn ByteStore>);
+
+impl SharedBytes {
+    /// Wraps an arbitrary backing store.
+    pub fn from_store(store: Arc<dyn ByteStore>) -> Self {
+        Self(store)
+    }
+
+    /// The stored bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        self.0.as_bytes()
+    }
+
+    /// Buffer length in bytes.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.as_bytes().len()
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.as_bytes().is_empty()
+    }
+}
+
+impl Deref for SharedBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+impl AsRef<[u8]> for SharedBytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+impl From<Vec<u8>> for SharedBytes {
+    fn from(bytes: Vec<u8>) -> Self {
+        Self(Arc::new(bytes))
+    }
+}
+
+impl From<Box<[u8]>> for SharedBytes {
+    fn from(bytes: Box<[u8]>) -> Self {
+        Self(Arc::new(bytes))
+    }
+}
+
+impl From<Arc<[u8]>> for SharedBytes {
+    fn from(bytes: Arc<[u8]>) -> Self {
+        Self(Arc::new(bytes))
+    }
+}
+
+impl From<&[u8]> for SharedBytes {
+    fn from(bytes: &[u8]) -> Self {
+        Self(Arc::new(bytes.to_vec()))
+    }
+}
+
+impl fmt::Debug for SharedBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedBytes")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_storage() {
+        let a = SharedBytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a.as_bytes().as_ptr(), b.as_bytes().as_ptr());
+        assert_eq!(&b[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(&SharedBytes::from(&b"xy"[..])[..], b"xy");
+        let arc: Arc<[u8]> = Arc::from(&b"abc"[..]);
+        assert_eq!(SharedBytes::from(arc).len(), 3);
+        assert!(SharedBytes::from(Vec::new()).is_empty());
+    }
+}

@@ -44,6 +44,7 @@
 //! for non-ASCII UTF-8 input the edit distance is over bytes, not
 //! codepoints.
 
+pub mod direct;
 pub mod index;
 pub mod intern;
 pub mod joiner;
@@ -56,6 +57,7 @@ pub mod sink;
 pub mod topk;
 pub mod verify;
 
+pub use direct::DirectSegmentIndex;
 pub use index::{OwnedSegmentIndex, SegmentIndex, SegmentKey, SegmentMap, SegmentProbe};
 pub use intern::{InternedSegmentIndex, SegId, SegmentInterner};
 pub use joiner::PassJoin;

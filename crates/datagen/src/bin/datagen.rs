@@ -11,7 +11,15 @@
 //! `querylog` (medium), `authortitle` (long). Output is deterministic in
 //! the seed. `--truth` additionally writes the planted-duplicate ground
 //! truth as `dup<TAB>base` line-index pairs — the oracle the dedup smoke
-//! tests recover.
+//! tests recover. `--churn N --churn-out script.txt` writes a
+//! deterministic insert/remove workload over the corpus in the repl's
+//! `:add`/`:rm` syntax, for delta-checkpoint tests and benches:
+//!
+//! ```text
+//! datagen --kind author --n 20000 --out base.txt --churn 1000 --churn-out churn.txt
+//! simjoin index base.txt --tau-max 2 --save base.snap
+//! simjoin repl --load base.snap --save-delta < churn.txt
+//! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -20,7 +28,8 @@ use datagen::{DatasetKind, DatasetSpec};
 
 const USAGE: &str = "usage:
   datagen --kind author|querylog|authortitle --n N [--seed S] [--out corpus.txt]
-          [--dup-rate R] [--max-edits K] [--truth truth.tsv]";
+          [--dup-rate R] [--max-edits K] [--truth truth.tsv]
+          [--churn N --churn-out script.txt]";
 
 struct Args {
     kind: DatasetKind,
@@ -30,6 +39,8 @@ struct Args {
     dup_rate: Option<f64>,
     max_edits: Option<usize>,
     truth: Option<PathBuf>,
+    churn: Option<usize>,
+    churn_out: Option<PathBuf>,
 }
 
 fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
@@ -40,6 +51,8 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
     let mut dup_rate = None;
     let mut max_edits = None;
     let mut truth = None;
+    let mut churn = None;
+    let mut churn_out = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -100,8 +113,24 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
             "--truth" => {
                 truth = Some(PathBuf::from(it.next().ok_or("--truth requires a path")?));
             }
+            "--churn" => {
+                churn = Some(
+                    it.next()
+                        .ok_or("--churn requires a value")?
+                        .parse()
+                        .map_err(|_| "--churn requires a non-negative integer")?,
+                );
+            }
+            "--churn-out" => {
+                churn_out = Some(PathBuf::from(
+                    it.next().ok_or("--churn-out requires a path")?,
+                ));
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
+    }
+    if churn.is_some() != churn_out.is_some() {
+        return Err("--churn and --churn-out go together".into());
     }
     Ok(Args {
         kind: kind.ok_or("missing required --kind")?,
@@ -111,6 +140,8 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
         dup_rate,
         max_edits,
         truth,
+        churn,
+        churn_out,
     })
 }
 
@@ -130,6 +161,16 @@ fn main() -> ExitCode {
         spec = spec.with_max_planted_edits(edits);
     }
     let (strings, truth) = spec.generate_with_truth();
+    if let (Some(n), Some(path)) = (args.churn, &args.churn_out) {
+        // The churn script's seed is offset from the corpus seed so the
+        // two streams stay independent but both derive from --seed.
+        let ops = datagen::churn_ops(&strings, n, args.seed.wrapping_add(1));
+        let lines = datagen::churn_script(&ops);
+        if let Err(e) = datagen::io::save_lines(path, &lines) {
+            eprintln!("datagen: churn script write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if let Some(path) = &args.truth {
         let lines: Vec<Vec<u8>> = truth
             .iter()

@@ -18,11 +18,13 @@
 //! Users with the real datasets can load them instead via [`io::load_lines`]
 //! — every downstream API consumes a plain `StringCollection`.
 
+pub mod churn;
 pub mod corpora;
 pub mod io;
 pub mod mutate;
 pub mod vocab;
 pub mod zipf;
 
+pub use churn::{churn_ops, churn_script, ChurnOp};
 pub use corpora::{DatasetKind, DatasetSpec};
 pub use mutate::mutate;

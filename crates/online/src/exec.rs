@@ -487,7 +487,9 @@ fn run_plan<S: MatchSink + ?Sized>(
 /// The owned backend looks each substring up by bytes; the interned
 /// backend resolves it to a dictionary id once per `(position, length)` —
 /// memoized in the scratch, because windows of adjacent lengths overlap —
-/// and every (repeated) probe after that is integer-keyed.
+/// and every (repeated) probe after that is integer-keyed. The direct
+/// backend binary-searches each substring against the sorted run table in
+/// the snapshot buffer.
 #[allow(clippy::too_many_arguments)]
 fn probe_occurrences<S: MatchSink + ?Sized>(
     inner: &Inner,
@@ -526,6 +528,18 @@ fn probe_occurrences<S: MatchSink + ?Sized>(
                 screen_list(inner, query, tau, slot, seg, p, list, scratch, sink, stats);
             }
         }
+        SegmentStore::Direct { index, .. } => {
+            for p in window {
+                if sink.saturated() {
+                    return;
+                }
+                let w = &query[p..p + seg.len];
+                let Some(list) = index.probe(l, slot, w) else {
+                    continue;
+                };
+                screen_list(inner, query, tau, slot, seg, p, list, scratch, sink, stats);
+            }
+        }
     }
 }
 
@@ -559,7 +573,14 @@ fn screen_list<S: MatchSink + ?Sized>(
         // The sink's bound only shrinks, so rejecting against the value
         // read here can never lose a match a later bound would accept.
         let bound = sink.bound(tau);
-        let r = inner.get(rid).expect("segment lane holds live ids");
+        // On a validated index every posting references a live id; with
+        // deferred validation (instant opens) a hostile file's postings
+        // may point at a span that reads as a tombstone — skipping is the
+        // query-safe answer, and flagging the file is the background
+        // verifier's job.
+        let Some(r) = inner.get(rid) else {
+            continue;
+        };
         if r.len().abs_diff(query.len()) > bound {
             continue; // selection guaranteed ≤ τ; the bound is tighter
         }

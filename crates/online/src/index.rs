@@ -38,9 +38,11 @@ use std::fmt;
 use std::sync::{Arc, Mutex};
 
 use editdist::{length_aware_within_ws, DpWorkspace};
-use passjoin::{InternedSegmentIndex, OwnedSegmentIndex, PartitionScheme, SegmentProbe};
+use passjoin::{
+    DirectSegmentIndex, InternedSegmentIndex, OwnedSegmentIndex, PartitionScheme, SegmentProbe,
+};
 use sj_common::stamp::StampSet;
-use sj_common::StringId;
+use sj_common::{SharedBytes, StringId};
 
 use crate::cache::{CacheStats, QueryCache};
 use crate::exec::{ExecSource, Queryable};
@@ -64,6 +66,13 @@ pub(crate) const DEFAULT_CACHE_CAPACITY: usize = 1024;
 ///   ids. Smaller resident index on segment-heavy corpora (each distinct
 ///   byte string is stored once globally, not once per `(l, slot)`) and
 ///   faster probes (integer-keyed map hits after one dictionary lookup).
+/// * [`KeyBackend::Direct`] — sorted-array postings binary-searched
+///   straight out of a loaded snapshot buffer
+///   ([`passjoin::DirectSegmentIndex`]), never built in memory. Only
+///   reachable by loading a format-v3 snapshot's direct-probe appendix
+///   (there is nothing to *build* — the buffer is the index); the first
+///   mutation promotes the lane back to the backend the snapshot was
+///   saved from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum KeyBackend {
     /// Byte-owning keys (the default).
@@ -71,6 +80,8 @@ pub enum KeyBackend {
     Owned,
     /// Integer-interned keys over a shared segment dictionary.
     Interned,
+    /// Snapshot-resident sorted arrays, probed in place (load-only).
+    Direct,
 }
 
 impl KeyBackend {
@@ -79,6 +90,7 @@ impl KeyBackend {
         match self {
             KeyBackend::Owned => "owned",
             KeyBackend::Interned => "interned",
+            KeyBackend::Direct => "direct",
         }
     }
 }
@@ -92,6 +104,15 @@ impl KeyBackend {
 pub(crate) enum SegmentStore {
     Owned(OwnedSegmentIndex),
     Interned(InternedSegmentIndex),
+    /// Snapshot-resident sorted arrays ([`DirectSegmentIndex`]), plus the
+    /// backend the snapshot was saved from — the first mutation promotes
+    /// the lane back to `origin` (sorted arrays cannot absorb inserts),
+    /// and a re-save writes `origin`'s section so save/load round-trips
+    /// stay byte-identical regardless of how the index was loaded.
+    Direct {
+        index: DirectSegmentIndex,
+        origin: KeyBackend,
+    },
 }
 
 impl SegmentStore {
@@ -99,13 +120,32 @@ impl SegmentStore {
         match backend {
             KeyBackend::Owned => SegmentStore::Owned(OwnedSegmentIndex::new(0, tau_max)),
             KeyBackend::Interned => SegmentStore::Interned(InternedSegmentIndex::new(0, tau_max)),
+            // An empty direct store has no buffer to probe; the owned map
+            // is the behavior-identical stand-in (`KeyBackend::Direct` is
+            // load-only and unreachable from the builder, which rejects
+            // it before construction).
+            KeyBackend::Direct => SegmentStore::Owned(OwnedSegmentIndex::new(0, tau_max)),
         }
+    }
+
+    pub(crate) fn from_direct(index: DirectSegmentIndex, origin: KeyBackend) -> Self {
+        SegmentStore::Direct { index, origin }
     }
 
     pub(crate) fn backend(&self) -> KeyBackend {
         match self {
             SegmentStore::Owned(_) => KeyBackend::Owned,
             SegmentStore::Interned(_) => KeyBackend::Interned,
+            SegmentStore::Direct { .. } => KeyBackend::Direct,
+        }
+    }
+
+    /// The backend a save should serialize: the store's own, except for a
+    /// direct store, which re-encodes the backend its snapshot came from.
+    pub(crate) fn save_backend(&self) -> KeyBackend {
+        match self {
+            SegmentStore::Direct { origin, .. } => *origin,
+            other => other.backend(),
         }
     }
 
@@ -113,6 +153,7 @@ impl SegmentStore {
         match self {
             SegmentStore::Owned(map) => map.tau(),
             SegmentStore::Interned(index) => index.tau(),
+            SegmentStore::Direct { index, .. } => index.tau(),
         }
     }
 
@@ -120,20 +161,61 @@ impl SegmentStore {
         match self {
             SegmentStore::Owned(map) => map.scheme(),
             SegmentStore::Interned(index) => index.scheme(),
+            SegmentStore::Direct { index, .. } => index.scheme(),
         }
     }
 
+    /// Rebuilds a direct store as its origin backend so it can absorb
+    /// mutations; a no-op for the hash-map backends. O(index) once —
+    /// exactly the replay cost [`OnlineIndex::load`] pays up front, paid
+    /// here only when a buffer-resident index is actually mutated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's direct sections are structurally corrupt
+    /// — only reachable when deep validation was explicitly deferred (the
+    /// instant-load path) *and* the background integrity pass has not yet
+    /// rejected the file.
+    pub(crate) fn promote_for_mutation(&mut self) {
+        let SegmentStore::Direct { index, origin } = self else {
+            return;
+        };
+        let mut rebuilt = SegmentStore::new(index.tau(), *origin);
+        let replay = index.try_visit_postings(|l, slot, key, ids| match &mut rebuilt {
+            SegmentStore::Owned(map) => map
+                .restore_posting(l, slot, key.into(), ids.to_vec())
+                .expect("direct postings replay into the owned backend"),
+            SegmentStore::Interned(map) => {
+                let seg = match map.interner().lookup(key) {
+                    Some(seg) => seg,
+                    None => map
+                        .restore_segment(key)
+                        .expect("direct postings replay into the interner"),
+                };
+                map.restore_posting(l, slot, seg, ids.to_vec())
+                    .expect("direct postings replay into the interned backend");
+            }
+            SegmentStore::Direct { .. } => unreachable!("promotion target is a hash-map backend"),
+        });
+        replay.expect("snapshot direct postings are structurally valid");
+        *self = rebuilt;
+    }
+
     pub(crate) fn insert(&mut self, s: &[u8], id: StringId) {
+        self.promote_for_mutation();
         match self {
             SegmentStore::Owned(map) => map.insert_owned(s, id),
             SegmentStore::Interned(index) => index.insert(s, id),
+            SegmentStore::Direct { .. } => unreachable!("mutation on a promoted store"),
         }
     }
 
     pub(crate) fn remove(&mut self, s: &[u8], id: StringId) -> bool {
+        self.promote_for_mutation();
         match self {
             SegmentStore::Owned(map) => map.remove_owned(s, id),
             SegmentStore::Interned(index) => index.remove(s, id),
+            SegmentStore::Direct { .. } => unreachable!("mutation on a promoted store"),
         }
     }
 
@@ -142,6 +224,7 @@ impl SegmentStore {
         match self {
             SegmentStore::Owned(map) => map.has_length(l),
             SegmentStore::Interned(index) => SegmentProbe::has_length(index, l),
+            SegmentStore::Direct { index, .. } => index.has_length(l),
         }
     }
 
@@ -149,6 +232,7 @@ impl SegmentStore {
         match self {
             SegmentStore::Owned(map) => map.max_len(),
             SegmentStore::Interned(index) => SegmentProbe::max_len(index),
+            SegmentStore::Direct { index, .. } => index.max_len(),
         }
     }
 
@@ -156,6 +240,7 @@ impl SegmentStore {
         match self {
             SegmentStore::Owned(map) => map.entries(),
             SegmentStore::Interned(index) => index.entries(),
+            SegmentStore::Direct { index, .. } => index.entries(),
         }
     }
 
@@ -163,6 +248,7 @@ impl SegmentStore {
         match self {
             SegmentStore::Owned(map) => map.live_bytes(),
             SegmentStore::Interned(index) => index.live_bytes(),
+            SegmentStore::Direct { index, .. } => index.live_bytes(),
         }
     }
 
@@ -170,6 +256,12 @@ impl SegmentStore {
         match self {
             SegmentStore::Owned(map) => map.visit_posting_ids(f),
             SegmentStore::Interned(index) => index.visit_posting_ids(f),
+            // Only reached on validated stores (the loader validates
+            // before it cross-checks coverage); structural violations
+            // would already have been rejected.
+            SegmentStore::Direct { index, .. } => index
+                .try_visit_posting_ids(f)
+                .expect("snapshot direct postings are structurally valid"),
         }
     }
 }
@@ -217,6 +309,59 @@ enum Stored {
     Arena { start: usize, len: usize },
 }
 
+/// A string table served straight out of a loaded snapshot buffer: per-id
+/// `(offset, len)` span entries are decoded on access instead of being
+/// materialized into [`Inner::strings`] up front. This is what keeps the
+/// instant-restart open O(sections) — the span table (O(universe) to
+/// decode) is never walked until a mutation forces
+/// [`Inner::materialize`]. All offsets are relative to the whole file
+/// buffer ([`Inner::arena`]).
+///
+/// Validation is deferred along with decoding: a span that escapes the
+/// arena section reads as a tombstone rather than slicing out of bounds,
+/// and the background verifier (not this accessor) is responsible for
+/// flagging the file.
+#[derive(Debug, Clone)]
+struct MappedSpans {
+    /// Byte offset of the span table within the buffer.
+    spans_start: usize,
+    /// Byte range of the string arena within the buffer.
+    arena_start: usize,
+    arena_len: usize,
+    universe: usize,
+}
+
+impl MappedSpans {
+    /// The whole-buffer span of `id`, or `None` for tombstones,
+    /// out-of-universe ids, and (deferred validation) spans that escape
+    /// the arena.
+    fn span(&self, buf: &[u8], id: StringId) -> Option<(usize, usize)> {
+        let id = id as usize;
+        if id >= self.universe {
+            return None;
+        }
+        let at = self.spans_start + id * crate::persist::SPAN_LEN;
+        let start = u64::from_le_bytes(buf[at..at + 8].try_into().unwrap());
+        if start == crate::persist::TOMBSTONE {
+            return None;
+        }
+        let len = u32::from_le_bytes(buf[at + 8..at + 12].try_into().unwrap()) as usize;
+        let start = usize::try_from(start).ok()?;
+        if start
+            .checked_add(len)
+            .is_none_or(|end| end > self.arena_len)
+        {
+            return None;
+        }
+        Some((self.arena_start + start, len))
+    }
+
+    fn get<'a>(&self, buf: &'a [u8], id: StringId) -> Option<&'a [u8]> {
+        let (start, len) = self.span(buf, id)?;
+        Some(&buf[start..start + len])
+    }
+}
+
 /// The shared, copy-on-write state of an index and its snapshots.
 #[derive(Debug, Clone)]
 pub(crate) struct Inner {
@@ -225,7 +370,7 @@ pub(crate) struct Inner {
     /// (`None` for indices built in memory). Shared, never mutated;
     /// cloning the `Inner` (snapshot copy-on-write) clones the `Arc`.
     /// Dropped once the last arena-backed string is removed.
-    arena: Option<Arc<[u8]>>,
+    arena: Option<SharedBytes>,
     /// Live bytes still referencing the arena (stats accounting).
     arena_live_bytes: u64,
     /// Live strings still referencing the arena; reaching 0 releases it
@@ -233,19 +378,27 @@ pub(crate) struct Inner {
     /// references too).
     arena_live_strings: usize,
     /// `strings[id]` is the string's bytes, or `None` once removed.
+    /// Empty while `mapped` is `Some` (instant-restart open): per-id
+    /// lookups go through the buffer-resident span table until the first
+    /// mutation materializes it here.
     strings: Vec<Option<Stored>>,
     /// Total live string bytes (owned and arena-backed alike).
     string_bytes: u64,
     live: usize,
     segments: SegmentStore,
-    /// Ascending ids of live strings with length ≤ τ_max.
+    /// Ascending ids of live strings with length ≤ τ_max. Empty while
+    /// `mapped` is `Some`: the lazy table is only used for snapshots
+    /// whose posting count proves every live string is long.
     short: Vec<StringId>,
+    /// The lazy string table of an instant-restart open, `None` once
+    /// materialized (or for indices built/loaded eagerly).
+    mapped: Option<MappedSpans>,
 }
 
 /// Resolves a stored string against the arena. A free function (not a
 /// method) so call sites can borrow `arena` and mutate sibling `Inner`
 /// fields simultaneously.
-fn resolve<'a>(arena: &'a Option<Arc<[u8]>>, stored: &'a Stored) -> &'a [u8] {
+fn resolve<'a>(arena: &'a Option<SharedBytes>, stored: &'a Stored) -> &'a [u8] {
     match stored {
         Stored::Owned(bytes) => bytes,
         Stored::Arena { start, len } => {
@@ -402,6 +555,7 @@ impl Inner {
             live: 0,
             segments: SegmentStore::new(tau_max, backend),
             short: Vec::new(),
+            mapped: None,
         }
     }
 
@@ -413,7 +567,7 @@ impl Inner {
     /// file written with lying metadata).
     pub(crate) fn from_loaded_parts(
         tau_max: usize,
-        arena: Arc<[u8]>,
+        arena: SharedBytes,
         spans: Vec<Option<(usize, usize)>>,
         segments: SegmentStore,
     ) -> Result<Self, &'static str> {
@@ -458,7 +612,91 @@ impl Inner {
             live,
             segments,
             short,
+            mapped: None,
         })
+    }
+
+    /// Reassembles an `Inner` without decoding the span table: per-id
+    /// lookups read spans straight out of `buf` (the loaded file) until
+    /// the first mutation materializes them. Only sound when the posting
+    /// count proves every live string is long (`entries ==
+    /// live·(τ_max+1)`) — then the short lane is provably empty and no
+    /// O(universe) scan is needed to build it. `spans` and `arena` are
+    /// the byte ranges of the respective sections within `buf`; the
+    /// caller has already validated the span-table geometry against
+    /// `universe`.
+    pub(crate) fn from_mapped_parts(
+        tau_max: usize,
+        buf: SharedBytes,
+        spans: std::ops::Range<usize>,
+        arena: std::ops::Range<usize>,
+        universe: usize,
+        live: usize,
+        segments: SegmentStore,
+    ) -> Result<Self, &'static str> {
+        if segments.tau() != tau_max {
+            return Err("segment index tau does not match tau_max");
+        }
+        if segments.entries() != live as u64 * (tau_max as u64 + 1) {
+            return Err("segment postings do not cover the live strings");
+        }
+        // The arena holds exactly the live strings' bytes back to back
+        // (see `save_inner`), so byte accounting needs no span walk.
+        let arena_len = arena.len();
+        Ok(Self {
+            tau_max,
+            arena: Some(buf),
+            arena_live_bytes: arena_len as u64,
+            arena_live_strings: live,
+            strings: Vec::new(),
+            string_bytes: arena_len as u64,
+            live,
+            segments,
+            short: Vec::new(),
+            mapped: Some(MappedSpans {
+                spans_start: spans.start,
+                arena_start: arena.start,
+                arena_len,
+                universe,
+            }),
+        })
+    }
+
+    /// Converts a lazy span table into the materialized `strings` vector
+    /// (the representation every mutation works on). Counts are recomputed
+    /// from the spans actually decoded, so a file whose metadata lied
+    /// about them converges to internally consistent accounting; the
+    /// short lane is rebuilt the same way (normally empty — see
+    /// [`Inner::from_mapped_parts`] — but a corrupt file's short spans
+    /// land in it rather than desyncing `remove`).
+    fn materialize(&mut self) {
+        let Some(mapped) = self.mapped.take() else {
+            return;
+        };
+        let buf = self.arena.as_ref().expect("mapped table without buffer");
+        let mut strings = Vec::with_capacity(mapped.universe);
+        let mut short = Vec::new();
+        let mut string_bytes = 0u64;
+        let mut live = 0usize;
+        for id in 0..mapped.universe as StringId {
+            match mapped.span(buf, id) {
+                Some((start, len)) => {
+                    if len <= self.tau_max {
+                        short.push(id); // ids ascend: lane stays sorted
+                    }
+                    string_bytes += len as u64;
+                    live += 1;
+                    strings.push(Some(Stored::Arena { start, len }));
+                }
+                None => strings.push(None),
+            }
+        }
+        self.strings = strings;
+        self.short = short;
+        self.string_bytes = string_bytes;
+        self.arena_live_bytes = string_bytes;
+        self.live = live;
+        self.arena_live_strings = live;
     }
 
     pub(crate) fn tau_max(&self) -> usize {
@@ -470,6 +708,10 @@ impl Inner {
     }
 
     pub(crate) fn get(&self, id: StringId) -> Option<&[u8]> {
+        if let Some(mapped) = &self.mapped {
+            let buf = self.arena.as_ref().expect("mapped table without buffer");
+            return mapped.get(buf, id);
+        }
         self.strings
             .get(id as usize)?
             .as_ref()
@@ -478,7 +720,10 @@ impl Inner {
 
     /// Size of the id universe (live strings + tombstones).
     pub(crate) fn universe(&self) -> usize {
-        self.strings.len()
+        match &self.mapped {
+            Some(mapped) => mapped.universe,
+            None => self.strings.len(),
+        }
     }
 
     pub(crate) fn segments(&self) -> &SegmentStore {
@@ -492,7 +737,7 @@ impl Inner {
     pub(crate) fn stats(&self, epoch: u64) -> OnlineStats {
         OnlineStats {
             live: self.live,
-            tombstones: self.strings.len() - self.live,
+            tombstones: self.universe() - self.live,
             segment_entries: self.segments.entries(),
             short_strings: self.short.len(),
             resident_bytes: self.segments.live_bytes()
@@ -506,6 +751,7 @@ impl Inner {
     }
 
     fn insert(&mut self, s: &[u8]) -> StringId {
+        self.materialize();
         assert!(
             self.strings.len() < u32::MAX as usize,
             "online index exceeds u32 id space"
@@ -523,6 +769,7 @@ impl Inner {
     }
 
     fn remove(&mut self, id: StringId) -> bool {
+        self.materialize();
         let Some(slot) = self.strings.get_mut(id as usize) else {
             return false;
         };
@@ -588,7 +835,19 @@ impl OnlineIndexBuilder {
 
     /// Selects the segment-key backend (see [`KeyBackend`] for the
     /// trade-off). Default: [`KeyBackend::Owned`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`KeyBackend::Direct`]: that backend is load-only (the
+    /// snapshot buffer *is* the index — there is nothing to build). Use
+    /// [`OnlineIndex::load_direct`](crate::OnlineIndex::load_direct)
+    /// instead.
     pub fn key_backend(mut self, backend: KeyBackend) -> Self {
+        assert!(
+            backend != KeyBackend::Direct,
+            "KeyBackend::Direct is load-only; build with Owned or Interned \
+             and load v3 snapshots via OnlineIndex::load_direct"
+        );
         self.key_backend = backend;
         self
     }
@@ -1021,7 +1280,7 @@ mod tests {
     use crate::request::{CacheOutcome, CachePolicy, ExecStats, SearchRequest};
 
     fn brute(index: &OnlineIndex, query: &[u8], tau: usize) -> Vec<Match> {
-        (0..index.inner.strings.len() as u32)
+        (0..index.inner.universe() as u32)
             .filter_map(|id| {
                 let s = index.get(id)?;
                 let d = editdist::edit_distance(s, query);

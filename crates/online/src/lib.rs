@@ -98,6 +98,8 @@ mod router;
 use sj_common::StringId;
 
 pub use cache::CacheStats;
+#[doc(hidden)]
+pub use exec::ExecSource;
 pub use exec::Queryable;
 pub use index::{KeyBackend, OnlineIndex, OnlineIndexBuilder, OnlineStats, QueryScratch, Snapshot};
 pub use obs::{wall_deadline, EngineObs, WallClockTicks};
@@ -111,6 +113,7 @@ pub use passjoin_obs::{
     NoopTraceSink, Registry, Span, TraceEvent, TraceSink,
 };
 pub use passjoin_persist::PersistError;
+pub use persist::LoadMode;
 pub use request::{
     BatchBudget, BatchTotals, CacheOutcome, CachePolicy, Completion, ExecBudget, ExecStats,
     Parallelism, QueryOutcome, SearchRequest, SearchResponse,

@@ -1,7 +1,7 @@
 //! Snapshot persistence: [`Snapshot::save`] and [`OnlineIndex::load`].
 //!
-//! A saved snapshot is one `passjoin-persist` container. Format version 2
-//! (what this build writes) carries four sections:
+//! A saved snapshot is one `passjoin-persist` container. Format version 3
+//! (what this build writes) carries eight sections:
 //!
 //! | id | section      | contents |
 //! |----|--------------|----------|
@@ -10,33 +10,51 @@
 //! | 3  | STRINGS      | the arena: every live string's bytes, concatenated in id order |
 //! | 4  | SEGMENTS     | byte-keyed posting stream (`passjoin_persist::segmap::encode`) — owned backend only |
 //! | 5  | SEGMENTS_INT | interner dictionary + id-keyed postings (`segmap::encode_interned`) — interned backend only |
+//! | 6  | DIRECT_DIR   | direct-probe length directory (`passjoin_persist::segdirect`) |
+//! | 7  | DIRECT_RUNS  | direct-probe run table, 28 B/run, `(l, slot, key)`-sorted |
+//! | 8  | DIRECT_KEYS  | direct-probe key blob |
+//! | 9  | DIRECT_IDS   | direct-probe id blob, 8-byte-aligned at its file offset |
 //!
-//! Exactly one of sections 4/5 is present, matching the META backend code.
-//! **Version 1** files (written before the interned backend existed) have
-//! a 6-field META, always carry section 4, and keep loading — the backend
-//! defaults to owned.
+//! Exactly one of sections 4/5 is present, matching the META backend
+//! code. Sections 6–9 are always present in v3 and encode the *same*
+//! postings as sorted arrays that [`passjoin::DirectSegmentIndex`] probes
+//! straight out of the loaded buffer: the cost is storing the postings
+//! twice, the payoff is [`LoadMode::Direct`] loads that never replay a
+//! posting. **Version 1** files (6-field META, always section 4; backend
+//! defaults to owned) and **version 2** files (no direct appendix) keep
+//! loading; on them [`LoadMode::Direct`] reports the appendix missing
+//! rather than silently rebuilding.
 //!
-//! Saving walks the index in id order, so output is deterministic.
+//! Saving walks the index in id order, so output is deterministic — and
+//! independent of how the index was loaded: a direct-probe store re-saves
+//! its *origin* backend's section byte-identically.
 //! Loading reads the file into **one contiguous buffer** and reconstructs
 //! the index around it: string entries become zero-copy spans of that
 //! buffer (see `Stored::Arena` in the index module), and the segment maps
 //! are replayed posting-by-posting — no string is re-partitioned, no
-//! corpus byte is copied. The loaded index is fully mutable: later inserts
-//! own their bytes, removes drop span entries, and the arena `Arc` keeps
-//! the buffer alive exactly as long as any snapshot or clone needs it.
+//! corpus byte is copied. Under [`LoadMode::Direct`] even the replay
+//! disappears: the segment lane *is* the buffer. The loaded index is
+//! fully mutable either way: later inserts own their bytes, removes drop
+//! span entries, a direct store's first mutation promotes it back to its
+//! origin hash-map backend, and the arena handle keeps the buffer alive
+//! exactly as long as any snapshot or clone needs it.
 //!
 //! Load-time validation is layered: the container re-checks magic,
 //! version, and per-section CRCs ([`PersistError`] covers each failure
 //! mode); span bounds, posting geometry, interner-table shape, id ranges,
 //! and the live-count/entry-count cross-checks are re-validated
 //! structurally, so even a CRC-valid file written by a buggy producer is
-//! rejected rather than trusted.
+//! rejected rather than trusted. The direct path defaults to the same
+//! rigor (`deep_validate: true`); `passjoin-store`'s instant opens defer
+//! the deep pass to a background thread and rely on probe-time bounds
+//! checks in the meantime.
 
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
 use passjoin_obs::{Histogram, TraceEvent};
-use passjoin_persist::{segmap, Cursor, PersistError, SnapshotFile, SnapshotWriter};
+use passjoin_persist::{segdirect, segmap, Cursor, PersistError, SnapshotFile, SnapshotWriter};
+use sj_common::StringId;
 
 use crate::cache::QueryCache;
 use crate::index::{Inner, KeyBackend, SegmentStore, DEFAULT_CACHE_CAPACITY};
@@ -55,10 +73,11 @@ const BACKEND_OWNED: u64 = 0;
 const BACKEND_INTERNED: u64 = 1;
 
 /// Sentinel `start` marking a removed id in the SPANS section.
-const TOMBSTONE: u64 = u64::MAX;
+/// `pub(crate)`: the lazy string table decodes span entries on access.
+pub(crate) const TOMBSTONE: u64 = u64::MAX;
 
 /// Bytes per SPANS entry (`start: u64` + `len: u32`).
-const SPAN_LEN: usize = 12;
+pub(crate) const SPAN_LEN: usize = 12;
 
 /// Largest τ_max a snapshot may declare. Far above any useful threshold
 /// (the paper's workloads use τ ≤ 8; index cost grows with τ_max²), and
@@ -98,6 +117,28 @@ impl<'a> PhaseTimer<'a> {
     }
 }
 
+/// How a load materializes the segment lane of a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Decode the hash-map section (4 or 5) and replay every posting into
+    /// a freshly allocated map — the v1/v2 path, O(postings) work, full
+    /// structural validation. Works on every supported format version.
+    Rebuild,
+    /// Adopt the direct-probe appendix (sections 6–9, v3+) in place: the
+    /// loaded index probes sorted runs straight out of the file buffer and
+    /// no posting is ever replayed. The first mutation promotes the store
+    /// back to the hash-map backend it was saved from.
+    Direct {
+        /// Run the O(postings) deep validation pass
+        /// ([`passjoin::DirectSegmentIndex::validate_deep`] plus the
+        /// postings-cover-the-live-strings cross-check) before returning.
+        /// `true` is the safe default; `passjoin-store`'s instant opens
+        /// pass `false` and defer the pass to a background thread, relying
+        /// on probe-time bounds checks in the meantime.
+        deep_validate: bool,
+    },
+}
+
 impl OnlineIndex {
     /// [`Snapshot::save`] on the index's current state.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<u64, PersistError> {
@@ -116,11 +157,11 @@ impl OnlineIndex {
     /// The index keeps the *entire* file buffer alive (not just the
     /// string-arena section) for as long as any arena-backed string is
     /// live. That is a deliberate trade: one buffer, one ownership story,
-    /// and the layout the mmap follow-on needs — under `mmap(2)` the
-    /// consumed SPANS/SEGMENTS pages are simply evicted by the OS. Callers
-    /// that must minimize heap today can rebuild from the corpus instead.
+    /// and the layout the mmap path needs — under `mmap(2)` the consumed
+    /// SPANS/SEGMENTS pages are simply evicted by the OS. Callers that
+    /// must minimize heap today can rebuild from the corpus instead.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
-        load_impl(path.as_ref(), None)
+        load_impl(path.as_ref(), LoadMode::Rebuild, None)
     }
 
     /// [`OnlineIndex::load`] with observability attached for the load
@@ -130,19 +171,85 @@ impl OnlineIndex {
     /// [`OnlineIndexBuilder::observability`](crate::OnlineIndexBuilder::observability)
     /// had been set before building).
     pub fn load_with(path: impl AsRef<Path>, obs: Arc<EngineObs>) -> Result<Self, PersistError> {
-        let mut index = load_impl(path.as_ref(), Some(&obs))?;
+        let mut index = load_impl(path.as_ref(), LoadMode::Rebuild, Some(&obs))?;
+        index.set_observability(Some(obs));
+        Ok(index)
+    }
+
+    /// [`OnlineIndex::load`] via [`LoadMode::Direct`] with deep validation:
+    /// the segment lane is the file's own sorted-run appendix (v3+), so no
+    /// posting is replayed and no hash map is allocated. Queries answer
+    /// byte-identically to a [`OnlineIndex::load`] of the same file; the
+    /// first mutation transparently rebuilds the original backend.
+    pub fn load_direct(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        load_impl(
+            path.as_ref(),
+            LoadMode::Direct {
+                deep_validate: true,
+            },
+            None,
+        )
+    }
+
+    /// [`OnlineIndex::load_direct`] with observability attached, exactly
+    /// as [`OnlineIndex::load_with`] does for the rebuild path.
+    pub fn load_direct_with(
+        path: impl AsRef<Path>,
+        obs: Arc<EngineObs>,
+    ) -> Result<Self, PersistError> {
+        let mut index = load_impl(
+            path.as_ref(),
+            LoadMode::Direct {
+                deep_validate: true,
+            },
+            Some(&obs),
+        )?;
+        index.set_observability(Some(obs));
+        Ok(index)
+    }
+
+    /// Reconstructs an index from an already-opened container — the entry
+    /// point `passjoin-store` uses to combine its own buffer strategy
+    /// (mmap, lazy CRC validation) with either [`LoadMode`]. The index
+    /// adopts `file`'s buffer; the caller keeps control of how that buffer
+    /// was produced and which payload CRCs were verified up front.
+    pub fn from_snapshot_file(file: &SnapshotFile, mode: LoadMode) -> Result<Self, PersistError> {
+        load_file_impl(file, mode, None)
+    }
+
+    /// [`OnlineIndex::from_snapshot_file`] with observability attached,
+    /// exactly as [`OnlineIndex::load_with`] does for the path-based API.
+    pub fn from_snapshot_file_with(
+        file: &SnapshotFile,
+        mode: LoadMode,
+        obs: Arc<EngineObs>,
+    ) -> Result<Self, PersistError> {
+        let mut index = load_file_impl(file, mode, Some(&obs))?;
         index.set_observability(Some(obs));
         Ok(index)
     }
 }
 
-fn load_impl(path: &Path, obs: Option<&EngineObs>) -> Result<OnlineIndex, PersistError> {
+fn load_impl(
+    path: &Path,
+    mode: LoadMode,
+    obs: Option<&EngineObs>,
+) -> Result<OnlineIndex, PersistError> {
+    let mut timer = obs.map(PhaseTimer::new);
+    let file = SnapshotFile::open(path)?;
+    if let Some(t) = timer.as_mut() {
+        t.lap(|o| &o.snapshot_load_read_ns);
+    }
+    load_file_impl(&file, mode, obs)
+}
+
+fn load_file_impl(
+    file: &SnapshotFile,
+    mode: LoadMode,
+    obs: Option<&EngineObs>,
+) -> Result<OnlineIndex, PersistError> {
     {
         let mut timer = obs.map(PhaseTimer::new);
-        let file = SnapshotFile::open(path)?;
-        if let Some(t) = timer.as_mut() {
-            t.lap(|o| &o.snapshot_load_read_ns);
-        }
 
         let meta_payload = file.section(SEC_META)?;
         let mut meta = Cursor::new(meta_payload, "meta section");
@@ -179,74 +286,124 @@ fn load_impl(path: &Path, obs: Option<&EngineObs>) -> Result<OnlineIndex, Persis
             });
         }
 
-        let spans_payload = file.section(SEC_SPANS)?;
+        let spans_range = file.section_range(SEC_SPANS)?;
         if universe
             .checked_mul(SPAN_LEN)
-            .is_none_or(|expected| spans_payload.len() != expected)
+            .is_none_or(|expected| spans_range.len() != expected)
         {
             return Err(PersistError::Corrupt {
                 context: "span table length disagrees with the meta section",
             });
         }
+        // The instant-restart fast path: on a shallow direct open whose
+        // posting count proves every live string is long (`entries ==
+        // live·(τ_max+1)`, so the short lane is provably empty), the span
+        // table is served lazily out of the buffer instead of being
+        // decoded here — the one O(universe) step this function would
+        // otherwise always pay. Per-span validation rides along with the
+        // deferred deep checks.
+        let lazy_table = matches!(
+            mode,
+            LoadMode::Direct {
+                deep_validate: false
+            }
+        ) && segment_entries == live as u64 * (tau_max as u64 + 1);
         // Spans are recorded relative to the arena; rebase them onto the
         // whole-file buffer so the index can keep the single `Arc` alive.
         let base = strings_range.start;
-        let mut spans = Vec::with_capacity(universe);
-        let mut cursor = Cursor::new(spans_payload, "span table");
-        let mut live_seen = 0usize;
+        let mut spans = Vec::new();
         let mut max_live_len = 0usize;
-        for _ in 0..universe {
-            let start = cursor.u64()?;
-            let len = cursor.u32()? as usize;
-            if start == TOMBSTONE {
-                spans.push(None);
-                continue;
+        if !lazy_table {
+            let spans_payload = file.section(SEC_SPANS)?;
+            spans.reserve_exact(universe);
+            let mut cursor = Cursor::new(spans_payload, "span table");
+            let mut live_seen = 0usize;
+            for _ in 0..universe {
+                let start = cursor.u64()?;
+                let len = cursor.u32()? as usize;
+                if start == TOMBSTONE {
+                    spans.push(None);
+                    continue;
+                }
+                let start = usize::try_from(start).map_err(|_| PersistError::Corrupt {
+                    context: "span offset exceeds the platform",
+                })?;
+                if start
+                    .checked_add(len)
+                    .is_none_or(|end| end > strings_range.len())
+                {
+                    return Err(PersistError::Corrupt {
+                        context: "string span exceeds the arena",
+                    });
+                }
+                live_seen += 1;
+                max_live_len = max_live_len.max(len);
+                spans.push(Some((base + start, len)));
             }
-            let start = usize::try_from(start).map_err(|_| PersistError::Corrupt {
-                context: "span offset exceeds the platform",
-            })?;
-            if start
-                .checked_add(len)
-                .is_none_or(|end| end > strings_range.len())
-            {
+            cursor.finish()?;
+            if live_seen != live {
                 return Err(PersistError::Corrupt {
-                    context: "string span exceeds the arena",
+                    context: "live count disagrees with the meta section",
                 });
             }
-            live_seen += 1;
-            max_live_len = max_live_len.max(len);
-            spans.push(Some((base + start, len)));
-        }
-        cursor.finish()?;
-        if live_seen != live {
-            return Err(PersistError::Corrupt {
-                context: "live count disagrees with the meta section",
-            });
         }
 
         // The longest live string bounds every legal posting length — and,
         // with it, the allocation any hostile segment section can force.
-        let seg_payload_len;
-        let segments = match backend {
-            BACKEND_OWNED => {
-                let payload = file.section(SEC_SEGMENTS)?;
-                seg_payload_len = payload.len();
-                SegmentStore::Owned(segmap::decode(payload, tau_max, universe, max_live_len)?)
-            }
-            BACKEND_INTERNED => {
-                let payload = file.section(SEC_SEGMENTS_INTERNED)?;
-                seg_payload_len = payload.len();
-                SegmentStore::Interned(segmap::decode_interned(
-                    payload,
-                    tau_max,
-                    universe,
-                    max_live_len,
-                )?)
-            }
+        let origin = match backend {
+            BACKEND_OWNED => KeyBackend::Owned,
+            BACKEND_INTERNED => KeyBackend::Interned,
             _ => {
                 return Err(PersistError::Corrupt {
                     context: "unknown key-backend code in the meta section",
                 })
+            }
+        };
+        let deep_validate = match mode {
+            LoadMode::Rebuild => true,
+            LoadMode::Direct { deep_validate } => deep_validate,
+        };
+        let seg_payload_len;
+        let segments = match mode {
+            LoadMode::Rebuild => match origin {
+                KeyBackend::Owned => {
+                    let payload = file.section(SEC_SEGMENTS)?;
+                    seg_payload_len = payload.len();
+                    SegmentStore::Owned(segmap::decode(payload, tau_max, universe, max_live_len)?)
+                }
+                KeyBackend::Interned => {
+                    let payload = file.section(SEC_SEGMENTS_INTERNED)?;
+                    seg_payload_len = payload.len();
+                    SegmentStore::Interned(segmap::decode_interned(
+                        payload,
+                        tau_max,
+                        universe,
+                        max_live_len,
+                    )?)
+                }
+                KeyBackend::Direct => unreachable!("origin is decoded from the backend code"),
+            },
+            LoadMode::Direct { .. } => {
+                let index =
+                    segdirect::decode_direct(file, tau_max, deep_validate.then_some(universe))?;
+                // With a lazy table no span was decoded, so the longest
+                // live length is unknown; the bound is deferred with the
+                // rest of the deep validation.
+                if !lazy_table && index.max_len() > max_live_len {
+                    return Err(PersistError::Corrupt {
+                        context: "direct postings exceed the longest live string",
+                    });
+                }
+                seg_payload_len = [
+                    segdirect::SEC_DIRECT_DIR,
+                    segdirect::SEC_DIRECT_RUNS,
+                    segdirect::SEC_DIRECT_KEYS,
+                    segdirect::SEC_DIRECT_IDS,
+                ]
+                .iter()
+                .map(|&id| file.section_range(id).map(|r| r.len()))
+                .sum::<Result<usize, _>>()?;
+                SegmentStore::from_direct(index, origin)
             }
         };
         if segments.entries() != segment_entries {
@@ -256,7 +413,7 @@ fn load_impl(path: &Path, obs: Option<&EngineObs>) -> Result<OnlineIndex, Persis
         }
         if let Some(o) = obs {
             o.section_meta_bytes.inc(meta_payload.len() as u64);
-            o.section_spans_bytes.inc(spans_payload.len() as u64);
+            o.section_spans_bytes.inc(spans_range.len() as u64);
             o.section_strings_bytes.inc(strings_range.len() as u64);
             o.section_segments_bytes.inc(seg_payload_len as u64);
         }
@@ -276,33 +433,47 @@ fn load_impl(path: &Path, obs: Option<&EngineObs>) -> Result<OnlineIndex, Persis
         // and every live long string must be referenced exactly τ_max+1
         // times. Checksums cannot catch a producer that wrote internally
         // inconsistent sections, and the query path trusts these
-        // invariants (`expect`s and slices on them).
-        let mut references = vec![0u32; universe];
-        let mut consistent = true;
-        segments.visit_posting_ids(|l, id| match spans.get(id as usize) {
-            Some(Some((_, len))) if *len == l => references[id as usize] += 1,
-            _ => consistent = false,
-        });
-        let expected = tau_max as u32 + 1;
-        consistent &= spans
-            .iter()
-            .zip(&references)
-            .all(|(span, &refs)| match span {
-                Some((_, len)) if *len > tau_max => refs == expected,
-                _ => refs == 0,
+        // invariants (`expect`s and slices on them). Skipped only when an
+        // instant open explicitly deferred deep validation.
+        if deep_validate {
+            let mut references = vec![0u32; universe];
+            let mut consistent = true;
+            segments.visit_posting_ids(|l, id| match spans.get(id as usize) {
+                Some(Some((_, len))) if *len == l => references[id as usize] += 1,
+                _ => consistent = false,
             });
-        if !consistent {
-            return Err(PersistError::Corrupt {
-                context: "segment postings do not cover the live strings",
-            });
+            let expected = tau_max as u32 + 1;
+            consistent &= spans
+                .iter()
+                .zip(&references)
+                .all(|(span, &refs)| match span {
+                    Some((_, len)) if *len > tau_max => refs == expected,
+                    _ => refs == 0,
+                });
+            if !consistent {
+                return Err(PersistError::Corrupt {
+                    context: "segment postings do not cover the live strings",
+                });
+            }
         }
 
         let total_bytes = file.buffer().len() as u64;
-        let arena = Arc::clone(file.buffer());
-        let inner = Inner::from_loaded_parts(tau_max, arena, spans, segments).map_err(|_| {
-            PersistError::Corrupt {
-                context: "snapshot sections are mutually inconsistent",
-            }
+        let arena = file.buffer().clone();
+        let inner = if lazy_table {
+            Inner::from_mapped_parts(
+                tau_max,
+                arena,
+                spans_range,
+                strings_range,
+                universe,
+                live,
+                segments,
+            )
+        } else {
+            Inner::from_loaded_parts(tau_max, arena, spans, segments)
+        }
+        .map_err(|_| PersistError::Corrupt {
+            context: "snapshot sections are mutually inconsistent",
         })?;
         if let Some(t) = timer.as_mut() {
             t.lap(|o| &o.snapshot_load_validate_ns);
@@ -319,6 +490,10 @@ fn load_impl(path: &Path, obs: Option<&EngineObs>) -> Result<OnlineIndex, Persis
         })
     }
 }
+
+/// The `(l, slot, key, ids)` callback a posting visitor feeds — the
+/// argument shape of [`segmap::encode_with`] and friends.
+type PostingSink<'a> = &'a mut dyn FnMut(usize, usize, &[u8], &[StringId]);
 
 fn save_inner(
     inner: &Inner,
@@ -347,9 +522,14 @@ fn save_inner(
         }
     }
 
-    let backend_code = match inner.segments().backend() {
+    // A direct store saves as its *origin* backend: the hash-map section
+    // and META code are exactly what the pre-snapshot index would have
+    // written, so load→save round-trips are byte-identical regardless of
+    // which load mode produced the index.
+    let backend_code = match inner.segments().save_backend() {
         KeyBackend::Owned => BACKEND_OWNED,
         KeyBackend::Interned => BACKEND_INTERNED,
+        KeyBackend::Direct => unreachable!("save_backend resolves to the origin backend"),
     };
     let mut meta = Vec::with_capacity(56);
     meta.extend_from_slice(&(inner.tau_max() as u64).to_le_bytes());
@@ -366,6 +546,38 @@ fn save_inner(
     let (seg_id, seg_payload) = match inner.segments() {
         SegmentStore::Owned(map) => (SEC_SEGMENTS, segmap::encode(map)),
         SegmentStore::Interned(index) => (SEC_SEGMENTS_INTERNED, segmap::encode_interned(index)),
+        SegmentStore::Direct { index, origin } => {
+            let visit = |f: PostingSink<'_>| {
+                index
+                    .try_visit_postings(|l, slot, key, ids| f(l, slot, key, ids))
+                    .expect("loaded direct postings are structurally valid");
+            };
+            match origin {
+                KeyBackend::Owned => (
+                    SEC_SEGMENTS,
+                    segmap::encode_with(index.scheme(), index.tau(), visit),
+                ),
+                KeyBackend::Interned => (
+                    SEC_SEGMENTS_INTERNED,
+                    segmap::encode_interned_with(index.scheme(), index.tau(), visit),
+                ),
+                KeyBackend::Direct => unreachable!("direct stores record a hash-map origin"),
+            }
+        }
+    };
+    // The direct-probe appendix (sections 6–9) is written on every save,
+    // whatever the backend — it is what makes the file loadable without
+    // replaying a single posting.
+    let direct = match inner.segments() {
+        SegmentStore::Owned(map) => segdirect::encode_direct_owned(map),
+        SegmentStore::Interned(index) => segdirect::encode_direct_interned(index),
+        SegmentStore::Direct { index, .. } => {
+            segdirect::encode_direct(index.scheme(), index.tau(), |f| {
+                index
+                    .try_visit_postings(|l, slot, key, ids| f(l, slot, key, ids))
+                    .expect("loaded direct postings are structurally valid")
+            })
+        }
     };
     if let Some(t) = timer.as_mut() {
         t.lap(|o| &o.snapshot_save_encode_ns);
@@ -377,12 +589,31 @@ fn save_inner(
         o.section_segments_bytes.inc(seg_payload.len() as u64);
     }
 
+    // The id blob is padded to 8-byte in-file alignment, which requires
+    // knowing its absolute payload offset: header + table for all eight
+    // sections, then every preceding payload.
+    let mut ids_at = passjoin_persist::format::payload_base(8) as u64;
+    for len in [
+        meta.len(),
+        spans.len(),
+        arena.len(),
+        seg_payload.len(),
+        direct.dir.len(),
+        direct.runs.len(),
+        direct.keys.len(),
+    ] {
+        ids_at += len as u64;
+    }
+
     let mut writer = SnapshotWriter::new();
     writer
         .section(SEC_META, meta)
         .section(SEC_SPANS, spans)
         .section(SEC_STRINGS, arena)
         .section(seg_id, seg_payload);
+    for (id, payload) in direct.finish(ids_at) {
+        writer.section(id, payload);
+    }
     let bytes = writer.save(path)?;
     if let Some(t) = timer.as_mut() {
         t.lap(|o| &o.snapshot_save_write_ns);

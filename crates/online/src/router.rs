@@ -1101,13 +1101,19 @@ impl ShardedIndex {
             .to_le_bytes(),
         );
         meta.extend_from_slice(&(self.tau_max as u64).to_le_bytes());
-        meta.extend_from_slice(
-            &match self.backend {
-                KeyBackend::Owned => BACKEND_OWNED,
-                KeyBackend::Interned => BACKEND_INTERNED,
+        let backend_code = match self.backend {
+            KeyBackend::Owned => BACKEND_OWNED,
+            KeyBackend::Interned => BACKEND_INTERNED,
+            // Shards assembled from direct-loaded indices have no single
+            // buildable backend to record; reload the shards with the
+            // rebuild path before persisting a router over them.
+            KeyBackend::Direct => {
+                return Err(PersistError::Corrupt {
+                    context: "routers over direct-loaded shards cannot be persisted",
+                })
             }
-            .to_le_bytes(),
-        );
+        };
+        meta.extend_from_slice(&backend_code.to_le_bytes());
         meta.extend_from_slice(&self.epoch.to_le_bytes());
         meta.extend_from_slice(&u64::from(self.next_id).to_le_bytes());
 

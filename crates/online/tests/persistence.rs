@@ -856,3 +856,346 @@ mod interned_backend {
         );
     }
 }
+
+/// The direct-probe load path (format v3, sections 6–9): a
+/// [`OnlineIndex::load_direct`] of any snapshot must be indistinguishable
+/// from the [`OnlineIndex::load`] of the same file — byte-identical query
+/// results, identical metadata, byte-identical re-saves — while never
+/// replaying a posting; it must stay fully mutable through backend
+/// promotion; and the appendix gets the same corruption/lying-producer
+/// treatment as every other section.
+mod direct_backend {
+    use super::*;
+    use passjoin_online::KeyBackend;
+
+    fn build(strings: &[Vec<u8>], tau_max: usize, backend: KeyBackend) -> OnlineIndex {
+        OnlineIndex::builder(tau_max)
+            .key_backend(backend)
+            .build_from(strings.iter())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn direct_load_answers_identically_to_rebuild_load(
+            strings in small_corpus(),
+            tau_max in 1usize..5,
+            seed in proptest::arbitrary::any::<u64>(),
+        ) {
+            let origin = if seed % 2 == 0 { KeyBackend::Interned } else { KeyBackend::Owned };
+            let mut index = build(&strings, tau_max, origin);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for id in 0..strings.len() as u32 {
+                if rng.gen_bool(0.3) {
+                    index.remove(id);
+                }
+            }
+            let file = save_to_temp(&index, "direct-diff");
+            let rebuilt = OnlineIndex::load(&file.0).expect("rebuild load must succeed");
+            let direct = OnlineIndex::load_direct(&file.0).expect("direct load must succeed");
+            prop_assert_eq!(rebuilt.key_backend(), origin);
+            prop_assert_eq!(direct.key_backend(), KeyBackend::Direct);
+            let mut queries = strings.clone();
+            queries.push(b"abab".to_vec());
+            queries.push(Vec::new());
+            assert_equivalent(&rebuilt, &direct, &queries);
+        }
+    }
+
+    #[test]
+    fn direct_resave_is_byte_identical_for_both_origins() {
+        // A direct-loaded index re-saves through its recorded origin: the
+        // file it writes must equal the file it was loaded from, byte for
+        // byte — the strongest form of "nothing was lost by not rebuilding".
+        for origin in [KeyBackend::Owned, KeyBackend::Interned] {
+            let strings = planted_corpus(120, 17, 2);
+            let mut index = build(&strings, 2, origin);
+            index.remove(9);
+            let file = save_to_temp(&index, "direct-resave");
+            let direct = OnlineIndex::load_direct(&file.0).unwrap();
+            let resave = save_to_temp(&direct, "direct-resave-out");
+            assert_eq!(
+                std::fs::read(&file.0).unwrap(),
+                std::fs::read(&resave.0).unwrap(),
+                "direct re-save must be byte-identical ({} origin)",
+                origin.name()
+            );
+        }
+    }
+
+    #[test]
+    fn first_mutation_promotes_back_to_the_origin_backend() {
+        for origin in [KeyBackend::Owned, KeyBackend::Interned] {
+            let strings = planted_corpus(150, 23, 2);
+            let file = save_to_temp(&build(&strings, 2, origin), "direct-promote");
+            let mut direct = OnlineIndex::load_direct(&file.0).unwrap();
+            let mut twin = OnlineIndex::load(&file.0).unwrap();
+            assert_eq!(direct.key_backend(), KeyBackend::Direct);
+
+            // Queries before mutation leave the lane untouched.
+            assert_eq!(direct.matches(&strings[0], 2), twin.matches(&strings[0], 2));
+            assert_eq!(direct.key_backend(), KeyBackend::Direct);
+
+            // The first mutation rebuilds the origin backend; afterwards
+            // the two indices stay in lockstep through further churn.
+            for id in (0..strings.len() as u32).step_by(4) {
+                assert_eq!(direct.remove(id), twin.remove(id));
+            }
+            assert_eq!(
+                direct.key_backend(),
+                origin,
+                "promotion restores the origin"
+            );
+            assert_eq!(
+                direct.insert(b"inserted after promotion"),
+                twin.insert(b"inserted after promotion")
+            );
+            for q in strings.iter().step_by(7) {
+                assert_eq!(direct.matches(q, 2), twin.matches(q, 2));
+            }
+            let queries: Vec<Vec<u8>> = strings.iter().step_by(9).cloned().collect();
+            assert_equivalent(&twin, &direct, &queries);
+        }
+    }
+
+    #[test]
+    fn empty_index_loads_direct() {
+        let file = save_to_temp(&OnlineIndex::new(2), "direct-empty");
+        let loaded = OnlineIndex::load_direct(&file.0).unwrap();
+        assert!(loaded.is_empty());
+        assert!(loaded.matches(b"anything", 2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "load-only")]
+    fn builder_rejects_the_direct_backend() {
+        let _ = OnlineIndex::builder(2).key_backend(KeyBackend::Direct);
+    }
+
+    #[test]
+    fn direct_load_rejects_truncation_at_every_length() {
+        let bytes = sample_snapshot_bytes();
+        for cut in 0..bytes.len() {
+            let file = TempFile(temp_snapshot_path("direct-trunc"));
+            std::fs::write(&file.0, &bytes[..cut]).unwrap();
+            assert!(
+                OnlineIndex::load_direct(&file.0).is_err(),
+                "truncation to {cut}/{} bytes must be rejected",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn direct_load_rejects_every_flipped_byte() {
+        // Sections 6–9 are CRC-covered like the rest of the file, and the
+        // eager open checks them even though the direct path never decodes
+        // the hash-map section.
+        let bytes = sample_snapshot_bytes();
+        for at in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[at] ^= 0x20;
+            let file = TempFile(temp_snapshot_path("direct-flip"));
+            std::fs::write(&file.0, &flipped).unwrap();
+            assert!(
+                OnlineIndex::load_direct(&file.0).is_err(),
+                "flipped byte at offset {at} must be rejected"
+            );
+        }
+    }
+
+    /// CRC-valid v3 files from a lying producer: the appendix's structural
+    /// validation must reject what framing cannot.
+    mod inconsistent_producer {
+        use super::*;
+        use passjoin::PartitionScheme;
+        use passjoin_persist::{format, segdirect, segmap, SnapshotWriter};
+        use sj_common::StringId;
+
+        /// META + SPANS + STRINGS + section 4 for one live `"abcd"` (id 0)
+        /// and one tombstone (id 1) at τ_max = 1, plus a direct appendix
+        /// built from `postings` — which may lie.
+        fn craft(
+            entries: u64,
+            postings: &[(usize, usize, &[u8], &[StringId])],
+            tag: &str,
+        ) -> Result<OnlineIndex, PersistError> {
+            let mut meta = Vec::new();
+            for v in [1u64, 0, 2, 1, 4, entries, 0] {
+                meta.extend_from_slice(&v.to_le_bytes());
+            }
+            let mut spans = Vec::new();
+            spans.extend_from_slice(&0u64.to_le_bytes()); // id 0: live "abcd"
+            spans.extend_from_slice(&4u32.to_le_bytes());
+            spans.extend_from_slice(&u64::MAX.to_le_bytes()); // id 1: tombstone
+            spans.extend_from_slice(&0u32.to_le_bytes());
+            let seg = segmap::encode_with(PartitionScheme::Even, 1, |f| {
+                for &(l, slot, key, ids) in postings {
+                    f(l, slot, key, ids);
+                }
+            });
+            let direct = segdirect::encode_direct(PartitionScheme::Even, 1, |f| {
+                for &(l, slot, key, ids) in postings {
+                    f(l, slot, key, ids);
+                }
+            });
+            let mut ids_at = format::payload_base(8) as u64;
+            for len in [
+                meta.len(),
+                spans.len(),
+                4,
+                seg.len(),
+                direct.dir.len(),
+                direct.runs.len(),
+                direct.keys.len(),
+            ] {
+                ids_at += len as u64;
+            }
+            let mut writer = SnapshotWriter::new();
+            writer
+                .section(1, meta)
+                .section(2, spans)
+                .section(3, b"abcd".to_vec())
+                .section(4, seg);
+            for (id, payload) in direct.finish(ids_at) {
+                writer.section(id, payload);
+            }
+            let file = TempFile(temp_snapshot_path(tag));
+            writer.save(&file.0)?;
+            OnlineIndex::load_direct(&file.0)
+        }
+
+        #[test]
+        fn consistent_parts_load() {
+            // "abcd" at τ=1 partitions into "ab" (slot 1) + "cd" (slot 2).
+            let postings: &[(usize, usize, &[u8], &[StringId])] =
+                &[(4, 1, b"ab", &[0]), (4, 2, b"cd", &[0])];
+            let index = craft(2, postings, "direct-crafted-ok").expect("consistent parts load");
+            assert_eq!(index.key_backend(), KeyBackend::Direct);
+            assert_eq!(index.matches(b"abcd", 1), vec![(0, 0)]);
+        }
+
+        #[test]
+        fn rejects_unsorted_posting_ids() {
+            // Probing merges sorted lists; unsorted ids would corrupt
+            // result order downstream.
+            let postings: &[(usize, usize, &[u8], &[StringId])] =
+                &[(4, 1, b"ab", &[1, 0]), (4, 2, b"cd", &[0, 1])];
+            assert!(matches!(
+                craft(4, postings, "direct-crafted-unsorted"),
+                Err(PersistError::Corrupt { .. })
+            ));
+        }
+
+        #[test]
+        fn rejects_postings_referencing_a_tombstone() {
+            let postings: &[(usize, usize, &[u8], &[StringId])] =
+                &[(4, 1, b"ab", &[1]), (4, 2, b"cd", &[1])];
+            assert!(matches!(
+                craft(2, postings, "direct-crafted-tombstone"),
+                Err(PersistError::Corrupt { .. })
+            ));
+        }
+
+        #[test]
+        fn rejects_keys_breaking_the_partition_geometry() {
+            // Slot 1 of an even 2-partition of length 4 is 2 bytes; a
+            // 3-byte key there would make probes slice out of bounds.
+            let postings: &[(usize, usize, &[u8], &[StringId])] =
+                &[(4, 1, b"abc", &[0]), (4, 2, b"d", &[0])];
+            assert!(matches!(
+                craft(2, postings, "direct-crafted-geometry"),
+                Err(PersistError::Corrupt { .. })
+            ));
+        }
+
+        #[test]
+        fn rejects_entry_count_lies() {
+            let postings: &[(usize, usize, &[u8], &[StringId])] =
+                &[(4, 1, b"ab", &[0]), (4, 2, b"cd", &[0])];
+            assert!(matches!(
+                craft(7, postings, "direct-crafted-count"),
+                Err(PersistError::Corrupt { .. })
+            ));
+        }
+
+        #[test]
+        fn rejects_a_dir_section_whose_blob_sizes_lie() {
+            // Patch n_entries inside an otherwise-valid DIR payload (the
+            // writer recomputes CRCs, so only the structural cross-check
+            // can catch it): the id blob no longer matches the directory.
+            let strings = planted_corpus(40, 31, 2);
+            let index = OnlineIndex::from_strings(strings.iter(), 2);
+            let file = save_to_temp(&index, "direct-dir-lie-base");
+            let bytes = std::fs::read(&file.0).unwrap();
+            let parsed = passjoin_persist::SnapshotFile::parse(bytes.into()).unwrap();
+            let mut writer = SnapshotWriter::new();
+            for id in [1u32, 2, 3, 4] {
+                writer.section(id, parsed.section(id).unwrap().to_vec());
+            }
+            let mut dir = parsed.section(6).unwrap().to_vec();
+            let wrong = (index.stats().segment_entries + 1).to_le_bytes();
+            dir[24..32].copy_from_slice(&wrong); // n_entries field
+            writer.section(6, dir);
+            for id in [7u32, 8, 9] {
+                writer.section(id, parsed.section(id).unwrap().to_vec());
+            }
+            let out = TempFile(temp_snapshot_path("direct-dir-lie"));
+            writer.save(&out.0).unwrap();
+            assert!(matches!(
+                OnlineIndex::load_direct(&out.0),
+                Err(PersistError::Corrupt { .. })
+            ));
+            // The rebuild path never reads the appendix and still loads.
+            OnlineIndex::load(&out.0).expect("rebuild load ignores the appendix");
+        }
+    }
+
+    /// Golden v2 snapshots written by the pre-appendix build: they must
+    /// keep loading on the rebuild path with their recorded backend, and
+    /// the direct path must report the appendix missing — never silently
+    /// rebuild.
+    #[test]
+    fn v2_snapshots_still_load_and_direct_reports_missing() {
+        for (bytes, backend) in [
+            (&include_bytes!("data/v2-owned.snap")[..], KeyBackend::Owned),
+            (
+                &include_bytes!("data/v2-interned.snap")[..],
+                KeyBackend::Interned,
+            ),
+        ] {
+            assert_eq!(&bytes[8..12], &2u32.to_le_bytes(), "fixture is v2");
+            let loaded = load_bytes(bytes, "v2-golden").expect("v2 snapshot must load");
+            assert_eq!(loaded.key_backend(), backend);
+
+            // The fixtures' collection: five strings, id 2 removed.
+            let strings = ["pass-join", "pass-joins", "snapshot", "ab", ""];
+            let mut fresh = OnlineIndex::builder(2)
+                .key_backend(backend)
+                .build_from(strings.iter().map(|s| s.as_bytes()));
+            fresh.remove(2);
+            assert_eq!(loaded.len(), fresh.len());
+            assert_eq!(loaded.get(2), None, "tombstone round-trips");
+            for q in strings.iter().map(|s| s.as_bytes()).chain([&b"pass"[..]]) {
+                for tau in 0..=2 {
+                    assert_eq!(loaded.matches(q, tau), fresh.matches(q, tau), "query {q:?}");
+                }
+            }
+
+            // No appendix → the direct path refuses rather than rebuilds.
+            let file = TempFile(temp_snapshot_path("v2-direct"));
+            std::fs::write(&file.0, bytes).unwrap();
+            assert!(matches!(
+                OnlineIndex::load_direct(&file.0),
+                Err(PersistError::MissingSection { .. })
+            ));
+
+            // A re-save of the v2-loaded index writes v3 with the appendix
+            // and becomes direct-loadable.
+            let resave = save_to_temp(&loaded, "v2-resave");
+            let direct = OnlineIndex::load_direct(&resave.0).unwrap();
+            assert_eq!(direct.matches(b"pass-join", 1).len(), 2);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Codec for incremental delta checkpoints (snapshot format v3).
+//!
+//! A delta file records the mutations applied to an index since a **base
+//! snapshot** (or since the previous delta in a chain): a compact ordered
+//! log of inserts and removes, replayable onto the loaded base to recover
+//! the exact live state. It shares the snapshot container — same magic,
+//! version, section table, and per-section CRC32 — but carries its own
+//! two sections and none of a full snapshot's, so the two kinds can never
+//! be confused by a loader:
+//!
+//! ```text
+//! SEC_DELTA_META (20):
+//!   tau_max: u64        — must equal the base index's τ_max
+//!   base_epoch: u64     — the epoch the log starts from
+//!   end_epoch: u64      — base_epoch + n_ops (epochs advance by 1 per op)
+//!   base_universe: u64  — string-table size before replay
+//!   end_universe: u64   — string-table size after replay
+//!   n_ops: u64
+//!
+//! SEC_DELTA_OPS (21): n_ops ×
+//!   kind: u8            — 0 = insert, 1 = remove
+//!   insert: id u32 (the id the insert was assigned), len u32, bytes
+//!   remove: id u32
+//! ```
+//!
+//! Recording the *assigned* id with each insert makes replay verifiable:
+//! the base index must hand back the same id, or the chain does not
+//! belong to this base and replay aborts instead of silently diverging.
+//! Chain placement on disk (`<base>.delta-1`, `.delta-2`, …) and replay
+//! itself live in `passjoin-store`; this module only owns the bytes.
+
+use sj_common::StringId;
+
+use crate::error::PersistError;
+use crate::format::{Cursor, SnapshotFile, SnapshotWriter};
+
+/// Section id: delta checkpoint metadata.
+pub const SEC_DELTA_META: u32 = 20;
+/// Section id: the delta operation log.
+pub const SEC_DELTA_OPS: u32 = 21;
+
+/// Delta checkpoint metadata — the replay contract between a base
+/// snapshot and one log file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaMeta {
+    /// τ_max of the index the log applies to.
+    pub tau_max: u64,
+    /// Mutation epoch the log starts from (the base's, or the previous
+    /// delta's `end_epoch`).
+    pub base_epoch: u64,
+    /// Mutation epoch after replay: `base_epoch + n_ops`.
+    pub end_epoch: u64,
+    /// String-table size (`universe`) before replay.
+    pub base_universe: u64,
+    /// String-table size after replay.
+    pub end_universe: u64,
+}
+
+/// One logged mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// `insert(bytes)` that was assigned `id`.
+    Insert {
+        /// The id the insert returned; replay must reproduce it.
+        id: StringId,
+        /// The inserted string.
+        bytes: Vec<u8>,
+    },
+    /// `remove(id)` that removed a live string.
+    Remove {
+        /// The removed id.
+        id: StringId,
+    },
+}
+
+const KIND_INSERT: u8 = 0;
+const KIND_REMOVE: u8 = 1;
+
+/// Builds a [`SnapshotWriter`] holding one delta checkpoint; save it with
+/// [`SnapshotWriter::save`] for the same crash-atomic rename the full
+/// snapshots get.
+pub fn delta_writer(meta: &DeltaMeta, ops: &[DeltaOp]) -> SnapshotWriter {
+    let mut payload = Vec::with_capacity(48);
+    for v in [
+        meta.tau_max,
+        meta.base_epoch,
+        meta.end_epoch,
+        meta.base_universe,
+        meta.end_universe,
+        ops.len() as u64,
+    ] {
+        payload.extend_from_slice(&v.to_le_bytes());
+    }
+    let mut log = Vec::new();
+    for op in ops {
+        match op {
+            DeltaOp::Insert { id, bytes } => {
+                log.push(KIND_INSERT);
+                log.extend_from_slice(&id.to_le_bytes());
+                log.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                log.extend_from_slice(bytes);
+            }
+            DeltaOp::Remove { id } => {
+                log.push(KIND_REMOVE);
+                log.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+    }
+    let mut writer = SnapshotWriter::new();
+    writer.section(SEC_DELTA_META, payload);
+    writer.section(SEC_DELTA_OPS, log);
+    writer
+}
+
+/// Decodes a delta checkpoint, re-validating every structural promise:
+/// the op log must parse exactly, op counts and epochs must agree
+/// (`end_epoch − base_epoch = n_ops`), and the universe delta must match
+/// the number of inserts (inserts append ids; removes never shrink the
+/// table). Lies that survive the CRCs are rejected here.
+pub fn read_delta(file: &SnapshotFile) -> Result<(DeltaMeta, Vec<DeltaOp>), PersistError> {
+    let corrupt = |context: &'static str| PersistError::Corrupt { context };
+
+    let mut cursor = Cursor::new(file.section(SEC_DELTA_META)?, "delta metadata section");
+    let meta = DeltaMeta {
+        tau_max: cursor.u64()?,
+        base_epoch: cursor.u64()?,
+        end_epoch: cursor.u64()?,
+        base_universe: cursor.u64()?,
+        end_universe: cursor.u64()?,
+    };
+    let n_ops = cursor.u64()?;
+    cursor.finish()?;
+
+    if meta.end_epoch.checked_sub(meta.base_epoch) != Some(n_ops) {
+        return Err(corrupt("delta epochs disagree with the op count"));
+    }
+
+    let log = file.section(SEC_DELTA_OPS)?;
+    let mut cursor = Cursor::new(log, "delta op log section");
+    // A hostile n_ops must not size an allocation; the log length bounds
+    // the real count (every op is at least 5 bytes).
+    let mut ops = Vec::with_capacity((n_ops as usize).min(log.len() / 5 + 1));
+    let mut inserts = 0u64;
+    let mut next_id = meta.base_universe;
+    for _ in 0..n_ops {
+        let kind = cursor.bytes(1)?[0];
+        let id: StringId = cursor.u32()?;
+        match kind {
+            KIND_INSERT => {
+                // Ids are assigned densely at the end of the table, so the
+                // recorded id is fully determined by the running universe.
+                if u64::from(id) != next_id {
+                    return Err(corrupt("delta insert id breaks the id sequence"));
+                }
+                next_id += 1;
+                inserts += 1;
+                let len = cursor.u32()? as usize;
+                let bytes = cursor.bytes(len)?.to_vec();
+                ops.push(DeltaOp::Insert { id, bytes });
+            }
+            KIND_REMOVE => {
+                if u64::from(id) >= next_id {
+                    return Err(corrupt("delta remove id exceeds the string table"));
+                }
+                ops.push(DeltaOp::Remove { id });
+            }
+            _ => return Err(corrupt("unknown delta op kind")),
+        }
+    }
+    cursor.finish()?;
+
+    if meta.base_universe.checked_add(inserts) != Some(meta.end_universe) {
+        return Err(corrupt("delta universe delta disagrees with the inserts"));
+    }
+    Ok((meta, ops))
+}
+
+/// True when `file` is a delta checkpoint rather than a full snapshot.
+pub fn is_delta(file: &SnapshotFile) -> bool {
+    file.section_ids().any(|id| id == SEC_DELTA_META)
+}

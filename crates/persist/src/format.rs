@@ -24,7 +24,10 @@
 
 use std::ops::Range;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+use sj_common::SharedBytes;
 
 use crate::crc::crc32;
 use crate::error::PersistError;
@@ -42,7 +45,12 @@ pub const MAGIC: [u8; 8] = *b"PASSJSNP";
 /// * **2** — online snapshots record their key backend in META and may
 ///   carry an interned-segment section (dictionary + id-keyed postings,
 ///   section 5) instead of section 4.
-pub const FORMAT_VERSION: u32 = 2;
+/// * **3** — online snapshots additionally carry a direct-probe postings
+///   appendix (sorted run directory + run table + key blob + id blob,
+///   sections 6–9) laid out for in-buffer binary search, so a load can
+///   skip the hash-map rebuild entirely; delta-checkpoint files (sections
+///   20–21) share the container.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// The oldest format revision this build still reads. Loaders accept
 /// `MIN_SUPPORTED_VERSION..=FORMAT_VERSION` and dispatch on
@@ -58,6 +66,14 @@ const TABLE_ENTRY_LEN: usize = 24;
 
 /// Hard cap on the section count, bounding allocation on corrupt headers.
 const MAX_SECTIONS: u32 = 1024;
+
+/// Absolute file offset of the first payload byte in a container with
+/// `n_sections` sections (header + table + header CRC). Writers that must
+/// place in-file-aligned data — the direct-probe id blob — use this to
+/// compute a payload's absolute position before rendering it.
+pub const fn payload_base(n_sections: usize) -> usize {
+    HEADER_LEN + TABLE_ENTRY_LEN * n_sections + 4
+}
 
 /// Builds a snapshot file from named sections.
 ///
@@ -166,14 +182,27 @@ impl SnapshotWriter {
 /// Opening re-checks everything — magic, version, table bounds, dense
 /// section tiling, and every section's CRC32 — so a `SnapshotFile` in hand
 /// is a proof the container is well-formed. Payload views borrow from one
-/// `Arc`-shared buffer; [`SnapshotFile::section_range`] +
+/// shared buffer; [`SnapshotFile::section_range`] +
 /// [`SnapshotFile::buffer`] let a consumer keep zero-copy references into
 /// it after the `SnapshotFile` itself is gone.
+///
+/// [`SnapshotFile::parse_lazy`] defers the per-section payload CRCs: the
+/// header, table, and dense tiling are still validated eagerly (so the
+/// section *geometry* is trustworthy), but payload bytes are only
+/// checksummed when first touched through [`SnapshotFile::section`], or
+/// explicitly via [`SnapshotFile::verify_section`] /
+/// [`SnapshotFile::verify_all`]. This is what makes a memory-mapped open
+/// O(1) in file size: nothing faults in the bulk sections until they are
+/// used. [`SnapshotFile::section_range`] never checksums — consumers on
+/// the lazy path pair it with a background [`SnapshotFile::verify_all`].
 #[derive(Debug, Clone)]
 pub struct SnapshotFile {
-    buf: Arc<[u8]>,
+    buf: SharedBytes,
     version: u32,
-    sections: Vec<(u32, Range<usize>)>,
+    sections: Vec<(u32, Range<usize>, u32)>,
+    /// Per-section "payload CRC has been checked" memo, shared across
+    /// clones (the buffer is immutable, so one check settles it for all).
+    verified: Arc<[AtomicBool]>,
 }
 
 impl SnapshotFile {
@@ -183,8 +212,19 @@ impl SnapshotFile {
         Self::parse(bytes.into())
     }
 
-    /// Validates an in-memory container.
-    pub fn parse(buf: Arc<[u8]>) -> Result<Self, PersistError> {
+    /// Validates an in-memory container, checksumming every section.
+    pub fn parse(buf: SharedBytes) -> Result<Self, PersistError> {
+        Self::parse_inner(buf, true)
+    }
+
+    /// Validates the container's framing (magic, version, header CRC,
+    /// dense tiling) but defers section payload CRCs to first access —
+    /// see the type-level docs for the contract.
+    pub fn parse_lazy(buf: SharedBytes) -> Result<Self, PersistError> {
+        Self::parse_inner(buf, false)
+    }
+
+    fn parse_inner(buf: SharedBytes, eager: bool) -> Result<Self, PersistError> {
         if buf.len() < HEADER_LEN {
             return Err(PersistError::Truncated { context: "header" });
         }
@@ -231,7 +271,7 @@ impl SnapshotFile {
             let offset = u64::from_le_bytes(buf[at + 4..at + 12].try_into().unwrap());
             let len = u64::from_le_bytes(buf[at + 12..at + 20].try_into().unwrap());
             let crc = u32::from_le_bytes(buf[at + 20..at + 24].try_into().unwrap());
-            if sections.iter().any(|&(existing, _)| existing == id) {
+            if sections.iter().any(|&(existing, _, _)| existing == id) {
                 return Err(PersistError::Corrupt {
                     context: "duplicate section id",
                 });
@@ -250,10 +290,10 @@ impl SnapshotFile {
                 });
             }
             let range = offset as usize..end as usize;
-            if crc32(&buf[range.clone()]) != crc {
+            if eager && crc32(&buf[range.clone()]) != crc {
                 return Err(PersistError::ChecksumMismatch { section: id });
             }
-            sections.push((id, range));
+            sections.push((id, range, crc));
             expected_offset = end;
         }
         if expected_offset != buf.len() as u64 {
@@ -261,10 +301,12 @@ impl SnapshotFile {
                 context: "trailing bytes after the last section",
             });
         }
+        let verified: Arc<[AtomicBool]> = sections.iter().map(|_| AtomicBool::new(eager)).collect();
         Ok(Self {
             buf,
             version,
             sections,
+            verified,
         })
     }
 
@@ -275,24 +317,64 @@ impl SnapshotFile {
         self.version
     }
 
-    /// The payload of section `id`.
+    /// The payload of section `id`, checksummed on first access if the
+    /// file was opened with [`SnapshotFile::parse_lazy`].
     pub fn section(&self, id: u32) -> Result<&[u8], PersistError> {
-        Ok(&self.buf[self.section_range(id)?])
+        let at = self.section_index(id)?;
+        self.check_crc(at)?;
+        Ok(&self.buf[self.sections[at].1.clone()])
     }
 
     /// The byte range of section `id` within [`SnapshotFile::buffer`] —
-    /// the zero-copy handle: clone the buffer `Arc` and index with this
-    /// range to keep the payload alive without copying it.
+    /// the zero-copy handle: clone the buffer handle and index with this
+    /// range to keep the payload alive without copying it. Never
+    /// checksums the payload on the lazy path (see the type-level docs).
     pub fn section_range(&self, id: u32) -> Result<Range<usize>, PersistError> {
+        Ok(self.sections[self.section_index(id)?].1.clone())
+    }
+
+    /// Checksums section `id`'s payload now (memoized). A no-op for
+    /// eagerly-parsed files and already-verified sections.
+    pub fn verify_section(&self, id: u32) -> Result<(), PersistError> {
+        self.check_crc(self.section_index(id)?)
+    }
+
+    /// Checksums every not-yet-verified section payload; the background
+    /// integrity pass behind lazy opens.
+    pub fn verify_all(&self) -> Result<(), PersistError> {
+        for at in 0..self.sections.len() {
+            self.check_crc(at)?;
+        }
+        Ok(())
+    }
+
+    /// The ids of every section present, in file order.
+    pub fn section_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.sections.iter().map(|&(id, _, _)| id)
+    }
+
+    fn section_index(&self, id: u32) -> Result<usize, PersistError> {
         self.sections
             .iter()
-            .find(|&&(existing, _)| existing == id)
-            .map(|(_, range)| range.clone())
+            .position(|&(existing, _, _)| existing == id)
             .ok_or(PersistError::MissingSection { section: id })
     }
 
+    fn check_crc(&self, at: usize) -> Result<(), PersistError> {
+        // Relaxed is enough: the memo only skips a redundant pure
+        // computation, it guards no other data.
+        if !self.verified[at].load(Ordering::Relaxed) {
+            let (id, ref range, crc) = self.sections[at];
+            if crc32(&self.buf[range.clone()]) != crc {
+                return Err(PersistError::ChecksumMismatch { section: id });
+            }
+            self.verified[at].store(true, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
     /// The whole file as one contiguous shared buffer.
-    pub fn buffer(&self) -> &Arc<[u8]> {
+    pub fn buffer(&self) -> &SharedBytes {
         &self.buf
     }
 }
@@ -449,12 +531,46 @@ mod tests {
     fn rejects_truncation_at_every_length() {
         let bytes = sample();
         for cut in 0..bytes.len() {
-            let truncated: Arc<[u8]> = bytes[..cut].to_vec().into();
+            let truncated = SharedBytes::from(bytes[..cut].to_vec());
             assert!(
                 SnapshotFile::parse(truncated).is_err(),
                 "truncation to {cut} bytes must be rejected"
             );
         }
+    }
+
+    #[test]
+    fn lazy_parse_defers_payload_checks_to_access() {
+        // Corrupt a payload byte, then repair nothing: eager parse must
+        // reject, lazy parse must accept — until the section is touched.
+        let mut bytes = sample();
+        let at = bytes.len() - 1; // inside section 2's payload
+        bytes[at] ^= 0x40;
+        assert!(matches!(
+            SnapshotFile::parse(SharedBytes::from(bytes.clone())),
+            Err(PersistError::ChecksumMismatch { section: 2 })
+        ));
+        let file = SnapshotFile::parse_lazy(SharedBytes::from(bytes)).unwrap();
+        assert_eq!(file.section(1).unwrap(), b"first section");
+        assert!(file.section_range(2).is_ok(), "geometry is still served");
+        assert!(matches!(
+            file.section(2),
+            Err(PersistError::ChecksumMismatch { section: 2 })
+        ));
+        assert!(matches!(
+            file.verify_all(),
+            Err(PersistError::ChecksumMismatch { section: 2 })
+        ));
+    }
+
+    #[test]
+    fn lazy_verification_is_memoized_and_shared() {
+        let file = SnapshotFile::parse_lazy(SharedBytes::from(sample())).unwrap();
+        let clone = file.clone();
+        file.verify_all().unwrap();
+        // The clone shares the memo; spot-check via the public surface.
+        clone.verify_section(2).unwrap();
+        assert_eq!(clone.section_ids().collect::<Vec<_>>(), vec![1, 7, 2]);
     }
 
     #[test]

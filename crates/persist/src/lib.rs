@@ -16,11 +16,15 @@
 //!   each protected by CRC32. [`SnapshotWriter`] builds a file;
 //!   [`SnapshotFile`] validates and exposes one. Nothing here knows what
 //!   an index is.
-//! * **Codecs** ([`segmap`]) — the encoding of `passjoin`'s segment
-//!   inverted indices (`SegmentMap`) as a flat posting stream, built on
-//!   the raw-parts API the core crate exposes for exactly this purpose
+//! * **Codecs** — [`segmap`] encodes `passjoin`'s segment inverted
+//!   indices (`SegmentMap`) as a flat posting stream, built on the
+//!   raw-parts API the core crate exposes for exactly this purpose
 //!   ([`passjoin::SegmentMap::visit_postings`] /
-//!   [`passjoin::SegmentMap::restore_posting`]).
+//!   [`passjoin::SegmentMap::restore_posting`]); [`segdirect`] encodes
+//!   the same postings as sorted arrays probed **in place** by
+//!   [`passjoin::DirectSegmentIndex`] (format v3's zero-rebuild load
+//!   path); [`delta`] encodes incremental insert/remove logs against a
+//!   base snapshot (delta checkpoints).
 //!
 //! The *snapshot semantics* — which sections exist and how the online
 //! index's strings, tombstones, and lanes map onto them — live in
@@ -46,11 +50,14 @@
 //! semantic header field or a section CRC.
 
 mod crc;
+pub mod delta;
 mod error;
 pub mod format;
+pub mod segdirect;
 pub mod segmap;
 
 pub use crc::crc32;
+pub use delta::{DeltaMeta, DeltaOp};
 pub use error::PersistError;
 pub use format::{
     Cursor, SnapshotFile, SnapshotWriter, FORMAT_VERSION, MAGIC, MIN_SUPPORTED_VERSION,

@@ -31,14 +31,14 @@ use sj_common::StringId;
 use crate::error::PersistError;
 use crate::format::Cursor;
 
-fn scheme_code(scheme: PartitionScheme) -> u32 {
+pub(crate) fn scheme_code(scheme: PartitionScheme) -> u32 {
     match scheme {
         PartitionScheme::Even => 0,
         PartitionScheme::LeftHeavy => 1,
     }
 }
 
-fn scheme_from_code(code: u32) -> Option<PartitionScheme> {
+pub(crate) fn scheme_from_code(code: u32) -> Option<PartitionScheme> {
     match code {
         0 => Some(PartitionScheme::Even),
         1 => Some(PartitionScheme::LeftHeavy),
@@ -48,16 +48,31 @@ fn scheme_from_code(code: u32) -> Option<PartitionScheme> {
 
 /// Serializes a byte-keyed segment map into a section payload.
 pub fn encode<K: SegmentKey + std::borrow::Borrow<[u8]> + Ord>(map: &SegmentMap<K>) -> Vec<u8> {
+    encode_with(map.scheme(), map.tau(), |f| {
+        map.visit_postings(|l, slot, key, ids| f(l, slot, key, ids))
+    })
+}
+
+/// [`encode`] over any posting visitor yielding the deterministic
+/// `(l, slot, key)` order — the order [`SegmentMap::visit_postings`] and
+/// [`passjoin::DirectSegmentIndex::try_visit_postings`] both produce. Lets
+/// a direct-probe store re-save its origin's section byte-identically
+/// without materializing a hash map first.
+pub fn encode_with(
+    scheme: PartitionScheme,
+    tau: usize,
+    visit: impl FnOnce(&mut dyn FnMut(usize, usize, &[u8], &[StringId])),
+) -> Vec<u8> {
     // Single visiting pass (each visit re-sorts every bucket for the
     // deterministic order, so walking twice to pre-count would double the
     // dominant save cost): write a placeholder count, patch it after.
-    let mut out = Vec::with_capacity(64 + map.entries() as usize * 8);
-    out.extend_from_slice(&scheme_code(map.scheme()).to_le_bytes());
-    out.extend_from_slice(&(map.tau() as u32).to_le_bytes());
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&scheme_code(scheme).to_le_bytes());
+    out.extend_from_slice(&(tau as u32).to_le_bytes());
     let count_at = out.len();
     out.extend_from_slice(&0u64.to_le_bytes());
     let mut postings = 0u64;
-    map.visit_postings(|l, slot, key, ids| {
+    visit(&mut |l, slot, key, ids| {
         postings += 1;
         out.extend_from_slice(&(l as u32).to_le_bytes());
         out.extend_from_slice(&(slot as u32).to_le_bytes());
@@ -195,43 +210,61 @@ fn reserve_from_counts(
 /// interner ids are compacted away), and encoding the same content twice
 /// yields identical bytes. Postings follow in `(l, slot, rank)` order.
 pub fn encode_interned(index: &InternedSegmentIndex) -> Vec<u8> {
-    let mut postings: Vec<(u32, u32, SegId, Vec<StringId>)> = Vec::new();
-    index.visit_postings(|l, slot, seg, ids| {
-        postings.push((l as u32, slot as u32, seg, ids.to_vec()));
+    let interner = index.interner();
+    encode_interned_with(index.scheme(), index.tau(), |f| {
+        index.visit_postings(|l, slot, seg, ids| {
+            let key = interner.bytes_of(seg).expect("visited id is interned");
+            f(l, slot, key, ids)
+        })
+    })
+}
+
+/// [`encode_interned`] over any byte-keyed posting visitor, in any order.
+/// The dictionary is derived from the visited keys and ranked by bytes, so
+/// the output is the same canonical payload [`encode_interned`] writes —
+/// this is how a direct-probe store with an interned origin re-saves its
+/// section byte-identically without rebuilding an interner.
+pub fn encode_interned_with(
+    scheme: PartitionScheme,
+    tau: usize,
+    visit: impl FnOnce(&mut dyn FnMut(usize, usize, &[u8], &[StringId])),
+) -> Vec<u8> {
+    let mut postings: Vec<(u32, u32, Vec<u8>, Vec<StringId>)> = Vec::new();
+    let mut entries = 0usize;
+    visit(&mut |l, slot, key, ids| {
+        entries += ids.len();
+        postings.push((l as u32, slot as u32, key.to_vec(), ids.to_vec()));
     });
 
     // Rank the referenced dictionary entries by their bytes.
-    let mut used: Vec<SegId> = postings.iter().map(|&(_, _, seg, _)| seg).collect();
+    let mut used: Vec<&[u8]> = postings
+        .iter()
+        .map(|(_, _, key, _)| key.as_slice())
+        .collect();
     used.sort_unstable();
     used.dedup();
-    let interner = index.interner();
-    let resolve = |seg: SegId| interner.bytes_of(seg).expect("visited id is interned");
-    used.sort_by(|&a, &b| resolve(a).cmp(resolve(b)));
-    let rank_of = |seg: SegId| {
-        used.binary_search_by(|&e| resolve(e).cmp(resolve(seg)))
-            .unwrap() as u32
-    };
+    let rank_of = |key: &[u8]| used.binary_search(&key).expect("key was collected") as u32;
 
-    let mut out = Vec::with_capacity(64 + index.entries() as usize * 8);
-    out.extend_from_slice(&scheme_code(index.scheme()).to_le_bytes());
-    out.extend_from_slice(&(index.tau() as u32).to_le_bytes());
+    let mut out = Vec::with_capacity(64 + entries * 8);
+    out.extend_from_slice(&scheme_code(scheme).to_le_bytes());
+    out.extend_from_slice(&(tau as u32).to_le_bytes());
     out.extend_from_slice(&(used.len() as u64).to_le_bytes());
-    for &seg in &used {
-        let bytes = resolve(seg);
+    for bytes in &used {
         out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
         out.extend_from_slice(bytes);
     }
-    for posting in &mut postings {
-        posting.2 = SegId::from_raw(rank_of(posting.2));
-    }
-    postings.sort_unstable_by_key(|&(l, slot, seg, _)| (l, slot, seg.raw()));
-    out.extend_from_slice(&(postings.len() as u64).to_le_bytes());
-    for (l, slot, seg, ids) in &postings {
+    let mut ranked: Vec<(u32, u32, u32, &[StringId])> = postings
+        .iter()
+        .map(|(l, slot, key, ids)| (*l, *slot, rank_of(key), ids.as_slice()))
+        .collect();
+    ranked.sort_unstable_by_key(|&(l, slot, rank, _)| (l, slot, rank));
+    out.extend_from_slice(&(ranked.len() as u64).to_le_bytes());
+    for (l, slot, rank, ids) in &ranked {
         out.extend_from_slice(&l.to_le_bytes());
         out.extend_from_slice(&slot.to_le_bytes());
-        out.extend_from_slice(&seg.raw().to_le_bytes());
+        out.extend_from_slice(&rank.to_le_bytes());
         out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
-        for &id in ids {
+        for &id in *ids {
             out.extend_from_slice(&id.to_le_bytes());
         }
     }
